@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation of the BVH-construction design choices called out in
+ * DESIGN.md: SAH bin count and leaf size. Sweeps both over three
+ * contrasting scenes and reports tree quality (SAH cost, depth) and
+ * end-to-end simulated cycles -- quantifying how much the builder
+ * configuration moves the characterization results.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "rt/pipeline.hh"
+
+using namespace lumi;
+
+namespace
+{
+
+uint64_t
+simulate(const Scene &scene, const RenderParams &params,
+         const BuilderConfig &builder, BvhStats *tree_stats)
+{
+    Gpu gpu(GpuConfig::mobile());
+    // The pipeline builds with the default config; build explicitly
+    // here to control the builder, then wrap it.
+    AccelStructure accel;
+    accel.build(scene, builder);
+    if (tree_stats) {
+        // Quality of the biggest BLAS.
+        size_t best = 0;
+        for (size_t i = 0; i < accel.blases().size(); i++) {
+            if (accel.blases()[i].bvh.nodes.size() >
+                accel.blases()[best].bvh.nodes.size()) {
+                best = i;
+            }
+        }
+        *tree_stats = accel.blases()[best].bvh.computeStats();
+    }
+    // Re-run through the pipeline with the same builder config by
+    // rendering a frame functionally-equivalent: the pipeline owns
+    // its own accel, so time traversal directly through a kernel.
+    SceneGpuLayout layout = SceneGpuLayout::create(
+        gpu.addressSpace(), accel, params.pixels(),
+        params.totalSamples());
+    KernelLaunch launch;
+    launch.warpCount = (params.totalSamples() + 31) / 32;
+    launch.layout = &layout;
+    launch.program = [&](WarpContext &ctx) {
+        HitInfo hits[32];
+        ctx.traceRay(
+            [&](int lane) {
+                int tid = static_cast<int>(ctx.threadIndex(lane));
+                int pixel = tid / params.samplesPerPixel;
+                return scene.camera.generateRay(
+                    pixel % params.width, pixel / params.width,
+                    params.width, params.height, 0.5f, 0.5f);
+            },
+            [](int) { return 1e30f; }, false, RayKind::Primary,
+            hits);
+    };
+    gpu.run(launch);
+    return gpu.stats().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Ablation: BVH builder configuration")
+                    .c_str());
+
+    RenderParams params = options.params;
+    for (SceneId id : {SceneId::BUNNY, SceneId::SHIP, SceneId::PARK}) {
+        Scene scene = buildScene(id, options.sceneDetail);
+        std::printf("--- %s ---\n", scene.name.c_str());
+        TextTable table({"bins", "max_leaf", "sah_cost", "depth",
+                         "avg_leaf_prims", "sim_cycles"});
+        for (int bins : {4, 16, 32}) {
+            for (uint32_t leaf : {2u, 4u, 8u}) {
+                BuilderConfig config;
+                config.binCount = bins;
+                config.maxLeafPrims = leaf;
+                BvhStats tree;
+                uint64_t cycles = simulate(scene, params, config,
+                                           &tree);
+                table.addRow({std::to_string(bins),
+                              std::to_string(leaf),
+                              TextTable::num(tree.sahCost, 1),
+                              std::to_string(tree.maxDepth),
+                              TextTable::num(tree.avgLeafPrims, 2),
+                              std::to_string(cycles)});
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("expectation: more bins lower the SAH cost "
+                "slightly; larger leaves trade node fetches for "
+                "primitive tests -- the suite's conclusions should "
+                "be robust across this range\n");
+    return 0;
+}

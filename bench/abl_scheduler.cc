@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation of the warp scheduling policy (Table 4 fixes GTO): GTO
+ * versus loose round-robin over the representative subset. GTO's
+ * greedy reuse of one warp's locality typically wins slightly for
+ * ray tracing, where back-to-back issues share L1 state; the gap is
+ * one design datum the simulator can quantify.
+ */
+
+#include <cstdio>
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Ablation: warp scheduler (GTO vs LRR)")
+                    .c_str());
+
+    std::vector<Workload> subset = representativeSubset();
+    RunOptions lrr_options = options;
+    lrr_options.config.scheduler = WarpSchedulerPolicy::Lrr;
+    lrr_options.config.name = "mobile-lrr";
+
+    TextTable table({"workload", "gto_cycles", "lrr_cycles",
+                     "lrr_slowdown"});
+    double geo = 1.0;
+    for (const Workload &workload : subset) {
+        std::fprintf(stderr, "  running %-10s ...\n",
+                     workload.id().c_str());
+        WorkloadResult gto = runWorkload(workload, options);
+        WorkloadResult lrr = runWorkload(workload, lrr_options);
+        double slowdown = static_cast<double>(lrr.stats.cycles) /
+                          std::max<uint64_t>(1, gto.stats.cycles);
+        geo *= slowdown;
+        table.addRow({workload.id(),
+                      std::to_string(gto.stats.cycles),
+                      std::to_string(lrr.stats.cycles),
+                      TextTable::num(slowdown, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("geomean LRR/GTO = %.3f\n",
+                std::pow(geo, 1.0 / subset.size()));
+    return 0;
+}

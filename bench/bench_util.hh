@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries.
+ *
+ * Every bench prints the rows/series of one paper table or figure.
+ * Resolution and scene detail come from RunOptions::fromEnv()
+ * (LUMI_RES / LUMI_SPP / LUMI_DETAIL / LUMI_QUICK), so a smoke run
+ * of the full harness is cheap while the defaults match the
+ * characterization setup scaled per Sec. 4.3.
+ */
+
+#ifndef LUMI_BENCH_BENCH_UTIL_HH
+#define LUMI_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lumibench/report.hh"
+#include "lumibench/runner.hh"
+#include "lumibench/workload.hh"
+
+namespace lumi
+{
+namespace bench
+{
+
+/** Run a list of workloads, echoing progress to stderr. */
+inline std::vector<WorkloadResult>
+runAll(const std::vector<Workload> &workloads,
+       const RunOptions &options)
+{
+    std::vector<WorkloadResult> results;
+    results.reserve(workloads.size());
+    for (const Workload &workload : workloads) {
+        std::fprintf(stderr, "  running %-10s ...\n",
+                     workload.id().c_str());
+        results.push_back(runWorkload(workload, options));
+    }
+    return results;
+}
+
+/** Run all 13 Rodinia-equivalent compute workloads. */
+inline std::vector<WorkloadResult>
+runAllCompute(const RunOptions &options)
+{
+    std::vector<WorkloadResult> results;
+    for (ComputeKernel kernel : allComputeKernels()) {
+        std::fprintf(stderr, "  running %-10s ...\n",
+                     computeKernelName(kernel));
+        results.push_back(runCompute(kernel, options));
+    }
+    return results;
+}
+
+/** Average of a per-result value over results of one shader type. */
+template <typename Fn>
+inline double
+shaderAverage(const std::vector<WorkloadResult> &results,
+              const char *suffix, Fn value)
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const WorkloadResult &result : results) {
+        if (result.id.size() >= 3 &&
+            result.id.compare(result.id.size() - 2, 2, suffix) == 0) {
+            sum += value(result);
+            count++;
+        }
+    }
+    return count > 0 ? sum / count : 0.0;
+}
+
+} // namespace bench
+} // namespace lumi
+
+#endif // LUMI_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Figure 3: dendrogram of workload similarity.
+ *
+ * Runs all 46 LumiBench workloads plus the CS:GO-like maps, applies
+ * MICA-style PCA to the full metric set and clusters the PCA scores
+ * with average linkage. A second pass adds the 13 Rodinia-equivalent
+ * compute workloads over the non-RT metric subset and shows that they
+ * cluster apart from every ray tracing workload (Sec. 3.4.1).
+ */
+
+#include <cstdio>
+
+#include "analysis/cluster.hh"
+#include "analysis/pca.hh"
+#include "bench_util.hh"
+#include "metrics/metrics.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+namespace
+{
+
+/** Collect metric rows into a matrix + names. */
+void
+gather(const std::vector<WorkloadResult> &results,
+       std::vector<std::vector<double>> &rows,
+       std::vector<std::string> &names)
+{
+    for (const WorkloadResult &result : results) {
+        rows.push_back(result.metrics.values);
+        names.push_back(result.id);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Figure 3: workload similarity dendrogram")
+                    .c_str());
+
+    std::vector<Workload> workloads = allWorkloads();
+    std::vector<Workload> games = gameWorkloads();
+    std::vector<WorkloadResult> results = runAll(workloads, options);
+    std::vector<WorkloadResult> game_results = runAll(games, options);
+
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> names;
+    gather(results, rows, names);
+    gather(game_results, rows, names);
+
+    std::vector<int> kept;
+    auto dense = denseColumns(rows, kept);
+    PcaResult pca_result = pca(dense, 0.9);
+    std::printf("\nPCA: %d components cover %.1f%% of variance "
+                "(%zu metrics)\n\n",
+                pca_result.kept, 100.0 * pca_result.coveredVariance,
+                kept.size());
+
+    Dendrogram tree = agglomerate(pca_result.scores);
+    std::printf("%s\n",
+                renderDendrogram(tree, names).c_str());
+
+    // Cluster labels at the 8-cluster cut used for Table 2.
+    std::vector<int> labels = cutTree(tree, 8);
+    TextTable table({"cluster", "workloads"});
+    for (int cluster = 0; cluster < 8; cluster++) {
+        std::string members;
+        for (size_t i = 0; i < names.size(); i++) {
+            if (labels[i] == cluster) {
+                if (!members.empty())
+                    members += " ";
+                members += names[i];
+            }
+        }
+        table.addRow({std::to_string(cluster), members});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // --- Rodinia separation (Sec. 3.4.1) ---
+    std::printf("%s",
+                banner("Sec. 3.4.1: Rodinia vs LumiBench").c_str());
+    std::vector<WorkloadResult> compute_results =
+        runAllCompute(options);
+    std::vector<std::vector<double>> all_rows = rows;
+    std::vector<std::string> all_names = names;
+    gather(compute_results, all_rows, all_names);
+
+    std::vector<int> common;
+    auto common_dense = denseColumns(all_rows, common);
+    PcaResult combined = pca(common_dense, 0.9);
+    std::printf("\ncombined PCA over %zu non-RT metrics\n",
+                common.size());
+
+    // Separation evidence, two ways. (1) Nearest-neighbor purity:
+    // is each Rodinia workload's nearest neighbor in PCA space
+    // another Rodinia workload? (2) Mean Rodinia-to-Rodinia versus
+    // Rodinia-to-ray-tracing distance.
+    size_t rt_count = rows.size();
+    size_t n = all_names.size();
+    int pure = 0;
+    double intra = 0.0, inter = 0.0;
+    size_t intra_pairs = 0, inter_pairs = 0;
+    for (size_t i = rt_count; i < n; i++) {
+        double best = 1e300;
+        size_t best_j = i;
+        for (size_t j = 0; j < n; j++) {
+            if (j == i)
+                continue;
+            double d = euclidean(combined.scores[i],
+                                 combined.scores[j]);
+            if (d < best) {
+                best = d;
+                best_j = j;
+            }
+            if (j >= rt_count) {
+                intra += d;
+                intra_pairs++;
+            } else {
+                inter += d;
+                inter_pairs++;
+            }
+        }
+        if (best_j >= rt_count)
+            pure++;
+    }
+    intra /= std::max<size_t>(1, intra_pairs);
+    inter /= std::max<size_t>(1, inter_pairs);
+    std::printf("nearest-neighbor purity: %d/%zu Rodinia workloads "
+                "are closest to another Rodinia workload\n",
+                pure, compute_results.size());
+    std::printf("mean distance Rodinia<->Rodinia %.2f vs "
+                "Rodinia<->ray tracing %.2f (ratio %.2f)\n",
+                intra, inter, intra > 0 ? inter / intra : 0.0);
+    std::printf("paper expectation: Rodinia clusters together, "
+                "clearly separated from LumiBench even without RT "
+                "metrics\n");
+    return 0;
+}

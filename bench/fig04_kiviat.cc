@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 4: Kiviat diagrams of the eight GA-selected characteristics
+ * for the representative subset plus the DUST2-like game map, printed
+ * as min-max-normalized axis values.
+ */
+
+#include <cstdio>
+
+#include "analysis/genetic.hh"
+#include "analysis/kiviat.hh"
+#include "analysis/pca.hh"
+#include "bench_util.hh"
+#include "metrics/metrics.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s", banner("Figure 4: Kiviat diagrams").c_str());
+
+    // GA selection needs the full workload population.
+    std::vector<Workload> workloads = allWorkloads();
+    std::vector<WorkloadResult> results = runAll(workloads, options);
+    Workload dust2{SceneId::DUST2, ShaderKind::PathTracing};
+    std::fprintf(stderr, "  running %-10s ...\n",
+                 dust2.id().c_str());
+    results.push_back(runWorkload(dust2, options));
+
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> names;
+    for (const WorkloadResult &result : results) {
+        rows.push_back(result.metrics.values);
+        names.push_back(result.id);
+    }
+    std::vector<int> kept;
+    auto dense = denseColumns(rows, kept);
+    PcaResult reference = pca(dense, 0.9);
+    GeneticResult selection = selectMetrics(dense, reference.scores,
+                                            GeneticParams{});
+
+    // Kiviat over subset + DUST2_PT only, on the selected axes.
+    std::vector<std::string> chart_names;
+    std::vector<std::vector<double>> chart_rows;
+    std::vector<Workload> subset = representativeSubset();
+    for (size_t i = 0; i < names.size(); i++) {
+        bool wanted = names[i] == "DUST2_PT";
+        for (const Workload &w : subset)
+            wanted = wanted || names[i] == w.id();
+        if (!wanted)
+            continue;
+        std::vector<double> row;
+        for (int column : selection.selected)
+            row.push_back(dense[i][column]);
+        chart_rows.push_back(std::move(row));
+        chart_names.push_back(names[i]);
+    }
+    std::vector<std::string> axes;
+    for (int column : selection.selected)
+        axes.push_back(metricSchema()[kept[column]].name);
+
+    KiviatChart chart = makeKiviat(chart_names, axes, chart_rows);
+    std::printf("\n%s\n", renderKiviat(chart).c_str());
+    std::printf("paper expectation: high diversity across axes; "
+                "DUST2 differs from the LumiBench subset on several "
+                "axes\n");
+    return 0;
+}

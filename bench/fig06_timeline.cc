@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 6: RT-unit residency, IPC and L1D miss rate over time for
+ * PARK_PT, BUNNY_AO and SHIP_SH, plus a higher-resolution SHIP_SH
+ * run demonstrating that the key metrics stabilize and follow the
+ * same trends (the Sec. 4.3 representative-sampling argument).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+namespace
+{
+
+void
+printTimeline(const WorkloadResult &result, int max_rows)
+{
+    TextTable table({"cycles", "rt_warps_per_unit", "ipc",
+                     "l1d_miss_rate"});
+    int stride = std::max<size_t>(1, result.timeline.size() /
+                                         max_rows);
+    for (size_t i = 0; i < result.timeline.size();
+         i += static_cast<size_t>(stride)) {
+        const TimelineWindow &w = result.timeline[i];
+        table.addRow({std::to_string(w.cycleEnd),
+                      TextTable::num(w.rtWarpsPerUnit, 2),
+                      TextTable::num(w.ipc, 3),
+                      TextTable::num(w.l1MissRate, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+/** Max and tail-mean of the per-window RT residency. */
+void
+summarize(const WorkloadResult &result, int rt_max_warps)
+{
+    double peak = 0.0;
+    for (const TimelineWindow &w : result.timeline)
+        peak = std::max(peak, w.rtWarpsPerUnit);
+    // Stability: stddev of IPC over the second half of the run.
+    size_t half = result.timeline.size() / 2;
+    double mean = 0.0, var = 0.0;
+    size_t n = result.timeline.size() - half;
+    for (size_t i = half; i < result.timeline.size(); i++)
+        mean += result.timeline[i].ipc;
+    if (n > 0)
+        mean /= n;
+    for (size_t i = half; i < result.timeline.size(); i++) {
+        double d = result.timeline[i].ipc - mean;
+        var += d * d;
+    }
+    double stddev = n > 1 ? std::sqrt(var / n) : 0.0;
+    std::printf("peak rt warps/unit = %.2f of %d; second-half IPC "
+                "= %.2f +/- %.2f (stabilized: %s)\n\n",
+                peak, rt_max_warps, mean, stddev,
+                stddev < 0.35 * (mean + 1e-9) ? "yes" : "no");
+}
+
+} // namespace
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    options.params.width = 128;
+    options.params.height = 128;
+    options.timelineInterval = 2000;
+    std::printf("%s",
+                banner("Figure 6: architectural behavior over time")
+                    .c_str());
+
+    const Workload picks[3] = {
+        {SceneId::PARK, ShaderKind::PathTracing},
+        {SceneId::BUNNY, ShaderKind::AmbientOcclusion},
+        {SceneId::SHIP, ShaderKind::Shadow},
+    };
+    for (const Workload &workload : picks) {
+        std::fprintf(stderr, "  running %-10s ...\n",
+                     workload.id().c_str());
+        WorkloadResult result = runWorkload(workload, options);
+        std::printf("--- %s (128x128) ---\n", result.id.c_str());
+        printTimeline(result, 14);
+        summarize(result, options.config.rtMaxWarps);
+    }
+
+    // Resolution scaling: SHIP_SH at a higher resolution follows the
+    // same trends with a somewhat higher L1D miss rate (Sec. 4.3).
+    RunOptions hires = options;
+    hires.params.width = 256;
+    hires.params.height = 256;
+    std::fprintf(stderr, "  running SHIP_SH hi-res ...\n");
+    WorkloadResult lo = runWorkload(picks[2], options);
+    WorkloadResult hi = runWorkload(picks[2], hires);
+    std::printf("--- SHIP_SH resolution scaling ---\n");
+    TextTable table({"resolution", "cycles", "ipc",
+                     "l1d_miss_rate", "rt_occupancy"});
+    auto add = [&](const char *label, const WorkloadResult &r) {
+        uint64_t reads = r.l1Rt.reads + r.l1Shader.reads;
+        double miss = reads > 0
+                          ? static_cast<double>(r.l1Rt.misses +
+                                                r.l1Shader.misses) /
+                                reads
+                          : 0.0;
+        table.addRow({label, std::to_string(r.stats.cycles),
+                      TextTable::num(r.ipcThread(), 2),
+                      TextTable::num(miss, 3),
+                      TextTable::num(r.stats.rtOccupancy(r.rtUnits),
+                                     2)});
+    };
+    add("128x128", lo);
+    add("256x256", hi);
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper expectation: key metrics follow the same "
+                "trends across resolutions. (The paper also sees a "
+                "higher L1D miss rate at 1080p from the larger "
+                "working set; our scaled-down scenes largely fit in "
+                "cache, so the extra rays instead amortize cold "
+                "misses -- see EXPERIMENTS.md.)\n");
+    return 0;
+}

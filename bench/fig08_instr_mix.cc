@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 8: instruction-type distribution by dynamic count (top) and
+ * by simulated latency (bottom) for each scene's PT workload. The
+ * paper's takeaway: ALU dominates the count, but the few traceRay
+ * instructions dominate latency, with memory second.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Figure 8: instruction mix, count vs latency")
+                    .c_str());
+
+    TextTable table({"scene", "cnt_alu", "cnt_sfu", "cnt_mem",
+                     "cnt_rt", "lat_alu", "lat_sfu", "lat_mem",
+                     "lat_rt"});
+    for (SceneId id : lumiScenes()) {
+        Workload workload{id, ShaderKind::PathTracing};
+        std::fprintf(stderr, "  running %-10s ...\n",
+                     workload.id().c_str());
+        WorkloadResult r = runWorkload(workload, options);
+        const GpuStats &s = r.stats;
+        double n = static_cast<double>(s.instructions);
+        double lat = 0.0;
+        for (int i = 0; i < numWarpOps; i++)
+            lat += static_cast<double>(s.latencyByOp[i]);
+        auto cnt_frac = [&](int op) {
+            return TextTable::num(n > 0 ? s.instrByOp[op] / n : 0.0,
+                                  3);
+        };
+        auto lat_frac = [&](int op) {
+            return TextTable::num(
+                lat > 0 ? s.latencyByOp[op] / lat : 0.0, 3);
+        };
+        double cnt_mem = n > 0 ? (static_cast<double>(s.instrByOp[2]) +
+                                  s.instrByOp[3]) / n
+                               : 0.0;
+        double lat_mem =
+            lat > 0 ? (static_cast<double>(s.latencyByOp[2]) +
+                       s.latencyByOp[3]) / lat
+                    : 0.0;
+        table.addRow({sceneName(id), cnt_frac(0), cnt_frac(1),
+                      TextTable::num(cnt_mem, 3), cnt_frac(4),
+                      lat_frac(0), lat_frac(1),
+                      TextTable::num(lat_mem, 3), lat_frac(4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper expectations: ALU dominates dynamic count; "
+                "RT (traceRay) dominates latency with Mem second; "
+                "WKND shifts toward shader memory because its "
+                "traversal is short\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 9: RT-unit warp occupancy and efficiency (top) and SIMT
+ * efficiency (bottom) for every workload, with per-shader-type
+ * averages. The paper's claims: occupancy is deceptively high while
+ * efficiency is low; PT efficiency is the worst (divergent bounces,
+ * stragglers); SH is the best; the trends persist in SIMT efficiency.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Figure 9: RT unit and SIMT efficiency")
+                    .c_str());
+
+    std::vector<Workload> workloads = allWorkloads();
+    std::vector<WorkloadResult> results = runAll(workloads, options);
+
+    TextTable table({"workload", "rt_occupancy", "rt_efficiency",
+                     "simt_efficiency"});
+    for (const WorkloadResult &r : results) {
+        table.addRow({r.id,
+                      TextTable::num(r.stats.rtOccupancy(r.rtUnits),
+                                     2),
+                      TextTable::num(r.stats.rtEfficiency(), 3),
+                      TextTable::num(r.stats.simtEfficiency(), 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    TextTable avg({"shader", "avg_rt_occupancy", "avg_rt_efficiency",
+                   "avg_simt_efficiency"});
+    for (const char *suffix : {"PT", "SH", "AO"}) {
+        avg.addRow({suffix,
+                    TextTable::num(
+                        shaderAverage(results, suffix,
+                                      [](const WorkloadResult &r) {
+                                          return r.stats.rtOccupancy(
+                                              r.rtUnits);
+                                      }),
+                        2),
+                    TextTable::num(
+                        shaderAverage(results, suffix,
+                                      [](const WorkloadResult &r) {
+                                          return r.stats
+                                              .rtEfficiency();
+                                      }),
+                        3),
+                    TextTable::num(
+                        shaderAverage(results, suffix,
+                                      [](const WorkloadResult &r) {
+                                          return r.stats
+                                              .simtEfficiency();
+                                      }),
+                        3)});
+    }
+    std::printf("%s\n", avg.render().c_str());
+    std::printf("paper expectations: high occupancy, much lower "
+                "efficiency; PT lowest efficiency, SH highest; "
+                "SIMT efficiency shows the same shader-type trend\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 14: average IPC for every representative workload on the
+ * mobile and desktop configurations. The paper's takeaways: the plot
+ * highlights the hardest workloads (lowest IPC = best optimization
+ * targets) and the desktop GPU reports higher IPC with matching
+ * per-workload trends.
+ */
+
+#include <cstdio>
+
+#include "analysis/regression.hh"
+#include "bench_util.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s", banner("Figure 14: average IPC").c_str());
+
+    std::vector<Workload> subset = representativeSubset();
+    std::vector<WorkloadResult> mobile = runAll(subset, options);
+    RunOptions desktop_options = options;
+    desktop_options.config = GpuConfig::desktop();
+    std::vector<WorkloadResult> desktop = runAll(subset,
+                                                 desktop_options);
+
+    TextTable table({"workload", "mobile_ipc", "desktop_ipc",
+                     "speedup"});
+    int desktop_wins = 0;
+    std::vector<double> mobile_ipc, desktop_ipc;
+    for (size_t i = 0; i < mobile.size(); i++) {
+        double m = mobile[i].ipcThread();
+        double d = desktop[i].ipcThread();
+        mobile_ipc.push_back(m);
+        desktop_ipc.push_back(d);
+        if (d > m)
+            desktop_wins++;
+        table.addRow({mobile[i].id, TextTable::num(m, 2),
+                      TextTable::num(d, 2),
+                      TextTable::num(m > 0 ? d / m : 0.0, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    LinearFit fit = linearRegression(mobile_ipc, desktop_ipc);
+    std::printf("desktop > mobile on %d/%zu workloads; "
+                "mobile-vs-desktop trend correlation R^2 = %.3f\n",
+                desktop_wins, mobile.size(), fit.r2);
+    std::printf("paper expectations: desktop reports higher IPC; "
+                "per-workload trends are similar between configs\n");
+    return 0;
+}

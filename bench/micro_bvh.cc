@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the acceleration-structure
+ * substrate: BVH construction throughput across primitive counts and
+ * functional traversal throughput across scenes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bvh/accel.hh"
+#include "bvh/builder.hh"
+#include "bvh/traversal.hh"
+#include "math/rng.hh"
+#include "scene/scene_library.hh"
+
+namespace
+{
+
+using namespace lumi;
+
+std::vector<Aabb>
+randomBoxes(int count)
+{
+    Rng rng(42);
+    std::vector<Aabb> boxes;
+    boxes.reserve(count);
+    for (int i = 0; i < count; i++) {
+        Vec3 lo = rng.nextInBox({-100, -100, -100}, {100, 100, 100});
+        Aabb box;
+        box.extend(lo);
+        box.extend(lo + rng.nextInBox({0.1f, 0.1f, 0.1f},
+                                      {3, 3, 3}));
+        boxes.push_back(box);
+    }
+    return boxes;
+}
+
+void
+BM_BvhBuild(benchmark::State &state)
+{
+    auto boxes = randomBoxes(static_cast<int>(state.range(0)));
+    BvhBuilder builder;
+    for (auto _ : state) {
+        Bvh bvh = builder.build(boxes);
+        benchmark::DoNotOptimize(bvh.nodes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BvhBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_Traversal(benchmark::State &state)
+{
+    Scene scene = buildScene(
+        static_cast<SceneId>(state.range(0)), 0.4f);
+    AccelStructure accel;
+    accel.build(scene);
+    accel.assignAddresses(0x10000);
+    Rng rng(7);
+    int edge = 64;
+    int64_t rays = 0;
+    for (auto _ : state) {
+        int i = static_cast<int>(rays % (edge * edge));
+        Ray ray = scene.camera.generateRay(i % edge, i / edge, edge,
+                                           edge, 0.5f, 0.5f);
+        HitInfo hit = TraversalStateMachine::traceFunctional(
+            accel, ray, false);
+        benchmark::DoNotOptimize(hit.t);
+        rays++;
+    }
+    state.SetItemsProcessed(rays);
+    state.SetLabel(scene.name);
+}
+BENCHMARK(BM_Traversal)
+    ->Arg(static_cast<int>(SceneId::BUNNY))
+    ->Arg(static_cast<int>(SceneId::SPNZA))
+    ->Arg(static_cast<int>(SceneId::PARK))
+    ->Arg(static_cast<int>(SceneId::WKND));
+
+void
+BM_OcclusionQuery(benchmark::State &state)
+{
+    Scene scene = buildScene(SceneId::SPNZA, 0.4f);
+    AccelStructure accel;
+    accel.build(scene);
+    accel.assignAddresses(0x10000);
+    Vec3 center = scene.worldBounds().center();
+    Rng rng(9);
+    int64_t rays = 0;
+    for (auto _ : state) {
+        Ray ray;
+        ray.origin = center;
+        ray.dir = normalize(rng.nextInBox({-1, -1, -1}, {1, 1, 1}));
+        HitInfo hit = TraversalStateMachine::traceFunctional(
+            accel, ray, true);
+        benchmark::DoNotOptimize(hit.hit);
+        rays++;
+    }
+    state.SetItemsProcessed(rays);
+}
+BENCHMARK(BM_OcclusionQuery);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the memory-system substrate:
+ * cache probe/fill throughput and DRAM model scheduling cost, the
+ * hot loops of the timing simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpu/address_space.hh"
+#include "gpu/cache.hh"
+#include "gpu/config.hh"
+#include "gpu/dram.hh"
+#include "gpu/mem_system.hh"
+#include "math/rng.hh"
+
+namespace
+{
+
+using namespace lumi;
+
+void
+BM_CacheProbe(benchmark::State &state)
+{
+    GpuConfig config;
+    Cache cache(config.l1SizeBytes, config.l1LineBytes,
+                static_cast<uint32_t>(state.range(0)),
+                config.l1Latency);
+    Rng rng(1);
+    uint64_t cycle = 0;
+    // Working set 4x the cache: a steady miss/evict mix.
+    uint64_t lines = 4ull * config.l1SizeBytes / config.l1LineBytes;
+    for (auto _ : state) {
+        uint64_t addr = (rng.nextU32() % lines) * config.l1LineBytes;
+        CacheProbe probe = cache.probe(addr, cycle);
+        if (probe.outcome == CacheProbe::Outcome::Miss)
+            cache.fill(addr, cycle, cycle + 300);
+        cycle++;
+        benchmark::DoNotOptimize(probe.outcome);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(state.range(0) == 0 ? "fully-assoc" : "set-assoc");
+}
+BENCHMARK(BM_CacheProbe)->Arg(0)->Arg(16);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    GpuConfig config;
+    Dram dram(config);
+    Rng rng(2);
+    uint64_t cycle = 0;
+    bool sequential = state.range(0) != 0;
+    uint64_t next = 0;
+    for (auto _ : state) {
+        uint64_t addr = sequential
+                            ? (next += 128)
+                            : (rng.nextU32() % (1 << 20)) * 128ull;
+        Dram::Result result = dram.read(addr, cycle, 128);
+        cycle += 4;
+        benchmark::DoNotOptimize(result.readyCycle);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(sequential ? "sequential" : "random");
+}
+BENCHMARK(BM_DramAccess)->Arg(1)->Arg(0);
+
+void
+BM_MemSystemRead(benchmark::State &state)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t base = space.allocate(DataKind::Compute, 64ull << 20,
+                                   "buf");
+    MemSystem mem(config, space);
+    Rng rng(3);
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        uint64_t addr = base + (rng.nextU32() % (1 << 18)) * 128ull;
+        MemResult result = mem.read(0, cycle, addr, 32, false);
+        cycle += 2;
+        benchmark::DoNotOptimize(result.readyCycle);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 2: the representative 8-workload subset.
+ *
+ * Reruns the clustering of Fig. 3 and reports how the fixed Table 2
+ * selection covers the 8 clusters (the paper picks one workload per
+ * cluster, preferring shader/stress diversity).
+ */
+
+#include <cstdio>
+
+#include "analysis/cluster.hh"
+#include "analysis/pca.hh"
+#include "bench_util.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Table 2: selected subset of LumiBench")
+                    .c_str());
+
+    // The fixed Table 2 selection with its stress cases.
+    const char *stress[8] = {
+        "Indoor and enclosed, textures",
+        "Indoor and enclosed",
+        "Procedural intersections",
+        "Long and thin primitives",
+        "Large working set",
+        "Reflective surfaces, textures",
+        "Long and thin primitives",
+        "Anyhit texture alpha masking",
+    };
+    std::vector<Workload> subset = representativeSubset();
+    TextTable table({"workload", "scene", "shader", "stress"});
+    for (size_t i = 0; i < subset.size(); i++) {
+        table.addRow({subset[i].id(), sceneName(subset[i].scene),
+                      shaderName(subset[i].shader), stress[i]});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Cluster coverage check against the Fig. 3 clustering.
+    std::printf("checking cluster coverage over all 46 workloads "
+                "...\n");
+    std::vector<Workload> workloads = allWorkloads();
+    std::vector<WorkloadResult> results = runAll(workloads, options);
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> names;
+    for (const WorkloadResult &result : results) {
+        rows.push_back(result.metrics.values);
+        names.push_back(result.id);
+    }
+    std::vector<int> kept;
+    auto dense = denseColumns(rows, kept);
+    PcaResult pca_result = pca(dense, 0.9);
+    Dendrogram tree = agglomerate(pca_result.scores);
+    std::vector<int> labels = cutTree(tree, 8);
+
+    std::vector<int> covered;
+    for (const Workload &w : subset) {
+        for (size_t i = 0; i < names.size(); i++) {
+            if (names[i] == w.id())
+                covered.push_back(labels[i]);
+        }
+    }
+    std::sort(covered.begin(), covered.end());
+    covered.erase(std::unique(covered.begin(), covered.end()),
+                  covered.end());
+    std::printf("\nsubset covers %zu of 8 clusters "
+                "(paper: one per cluster, with diversity "
+                "preferences)\n",
+                covered.size());
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 4: the simulated GPU configurations (mobile default, desktop
+ * comparison, and the Sec. 3.4 alternate validation config).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "gpu/config.hh"
+
+using namespace lumi;
+
+namespace
+{
+
+std::string
+kb(uint32_t bytes)
+{
+    return std::to_string(bytes / 1024) + "KB";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s",
+                banner("Table 4: Vulkan-Sim configuration").c_str());
+    GpuConfig configs[3] = {GpuConfig::mobile(), GpuConfig::desktop(),
+                            GpuConfig::alternate()};
+    TextTable table({"parameter", "mobile", "desktop", "alternate"});
+    auto row = [&](const char *name, auto get) {
+        table.addRow({name, get(configs[0]), get(configs[1]),
+                      get(configs[2])});
+    };
+    row("# SMs", [](const GpuConfig &c) {
+        return std::to_string(c.numSms);
+    });
+    row("Max warps / SM", [](const GpuConfig &c) {
+        return std::to_string(c.maxWarpsPerSm);
+    });
+    row("Warp size", [](const GpuConfig &c) {
+        return std::to_string(c.warpSize);
+    });
+    row("Warp scheduler", [](const GpuConfig &) {
+        return std::string("GTO");
+    });
+    row("# Registers / SM", [](const GpuConfig &c) {
+        return std::to_string(c.registersPerSm);
+    });
+    row("L1D + shared", [](const GpuConfig &c) {
+        return kb(c.l1SizeBytes) + ", " +
+               (c.l1Ways == 0 ? "fully assoc"
+                              : std::to_string(c.l1Ways) + "-way") +
+               ", " + std::to_string(c.l1Latency) + " cyc";
+    });
+    row("L2 unified", [](const GpuConfig &c) {
+        return kb(c.l2SizeBytes) + ", " + std::to_string(c.l2Ways) +
+               "-way, " + std::to_string(c.l2Latency) + " cyc";
+    });
+    row("Core clock", [](const GpuConfig &c) {
+        return std::to_string(c.coreClockMhz) + " MHz";
+    });
+    row("Memory clock", [](const GpuConfig &c) {
+        return std::to_string(c.memClockMhz) + " MHz";
+    });
+    row("DRAM channels", [](const GpuConfig &c) {
+        return std::to_string(c.dramChannels);
+    });
+    row("# RT units / SM", [](const GpuConfig &c) {
+        return std::to_string(c.rtUnitsPerSm);
+    });
+    row("Max warps / RT unit", [](const GpuConfig &c) {
+        return std::to_string(c.rtMaxWarps);
+    });
+    row("Box test latency", [](const GpuConfig &c) {
+        return std::to_string(c.rtBoxTestLatency) + " cyc";
+    });
+    row("Triangle test latency", [](const GpuConfig &c) {
+        return std::to_string(c.rtTriTestLatency) + " cyc";
+    });
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

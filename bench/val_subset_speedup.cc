@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sec. 3.4 validation: simulate all 46 workloads under the default
+ * and the alternate hardware configuration (different core count,
+ * cache size, intersection latencies, RT warps) and check that the
+ * representative subset's speedups track the full set -- matching
+ * minimum and maximum and an average within a few percent.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Sec. 3.4: subset speedup validation")
+                    .c_str());
+
+    std::vector<Workload> workloads = allWorkloads();
+    std::vector<WorkloadResult> base = runAll(workloads, options);
+    RunOptions alternate = options;
+    alternate.config = GpuConfig::alternate();
+    std::vector<WorkloadResult> alt = runAll(workloads, alternate);
+
+    std::vector<Workload> subset = representativeSubset();
+    auto in_subset = [&](const std::string &id) {
+        for (const Workload &w : subset) {
+            if (w.id() == id)
+                return true;
+        }
+        return false;
+    };
+
+    TextTable table({"workload", "speedup", "in_subset"});
+    double full_sum = 0.0, sub_sum = 0.0;
+    double full_min = 1e30, full_max = 0.0;
+    double sub_min = 1e30, sub_max = 0.0;
+    int sub_count = 0;
+    for (size_t i = 0; i < base.size(); i++) {
+        double speedup =
+            static_cast<double>(base[i].stats.cycles) /
+            std::max<uint64_t>(1, alt[i].stats.cycles);
+        bool member = in_subset(base[i].id);
+        table.addRow({base[i].id, TextTable::num(speedup, 3),
+                      member ? "yes" : ""});
+        full_sum += speedup;
+        full_min = std::min(full_min, speedup);
+        full_max = std::max(full_max, speedup);
+        if (member) {
+            sub_sum += speedup;
+            sub_min = std::min(sub_min, speedup);
+            sub_max = std::max(sub_max, speedup);
+            sub_count++;
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    double full_avg = full_sum / base.size();
+    double sub_avg = sub_count ? sub_sum / sub_count : 0.0;
+    std::printf("full set : avg %.3f  min %.3f  max %.3f\n",
+                full_avg, full_min, full_max);
+    std::printf("subset   : avg %.3f  min %.3f  max %.3f\n", sub_avg,
+                sub_min, sub_max);
+    std::printf("average difference = %.1f%% (paper: ~1%%, with "
+                "matching min/max)\n",
+                100.0 * std::fabs(sub_avg - full_avg) /
+                    std::max(1e-9, full_avg));
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Architectural design-space exploration: the core use case the
+ * paper targets (Sec. 1: "support the architectural design of future
+ * hardware"). Sweeps RT-unit warp capacity and intersection
+ * latencies over a few representative workloads and reports the
+ * speedups -- the same experiment class as the paper's Sec. 3.4
+ * validation.
+ */
+
+#include <cstdio>
+
+#include "lumibench/runner.hh"
+
+using namespace lumi;
+
+namespace
+{
+
+uint64_t
+runCycles(const Workload &workload, const GpuConfig &config)
+{
+    RunOptions options;
+    options.config = config;
+    options.params.width = 48;
+    options.params.height = 48;
+    options.sceneDetail = 0.6f;
+    return runWorkload(workload, options).stats.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Workload picks[3] = {
+        {SceneId::BUNNY, ShaderKind::AmbientOcclusion},
+        {SceneId::SHIP, ShaderKind::Shadow},
+        {SceneId::BATH, ShaderKind::PathTracing},
+    };
+
+    // Baseline: the Table 4 mobile configuration.
+    GpuConfig base = GpuConfig::mobile();
+    uint64_t baseline[3];
+    std::printf("baseline (mobile):\n");
+    for (int i = 0; i < 3; i++) {
+        baseline[i] = runCycles(picks[i], base);
+        std::printf("  %-8s %llu cycles\n", picks[i].id().c_str(),
+                    static_cast<unsigned long long>(baseline[i]));
+    }
+
+    // Sweep 1: RT-unit warp capacity (the gpgpu_rt_max_warps knob
+    // the paper's artifact exposes).
+    std::printf("\nRT warp capacity sweep (speedup vs baseline):\n");
+    std::printf("%-10s", "rt_warps");
+    for (const Workload &w : picks)
+        std::printf(" %10s", w.id().c_str());
+    std::printf("\n");
+    for (int warps : {2, 4, 8, 16}) {
+        GpuConfig config = base;
+        config.rtMaxWarps = warps;
+        std::printf("%-10d", warps);
+        for (int i = 0; i < 3; i++) {
+            uint64_t cycles = runCycles(picks[i], config);
+            std::printf(" %10.3f",
+                        static_cast<double>(baseline[i]) / cycles);
+        }
+        std::printf("\n");
+    }
+    std::printf("(the paper's observation: naively enlarging the RT "
+                "unit does not keep helping -- load imbalance, not "
+                "capacity, is the limit)\n");
+
+    // Sweep 2: intersection-test latency (faster fixed-function
+    // units).
+    std::printf("\nintersection latency sweep "
+                "(box/tri cycles -> speedup):\n");
+    std::printf("%-10s", "box/tri");
+    for (const Workload &w : picks)
+        std::printf(" %10s", w.id().c_str());
+    std::printf("\n");
+    const int sweeps[3][2] = {{2, 5}, {4, 10}, {8, 20}};
+    for (const auto &lat : sweeps) {
+        GpuConfig config = base;
+        config.rtBoxTestLatency = lat[0];
+        config.rtTriTestLatency = lat[1];
+        char label[16];
+        std::snprintf(label, sizeof(label), "%d/%d", lat[0], lat[1]);
+        std::printf("%-10s", label);
+        for (int i = 0; i < 3; i++) {
+            uint64_t cycles = runCycles(picks[i], config);
+            std::printf(" %10.3f",
+                        static_cast<double>(baseline[i]) / cycles);
+        }
+        std::printf("\n");
+    }
+
+    // Sweep 3: L1 size (the memory-bound hypothesis).
+    std::printf("\nL1 size sweep (speedup):\n");
+    std::printf("%-10s", "l1_kb");
+    for (const Workload &w : picks)
+        std::printf(" %10s", w.id().c_str());
+    std::printf("\n");
+    for (uint32_t kb : {16, 64, 256}) {
+        GpuConfig config = base;
+        config.l1SizeBytes = kb * 1024;
+        std::printf("%-10u", kb);
+        for (int i = 0; i < 3; i++) {
+            uint64_t cycles = runCycles(picks[i], config);
+            std::printf(" %10.3f",
+                        static_cast<double>(baseline[i]) / cycles);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

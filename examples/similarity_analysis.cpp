@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The MICA-style analysis pipeline as a library consumer: run a
+ * handful of workloads, collect the 87-metric vectors, reduce with
+ * PCA, cluster, and pick the most representative workload of each
+ * cluster -- the Sec. 3.4 methodology in ~100 lines.
+ */
+
+#include <cstdio>
+
+#include "analysis/cluster.hh"
+#include "analysis/genetic.hh"
+#include "analysis/pca.hh"
+#include "lumibench/runner.hh"
+#include "metrics/metrics.hh"
+
+using namespace lumi;
+
+int
+main()
+{
+    // A small population: every shader on four contrasting scenes.
+    std::vector<Workload> workloads;
+    for (SceneId scene : {SceneId::BUNNY, SceneId::WKND,
+                          SceneId::SHIP, SceneId::SPNZA}) {
+        for (ShaderKind shader : {ShaderKind::PathTracing,
+                                  ShaderKind::Shadow,
+                                  ShaderKind::AmbientOcclusion}) {
+            if (sceneSupportsShader(scene, shader))
+                workloads.push_back({scene, shader});
+        }
+    }
+
+    RunOptions options;
+    options.params.width = 48;
+    options.params.height = 48;
+    options.sceneDetail = 0.6f;
+
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> names;
+    std::vector<MetricVector> csv_rows;
+    for (const Workload &workload : workloads) {
+        std::printf("running %s ...\n", workload.id().c_str());
+        WorkloadResult result = runWorkload(workload, options);
+        rows.push_back(result.metrics.values);
+        names.push_back(result.id);
+        csv_rows.push_back(result.metrics);
+    }
+
+    // Export the raw metric table (the artifact's CSV step).
+    writeCsv("similarity_metrics.csv", csv_rows);
+    std::printf("\nwrote similarity_metrics.csv (%zu workloads x "
+                "%zu metrics)\n\n",
+                rows.size(), metricSchema().size());
+
+    // PCA + clustering.
+    std::vector<int> kept;
+    auto dense = denseColumns(rows, kept);
+    PcaResult reduced = pca(dense, 0.9);
+    std::printf("PCA keeps %d components (%.1f%% variance)\n\n",
+                reduced.kept, 100.0 * reduced.coveredVariance);
+    Dendrogram tree = agglomerate(reduced.scores);
+    std::printf("%s\n", renderDendrogram(tree, names).c_str());
+
+    // A 4-cluster cut and one representative per cluster.
+    std::vector<int> labels = cutTree(tree, 4);
+    for (int cluster = 0; cluster < 4; cluster++) {
+        std::printf("cluster %d:", cluster);
+        for (size_t i = 0; i < names.size(); i++) {
+            if (labels[i] == cluster)
+                std::printf(" %s", names[i].c_str());
+        }
+        std::printf("\n");
+    }
+
+    // The GA-selected most-representative metrics.
+    GeneticParams params;
+    params.subsetSize = 5;
+    GeneticResult selection = selectMetrics(dense, reduced.scores,
+                                            params);
+    std::printf("\ntop-%d representative metrics "
+                "(GA fitness %.3f):\n",
+                params.subsetSize, selection.fitness);
+    for (int column : selection.selected) {
+        std::printf("  %s\n",
+                    metricSchema()[kept[column]].name.c_str());
+    }
+    return 0;
+}

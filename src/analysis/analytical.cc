@@ -1,0 +1,120 @@
+#include "analysis/analytical.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumi
+{
+
+namespace
+{
+
+/** Hong-Kim predicted execution cycles for one kernel launch. */
+double
+predictLaunch(const LaunchSample &sample, const GpuConfig &config,
+              AnalyticalModel &model)
+{
+    double warps = static_cast<double>(sample.warps);
+    if (warps < 1.0)
+        return 0.0;
+    double n = std::min<double>(config.maxWarpsPerSm,
+                                std::max(1.0, warps / config.numSms));
+
+    // Computation cycles per warp: arithmetic issue work. traceRay
+    // is opaque to the model (it predates RT units) and is treated
+    // as one long-latency memory instruction -- exactly the blind
+    // spot the paper highlights (Sec. 5.5).
+    double comp_cycles =
+        (static_cast<double>(sample.instrByOp[0]) *
+             config.aluLatency +
+         static_cast<double>(sample.instrByOp[1]) *
+             config.sfuLatency) /
+        warps;
+    double mem_insts = (static_cast<double>(sample.instrByOp[2]) +
+                        static_cast<double>(sample.instrByOp[4])) /
+                       warps;
+    if (mem_insts < 1.0)
+        mem_insts = 1.0;
+
+    // Average memory latency: DRAM latency scaled by the L1 miss
+    // rate (the paper's substitution for the G80's cacheless global
+    // memory), floored at the L1 hit latency.
+    double miss_rate =
+        sample.l1Reads > 0
+            ? static_cast<double>(sample.l1Misses) / sample.l1Reads
+            : 0.0;
+    double dram_latency = sample.dramAvgLatency > 0.0
+                              ? sample.dramAvgLatency
+                              : config.dramRowMissLatency;
+    double mem_latency = std::max<double>(
+        config.l1Latency,
+        miss_rate * dram_latency + config.l1Latency);
+
+    // Departure delay: issue gap between consecutive memory requests
+    // of one warp (coalesced segments per memory instruction).
+    double departure = std::max<double>(
+        1.0, static_cast<double>(sample.coalescedSegments) /
+                 std::max<double>(1.0, sample.memInstructions));
+
+    double mwp = std::min(n, mem_latency / departure);
+    double mem_cycles = mem_latency * mem_insts;
+    double cwp = std::min(n, (mem_cycles + comp_cycles) /
+                                 std::max(1.0, comp_cycles));
+
+    double exec;
+    if (mwp >= n && cwp >= n) {
+        exec = mem_cycles + comp_cycles +
+               comp_cycles / mem_insts * (mwp - 1.0);
+    } else if (cwp >= mwp) {
+        exec = mem_cycles * n / mwp +
+               comp_cycles / mem_insts * (mwp - 1.0);
+    } else {
+        exec = mem_latency + comp_cycles * n;
+    }
+    double warps_per_sm = warps / config.numSms;
+    double reps = std::max(1.0, warps_per_sm / n);
+
+    // Expose the biggest launch's MWP/CWP for reporting.
+    if (sample.cycles > model.reportedLaunchCycles) {
+        model.reportedLaunchCycles = sample.cycles;
+        model.mwp = mwp;
+        model.cwp = cwp;
+        model.memLatency = mem_latency;
+        model.compCyclesPerWarp = comp_cycles;
+        model.memInstrPerWarp = mem_insts;
+    }
+    return exec * reps;
+}
+
+} // namespace
+
+AnalyticalModel
+evaluateHongKim(const Gpu &gpu)
+{
+    AnalyticalModel model;
+    const GpuConfig &config = gpu.config();
+    const GpuStats &stats = gpu.stats();
+    if (stats.cycles == 0 || gpu.launchSamples().empty())
+        return model;
+
+    // The model is defined per kernel; multi-launch workloads sum
+    // the per-launch predictions (sequential launches).
+    double predicted = 0.0;
+    double measured_cycles = 0.0;
+    double thread_instr = 0.0;
+    for (const LaunchSample &sample : gpu.launchSamples()) {
+        predicted += predictLaunch(sample, config, model);
+        measured_cycles += static_cast<double>(sample.cycles);
+        thread_instr += static_cast<double>(
+            sample.threadInstructions);
+    }
+    model.predictedCycles = predicted;
+    model.predictedIpc = predicted > 0 ? thread_instr / predicted
+                                       : 0.0;
+    model.measuredIpc = measured_cycles > 0
+                            ? thread_instr / measured_cycles
+                            : 0.0;
+    return model;
+}
+
+} // namespace lumi

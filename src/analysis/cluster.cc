@@ -1,0 +1,171 @@
+#include "analysis/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+
+#include "analysis/pca.hh"
+
+namespace lumi
+{
+
+Dendrogram
+agglomerate(const std::vector<std::vector<double>> &points)
+{
+    Dendrogram tree;
+    int n = static_cast<int>(points.size());
+    tree.leafCount = n;
+    if (n <= 1)
+        return tree;
+
+    // Active clusters: id, member leaf list.
+    struct Active
+    {
+        int id;
+        std::vector<int> members;
+    };
+    std::vector<Active> active;
+    for (int i = 0; i < n; i++)
+        active.push_back({i, {i}});
+
+    // Pairwise leaf distance matrix.
+    std::vector<std::vector<double>> dist(
+        n, std::vector<double>(n, 0.0));
+    for (int i = 0; i < n; i++)
+        for (int j = i + 1; j < n; j++)
+            dist[i][j] = dist[j][i] = euclidean(points[i], points[j]);
+
+    auto link = [&](const Active &a, const Active &b) {
+        // Average linkage over member pairs.
+        double sum = 0.0;
+        for (int x : a.members)
+            for (int y : b.members)
+                sum += dist[x][y];
+        return sum / (static_cast<double>(a.members.size()) *
+                      b.members.size());
+    };
+
+    int next_id = n;
+    while (active.size() > 1) {
+        double best = std::numeric_limits<double>::max();
+        size_t bi = 0, bj = 1;
+        for (size_t i = 0; i < active.size(); i++) {
+            for (size_t j = i + 1; j < active.size(); j++) {
+                double d = link(active[i], active[j]);
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        ClusterMerge merge;
+        merge.left = active[bi].id;
+        merge.right = active[bj].id;
+        merge.height = best;
+        tree.merges.push_back(merge);
+
+        Active fused;
+        fused.id = next_id++;
+        fused.members = active[bi].members;
+        fused.members.insert(fused.members.end(),
+                             active[bj].members.begin(),
+                             active[bj].members.end());
+        active.erase(active.begin() + bj);
+        active.erase(active.begin() + bi);
+        active.push_back(std::move(fused));
+    }
+    return tree;
+}
+
+std::vector<int>
+cutTree(const Dendrogram &tree, int clusters)
+{
+    int n = tree.leafCount;
+    std::vector<int> label(n);
+    for (int i = 0; i < n; i++)
+        label[i] = i;
+    if (clusters >= n || n == 0)
+        return label;
+
+    // Union-find over the first n - clusters merges (lowest first;
+    // merges are already emitted in ascending height order).
+    std::vector<int> parent(2 * n);
+    for (size_t i = 0; i < parent.size(); i++)
+        parent[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    int id = n;
+    int to_apply = n - clusters;
+    for (int m = 0; m < to_apply; m++) {
+        const ClusterMerge &merge = tree.merges[m];
+        parent[find(merge.left)] = id;
+        parent[find(merge.right)] = id;
+        id++;
+    }
+    // Compact the root ids into 0-based labels.
+    std::vector<int> roots;
+    for (int i = 0; i < n; i++) {
+        int root = find(i);
+        auto it = std::find(roots.begin(), roots.end(), root);
+        if (it == roots.end()) {
+            roots.push_back(root);
+            label[i] = static_cast<int>(roots.size()) - 1;
+        } else {
+            label[i] = static_cast<int>(it - roots.begin());
+        }
+    }
+    return label;
+}
+
+namespace
+{
+
+/** Recursive text layout of the merge tree. */
+void
+renderNode(const Dendrogram &tree,
+           const std::vector<std::string> &names, int id,
+           const std::string &prefix, bool last, std::string &out)
+{
+    std::string branch = prefix + (last ? "`-- " : "|-- ");
+    std::string child_prefix = prefix + (last ? "    " : "|   ");
+    if (id < tree.leafCount) {
+        out += branch + names[id] + "\n";
+        return;
+    }
+    const ClusterMerge &merge = tree.merges[id - tree.leafCount];
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[h=%.3f]", merge.height);
+    out += branch + buf + "\n";
+    renderNode(tree, names, merge.left, child_prefix, false, out);
+    renderNode(tree, names, merge.right, child_prefix, true, out);
+}
+
+} // namespace
+
+std::string
+renderDendrogram(const Dendrogram &tree,
+                 const std::vector<std::string> &names)
+{
+    std::string out;
+    if (tree.leafCount == 0)
+        return out;
+    if (tree.merges.empty()) {
+        for (const std::string &name : names)
+            out += name + "\n";
+        return out;
+    }
+    int root = tree.leafCount +
+               static_cast<int>(tree.merges.size()) - 1;
+    renderNode(tree, names, root, "", true, out);
+    return out;
+}
+
+} // namespace lumi

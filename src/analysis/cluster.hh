@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering and a text dendrogram, the
+ * Fig. 3 machinery: workloads cluster in PCA space and the suite's
+ * representative subset takes one workload per cluster.
+ */
+
+#ifndef LUMI_ANALYSIS_CLUSTER_HH
+#define LUMI_ANALYSIS_CLUSTER_HH
+
+#include <string>
+#include <vector>
+
+namespace lumi
+{
+
+/** One merge step; leaf ids are 0..n-1, merges create n, n+1, ... */
+struct ClusterMerge
+{
+    int left = 0;
+    int right = 0;
+    double height = 0.0;
+};
+
+/** A full hierarchical clustering. */
+struct Dendrogram
+{
+    int leafCount = 0;
+    /** n-1 merges ordered by height (the scipy linkage format). */
+    std::vector<ClusterMerge> merges;
+};
+
+/**
+ * Average-linkage (UPGMA) agglomerative clustering over Euclidean
+ * distances between @p points.
+ */
+Dendrogram agglomerate(const std::vector<std::vector<double>> &points);
+
+/**
+ * Flat clusters from the hierarchy: cut so that exactly @p clusters
+ * remain. Returns one label per leaf (0-based, compact).
+ */
+std::vector<int> cutTree(const Dendrogram &tree, int clusters);
+
+/**
+ * ASCII rendering of the dendrogram with merge heights, leaves
+ * labeled by @p names.
+ */
+std::string renderDendrogram(const Dendrogram &tree,
+                             const std::vector<std::string> &names);
+
+} // namespace lumi
+
+#endif // LUMI_ANALYSIS_CLUSTER_HH

@@ -1,0 +1,164 @@
+#include "analysis/genetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/pca.hh"
+#include "math/rng.hh"
+
+namespace lumi
+{
+
+namespace
+{
+
+/** Flattened upper-triangle pairwise distances. */
+std::vector<double>
+distanceVector(const std::vector<std::vector<double>> &points)
+{
+    std::vector<double> out;
+    size_t n = points.size();
+    out.reserve(n * (n - 1) / 2);
+    for (size_t i = 0; i < n; i++)
+        for (size_t j = i + 1; j < n; j++)
+            out.push_back(euclidean(points[i], points[j]));
+    return out;
+}
+
+/** Pearson correlation of two equally sized vectors. */
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    size_t n = a.size();
+    if (n == 0)
+        return 0.0;
+    double ma = 0, mb = 0;
+    for (size_t i = 0; i < n; i++) {
+        ma += a[i];
+        mb += b[i];
+    }
+    ma /= n;
+    mb /= n;
+    double num = 0, da = 0, db = 0;
+    for (size_t i = 0; i < n; i++) {
+        double xa = a[i] - ma, xb = b[i] - mb;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    double denom = std::sqrt(da * db);
+    return denom > 1e-12 ? num / denom : 0.0;
+}
+
+} // namespace
+
+GeneticResult
+selectMetrics(const std::vector<std::vector<double>> &data,
+              const std::vector<std::vector<double>> &reference,
+              const GeneticParams &params)
+{
+    GeneticResult result;
+    if (data.empty())
+        return result;
+    int cols = static_cast<int>(data[0].size());
+    int k = std::min(params.subsetSize, cols);
+
+    std::vector<std::vector<double>> z = data;
+    standardizeColumns(z);
+    std::vector<double> ref_dist = distanceVector(reference);
+
+    Rng rng(params.seed);
+    using Genome = std::vector<int>; // sorted column subset
+
+    auto random_genome = [&]() {
+        Genome g;
+        while (static_cast<int>(g.size()) < k) {
+            int c = static_cast<int>(rng.nextBelow(cols));
+            if (std::find(g.begin(), g.end(), c) == g.end())
+                g.push_back(c);
+        }
+        std::sort(g.begin(), g.end());
+        return g;
+    };
+
+    auto fitness = [&](const Genome &g) {
+        std::vector<std::vector<double>> sub(z.size());
+        for (size_t r = 0; r < z.size(); r++) {
+            sub[r].reserve(g.size());
+            for (int c : g)
+                sub[r].push_back(z[r][c]);
+        }
+        return pearson(distanceVector(sub), ref_dist);
+    };
+
+    std::vector<Genome> population;
+    std::vector<double> scores;
+    for (int i = 0; i < params.population; i++) {
+        population.push_back(random_genome());
+        scores.push_back(fitness(population.back()));
+    }
+
+    auto tournament = [&]() -> const Genome & {
+        int a = static_cast<int>(rng.nextBelow(params.population));
+        int b = static_cast<int>(rng.nextBelow(params.population));
+        return scores[a] >= scores[b] ? population[a]
+                                      : population[b];
+    };
+
+    for (int gen = 0; gen < params.generations; gen++) {
+        std::vector<Genome> next;
+        std::vector<double> next_scores;
+        // Elitism: carry the best genome over unchanged.
+        int best = static_cast<int>(
+            std::max_element(scores.begin(), scores.end()) -
+            scores.begin());
+        next.push_back(population[best]);
+        next_scores.push_back(scores[best]);
+
+        while (static_cast<int>(next.size()) < params.population) {
+            const Genome &pa = tournament();
+            const Genome &pb = tournament();
+            // Uniform crossover over the union, repaired to size k.
+            Genome pool = pa;
+            for (int c : pb) {
+                if (std::find(pool.begin(), pool.end(), c) ==
+                    pool.end())
+                    pool.push_back(c);
+            }
+            Genome child;
+            while (static_cast<int>(child.size()) < k) {
+                int pick = static_cast<int>(
+                    rng.nextBelow(static_cast<uint32_t>(
+                        pool.size())));
+                child.push_back(pool[pick]);
+                pool.erase(pool.begin() + pick);
+            }
+            // Mutation: swap one gene for a random outside column.
+            if (rng.nextFloat() < params.mutationRate) {
+                int slot = static_cast<int>(rng.nextBelow(k));
+                for (int tries = 0; tries < 16; tries++) {
+                    int c = static_cast<int>(rng.nextBelow(cols));
+                    if (std::find(child.begin(), child.end(), c) ==
+                        child.end()) {
+                        child[slot] = c;
+                        break;
+                    }
+                }
+            }
+            std::sort(child.begin(), child.end());
+            next_scores.push_back(fitness(child));
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+        scores = std::move(next_scores);
+    }
+
+    int best = static_cast<int>(
+        std::max_element(scores.begin(), scores.end()) -
+        scores.begin());
+    result.selected = population[best];
+    result.fitness = scores[best];
+    return result;
+}
+
+} // namespace lumi

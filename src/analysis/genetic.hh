@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Genetic-algorithm metric selection, as MICA uses to pick the most
+ * representative characteristics (paper Table 3): find the k-metric
+ * subset whose pairwise workload distances best correlate with the
+ * distances in the full (PCA) space.
+ */
+
+#ifndef LUMI_ANALYSIS_GENETIC_HH
+#define LUMI_ANALYSIS_GENETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lumi
+{
+
+/** GA tuning knobs. */
+struct GeneticParams
+{
+    int subsetSize = 8;
+    int population = 48;
+    int generations = 80;
+    double mutationRate = 0.25;
+    uint64_t seed = 1234;
+};
+
+/** Outcome of the search. */
+struct GeneticResult
+{
+    /** Selected column indices into the candidate matrix. */
+    std::vector<int> selected;
+    /** Fitness: correlation of distance matrices (1 = perfect). */
+    double fitness = 0.0;
+};
+
+/**
+ * Select @p params.subsetSize columns of @p data (standardized
+ * internally) whose pairwise-distance structure best matches the
+ * distances computed from @p reference (e.g. PCA scores).
+ */
+GeneticResult selectMetrics(
+    const std::vector<std::vector<double>> &data,
+    const std::vector<std::vector<double>> &reference,
+    const GeneticParams &params = GeneticParams{});
+
+} // namespace lumi
+
+#endif // LUMI_ANALYSIS_GENETIC_HH

@@ -1,0 +1,57 @@
+#include "analysis/kiviat.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lumi
+{
+
+KiviatChart
+makeKiviat(const std::vector<std::string> &workloads,
+           const std::vector<std::string> &axes,
+           const std::vector<std::vector<double>> &data)
+{
+    KiviatChart chart;
+    chart.axes = axes;
+    chart.workloads = workloads;
+    chart.values = data;
+    if (data.empty())
+        return chart;
+    size_t cols = axes.size();
+    for (size_t c = 0; c < cols; c++) {
+        double lo = data[0][c], hi = data[0][c];
+        for (const auto &row : data) {
+            lo = std::min(lo, row[c]);
+            hi = std::max(hi, row[c]);
+        }
+        for (size_t r = 0; r < data.size(); r++) {
+            chart.values[r][c] = hi - lo > 1e-12
+                                     ? (data[r][c] - lo) / (hi - lo)
+                                     : 0.5;
+        }
+    }
+    return chart;
+}
+
+std::string
+renderKiviat(const KiviatChart &chart)
+{
+    std::string out = "workload";
+    for (const std::string &axis : chart.axes) {
+        out += ",";
+        out += axis;
+    }
+    out += "\n";
+    char buf[32];
+    for (size_t r = 0; r < chart.workloads.size(); r++) {
+        out += chart.workloads[r];
+        for (double v : chart.values[r]) {
+            std::snprintf(buf, sizeof(buf), ",%.3f", v);
+            out += buf;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace lumi

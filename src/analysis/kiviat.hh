@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Kiviat (radar) chart data: min-max normalization of the selected
+ * characteristics across workloads, printed as the numeric form of
+ * Fig. 4.
+ */
+
+#ifndef LUMI_ANALYSIS_KIVIAT_HH
+#define LUMI_ANALYSIS_KIVIAT_HH
+
+#include <string>
+#include <vector>
+
+namespace lumi
+{
+
+/** Per-workload normalized axis values. */
+struct KiviatChart
+{
+    std::vector<std::string> axes;
+    std::vector<std::string> workloads;
+    /** values[w][a] in [0, 1]. */
+    std::vector<std::vector<double>> values;
+};
+
+/**
+ * Min-max normalize @p data (rows = workloads) per column.
+ * Constant columns normalize to 0.5.
+ */
+KiviatChart makeKiviat(const std::vector<std::string> &workloads,
+                       const std::vector<std::string> &axes,
+                       const std::vector<std::vector<double>> &data);
+
+/** Fixed-width text table of the chart. */
+std::string renderKiviat(const KiviatChart &chart);
+
+} // namespace lumi
+
+#endif // LUMI_ANALYSIS_KIVIAT_HH

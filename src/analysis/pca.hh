@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Principal component analysis over workload metric matrices,
+ * following the MICA methodology the paper adopts (Sec. 3.4):
+ * z-score standardization, covariance eigendecomposition (cyclic
+ * Jacobi), and retention of enough components to cover a variance
+ * target.
+ */
+
+#ifndef LUMI_ANALYSIS_PCA_HH
+#define LUMI_ANALYSIS_PCA_HH
+
+#include <vector>
+
+namespace lumi
+{
+
+/** Result of a PCA run. */
+struct PcaResult
+{
+    /** Row scores in the retained component space (rows x kept). */
+    std::vector<std::vector<double>> scores;
+    /** All eigenvalues, descending. */
+    std::vector<double> eigenvalues;
+    /** Retained components as loadings (kept x input dims). */
+    std::vector<std::vector<double>> components;
+    /** Number of components retained. */
+    int kept = 0;
+    /** Fraction of variance covered by the retained components. */
+    double coveredVariance = 0.0;
+};
+
+/**
+ * Run PCA on @p data (rows = workloads, columns = metrics).
+ *
+ * Columns with zero variance are ignored. Retains the smallest
+ * number of components whose cumulative variance reaches
+ * @p variance_target.
+ */
+PcaResult pca(const std::vector<std::vector<double>> &data,
+              double variance_target = 0.9);
+
+/**
+ * Build a dense matrix from metric rows by keeping only the columns
+ * whose value is finite in every row (drops RT/scene metrics when
+ * compute workloads are present, as the paper does in Sec. 3.4.1).
+ *
+ * @param[out] kept_columns indices of the surviving columns
+ */
+std::vector<std::vector<double>>
+denseColumns(const std::vector<std::vector<double>> &rows,
+             std::vector<int> &kept_columns);
+
+/** Euclidean distance between two equally sized vectors. */
+double euclidean(const std::vector<double> &a,
+                 const std::vector<double> &b);
+
+/** Z-score standardize columns in place (zero-variance left as 0). */
+void standardizeColumns(std::vector<std::vector<double>> &data);
+
+} // namespace lumi
+
+#endif // LUMI_ANALYSIS_PCA_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simple linear regression with R^2, used for the analytical model
+ * comparison of Fig. 15.
+ */
+
+#ifndef LUMI_ANALYSIS_REGRESSION_HH
+#define LUMI_ANALYSIS_REGRESSION_HH
+
+#include <cmath>
+#include <vector>
+
+namespace lumi
+{
+
+/** Least-squares fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+};
+
+/** Fit y against x; sizes must match and be >= 2. */
+inline LinearFit
+linearRegression(const std::vector<double> &x,
+                 const std::vector<double> &y)
+{
+    LinearFit fit;
+    size_t n = x.size();
+    if (n < 2 || y.size() != n)
+        return fit;
+    double mx = 0, my = 0;
+    for (size_t i = 0; i < n; i++) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= n;
+    my /= n;
+    double sxy = 0, sxx = 0, syy = 0;
+    for (size_t i = 0; i < n; i++) {
+        double dx = x[i] - mx, dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx < 1e-12 || syy < 1e-12)
+        return fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+} // namespace lumi
+
+#endif // LUMI_ANALYSIS_REGRESSION_HH

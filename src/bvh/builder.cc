@@ -1,0 +1,148 @@
+#include "bvh/builder.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace lumi
+{
+
+Bvh
+BvhBuilder::build(const std::vector<Aabb> &bounds) const
+{
+    Bvh bvh;
+    if (bounds.empty())
+        return bvh;
+
+    std::vector<BuildPrim> prims;
+    prims.reserve(bounds.size());
+    for (uint32_t i = 0; i < bounds.size(); i++)
+        prims.push_back({bounds[i], bounds[i].center(), i});
+
+    bvh.nodes.reserve(bounds.size() * 2);
+    buildRange(bvh, prims, 0, static_cast<uint32_t>(prims.size()));
+
+    bvh.primIndices.reserve(prims.size());
+    for (const BuildPrim &p : prims)
+        bvh.primIndices.push_back(p.index);
+    return bvh;
+}
+
+int32_t
+BvhBuilder::buildRange(Bvh &bvh, std::vector<BuildPrim> &prims,
+                       uint32_t begin, uint32_t end) const
+{
+    int32_t node_index = static_cast<int32_t>(bvh.nodes.size());
+    bvh.nodes.emplace_back();
+
+    Aabb node_bounds;
+    Aabb centroid_bounds;
+    for (uint32_t i = begin; i < end; i++) {
+        node_bounds.extend(prims[i].bounds);
+        centroid_bounds.extend(prims[i].centroid);
+    }
+    bvh.nodes[node_index].bounds = node_bounds;
+
+    uint32_t count = end - begin;
+    auto make_leaf = [&]() {
+        BvhNode &node = bvh.nodes[node_index];
+        node.firstPrim = begin;
+        node.primCount = count;
+        return node_index;
+    };
+
+    if (count <= config_.maxLeafPrims)
+        return make_leaf();
+
+    int axis = centroid_bounds.longestAxis();
+    float axis_lo = centroid_bounds.lo[axis];
+    float axis_extent = centroid_bounds.extent()[axis];
+    if (axis_extent < 1e-12f) {
+        // All centroids coincide: median split to bound the depth.
+        uint32_t mid = begin + count / 2;
+        int32_t left = buildRange(bvh, prims, begin, mid);
+        int32_t right = buildRange(bvh, prims, mid, end);
+        bvh.nodes[node_index].left = left;
+        bvh.nodes[node_index].right = right;
+        return node_index;
+    }
+
+    // Binned SAH: accumulate per-bin bounds/counts, then scan.
+    const int bins = config_.binCount;
+    std::vector<Aabb> bin_bounds(bins);
+    std::vector<uint32_t> bin_counts(bins, 0);
+    float inv_extent = static_cast<float>(bins) / axis_extent;
+    auto bin_of = [&](const BuildPrim &p) {
+        int b = static_cast<int>((p.centroid[axis] - axis_lo) *
+                                 inv_extent);
+        return std::clamp(b, 0, bins - 1);
+    };
+    for (uint32_t i = begin; i < end; i++) {
+        int b = bin_of(prims[i]);
+        bin_bounds[b].extend(prims[i].bounds);
+        bin_counts[b]++;
+    }
+
+    // Sweep from the right to get suffix areas, then from the left.
+    std::vector<float> right_area(bins, 0.0f);
+    std::vector<uint32_t> right_count(bins, 0);
+    Aabb acc;
+    uint32_t acc_count = 0;
+    for (int b = bins - 1; b > 0; b--) {
+        acc.extend(bin_bounds[b]);
+        acc_count += bin_counts[b];
+        right_area[b] = acc.surfaceArea();
+        right_count[b] = acc_count;
+    }
+    float best_cost = std::numeric_limits<float>::max();
+    int best_split = -1;
+    Aabb left_acc;
+    uint32_t left_count = 0;
+    float parent_area = node_bounds.surfaceArea();
+    for (int b = 0; b < bins - 1; b++) {
+        left_acc.extend(bin_bounds[b]);
+        left_count += bin_counts[b];
+        if (left_count == 0 || right_count[b + 1] == 0)
+            continue;
+        float cost = left_acc.surfaceArea() * left_count +
+                     right_area[b + 1] * right_count[b + 1];
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_split = b;
+        }
+    }
+
+    // Compare the best split against the leaf cost. SAH may stop
+    // early with a fat leaf, but never beyond maxLeafPrims when the
+    // caller requires exact leaf sizes (the TLAS uses 1).
+    float leaf_cost = static_cast<float>(count) * parent_area;
+    float split_cost = config_.traversalCost * parent_area + best_cost;
+    bool sah_leaf_ok = config_.maxLeafPrims > 1 && count <= 16;
+    if (sah_leaf_ok && (best_split < 0 || split_cost >= leaf_cost))
+        return make_leaf();
+    if (best_split < 0) {
+        // No usable SAH split (all prims in one bin): median split.
+        uint32_t mid = begin + count / 2;
+        int32_t left = buildRange(bvh, prims, begin, mid);
+        int32_t right = buildRange(bvh, prims, mid, end);
+        bvh.nodes[node_index].left = left;
+        bvh.nodes[node_index].right = right;
+        return node_index;
+    }
+
+    auto mid_iter = std::partition(prims.begin() + begin,
+                                   prims.begin() + end,
+                                   [&](const BuildPrim &p) {
+                                       return bin_of(p) <= best_split;
+                                   });
+    uint32_t mid = static_cast<uint32_t>(mid_iter - prims.begin());
+    if (mid == begin || mid == end)
+        mid = begin + count / 2;
+
+    int32_t left = buildRange(bvh, prims, begin, mid);
+    int32_t right = buildRange(bvh, prims, mid, end);
+    bvh.nodes[node_index].left = left;
+    bvh.nodes[node_index].right = right;
+    return node_index;
+}
+
+} // namespace lumi

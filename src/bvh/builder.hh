@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Binned surface-area-heuristic BVH builder.
+ *
+ * The builder is generic over "primitive bounds + centroid" so the
+ * same code constructs BLASes (over triangles or procedural AABBs)
+ * and the TLAS (over instance world bounds).
+ */
+
+#ifndef LUMI_BVH_BUILDER_HH
+#define LUMI_BVH_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.hh"
+#include "math/aabb.hh"
+
+namespace lumi
+{
+
+/** Tunables for BVH construction. */
+struct BuilderConfig
+{
+    /** SAH bin count along the split axis. */
+    int binCount = 16;
+    /** Stop splitting below this many primitives. */
+    uint32_t maxLeafPrims = 4;
+    /** Relative cost of a traversal step versus a primitive test. */
+    float traversalCost = 1.2f;
+};
+
+/** Builds BVHs with binned SAH splits. */
+class BvhBuilder
+{
+  public:
+    explicit BvhBuilder(const BuilderConfig &config = BuilderConfig{})
+        : config_(config)
+    {
+    }
+
+    /**
+     * Build a tree over @p bounds (one AABB per primitive).
+     *
+     * @param bounds per-primitive bounding boxes
+     * @return the built tree; primIndices gives the leaf ordering
+     */
+    Bvh build(const std::vector<Aabb> &bounds) const;
+
+  private:
+    struct BuildPrim
+    {
+        Aabb bounds;
+        Vec3 centroid;
+        uint32_t index;
+    };
+
+    /** Recursive split over prims[begin, end); returns node index. */
+    int32_t buildRange(Bvh &bvh, std::vector<BuildPrim> &prims,
+                       uint32_t begin, uint32_t end) const;
+
+    BuilderConfig config_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_BVH_BUILDER_HH

@@ -1,0 +1,63 @@
+#include "bvh/bvh.hh"
+
+namespace lumi
+{
+
+BvhStats
+Bvh::computeStats() const
+{
+    BvhStats stats;
+    stats.nodeCount = static_cast<uint32_t>(nodes.size());
+    if (nodes.empty())
+        return stats;
+
+    double leaf_prims = 0.0;
+    double overlap_sum = 0.0;
+    uint32_t overlap_samples = 0;
+    double root_area = nodes[0].bounds.surfaceArea();
+    double sah = 0.0;
+
+    // Iterative depth-first walk carrying the depth.
+    std::vector<std::pair<int32_t, int>> stack{{0, 1}};
+    while (!stack.empty()) {
+        auto [index, depth] = stack.back();
+        stack.pop_back();
+        const BvhNode &node = nodes[index];
+        if (depth > stats.maxDepth)
+            stats.maxDepth = depth;
+        double rel_area = root_area > 0.0
+                              ? node.bounds.surfaceArea() / root_area
+                              : 0.0;
+        if (node.isLeaf()) {
+            stats.leafCount++;
+            leaf_prims += node.primCount;
+            sah += rel_area * node.primCount;
+        } else {
+            stats.internalCount++;
+            sah += rel_area * 1.2; // traversal-step cost weight
+            const Aabb &lb = nodes[node.left].bounds;
+            const Aabb &rb = nodes[node.right].bounds;
+            if (lb.overlaps(rb)) {
+                Aabb inter;
+                inter.lo = Vec3::max(lb.lo, rb.lo);
+                inter.hi = Vec3::min(lb.hi, rb.hi);
+                double parent = node.bounds.surfaceArea();
+                if (parent > 0.0)
+                    overlap_sum += inter.surfaceArea() / parent;
+            }
+            overlap_samples++;
+            stack.push_back({node.left, depth + 1});
+            stack.push_back({node.right, depth + 1});
+        }
+    }
+    stats.avgLeafPrims = stats.leafCount > 0
+                             ? leaf_prims / stats.leafCount
+                             : 0.0;
+    stats.sahCost = sah;
+    stats.siblingOverlap = overlap_samples > 0
+                               ? overlap_sum / overlap_samples
+                               : 0.0;
+    return stats;
+}
+
+} // namespace lumi

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounding volume hierarchy node layout and per-tree statistics.
+ *
+ * One Bvh instance is either a bottom-level acceleration structure
+ * (BLAS, leaves reference primitives of a single Geometry) or the
+ * top-level structure (TLAS, leaves reference scene instances). The
+ * node array is laid out in simulated memory so every node fetch
+ * during traversal has a definite address (Sec. 2.1).
+ */
+
+#ifndef LUMI_BVH_BVH_HH
+#define LUMI_BVH_BVH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "math/aabb.hh"
+
+namespace lumi
+{
+
+/** A BVH node; internal nodes have two children, leaves have prims. */
+struct BvhNode
+{
+    Aabb bounds;
+    /** Index of the left child, or -1 for a leaf. */
+    int32_t left = -1;
+    /** Index of the right child, or -1 for a leaf. */
+    int32_t right = -1;
+    /** First entry in Bvh::primIndices (leaves only). */
+    uint32_t firstPrim = 0;
+    /** Number of primitives (0 for internal nodes). */
+    uint32_t primCount = 0;
+
+    bool isLeaf() const { return left < 0; }
+};
+
+/** Aggregate statistics of a built tree. */
+struct BvhStats
+{
+    int maxDepth = 0;
+    uint32_t nodeCount = 0;
+    uint32_t leafCount = 0;
+    uint32_t internalCount = 0;
+    double avgLeafPrims = 0.0;
+    /** Surface-area-heuristic cost of the tree. */
+    double sahCost = 0.0;
+    /**
+     * Mean ratio of sibling-AABB overlap area to parent area: high
+     * values mean the tree prunes poorly, the long-and-thin symptom
+     * (Sec. 3.1.2).
+     */
+    double siblingOverlap = 0.0;
+};
+
+/** A built bounding volume hierarchy. */
+class Bvh
+{
+  public:
+    /** Bytes fetched per node visit in the memory model. */
+    static constexpr uint32_t nodeBytes = 32;
+
+    std::vector<BvhNode> nodes;
+    /** Primitive reordering produced by the builder. */
+    std::vector<uint32_t> primIndices;
+
+    bool empty() const { return nodes.empty(); }
+    const BvhNode &root() const { return nodes[0]; }
+
+    /** Root bounds, or an empty box for an empty tree. */
+    Aabb
+    bounds() const
+    {
+        return nodes.empty() ? Aabb{} : nodes[0].bounds;
+    }
+
+    /** Size of the node array in simulated memory. */
+    size_t nodeArrayBytes() const { return nodes.size() * nodeBytes; }
+
+    /** Walk the tree and compute its statistics. */
+    BvhStats computeStats() const;
+};
+
+} // namespace lumi
+
+#endif // LUMI_BVH_BVH_HH

@@ -1,0 +1,341 @@
+#include "bvh/traversal.hh"
+
+#include <cmath>
+
+namespace lumi
+{
+
+namespace
+{
+
+/** Reciprocal direction that keeps the slab test NaN-free. */
+Vec3
+safeInvDir(const Vec3 &d)
+{
+    auto inv = [](float v) {
+        if (std::fabs(v) < 1e-12f)
+            v = std::copysign(1e-12f, v);
+        return 1.0f / v;
+    };
+    return {inv(d.x), inv(d.y), inv(d.z)};
+}
+
+} // namespace
+
+TraversalStateMachine::TraversalStateMachine(const AccelStructure &accel,
+                                             const Ray &ray,
+                                             bool any_hit, float t_min,
+                                             float t_max)
+    : accel_(accel), scene_(accel.scene()), worldOrigin_(ray.origin),
+      worldDir_(ray.dir), origin_(ray.origin), dir_(ray.dir),
+      invDir_(safeInvDir(ray.dir)), anyHit_(any_hit), tMin_(t_min)
+{
+    hit_.t = t_max;
+    const Bvh &tlas = accel_.tlas().bvh;
+    if (tlas.empty()) {
+        phase_ = Phase::Finished;
+        return;
+    }
+    float t_near;
+    if (!tlas.root().bounds.hit(origin_, invDir_, hit_.t, t_near)) {
+        // The ray misses the whole scene: no traversal at all.
+        phase_ = Phase::Finished;
+        return;
+    }
+    tlasStack_.push_back(0);
+}
+
+TraversalEvent
+TraversalStateMachine::advance()
+{
+    // Loop over non-fetching transitions until one event is produced.
+    for (;;) {
+        switch (phase_) {
+          case Phase::TlasPop:
+            if (tlasStack_.empty())
+                return finish();
+            return popTlas();
+          case Phase::InstanceFetch:
+            return fetchInstance();
+          case Phase::BlasPop:
+            if (blasStack_.empty()) {
+                leaveInstance();
+                continue;
+            }
+            return popBlas();
+          case Phase::PrimFetch:
+            return fetchPrims();
+          case Phase::Finished:
+            return finish();
+        }
+    }
+}
+
+TraversalEvent
+TraversalStateMachine::popTlas()
+{
+    const Bvh &tlas = accel_.tlas().bvh;
+    int32_t index = tlasStack_.back();
+    tlasStack_.pop_back();
+    const BvhNode &node = tlas.nodes[index];
+
+    TraversalEvent event;
+    event.type = TraversalEvent::Type::TlasNode;
+    event.address = accel_.tlas().nodeBase + index * Bvh::nodeBytes;
+    event.bytes = Bvh::nodeBytes;
+
+    if (node.isLeaf()) {
+        event.tlasLeaf = true;
+        event.leaf = true;
+        stats_.tlasLeafVisits++;
+        // One instance per TLAS leaf by construction.
+        pendingInstance_ = tlas.primIndices[node.firstPrim];
+        phase_ = Phase::InstanceFetch;
+        return event;
+    }
+
+    stats_.tlasInternalVisits++;
+    event.boxTests = 2;
+    stats_.boxTests += 2;
+    float t_left, t_right;
+    bool hit_left = tlas.nodes[node.left].bounds.hit(origin_, invDir_,
+                                                     hit_.t, t_left);
+    bool hit_right = tlas.nodes[node.right].bounds.hit(origin_,
+                                                       invDir_, hit_.t,
+                                                       t_right);
+    if (hit_left && hit_right) {
+        // Push the far child first so the near one pops next.
+        if (t_left <= t_right) {
+            tlasStack_.push_back(node.right);
+            tlasStack_.push_back(node.left);
+        } else {
+            tlasStack_.push_back(node.left);
+            tlasStack_.push_back(node.right);
+        }
+    } else if (hit_left) {
+        tlasStack_.push_back(node.left);
+    } else if (hit_right) {
+        tlasStack_.push_back(node.right);
+    }
+    return event;
+}
+
+TraversalEvent
+TraversalStateMachine::fetchInstance()
+{
+    TraversalEvent event;
+    event.type = TraversalEvent::Type::Instance;
+    event.address = accel_.tlas().instanceBase +
+                    static_cast<uint64_t>(pendingInstance_) *
+                        TlasAccel::instanceStride;
+    event.bytes = TlasAccel::instanceStride;
+    stats_.instanceFetches++;
+    enterInstance(pendingInstance_);
+
+    // Root-bounds test of the entered BLAS (in object space).
+    event.boxTests = 1;
+    stats_.boxTests++;
+    if (!blasStack_.empty()) {
+        float t_near;
+        const Bvh &bvh = blas_->bvh;
+        if (!bvh.root().bounds.hit(origin_, invDir_, hit_.t, t_near))
+            blasStack_.clear();
+    }
+    phase_ = Phase::BlasPop;
+    return event;
+}
+
+void
+TraversalStateMachine::enterInstance(uint32_t instance_index)
+{
+    instanceIndex_ = static_cast<int>(instance_index);
+    const Instance &inst = scene_.instances[instance_index];
+    blas_ = &accel_.blases()[inst.geometryId];
+    // Map the ray into object space. The direction is deliberately
+    // not renormalized so the hit parameter t stays world-consistent.
+    origin_ = inst.invTransform.transformPoint(worldOrigin_);
+    dir_ = inst.invTransform.transformVector(worldDir_);
+    invDir_ = safeInvDir(dir_);
+    blasStack_.clear();
+    if (!blas_->bvh.empty())
+        blasStack_.push_back(0);
+}
+
+void
+TraversalStateMachine::leaveInstance()
+{
+    instanceIndex_ = -1;
+    blas_ = nullptr;
+    origin_ = worldOrigin_;
+    dir_ = worldDir_;
+    invDir_ = safeInvDir(worldDir_);
+    phase_ = Phase::TlasPop;
+}
+
+TraversalEvent
+TraversalStateMachine::popBlas()
+{
+    const Bvh &bvh = blas_->bvh;
+    int32_t index = blasStack_.back();
+    blasStack_.pop_back();
+    const BvhNode &node = bvh.nodes[index];
+
+    TraversalEvent event;
+    event.type = TraversalEvent::Type::BlasNode;
+    event.address = blas_->nodeBase + index * Bvh::nodeBytes;
+    event.bytes = Bvh::nodeBytes;
+
+    if (node.isLeaf()) {
+        event.leaf = true;
+        stats_.blasLeafVisits++;
+        pendingLeaf_ = &node;
+        phase_ = Phase::PrimFetch;
+        return event;
+    }
+
+    stats_.blasInternalVisits++;
+    event.boxTests = 2;
+    stats_.boxTests += 2;
+    float t_left, t_right;
+    bool hit_left = bvh.nodes[node.left].bounds.hit(origin_, invDir_,
+                                                    hit_.t, t_left);
+    bool hit_right = bvh.nodes[node.right].bounds.hit(origin_, invDir_,
+                                                      hit_.t, t_right);
+    if (hit_left && hit_right) {
+        if (t_left <= t_right) {
+            blasStack_.push_back(node.right);
+            blasStack_.push_back(node.left);
+        } else {
+            blasStack_.push_back(node.left);
+            blasStack_.push_back(node.right);
+        }
+    } else if (hit_left) {
+        blasStack_.push_back(node.left);
+    } else if (hit_right) {
+        blasStack_.push_back(node.right);
+    }
+    return event;
+}
+
+TraversalEvent
+TraversalStateMachine::fetchPrims()
+{
+    const BvhNode &leaf = *pendingLeaf_;
+    const Geometry &geom = scene_.geometries[blas_->geometryId];
+    const Bvh &bvh = blas_->bvh;
+
+    TraversalEvent event;
+    event.address = blas_->primBase +
+                    static_cast<uint64_t>(leaf.firstPrim) *
+                        blas_->primStride;
+    event.bytes = leaf.primCount * blas_->primStride;
+    event.primTests = static_cast<uint16_t>(leaf.primCount);
+
+    bool terminated = false;
+    if (geom.kind == Geometry::Kind::Triangles) {
+        event.type = TraversalEvent::Type::TrianglePrims;
+        const Material &material =
+            scene_.materials[geom.mesh.materialId];
+        for (uint32_t i = 0; i < leaf.primCount && !terminated; i++) {
+            uint32_t prim = bvh.primIndices[leaf.firstPrim + i];
+            stats_.triangleTests++;
+            TriangleHit tri_hit;
+            if (!geom.mesh.intersect(prim, origin_, dir_, tMin_,
+                                     hit_.t, tri_hit)) {
+                continue;
+            }
+            if (material.needsAnyHit()) {
+                // The alpha test runs in the anyhit shader; evaluate
+                // it now for correctness, queue it for timing.
+                Vec2 uv = geom.mesh.uvAt(prim, tri_hit.u, tri_hit.v);
+                const Texture &tex =
+                    scene_.textures[material.alphaTextureId];
+                AnyHitRecord record;
+                record.materialId = geom.mesh.materialId;
+                record.alphaTextureId = material.alphaTextureId;
+                record.u = uv.x;
+                record.v = uv.y;
+                record.texelOffset = tex.texelOffset(uv.x, uv.y);
+                record.accepted = tex.sample(uv.x, uv.y).w >= 0.5f;
+                anyHitQueue_.push_back(record);
+                if (!record.accepted)
+                    continue;
+            }
+            hit_.hit = true;
+            hit_.t = tri_hit.t;
+            hit_.u = tri_hit.u;
+            hit_.v = tri_hit.v;
+            hit_.instanceIndex = instanceIndex_;
+            hit_.geometryId = blas_->geometryId;
+            hit_.primIndex = prim;
+            if (anyHit_)
+                terminated = true;
+        }
+    } else {
+        event.type = TraversalEvent::Type::ProceduralPrims;
+        for (uint32_t i = 0; i < leaf.primCount && !terminated; i++) {
+            uint32_t prim = bvh.primIndices[leaf.firstPrim + i];
+            stats_.proceduralTests++;
+            // Every candidate costs an intersection shader call,
+            // whether or not it hits (Sec. 3.1.4).
+            IntersectionRecord record;
+            record.geometryId = blas_->geometryId;
+            record.primIndex = prim;
+            record.primAddress = blas_->primBase +
+                                 static_cast<uint64_t>(prim) *
+                                     blas_->primStride;
+            float t;
+            record.hit = geom.spheres.intersect(prim, origin_, dir_,
+                                                tMin_, hit_.t, t);
+            intersectionQueue_.push_back(record);
+            if (!record.hit)
+                continue;
+            hit_.hit = true;
+            hit_.t = t;
+            hit_.instanceIndex = instanceIndex_;
+            hit_.geometryId = blas_->geometryId;
+            hit_.primIndex = prim;
+            if (anyHit_)
+                terminated = true;
+        }
+    }
+
+    pendingLeaf_ = nullptr;
+    if (terminated) {
+        phase_ = Phase::Finished;
+        done_ = false; // the Done event is still pending
+        tlasStack_.clear();
+        blasStack_.clear();
+    } else {
+        phase_ = Phase::BlasPop;
+    }
+    return event;
+}
+
+TraversalEvent
+TraversalStateMachine::finish()
+{
+    done_ = true;
+    phase_ = Phase::Finished;
+    if (hit_.t == std::numeric_limits<float>::max())
+        hit_.t = 0.0f;
+    TraversalEvent event;
+    event.type = TraversalEvent::Type::Done;
+    return event;
+}
+
+HitInfo
+TraversalStateMachine::traceFunctional(const AccelStructure &accel,
+                                       const Ray &ray, bool any_hit,
+                                       float t_min, float t_max,
+                                       TraversalStats *stats)
+{
+    TraversalStateMachine machine(accel, ray, any_hit, t_min, t_max);
+    while (!machine.done())
+        machine.advance();
+    if (stats)
+        *stats = machine.stats();
+    return machine.result();
+}
+
+} // namespace lumi

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small shared helpers for the compute-kernel implementations.
+ */
+
+#ifndef LUMI_COMPUTE_KERNEL_UTIL_HH
+#define LUMI_COMPUTE_KERNEL_UTIL_HH
+
+#include <functional>
+#include <string>
+
+#include "gpu/gpu.hh"
+
+namespace lumi
+{
+namespace detail
+{
+
+/** Launch @p threads threads running @p program on @p gpu. */
+inline void
+launchGrid(Gpu &gpu, const std::string &name, uint32_t threads,
+           const std::function<void(WarpContext &)> &program)
+{
+    if (threads == 0)
+        return;
+    KernelLaunch launch;
+    launch.name = name;
+    launch.warpCount = (threads + 31) / 32;
+    int tail = threads % 32;
+    launch.lanesInLastWarp = tail == 0 ? 32 : tail;
+    launch.layout = nullptr;
+    launch.program = program;
+    gpu.run(launch);
+}
+
+} // namespace detail
+} // namespace lumi
+
+#endif // LUMI_COMPUTE_KERNEL_UTIL_HH

@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Dispatch plus the graph/grid half of the Rodinia-equivalent
+ * kernels: bfs, hotspot, pathfinder, gaussian, nw, srad, nn.
+ */
+
+#include "compute/rodinia.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "compute/kernel_util.hh"
+#include "math/rng.hh"
+
+namespace lumi
+{
+
+namespace
+{
+
+using detail::launchGrid;
+
+constexpr int warpSize = WarpContext::warpSize;
+
+// ------------------------------------------------------------------
+// bfs: level-synchronous breadth-first search over a random graph in
+// CSR form. Heavy divergence (frontier membership) and random column
+// accesses -- the workload Che et al. called closest to ray tracing.
+// ------------------------------------------------------------------
+void
+runBfs(Gpu &gpu, const ComputeParams &params)
+{
+    Rng rng(params.seed);
+    int nodes = 2048 * params.scale;
+    int avg_degree = 6;
+    std::vector<uint32_t> row_ptr(nodes + 1, 0);
+    std::vector<uint32_t> cols;
+    for (int n = 0; n < nodes; n++) {
+        int degree = 1 + static_cast<int>(rng.nextBelow(avg_degree * 2));
+        for (int e = 0; e < degree; e++)
+            cols.push_back(rng.nextBelow(nodes));
+        row_ptr[n + 1] = static_cast<uint32_t>(cols.size());
+    }
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t row_base = space.allocate(DataKind::Compute,
+                                       (nodes + 1) * 4, "bfs_rows");
+    uint64_t col_base = space.allocate(DataKind::Compute,
+                                       cols.size() * 4, "bfs_cols");
+    uint64_t level_base = space.allocate(DataKind::Compute, nodes * 4,
+                                         "bfs_levels");
+
+    std::vector<int> level(nodes, -1);
+    level[0] = 0;
+    for (int depth = 0; depth < 24; depth++) {
+        bool updated = false;
+        std::vector<int> next_level = level;
+        launchGrid(gpu, "bfs", nodes, [&](WarpContext &ctx) {
+            uint32_t idx[warpSize] = {};
+            uint32_t end[warpSize] = {};
+            ctx.load(4, [&](int lane) {
+                return level_base + ctx.threadIndex(lane) * 4;
+            });
+            ctx.branch(
+                [&](int lane) {
+                    return level[ctx.threadIndex(lane)] == depth;
+                },
+                [&] {
+                    ctx.load(8, [&](int lane) {
+                        return row_base + ctx.threadIndex(lane) * 4;
+                    });
+                    for (int lane = 0; lane < warpSize; lane++) {
+                        if (!ctx.laneActive(lane))
+                            continue;
+                        uint32_t node = ctx.threadIndex(lane);
+                        idx[lane] = row_ptr[node];
+                        end[lane] = row_ptr[node + 1];
+                    }
+                    ctx.loopWhile(
+                        [&](int lane) {
+                            return idx[lane] < end[lane];
+                        },
+                        [&] {
+                            ctx.load(4, [&](int lane) {
+                                return col_base + idx[lane] * 4;
+                            });
+                            ctx.load(4, [&](int lane) {
+                                return level_base +
+                                       cols[idx[lane]] * 4;
+                            });
+                            ctx.alu(3);
+                            uint32_t store_mask = 0;
+                            for (int lane = 0; lane < warpSize;
+                                 lane++) {
+                                if (!ctx.laneActive(lane))
+                                    continue;
+                                uint32_t nb = cols[idx[lane]];
+                                if (level[nb] < 0 &&
+                                    next_level[nb] < 0) {
+                                    next_level[nb] = depth + 1;
+                                    store_mask |= 1u << lane;
+                                }
+                                idx[lane]++;
+                            }
+                            if (store_mask) {
+                                ctx.store(4, [&](int lane) {
+                                    return level_base +
+                                           cols[idx[lane] - 1] * 4;
+                                });
+                            }
+                        });
+                });
+        });
+        if (next_level != level) {
+            updated = true;
+            level = std::move(next_level);
+        }
+        if (!updated)
+            break;
+    }
+}
+
+// ------------------------------------------------------------------
+// hotspot: iterated 5-point thermal stencil; regular, coalesced,
+// compute-balanced.
+// ------------------------------------------------------------------
+void
+runHotspot(Gpu &gpu, const ComputeParams &params)
+{
+    int dim = 128 * params.scale;
+    int cells = dim * dim;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t temp_base = space.allocate(DataKind::Compute, cells * 4,
+                                        "hotspot_temp");
+    uint64_t power_base = space.allocate(DataKind::Compute, cells * 4,
+                                         "hotspot_power");
+    uint64_t out_base = space.allocate(DataKind::Compute, cells * 4,
+                                       "hotspot_out");
+
+    for (int iter = 0; iter < 3; iter++) {
+        launchGrid(gpu, "hotspot", cells, [&](WarpContext &ctx) {
+            auto cell = [&](int lane) {
+                return static_cast<int>(ctx.threadIndex(lane));
+            };
+            ctx.load(4, [&](int lane) {
+                return temp_base + cell(lane) * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = cell(lane);
+                int up = c >= dim ? c - dim : c;
+                return temp_base + up * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = cell(lane);
+                int down = c + dim < cells ? c + dim : c;
+                return temp_base + down * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = cell(lane);
+                return temp_base + (c % dim ? c - 1 : c) * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = cell(lane);
+                return temp_base + ((c + 1) % dim ? c + 1 : c) * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                return power_base + cell(lane) * 4;
+            });
+            ctx.alu(12); // stencil arithmetic
+            ctx.store(4, [&](int lane) {
+                return out_base + cell(lane) * 4;
+            });
+        });
+        std::swap(temp_base, out_base);
+    }
+}
+
+// ------------------------------------------------------------------
+// pathfinder: row-by-row dynamic programming over a cost grid; three
+// neighbor loads per cell, short dependence chains.
+// ------------------------------------------------------------------
+void
+runPathfinder(Gpu &gpu, const ComputeParams &params)
+{
+    int cols = 4096 * params.scale;
+    int rows = 12;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t wall_base = space.allocate(DataKind::Compute,
+                                        static_cast<uint64_t>(cols) *
+                                            rows * 4,
+                                        "pathfinder_wall");
+    uint64_t src_base = space.allocate(DataKind::Compute, cols * 4,
+                                       "pathfinder_src");
+    uint64_t dst_base = space.allocate(DataKind::Compute, cols * 4,
+                                       "pathfinder_dst");
+
+    for (int row = 1; row < rows; row++) {
+        launchGrid(gpu, "pathfinder", cols, [&](WarpContext &ctx) {
+            auto col = [&](int lane) {
+                return static_cast<int>(ctx.threadIndex(lane));
+            };
+            ctx.load(4, [&](int lane) {
+                int c = std::max(0, col(lane) - 1);
+                return src_base + c * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                return src_base + col(lane) * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = std::min(cols - 1, col(lane) + 1);
+                return src_base + c * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                return wall_base +
+                       (static_cast<uint64_t>(row) * cols +
+                        col(lane)) *
+                           4;
+            });
+            ctx.alu(6); // min of three + add
+            ctx.store(4, [&](int lane) {
+                return dst_base + col(lane) * 4;
+            });
+        });
+        std::swap(src_base, dst_base);
+    }
+}
+
+// ------------------------------------------------------------------
+// gaussian: elimination below each pivot; per-pivot launches whose
+// active row count shrinks -- classic load imbalance across launches.
+// ------------------------------------------------------------------
+void
+runGaussian(Gpu &gpu, const ComputeParams &params)
+{
+    int n = 96 * params.scale;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t mat_base = space.allocate(DataKind::Compute,
+                                       static_cast<uint64_t>(n) * n *
+                                           4,
+                                       "gaussian_mat");
+    uint64_t vec_base = space.allocate(DataKind::Compute, n * 4,
+                                       "gaussian_vec");
+
+    for (int k = 0; k < n - 1; k++) {
+        int active_rows = n - k - 1;
+        launchGrid(gpu, "gaussian", active_rows,
+                   [&](WarpContext &ctx) {
+            auto row = [&](int lane) {
+                return k + 1 + static_cast<int>(ctx.threadIndex(lane));
+            };
+            // Multiplier: m = A[row][k] / A[k][k].
+            ctx.load(4, [&](int lane) {
+                return mat_base +
+                       (static_cast<uint64_t>(row(lane)) * n + k) * 4;
+            });
+            ctx.loadUniform(mat_base +
+                                (static_cast<uint64_t>(k) * n + k) *
+                                    4,
+                            4);
+            ctx.alu(2);
+            ctx.sfu(1); // divide
+            // Row update across the remaining columns.
+            int cols_left[warpSize];
+            for (int lane = 0; lane < warpSize; lane++)
+                cols_left[lane] = ctx.laneActive(lane) ? n - k : 0;
+            int j[warpSize] = {};
+            ctx.loopWhile(
+                [&](int lane) { return j[lane] < cols_left[lane]; },
+                [&] {
+                    ctx.load(4, [&](int lane) {
+                        return mat_base +
+                               (static_cast<uint64_t>(k) * n + k +
+                                j[lane]) *
+                                   4;
+                    });
+                    ctx.load(4, [&](int lane) {
+                        return mat_base +
+                               (static_cast<uint64_t>(row(lane)) * n +
+                                k + j[lane]) *
+                                   4;
+                    });
+                    ctx.alu(2);
+                    ctx.store(4, [&](int lane) {
+                        return mat_base +
+                               (static_cast<uint64_t>(row(lane)) * n +
+                                k + j[lane]) *
+                                   4;
+                    });
+                    for (int lane = 0; lane < warpSize; lane++) {
+                        if (ctx.laneActive(lane))
+                            j[lane]++;
+                    }
+                });
+            ctx.load(4, [&](int lane) {
+                return vec_base + k * 4 + 0 * row(lane);
+            });
+            ctx.alu(2);
+            ctx.store(4, [&](int lane) {
+                return vec_base + row(lane) * 4;
+            });
+        });
+    }
+}
+
+// ------------------------------------------------------------------
+// nw: Needleman-Wunsch DP processed row-by-row (up, left, diagonal
+// dependencies), strided loads.
+// ------------------------------------------------------------------
+void
+runNw(Gpu &gpu, const ComputeParams &params)
+{
+    int len = 256 * params.scale;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t score_base = space.allocate(DataKind::Compute,
+                                         static_cast<uint64_t>(len) *
+                                             len * 4,
+                                         "nw_score");
+    uint64_t ref_base = space.allocate(DataKind::Compute,
+                                       static_cast<uint64_t>(len) *
+                                           len * 4,
+                                       "nw_ref");
+
+    for (int row = 1; row < 48; row++) {
+        launchGrid(gpu, "nw", len, [&](WarpContext &ctx) {
+            auto col = [&](int lane) {
+                return static_cast<int>(ctx.threadIndex(lane));
+            };
+            auto at = [&](int r, int c) {
+                return score_base +
+                       (static_cast<uint64_t>(r) * len +
+                        std::max(0, c)) *
+                           4;
+            };
+            ctx.load(4, [&](int lane) {
+                return at(row - 1, col(lane));
+            });
+            ctx.load(4, [&](int lane) {
+                return at(row - 1, col(lane) - 1);
+            });
+            ctx.load(4, [&](int lane) {
+                return at(row, col(lane) - 1);
+            });
+            ctx.load(4, [&](int lane) {
+                return ref_base +
+                       (static_cast<uint64_t>(row) * len +
+                        col(lane)) *
+                           4;
+            });
+            ctx.alu(8); // max of three + substitution score
+            ctx.store(4, [&](int lane) {
+                return at(row, col(lane));
+            });
+        });
+    }
+}
+
+// ------------------------------------------------------------------
+// srad: diffusion stencil with transcendental coefficient math and
+// boundary divergence.
+// ------------------------------------------------------------------
+void
+runSrad(Gpu &gpu, const ComputeParams &params)
+{
+    int dim = 128 * params.scale;
+    int cells = dim * dim;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t img_base = space.allocate(DataKind::Compute, cells * 4,
+                                       "srad_img");
+    uint64_t coef_base = space.allocate(DataKind::Compute, cells * 4,
+                                        "srad_coef");
+
+    for (int iter = 0; iter < 2; iter++) {
+        launchGrid(gpu, "srad", cells, [&](WarpContext &ctx) {
+            auto cell = [&](int lane) {
+                return static_cast<int>(ctx.threadIndex(lane));
+            };
+            ctx.load(4, [&](int lane) {
+                return img_base + cell(lane) * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = cell(lane);
+                return img_base + (c >= dim ? c - dim : c) * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = cell(lane);
+                return img_base +
+                       (c + dim < cells ? c + dim : c) * 4;
+            });
+            ctx.load(4, [&](int lane) {
+                int c = cell(lane);
+                return img_base + (c % dim ? c - 1 : c) * 4;
+            });
+            ctx.alu(14);
+            ctx.sfu(2); // exp / sqrt in the diffusion coefficient
+            // Boundary cells take a cheaper path: divergence.
+            ctx.branch(
+                [&](int lane) {
+                    int c = cell(lane);
+                    int x = c % dim, y = c / dim;
+                    return x == 0 || y == 0 || x == dim - 1 ||
+                           y == dim - 1;
+                },
+                [&] { ctx.alu(2); }, [&] { ctx.alu(6); });
+            ctx.store(4, [&](int lane) {
+                return coef_base + cell(lane) * 4;
+            });
+        });
+    }
+}
+
+// ------------------------------------------------------------------
+// nn: brute-force nearest-neighbor distance scan; streaming loads,
+// almost no divergence, SFU for the square root.
+// ------------------------------------------------------------------
+void
+runNn(Gpu &gpu, const ComputeParams &params)
+{
+    int records = 65536 * params.scale;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t rec_base = space.allocate(DataKind::Compute,
+                                       static_cast<uint64_t>(records) *
+                                           8,
+                                       "nn_records");
+    uint64_t dist_base = space.allocate(DataKind::Compute,
+                                        static_cast<uint64_t>(
+                                            records) *
+                                            4,
+                                        "nn_dist");
+
+    launchGrid(gpu, "nn", records, [&](WarpContext &ctx) {
+        ctx.load(8, [&](int lane) {
+            return rec_base + ctx.threadIndex(lane) * 8ull;
+        });
+        ctx.alu(5); // lat/long deltas, squares, sum
+        ctx.sfu(1); // sqrt
+        ctx.store(4, [&](int lane) {
+            return dist_base + ctx.threadIndex(lane) * 4ull;
+        });
+    });
+}
+
+} // namespace
+
+// Forward declarations of the kernels in rodinia_misc.cc.
+namespace compute_detail
+{
+void runKmeans(Gpu &gpu, const ComputeParams &params);
+void runLud(Gpu &gpu, const ComputeParams &params);
+void runBackprop(Gpu &gpu, const ComputeParams &params);
+void runBtree(Gpu &gpu, const ComputeParams &params);
+void runParticleFilter(Gpu &gpu, const ComputeParams &params);
+void runStreamCluster(Gpu &gpu, const ComputeParams &params);
+} // namespace compute_detail
+
+const char *
+computeKernelName(ComputeKernel kernel)
+{
+    switch (kernel) {
+      case ComputeKernel::Bfs: return "bfs";
+      case ComputeKernel::Hotspot: return "hotspot";
+      case ComputeKernel::Pathfinder: return "pathfinder";
+      case ComputeKernel::Gaussian: return "gaussian";
+      case ComputeKernel::Nw: return "nw";
+      case ComputeKernel::Kmeans: return "kmeans";
+      case ComputeKernel::Lud: return "lud";
+      case ComputeKernel::Backprop: return "backprop";
+      case ComputeKernel::Srad: return "srad";
+      case ComputeKernel::Nn: return "nn";
+      case ComputeKernel::Btree: return "btree";
+      case ComputeKernel::ParticleFilter: return "particlefilter";
+      case ComputeKernel::StreamCluster: return "streamcluster";
+    }
+    return "unknown";
+}
+
+std::vector<ComputeKernel>
+allComputeKernels()
+{
+    return {ComputeKernel::Bfs, ComputeKernel::Hotspot,
+            ComputeKernel::Pathfinder, ComputeKernel::Gaussian,
+            ComputeKernel::Nw, ComputeKernel::Kmeans,
+            ComputeKernel::Lud, ComputeKernel::Backprop,
+            ComputeKernel::Srad, ComputeKernel::Nn,
+            ComputeKernel::Btree, ComputeKernel::ParticleFilter,
+            ComputeKernel::StreamCluster};
+}
+
+void
+runComputeKernel(Gpu &gpu, ComputeKernel kernel,
+                 const ComputeParams &params)
+{
+    switch (kernel) {
+      case ComputeKernel::Bfs: runBfs(gpu, params); break;
+      case ComputeKernel::Hotspot: runHotspot(gpu, params); break;
+      case ComputeKernel::Pathfinder:
+        runPathfinder(gpu, params);
+        break;
+      case ComputeKernel::Gaussian: runGaussian(gpu, params); break;
+      case ComputeKernel::Nw: runNw(gpu, params); break;
+      case ComputeKernel::Kmeans:
+        compute_detail::runKmeans(gpu, params);
+        break;
+      case ComputeKernel::Lud:
+        compute_detail::runLud(gpu, params);
+        break;
+      case ComputeKernel::Backprop:
+        compute_detail::runBackprop(gpu, params);
+        break;
+      case ComputeKernel::Srad: runSrad(gpu, params); break;
+      case ComputeKernel::Nn: runNn(gpu, params); break;
+      case ComputeKernel::Btree:
+        compute_detail::runBtree(gpu, params);
+        break;
+      case ComputeKernel::ParticleFilter:
+        compute_detail::runParticleFilter(gpu, params);
+        break;
+      case ComputeKernel::StreamCluster:
+        compute_detail::runStreamCluster(gpu, params);
+        break;
+    }
+}
+
+} // namespace lumi

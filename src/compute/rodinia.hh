@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Rodinia-equivalent compute workloads.
+ *
+ * The paper contrasts LumiBench against 13 Rodinia workloads executed
+ * on Vulkan-Sim (Sec. 3.4.1) and uses them to anchor the analytical
+ * model comparison (Fig. 15). We implement the core kernels of 13
+ * Rodinia applications as warp-level programs on the same simulator:
+ * real algorithms over synthetic inputs, with genuine per-lane
+ * addresses and divergence so the non-RT metric set is meaningful.
+ */
+
+#ifndef LUMI_COMPUTE_RODINIA_HH
+#define LUMI_COMPUTE_RODINIA_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+
+namespace lumi
+{
+
+/** The 13 Rodinia-derived compute workloads. */
+enum class ComputeKernel
+{
+    Bfs,            ///< breadth-first search (graph traversal)
+    Hotspot,        ///< 2D thermal stencil
+    Pathfinder,     ///< dynamic-programming grid walk
+    Gaussian,       ///< Gaussian elimination rows
+    Nw,             ///< Needleman-Wunsch diagonal DP
+    Kmeans,         ///< k-means point/centroid distances
+    Lud,            ///< LU decomposition
+    Backprop,       ///< neural layer forward/backward pass
+    Srad,           ///< speckle-reducing anisotropic diffusion
+    Nn,             ///< nearest-neighbor distance scan
+    Btree,          ///< B+tree range queries
+    ParticleFilter, ///< particle weight update + resample
+    StreamCluster,  ///< online clustering distance/assign
+};
+
+/** Name as used in reports ("bfs", "hotspot", ...). */
+const char *computeKernelName(ComputeKernel kernel);
+
+/** All 13 workloads in a stable order. */
+std::vector<ComputeKernel> allComputeKernels();
+
+/** Input-size knobs. */
+struct ComputeParams
+{
+    /** Linear problem-size multiplier. */
+    int scale = 1;
+    uint32_t seed = 42;
+};
+
+/**
+ * Allocate inputs and run @p kernel to completion on @p gpu.
+ * Statistics accumulate in gpu.stats() like any other launch.
+ */
+void runComputeKernel(Gpu &gpu, ComputeKernel kernel,
+                      const ComputeParams &params = ComputeParams{});
+
+} // namespace lumi
+
+#endif // LUMI_COMPUTE_RODINIA_HH

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * The remaining Rodinia-equivalent kernels: kmeans, lud, backprop,
+ * btree, particlefilter, streamcluster.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "compute/kernel_util.hh"
+#include "compute/rodinia.hh"
+#include "math/rng.hh"
+
+namespace lumi
+{
+namespace compute_detail
+{
+
+namespace
+{
+using detail::launchGrid;
+constexpr int warpSize = WarpContext::warpSize;
+} // namespace
+
+// ------------------------------------------------------------------
+// kmeans: distance of every point to every centroid; centroid loads
+// are uniform (broadcast), point loads are streaming.
+// ------------------------------------------------------------------
+void
+runKmeans(Gpu &gpu, const ComputeParams &params)
+{
+    int points = 16384 * params.scale;
+    int clusters = 8;
+    int dims = 4;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t pt_base = space.allocate(DataKind::Compute,
+                                      static_cast<uint64_t>(points) *
+                                          dims * 4,
+                                      "kmeans_points");
+    uint64_t cen_base = space.allocate(DataKind::Compute,
+                                       static_cast<uint64_t>(
+                                           clusters) *
+                                           dims * 4,
+                                       "kmeans_centroids");
+    uint64_t asn_base = space.allocate(DataKind::Compute, points * 4,
+                                       "kmeans_assign");
+
+    for (int iter = 0; iter < 3; iter++) {
+        launchGrid(gpu, "kmeans", points, [&](WarpContext &ctx) {
+            ctx.load(static_cast<uint32_t>(dims * 4), [&](int lane) {
+                return pt_base +
+                       ctx.threadIndex(lane) *
+                           static_cast<uint64_t>(dims * 4);
+            });
+            for (int c = 0; c < clusters; c++) {
+                ctx.loadUniform(cen_base +
+                                    static_cast<uint64_t>(c) * dims *
+                                        4,
+                                static_cast<uint32_t>(dims * 4));
+                ctx.alu(3 * dims + 2); // squared distance + compare
+            }
+            ctx.store(4, [&](int lane) {
+                return asn_base + ctx.threadIndex(lane) * 4ull;
+            });
+        });
+    }
+}
+
+// ------------------------------------------------------------------
+// lud: in-place LU decomposition; column-major inner loads give poor
+// coalescing, unlike gaussian's row-major pattern.
+// ------------------------------------------------------------------
+void
+runLud(Gpu &gpu, const ComputeParams &params)
+{
+    int n = 96 * params.scale;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t mat_base = space.allocate(DataKind::Compute,
+                                       static_cast<uint64_t>(n) * n *
+                                           4,
+                                       "lud_mat");
+
+    for (int k = 0; k < n - 1; k++) {
+        int active = n - k - 1;
+        launchGrid(gpu, "lud", active, [&](WarpContext &ctx) {
+            auto row = [&](int lane) {
+                return k + 1 +
+                       static_cast<int>(ctx.threadIndex(lane));
+            };
+            // Column-major walk: lane strides are n*4 bytes.
+            ctx.load(4, [&](int lane) {
+                return mat_base +
+                       (static_cast<uint64_t>(row(lane)) * n + k) * 4;
+            });
+            ctx.loadUniform(mat_base +
+                                (static_cast<uint64_t>(k) * n + k) * 4,
+                            4);
+            ctx.sfu(1);
+            int j[warpSize] = {};
+            int limit[warpSize] = {};
+            for (int lane = 0; lane < warpSize; lane++)
+                limit[lane] = ctx.laneActive(lane) ? n - k - 1 : 0;
+            ctx.loopWhile(
+                [&](int lane) { return j[lane] < limit[lane]; },
+                [&] {
+                    // Column access: consecutive lanes touch rows k+j
+                    // of *different* rows -- strided, uncoalesced.
+                    ctx.load(4, [&](int lane) {
+                        return mat_base +
+                               (static_cast<uint64_t>(k + 1 +
+                                                      j[lane]) *
+                                    n +
+                                row(lane)) *
+                                   4;
+                    });
+                    ctx.alu(2);
+                    ctx.store(4, [&](int lane) {
+                        return mat_base +
+                               (static_cast<uint64_t>(k + 1 +
+                                                      j[lane]) *
+                                    n +
+                                row(lane)) *
+                                   4;
+                    });
+                    for (int lane = 0; lane < warpSize; lane++) {
+                        if (ctx.laneActive(lane))
+                            j[lane]++;
+                    }
+                });
+        });
+    }
+}
+
+// ------------------------------------------------------------------
+// backprop: fully-connected layer forward pass plus weight update;
+// long per-thread reduction loops over the input vector.
+// ------------------------------------------------------------------
+void
+runBackprop(Gpu &gpu, const ComputeParams &params)
+{
+    int inputs = 1024 * params.scale;
+    int hidden = 256;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t in_base = space.allocate(DataKind::Compute, inputs * 4,
+                                      "backprop_in");
+    uint64_t w_base = space.allocate(DataKind::Compute,
+                                     static_cast<uint64_t>(inputs) *
+                                         hidden * 4,
+                                     "backprop_w");
+    uint64_t out_base = space.allocate(DataKind::Compute, hidden * 4,
+                                       "backprop_out");
+
+    // Forward: each hidden unit reduces over all inputs.
+    launchGrid(gpu, "backprop_fw", hidden, [&](WarpContext &ctx) {
+        for (int i = 0; i < inputs; i += 8) {
+            ctx.loadUniform(in_base + static_cast<uint64_t>(i) * 4,
+                            32);
+            ctx.load(32, [&](int lane) {
+                return w_base +
+                       (static_cast<uint64_t>(i) * hidden +
+                        ctx.threadIndex(lane) * 8ull) *
+                           4;
+            });
+            ctx.alu(16); // 8 multiply-accumulate
+        }
+        ctx.sfu(1); // sigmoid
+        ctx.store(4, [&](int lane) {
+            return out_base + ctx.threadIndex(lane) * 4ull;
+        });
+    });
+
+    // Weight update: scatter back through the weight matrix.
+    launchGrid(gpu, "backprop_bw", hidden, [&](WarpContext &ctx) {
+        ctx.load(4, [&](int lane) {
+            return out_base + ctx.threadIndex(lane) * 4ull;
+        });
+        for (int i = 0; i < inputs; i += 16) {
+            ctx.load(8, [&](int lane) {
+                return w_base +
+                       (static_cast<uint64_t>(i) * hidden +
+                        ctx.threadIndex(lane) * 2ull) *
+                           4;
+            });
+            ctx.alu(6);
+            ctx.store(8, [&](int lane) {
+                return w_base +
+                       (static_cast<uint64_t>(i) * hidden +
+                        ctx.threadIndex(lane) * 2ull) *
+                           4;
+            });
+        }
+    });
+}
+
+// ------------------------------------------------------------------
+// btree: B+tree point queries; pointer-chasing loads with data-
+// dependent fan-out decisions -- the classic irregular workload.
+// ------------------------------------------------------------------
+void
+runBtree(Gpu &gpu, const ComputeParams &params)
+{
+    Rng rng(params.seed + 1);
+    int order = 16;
+    int depth = 4;
+    int queries = 4096 * params.scale;
+    // Node count of a full tree of this order/depth.
+    int nodes = 1;
+    int level_size = 1;
+    for (int d = 1; d < depth; d++) {
+        level_size *= order;
+        nodes += level_size;
+    }
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t node_base = space.allocate(DataKind::Compute,
+                                        static_cast<uint64_t>(nodes) *
+                                            64,
+                                        "btree_nodes");
+    uint64_t result_base = space.allocate(DataKind::Compute,
+                                          queries * 4,
+                                          "btree_results");
+
+    // Precompute each query's node path (functional search over a
+    // dense implicit tree keyed by the query hash).
+    std::vector<std::vector<uint32_t>> paths(queries);
+    for (int q = 0; q < queries; q++) {
+        uint32_t key = hashCombine(params.seed, q);
+        uint32_t node = 0;
+        uint32_t level_base_idx = 0;
+        level_size = 1;
+        for (int d = 0; d < depth; d++) {
+            paths[q].push_back(node);
+            uint32_t child = (key >> (d * 4)) % order;
+            uint32_t next_level_base = level_base_idx + level_size;
+            node = next_level_base +
+                   (node - level_base_idx) * order + child;
+            level_base_idx = next_level_base;
+            level_size *= order;
+        }
+    }
+
+    launchGrid(gpu, "btree", queries, [&](WarpContext &ctx) {
+        for (int d = 0; d < depth; d++) {
+            ctx.load(64, [&](int lane) {
+                uint32_t q = ctx.threadIndex(lane);
+                return node_base +
+                       static_cast<uint64_t>(paths[q][d]) * 64;
+            });
+            ctx.alu(8); // key comparisons within the node
+        }
+        ctx.store(4, [&](int lane) {
+            return result_base + ctx.threadIndex(lane) * 4ull;
+        });
+    });
+}
+
+// ------------------------------------------------------------------
+// particlefilter: weight evaluation with transcendentals, then a
+// gather-heavy resampling step at random indices.
+// ------------------------------------------------------------------
+void
+runParticleFilter(Gpu &gpu, const ComputeParams &params)
+{
+    Rng rng(params.seed + 2);
+    int particles = 16384 * params.scale;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t state_base = space.allocate(DataKind::Compute,
+                                         static_cast<uint64_t>(
+                                             particles) *
+                                             8,
+                                         "pf_state");
+    uint64_t weight_base = space.allocate(DataKind::Compute,
+                                          particles * 4,
+                                          "pf_weights");
+
+    std::vector<uint32_t> resample(particles);
+    for (int p = 0; p < particles; p++)
+        resample[p] = rng.nextBelow(particles);
+
+    for (int iter = 0; iter < 2; iter++) {
+        launchGrid(gpu, "pf_weight", particles, [&](WarpContext &ctx) {
+            ctx.load(8, [&](int lane) {
+                return state_base + ctx.threadIndex(lane) * 8ull;
+            });
+            ctx.alu(10);
+            ctx.sfu(2); // exp in the likelihood
+            ctx.store(4, [&](int lane) {
+                return weight_base + ctx.threadIndex(lane) * 4ull;
+            });
+        });
+        launchGrid(gpu, "pf_resample", particles,
+                   [&](WarpContext &ctx) {
+            ctx.load(8, [&](int lane) {
+                uint32_t src = resample[ctx.threadIndex(lane)];
+                return state_base + static_cast<uint64_t>(src) * 8;
+            });
+            ctx.alu(3);
+            ctx.store(8, [&](int lane) {
+                return state_base + ctx.threadIndex(lane) * 8ull;
+            });
+        });
+    }
+}
+
+// ------------------------------------------------------------------
+// streamcluster: distance to every open center with a data-dependent
+// assignment branch.
+// ------------------------------------------------------------------
+void
+runStreamCluster(Gpu &gpu, const ComputeParams &params)
+{
+    Rng rng(params.seed + 3);
+    int points = 8192 * params.scale;
+    int centers = 16;
+    int dims = 8;
+    AddressSpace &space = gpu.addressSpace();
+    uint64_t pt_base = space.allocate(DataKind::Compute,
+                                      static_cast<uint64_t>(points) *
+                                          dims * 4,
+                                      "sc_points");
+    uint64_t cen_base = space.allocate(DataKind::Compute,
+                                       static_cast<uint64_t>(
+                                           centers) *
+                                           dims * 4,
+                                       "sc_centers");
+    uint64_t asn_base = space.allocate(DataKind::Compute, points * 8,
+                                       "sc_assign");
+
+    std::vector<float> gain(points);
+    for (int p = 0; p < points; p++)
+        gain[p] = rng.nextFloat();
+
+    launchGrid(gpu, "streamcluster", points, [&](WarpContext &ctx) {
+        ctx.load(static_cast<uint32_t>(dims * 4), [&](int lane) {
+            return pt_base +
+                   ctx.threadIndex(lane) *
+                       static_cast<uint64_t>(dims * 4);
+        });
+        for (int c = 0; c < centers; c++) {
+            ctx.loadUniform(cen_base +
+                                static_cast<uint64_t>(c) * dims * 4,
+                            static_cast<uint32_t>(dims * 4));
+            ctx.alu(2 * dims + 3);
+        }
+        // Data-dependent reassignment: about half the points move.
+        ctx.branch(
+            [&](int lane) {
+                return gain[ctx.threadIndex(lane)] > 0.5f;
+            },
+            [&] {
+                ctx.alu(4);
+                ctx.store(8, [&](int lane) {
+                    return asn_base + ctx.threadIndex(lane) * 8ull;
+                });
+            });
+    });
+}
+
+} // namespace compute_detail
+} // namespace lumi

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Surface material description used by the LumiBench shaders.
+ *
+ * Materials are intentionally simple (diffuse albedo + mirror mix +
+ * emission): the paper's shaders are "far more simple than real
+ * applications" (Sec. 3.3) because shader arithmetic executes on the
+ * SIMT cores, not the RT unit under study. What matters is the ray
+ * pattern each material induces: reflectivity spawns coherent
+ * reflection rays, emission terminates paths, and alpha-masked
+ * textures force anyhit shader invocations.
+ */
+
+#ifndef LUMI_GEOMETRY_MATERIAL_HH
+#define LUMI_GEOMETRY_MATERIAL_HH
+
+#include "math/vec.hh"
+
+namespace lumi
+{
+
+/** A surface material referenced by mesh triangles. */
+struct Material
+{
+    /** Diffuse reflectance. */
+    Vec3 albedo{0.8f, 0.8f, 0.8f};
+
+    /** Fraction of energy reflected specularly (Law of Reflection). */
+    float reflectivity = 0.0f;
+
+    /** Emitted radiance; non-zero marks a light-emitting surface. */
+    Vec3 emission{0.0f, 0.0f, 0.0f};
+
+    /** Color texture id, or -1 for constant albedo. */
+    int textureId = -1;
+
+    /**
+     * Alpha-mask texture id, or -1. Triangles with an alpha mask are
+     * non-opaque: intersections must be confirmed by the anyhit
+     * shader, which fetches the texture and tests the alpha channel
+     * (Sec. 3.1.4, the CHSNT stress case).
+     */
+    int alphaTextureId = -1;
+
+    /** True when intersections with this material need anyhit. */
+    bool needsAnyHit() const { return alphaTextureId >= 0; }
+};
+
+} // namespace lumi
+
+#endif // LUMI_GEOMETRY_MATERIAL_HH

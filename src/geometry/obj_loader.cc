@@ -1,0 +1,223 @@
+#include "geometry/obj_loader.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace lumi
+{
+
+namespace
+{
+
+/** One corner reference of an f record. */
+struct Corner
+{
+    int v = 0;  ///< position index (1-based; negative = relative)
+    int vt = 0; ///< texcoord index or 0
+    int vn = 0; ///< normal index or 0
+};
+
+/** Parse "v", "v/vt", "v//vn" or "v/vt/vn". */
+bool
+parseCorner(const std::string &token, Corner &corner)
+{
+    corner = Corner{};
+    size_t first = token.find('/');
+    if (first == std::string::npos) {
+        corner.v = std::atoi(token.c_str());
+        return corner.v != 0;
+    }
+    corner.v = std::atoi(token.substr(0, first).c_str());
+    if (corner.v == 0)
+        return false;
+    size_t second = token.find('/', first + 1);
+    if (second == std::string::npos) {
+        corner.vt = std::atoi(token.substr(first + 1).c_str());
+        return true;
+    }
+    if (second > first + 1) {
+        corner.vt = std::atoi(
+            token.substr(first + 1, second - first - 1).c_str());
+    }
+    corner.vn = std::atoi(token.substr(second + 1).c_str());
+    return true;
+}
+
+/** Resolve a possibly-relative 1-based index to 0-based. */
+bool
+resolveIndex(int raw, size_t count, uint32_t &out)
+{
+    long resolved = raw > 0
+                        ? raw - 1
+                        : static_cast<long>(count) + raw;
+    if (resolved < 0 || resolved >= static_cast<long>(count))
+        return false;
+    out = static_cast<uint32_t>(resolved);
+    return true;
+}
+
+} // namespace
+
+ObjLoadResult
+parseObj(const std::string &text)
+{
+    ObjLoadResult result;
+    std::vector<Vec3> positions;
+    std::vector<Vec3> normals;
+    std::vector<Vec2> texcoords;
+
+    // Emitted vertices: OBJ indexes positions/normals/uvs
+    // independently, our mesh uses one index stream, so each unique
+    // (v, vt, vn) corner becomes one output vertex. A linear-probe
+    // map keeps it dependency-free.
+    struct EmittedCorner
+    {
+        Corner corner;
+        uint32_t index;
+    };
+    std::vector<EmittedCorner> emitted;
+    auto emit = [&](const Corner &corner,
+                    uint32_t &out_index) -> bool {
+        for (const EmittedCorner &e : emitted) {
+            if (e.corner.v == corner.v && e.corner.vt == corner.vt &&
+                e.corner.vn == corner.vn) {
+                out_index = e.index;
+                return true;
+            }
+        }
+        uint32_t v_index, vt_index = 0, vn_index = 0;
+        if (!resolveIndex(corner.v, positions.size(), v_index))
+            return false;
+        if (corner.vt != 0 &&
+            !resolveIndex(corner.vt, texcoords.size(), vt_index)) {
+            return false;
+        }
+        if (corner.vn != 0 &&
+            !resolveIndex(corner.vn, normals.size(), vn_index)) {
+            return false;
+        }
+        out_index = static_cast<uint32_t>(
+            result.mesh.positions.size());
+        result.mesh.positions.push_back(positions[v_index]);
+        result.mesh.uvs.push_back(
+            corner.vt != 0 ? texcoords[vt_index] : Vec2(0.0f, 0.0f));
+        result.mesh.normals.push_back(
+            corner.vn != 0 ? normals[vn_index]
+                           : Vec3(0.0f, 1.0f, 0.0f));
+        emitted.push_back({corner, out_index});
+        return true;
+    };
+
+    bool any_normals = false;
+    bool any_uvs = false;
+    std::istringstream stream(text);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(stream, line)) {
+        line_number++;
+        // Strip comments and whitespace.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream tokens(line);
+        std::string keyword;
+        if (!(tokens >> keyword))
+            continue;
+
+        if (keyword == "v") {
+            Vec3 p;
+            if (!(tokens >> p.x >> p.y >> p.z)) {
+                result.error = "bad v record at line " +
+                               std::to_string(line_number);
+                return result;
+            }
+            positions.push_back(p);
+        } else if (keyword == "vn") {
+            Vec3 n;
+            if (!(tokens >> n.x >> n.y >> n.z)) {
+                result.error = "bad vn record at line " +
+                               std::to_string(line_number);
+                return result;
+            }
+            normals.push_back(normalize(n));
+            any_normals = true;
+        } else if (keyword == "vt") {
+            Vec2 uv;
+            if (!(tokens >> uv.x >> uv.y)) {
+                result.error = "bad vt record at line " +
+                               std::to_string(line_number);
+                return result;
+            }
+            texcoords.push_back(uv);
+            any_uvs = true;
+        } else if (keyword == "f") {
+            std::vector<uint32_t> face;
+            std::string token;
+            while (tokens >> token) {
+                Corner corner;
+                if (!parseCorner(token, corner)) {
+                    result.error = "bad face corner at line " +
+                                   std::to_string(line_number);
+                    return result;
+                }
+                uint32_t index;
+                if (!emit(corner, index)) {
+                    result.error = "face index out of range at "
+                                   "line " +
+                                   std::to_string(line_number);
+                    return result;
+                }
+                face.push_back(index);
+            }
+            if (face.size() < 3) {
+                result.error = "degenerate face at line " +
+                               std::to_string(line_number);
+                return result;
+            }
+            // Fan triangulation for polygons.
+            for (size_t k = 1; k + 1 < face.size(); k++) {
+                result.mesh.indices.push_back(face[0]);
+                result.mesh.indices.push_back(face[k]);
+                result.mesh.indices.push_back(face[k + 1]);
+            }
+        } else {
+            // o / g / s / usemtl / mtllib and friends.
+            result.skippedDirectives++;
+        }
+    }
+
+    if (result.mesh.triangleCount() == 0) {
+        result.error = "no faces";
+        return result;
+    }
+    if (!any_normals)
+        result.mesh.computeVertexNormals();
+    if (!any_uvs)
+        result.mesh.uvs.clear();
+    result.ok = true;
+    return result;
+}
+
+ObjLoadResult
+loadObjFile(const std::string &path)
+{
+    ObjLoadResult result;
+    FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        result.error = "cannot open " + path;
+        return result;
+    }
+    std::fseek(file, 0, SEEK_END);
+    long size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    std::string text(static_cast<size_t>(size), '\0');
+    size_t read = std::fread(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    text.resize(read);
+    return parseObj(text);
+}
+
+} // namespace lumi

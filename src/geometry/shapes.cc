@@ -1,0 +1,297 @@
+#include "geometry/shapes.hh"
+
+#include <cmath>
+
+namespace lumi
+{
+namespace shapes
+{
+
+namespace
+{
+
+constexpr float pi = 3.14159265358979323846f;
+
+/** Append a quad (a, b, c, d counter-clockwise) as two triangles. */
+void
+pushQuad(TriangleMesh &mesh, uint32_t a, uint32_t b, uint32_t c,
+         uint32_t d)
+{
+    mesh.indices.insert(mesh.indices.end(), {a, b, c, a, c, d});
+}
+
+} // namespace
+
+TriangleMesh
+gridPlane(float width, float depth, int segments_x, int segments_z,
+          float (*height_fn)(float, float))
+{
+    TriangleMesh mesh;
+    for (int iz = 0; iz <= segments_z; iz++) {
+        for (int ix = 0; ix <= segments_x; ix++) {
+            float u = static_cast<float>(ix) / segments_x;
+            float v = static_cast<float>(iz) / segments_z;
+            float x = (u - 0.5f) * width;
+            float z = (v - 0.5f) * depth;
+            float y = height_fn ? height_fn(x, z) : 0.0f;
+            mesh.positions.push_back({x, y, z});
+            mesh.uvs.push_back({u, v});
+        }
+    }
+    uint32_t stride = segments_x + 1;
+    for (int iz = 0; iz < segments_z; iz++) {
+        for (int ix = 0; ix < segments_x; ix++) {
+            uint32_t a = iz * stride + ix;
+            pushQuad(mesh, a, a + 1, a + 1 + stride, a + stride);
+        }
+    }
+    mesh.computeVertexNormals();
+    return mesh;
+}
+
+namespace
+{
+
+TriangleMesh
+boxImpl(const Vec3 &lo, const Vec3 &hi, bool inward)
+{
+    TriangleMesh mesh;
+    // 8 corners; corner i has bit 0 -> x, bit 1 -> y, bit 2 -> z.
+    for (int i = 0; i < 8; i++) {
+        mesh.positions.push_back({(i & 1) ? hi.x : lo.x,
+                                  (i & 2) ? hi.y : lo.y,
+                                  (i & 4) ? hi.z : lo.z});
+        mesh.uvs.push_back({(i & 1) ? 1.0f : 0.0f,
+                            (i & 2) ? 1.0f : 0.0f});
+    }
+    // Outward-facing CCW quads per face.
+    const uint32_t faces[6][4] = {
+        {0, 4, 6, 2}, // -X
+        {1, 3, 7, 5}, // +X
+        {0, 1, 5, 4}, // -Y
+        {2, 6, 7, 3}, // +Y
+        {0, 2, 3, 1}, // -Z
+        {4, 5, 7, 6}, // +Z
+    };
+    for (const auto &f : faces) {
+        if (inward)
+            pushQuad(mesh, f[3], f[2], f[1], f[0]);
+        else
+            pushQuad(mesh, f[0], f[1], f[2], f[3]);
+    }
+    return mesh;
+}
+
+} // namespace
+
+TriangleMesh
+box(const Vec3 &lo, const Vec3 &hi)
+{
+    return boxImpl(lo, hi, false);
+}
+
+TriangleMesh
+invertedBox(const Vec3 &lo, const Vec3 &hi)
+{
+    return boxImpl(lo, hi, true);
+}
+
+TriangleMesh
+roomShell(const Vec3 &lo, const Vec3 &hi, int segments)
+{
+    TriangleMesh shell;
+    Vec3 size = hi - lo;
+    // Each wall is a grid plane rotated into place, facing inward.
+    struct Face
+    {
+        Vec3 center;
+        float rx, rz;
+        float w, d;
+    };
+    Vec3 c = (lo + hi) * 0.5f;
+    const float pi_f = 3.14159265358979f;
+    Face faces[6] = {
+        {{c.x, lo.y, c.z}, 0.0f, 0.0f, size.x, size.z},       // floor
+        {{c.x, hi.y, c.z}, pi_f, 0.0f, size.x, size.z},       // ceil
+        {{c.x, c.y, lo.z}, pi_f * 0.5f, 0.0f, size.x, size.y},  // -Z
+        {{c.x, c.y, hi.z}, -pi_f * 0.5f, 0.0f, size.x, size.y}, // +Z
+        {{lo.x, c.y, c.z}, 0.0f, -pi_f * 0.5f, size.y, size.z}, // -X
+        {{hi.x, c.y, c.z}, 0.0f, pi_f * 0.5f, size.y, size.z},  // +X
+    };
+    for (const Face &face : faces) {
+        TriangleMesh wall = gridPlane(face.w, face.d, segments,
+                                      segments);
+        wall.transform(Mat4::translate(face.center) *
+                       Mat4::rotateX(face.rx) *
+                       Mat4::rotateZ(face.rz));
+        shell.append(wall);
+    }
+    return shell;
+}
+
+TriangleMesh
+uvSphere(const Vec3 &center, float radius, int stacks, int slices)
+{
+    TriangleMesh mesh;
+    for (int i = 0; i <= stacks; i++) {
+        float phi = pi * static_cast<float>(i) / stacks;
+        for (int j = 0; j <= slices; j++) {
+            float theta = 2.0f * pi * static_cast<float>(j) / slices;
+            Vec3 n{std::sin(phi) * std::cos(theta), std::cos(phi),
+                   std::sin(phi) * std::sin(theta)};
+            mesh.positions.push_back(center + n * radius);
+            mesh.normals.push_back(n);
+            mesh.uvs.push_back({static_cast<float>(j) / slices,
+                                static_cast<float>(i) / stacks});
+        }
+    }
+    uint32_t stride = slices + 1;
+    for (int i = 0; i < stacks; i++) {
+        for (int j = 0; j < slices; j++) {
+            uint32_t a = i * stride + j;
+            pushQuad(mesh, a, a + stride, a + stride + 1, a + 1);
+        }
+    }
+    return mesh;
+}
+
+TriangleMesh
+cylinder(const Vec3 &base, float radius, float height, int slices,
+         int stacks)
+{
+    TriangleMesh mesh;
+    for (int i = 0; i <= stacks; i++) {
+        float y = height * static_cast<float>(i) / stacks;
+        for (int j = 0; j <= slices; j++) {
+            float theta = 2.0f * pi * static_cast<float>(j) / slices;
+            Vec3 n{std::cos(theta), 0.0f, std::sin(theta)};
+            mesh.positions.push_back(base + Vec3(n.x * radius, y,
+                                                 n.z * radius));
+            mesh.normals.push_back(n);
+            mesh.uvs.push_back({static_cast<float>(j) / slices,
+                                static_cast<float>(i) / stacks});
+        }
+    }
+    uint32_t stride = slices + 1;
+    for (int i = 0; i < stacks; i++) {
+        for (int j = 0; j < slices; j++) {
+            uint32_t a = i * stride + j;
+            pushQuad(mesh, a, a + 1, a + stride + 1, a + stride);
+        }
+    }
+    return mesh;
+}
+
+TriangleMesh
+cone(const Vec3 &base, float radius, float height, int slices)
+{
+    TriangleMesh mesh;
+    Vec3 apex = base + Vec3(0.0f, height, 0.0f);
+    for (int j = 0; j < slices; j++) {
+        float t0 = 2.0f * pi * static_cast<float>(j) / slices;
+        float t1 = 2.0f * pi * static_cast<float>(j + 1) / slices;
+        Vec3 p0 = base + Vec3(std::cos(t0) * radius, 0.0f,
+                              std::sin(t0) * radius);
+        Vec3 p1 = base + Vec3(std::cos(t1) * radius, 0.0f,
+                              std::sin(t1) * radius);
+        uint32_t i0 = static_cast<uint32_t>(mesh.positions.size());
+        mesh.positions.insert(mesh.positions.end(), {p0, p1, apex});
+        mesh.indices.insert(mesh.indices.end(), {i0, i0 + 1, i0 + 2});
+    }
+    mesh.computeVertexNormals();
+    return mesh;
+}
+
+TriangleMesh
+grassBlade(const Vec3 &base, float height, float width, float lean,
+           float bend_phase, int segments)
+{
+    TriangleMesh mesh;
+    Vec3 lean_dir{std::cos(bend_phase), 0.0f, std::sin(bend_phase)};
+    for (int i = 0; i <= segments; i++) {
+        float t = static_cast<float>(i) / segments;
+        // Quadratic bend plus taper toward the tip.
+        Vec3 spine = base + Vec3(0.0f, height * t, 0.0f) +
+                     lean_dir * (lean * t * t);
+        float half_w = 0.5f * width * (1.0f - 0.8f * t);
+        Vec3 side = cross(lean_dir, Vec3(0.0f, 1.0f, 0.0f)) * half_w;
+        mesh.positions.push_back(spine - side);
+        mesh.positions.push_back(spine + side);
+        mesh.uvs.push_back({0.0f, t});
+        mesh.uvs.push_back({1.0f, t});
+    }
+    for (int i = 0; i < segments; i++) {
+        uint32_t a = i * 2;
+        pushQuad(mesh, a, a + 1, a + 3, a + 2);
+    }
+    mesh.computeVertexNormals();
+    return mesh;
+}
+
+TriangleMesh
+rope(const Vec3 &from, const Vec3 &to, float radius, int slices,
+     int segments)
+{
+    TriangleMesh mesh;
+    Vec3 axis = to - from;
+    float len = length(axis);
+    if (len < 1e-6f)
+        return mesh;
+    Vec3 dir = axis / len;
+    // Build a frame perpendicular to the rope direction.
+    Vec3 up = std::fabs(dir.y) < 0.99f ? Vec3(0.0f, 1.0f, 0.0f)
+                                       : Vec3(1.0f, 0.0f, 0.0f);
+    Vec3 u = normalize(cross(dir, up));
+    Vec3 v = cross(dir, u);
+    for (int i = 0; i <= segments; i++) {
+        float t = static_cast<float>(i) / segments;
+        Vec3 c = from + axis * t;
+        for (int j = 0; j <= slices; j++) {
+            float theta = 2.0f * pi * static_cast<float>(j) / slices;
+            Vec3 n = u * std::cos(theta) + v * std::sin(theta);
+            mesh.positions.push_back(c + n * radius);
+            mesh.normals.push_back(n);
+            mesh.uvs.push_back({static_cast<float>(j) / slices, t});
+        }
+    }
+    uint32_t stride = slices + 1;
+    for (int i = 0; i < segments; i++) {
+        for (int j = 0; j < slices; j++) {
+            uint32_t a = i * stride + j;
+            pushQuad(mesh, a, a + 1, a + stride + 1, a + stride);
+        }
+    }
+    return mesh;
+}
+
+TriangleMesh
+texturedQuad(const Vec3 &origin, const Vec3 &edge_u, const Vec3 &edge_v)
+{
+    TriangleMesh mesh;
+    mesh.positions = {origin, origin + edge_u, origin + edge_u + edge_v,
+                      origin + edge_v};
+    mesh.uvs = {{0.0f, 0.0f}, {1.0f, 0.0f}, {1.0f, 1.0f}, {0.0f, 1.0f}};
+    Vec3 n = normalize(cross(edge_u, edge_v));
+    mesh.normals = {n, n, n, n};
+    pushQuad(mesh, 0, 1, 2, 3);
+    return mesh;
+}
+
+TriangleMesh
+blob(const Vec3 &center, float radius, int detail, float roughness,
+     Rng &rng)
+{
+    TriangleMesh mesh = uvSphere(center, radius, detail, detail * 2);
+    for (size_t i = 0; i < mesh.positions.size(); i++) {
+        Vec3 dir = normalize(mesh.positions[i] - center);
+        float noise = rng.nextRange(-roughness, roughness);
+        mesh.positions[i] = center + dir * (radius * (1.0f + noise));
+    }
+    // Weld seam vertices would be ideal; face normals suffice for the
+    // benchmark geometry, so just recompute smooth normals.
+    mesh.computeVertexNormals();
+    return mesh;
+}
+
+} // namespace shapes
+} // namespace lumi

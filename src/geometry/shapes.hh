@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parametric mesh builders used by the procedural scene generators.
+ *
+ * Every LumiBench scene is assembled from these primitives (plus
+ * instancing), sized to reproduce the paper scenes' stress
+ * signatures: grids and boxes for architecture, UV-spheres and cones
+ * for organic shapes, thin blades and ropes for the long-and-thin
+ * stress case (Sec. 3.1.2).
+ */
+
+#ifndef LUMI_GEOMETRY_SHAPES_HH
+#define LUMI_GEOMETRY_SHAPES_HH
+
+#include "geometry/mesh.hh"
+#include "math/rng.hh"
+
+namespace lumi
+{
+namespace shapes
+{
+
+/**
+ * A tessellated rectangle in the XZ plane centered at the origin.
+ *
+ * @param width extent along X
+ * @param depth extent along Z
+ * @param segments_x quads along X
+ * @param segments_z quads along Z
+ * @param height_fn optional displacement; nullptr keeps the plane flat
+ */
+TriangleMesh gridPlane(float width, float depth, int segments_x,
+                       int segments_z,
+                       float (*height_fn)(float, float) = nullptr);
+
+/** An axis-aligned box from lo to hi (12 triangles, outward-facing). */
+TriangleMesh box(const Vec3 &lo, const Vec3 &hi);
+
+/** Same box with faces pointing inward (rooms, Cornell boxes). */
+TriangleMesh invertedBox(const Vec3 &lo, const Vec3 &hi);
+
+/**
+ * An inward-facing room shell whose six walls are tessellated into
+ * @p segments x @p segments quads each. Indoor scenes use this so
+ * their enclosures are real meshes with real BVH subtrees rather
+ * than twelve giant triangles.
+ */
+TriangleMesh roomShell(const Vec3 &lo, const Vec3 &hi, int segments);
+
+/** A UV-sphere with the given tessellation. */
+TriangleMesh uvSphere(const Vec3 &center, float radius, int stacks,
+                      int slices);
+
+/** An open cylinder along +Y (thin ropes, trunks, pillars). */
+TriangleMesh cylinder(const Vec3 &base, float radius, float height,
+                      int slices, int stacks = 1);
+
+/** A cone along +Y (tree canopies). */
+TriangleMesh cone(const Vec3 &base, float radius, float height,
+                  int slices);
+
+/**
+ * A single grass blade: a thin, slightly bent strip of @p segments
+ * quads rising from @p base. This is the canonical long-and-thin
+ * primitive: its AABB is mostly empty space.
+ */
+TriangleMesh grassBlade(const Vec3 &base, float height, float width,
+                        float lean, float bend_phase, int segments = 3);
+
+/**
+ * A taut rope between two points built as a thin axis-unaligned
+ * cylinder of @p slices sides; the SHIP rigging primitive.
+ */
+TriangleMesh rope(const Vec3 &from, const Vec3 &to, float radius,
+                  int slices, int segments);
+
+/**
+ * A quad (two triangles) with UVs covering [0,1]^2, suitable for
+ * alpha-masked leaf cards (the CHSNT stress case).
+ */
+TriangleMesh texturedQuad(const Vec3 &origin, const Vec3 &edge_u,
+                          const Vec3 &edge_v);
+
+/**
+ * A rough rock/mountain: a displaced icosphere-like blob seeded by
+ * @p rng.
+ */
+TriangleMesh blob(const Vec3 &center, float radius, int detail,
+                  float roughness, Rng &rng);
+
+} // namespace shapes
+} // namespace lumi
+
+#endif // LUMI_GEOMETRY_SHAPES_HH

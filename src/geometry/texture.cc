@@ -1,0 +1,113 @@
+#include "geometry/texture.hh"
+
+#include <cmath>
+
+namespace lumi
+{
+
+namespace
+{
+
+/** Hash-based 2D value noise in [0, 1]. */
+float
+valueNoise(float x, float y)
+{
+    auto hash = [](int ix, int iy) {
+        uint32_t h = static_cast<uint32_t>(ix) * 374761393u +
+                     static_cast<uint32_t>(iy) * 668265263u;
+        h = (h ^ (h >> 13)) * 1274126177u;
+        return static_cast<float>(h & 0xffffffu) / 16777215.0f;
+    };
+    int ix = static_cast<int>(std::floor(x));
+    int iy = static_cast<int>(std::floor(y));
+    float fx = x - ix, fy = y - iy;
+    // Smoothstep interpolation weights.
+    float wx = fx * fx * (3.0f - 2.0f * fx);
+    float wy = fy * fy * (3.0f - 2.0f * fy);
+    float v00 = hash(ix, iy), v10 = hash(ix + 1, iy);
+    float v01 = hash(ix, iy + 1), v11 = hash(ix + 1, iy + 1);
+    float a = v00 + (v10 - v00) * wx;
+    float b = v01 + (v11 - v01) * wx;
+    return a + (b - a) * wy;
+}
+
+float
+wrap01(float t)
+{
+    t = t - std::floor(t);
+    return t;
+}
+
+} // namespace
+
+Texture::Texture(Kind kind, int width, int height, const Vec3 &color_a,
+                 const Vec3 &color_b, float scale)
+    : kind_(kind), width_(width), height_(height), colorA_(color_a),
+      colorB_(color_b), scale_(scale)
+{
+}
+
+Vec4
+Texture::sample(float u, float v) const
+{
+    u = wrap01(u);
+    v = wrap01(v);
+    switch (kind_) {
+      case Kind::Checker: {
+        int cu = static_cast<int>(u * scale_);
+        int cv = static_cast<int>(v * scale_);
+        bool a = ((cu + cv) & 1) == 0;
+        return Vec4(a ? colorA_ : colorB_, 1.0f);
+      }
+      case Kind::Marble: {
+        float n = valueNoise(u * scale_, v * scale_);
+        float t = 0.5f + 0.5f * std::sin((u + n) * scale_ * 3.0f);
+        return Vec4(lerp(colorA_, colorB_, t), 1.0f);
+      }
+      case Kind::Bark: {
+        float stripe = 0.5f + 0.5f * std::sin(u * scale_ * 12.0f +
+                                              valueNoise(u * 4.0f,
+                                                         v * 16.0f) *
+                                                  4.0f);
+        return Vec4(lerp(colorA_, colorB_, stripe), 1.0f);
+      }
+      case Kind::LeafMask: {
+        // An elliptical leaf with a serrated edge; alpha outside is 0.
+        float dx = (u - 0.5f) * 2.2f;
+        float dy = (v - 0.5f) * 1.6f;
+        float serration = 0.06f * std::sin(std::atan2(dy, dx) * 9.0f);
+        float r = dx * dx + dy * dy;
+        // Less than half the card is opaque: most anyhit tests
+        // reject, the CHSNT pruning-defeat stress (Sec. 3.1.4).
+        float alpha = r < (0.26f + serration) ? 1.0f : 0.0f;
+        float vein = std::fabs(dx) < 0.03f ? 0.7f : 1.0f;
+        return Vec4(lerp(colorA_, colorB_, v) * vein, alpha);
+      }
+      case Kind::FrondMask: {
+        // Several thin vertical fronds; mostly transparent.
+        float f = std::fabs(std::sin(u * scale_ * 3.14159265f));
+        float taper = 1.0f - v;
+        float alpha = (f > 0.85f - 0.3f * taper) ? 1.0f : 0.0f;
+        return Vec4(lerp(colorA_, colorB_, v), alpha);
+      }
+      case Kind::Gradient:
+        return Vec4(lerp(colorA_, colorB_, v), 1.0f);
+      case Kind::Noise: {
+        float n = valueNoise(u * scale_, v * scale_);
+        return Vec4(lerp(colorA_, colorB_, n), 1.0f);
+      }
+    }
+    return Vec4(colorA_, 1.0f);
+}
+
+size_t
+Texture::texelOffset(float u, float v) const
+{
+    u = wrap01(u);
+    v = wrap01(v);
+    int tx = std::min(static_cast<int>(u * width_), width_ - 1);
+    int ty = std::min(static_cast<int>(v * height_), height_ - 1);
+    return (static_cast<size_t>(ty) * width_ + tx) * 4;
+}
+
+} // namespace lumi

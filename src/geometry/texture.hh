@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Procedural textures with a modeled memory footprint.
+ *
+ * The paper's scenes reference image textures (Sponza's walls, the
+ * chestnut tree's alpha-masked leaves). We cannot redistribute the
+ * images, so textures are evaluated procedurally -- but they still
+ * occupy a texel array in the simulated address space, and every
+ * sample issues a load at the address of the texel it would have
+ * read. This preserves the property the characterization cares
+ * about: texture fetches stress the memory system (Sec. 3.1.4).
+ */
+
+#ifndef LUMI_GEOMETRY_TEXTURE_HH
+#define LUMI_GEOMETRY_TEXTURE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/vec.hh"
+
+namespace lumi
+{
+
+/** A procedurally evaluated 2D texture. */
+class Texture
+{
+  public:
+    /** The procedural pattern families used by the scene library. */
+    enum class Kind
+    {
+        Checker,    ///< two-tone checkerboard (floors, Cornell walls)
+        Marble,     ///< sine-warped value noise (bathroom, statues)
+        Bark,       ///< vertical striations (tree trunks)
+        LeafMask,   ///< leaf silhouette in the alpha channel
+        FrondMask,  ///< grass/frond silhouette in the alpha channel
+        Gradient,   ///< vertical gradient (skies, backdrops)
+        Noise,      ///< raw value noise (terrain, rust)
+    };
+
+    Texture(Kind kind, int width, int height, const Vec3 &color_a,
+            const Vec3 &color_b, float scale = 8.0f);
+
+    Kind kind() const { return kind_; }
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Size of the texel array in bytes (RGBA8). */
+    size_t dataBytes() const
+    {
+        return static_cast<size_t>(width_) * height_ * 4;
+    }
+
+    /**
+     * Evaluate the texture at (u, v); coordinates wrap. The w
+     * component is alpha (1 = opaque) and is what the anyhit shader
+     * tests against the 0.5 cutoff.
+     */
+    Vec4 sample(float u, float v) const;
+
+    /**
+     * Byte offset of the texel that sample(u, v) reads, relative to
+     * the texture base address. The RT/shader timing model turns this
+     * into a simulated memory access.
+     */
+    size_t texelOffset(float u, float v) const;
+
+  private:
+    Kind kind_;
+    int width_;
+    int height_;
+    Vec3 colorA_;
+    Vec3 colorB_;
+    float scale_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GEOMETRY_TEXTURE_HH

@@ -1,0 +1,52 @@
+#include "gpu/address_space.hh"
+
+#include <algorithm>
+
+namespace lumi
+{
+
+uint64_t
+AddressSpace::allocate(DataKind kind, uint64_t size,
+                       const std::string &label)
+{
+    uint64_t base = reserve(size);
+    registerRange(base, size, kind, label);
+    return base;
+}
+
+uint64_t
+AddressSpace::reserve(uint64_t size)
+{
+    uint64_t base = (cursor_ + 127) & ~127ull;
+    cursor_ = base + size;
+    return base;
+}
+
+void
+AddressSpace::registerRange(uint64_t base, uint64_t size,
+                            DataKind kind, const std::string &label)
+{
+    AddressRange range{base, size, kind, label};
+    auto pos = std::lower_bound(ranges_.begin(), ranges_.end(), base,
+                                [](const AddressRange &r, uint64_t b) {
+                                    return r.base < b;
+                                });
+    ranges_.insert(pos, range);
+    if (base + size > cursor_)
+        cursor_ = base + size;
+}
+
+DataKind
+AddressSpace::kindOf(uint64_t addr) const
+{
+    auto pos = std::upper_bound(ranges_.begin(), ranges_.end(), addr,
+                                [](uint64_t a, const AddressRange &r) {
+                                    return a < r.base;
+                                });
+    if (pos == ranges_.begin())
+        return DataKind::Compute;
+    --pos;
+    return pos->contains(addr) ? pos->kind : DataKind::Compute;
+}
+
+} // namespace lumi

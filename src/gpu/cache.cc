@@ -1,0 +1,107 @@
+#include "gpu/cache.hh"
+
+namespace lumi
+{
+
+Cache::Cache(uint32_t size_bytes, uint32_t line_bytes, uint32_t ways,
+             int latency)
+    : lineBytes_(line_bytes), latency_(latency)
+{
+    uint32_t num_lines = size_bytes / line_bytes;
+    if (ways == 0 || ways > num_lines)
+        ways = num_lines; // fully associative
+    ways_ = ways;
+    numSets_ = num_lines / ways;
+    if (numSets_ == 0)
+        numSets_ = 1;
+    lines_.resize(static_cast<size_t>(numSets_) * ways_);
+    lookup_.resize(numSets_);
+}
+
+uint32_t
+Cache::setIndex(uint64_t line_addr) const
+{
+    return static_cast<uint32_t>((line_addr / lineBytes_) % numSets_);
+}
+
+Cache::Line *
+Cache::findLine(uint64_t line_addr)
+{
+    uint32_t set = setIndex(line_addr);
+    auto it = lookup_[set].find(line_addr);
+    if (it == lookup_[set].end())
+        return nullptr;
+    return &lines_[it->second];
+}
+
+CacheProbe
+Cache::probe(uint64_t line_addr, uint64_t cycle)
+{
+    stats.reads++;
+    CacheProbe result;
+    Line *line = findLine(line_addr);
+    if (!line) {
+        stats.readMisses++;
+        result.outcome = CacheProbe::Outcome::Miss;
+        return result;
+    }
+    line->lastUsed = cycle;
+    if (line->validAt > cycle) {
+        stats.readPendingHits++;
+        result.outcome = CacheProbe::Outcome::PendingHit;
+        result.validAt = line->validAt;
+    } else {
+        stats.readHits++;
+        result.outcome = CacheProbe::Outcome::Hit;
+    }
+    return result;
+}
+
+void
+Cache::fill(uint64_t line_addr, uint64_t cycle, uint64_t valid_at)
+{
+    uint32_t set = setIndex(line_addr);
+    if (lookup_[set].count(line_addr))
+        return; // already present (raced fill)
+
+    // Find an invalid way or evict the LRU line of the set.
+    uint32_t base = set * ways_;
+    uint32_t victim = base;
+    uint64_t oldest = UINT64_MAX;
+    for (uint32_t w = 0; w < ways_; w++) {
+        Line &line = lines_[base + w];
+        if (!line.valid) {
+            victim = base + w;
+            oldest = 0;
+            break;
+        }
+        if (line.lastUsed < oldest) {
+            oldest = line.lastUsed;
+            victim = base + w;
+        }
+    }
+    Line &line = lines_[victim];
+    if (line.valid)
+        lookup_[set].erase(line.tag);
+    line.tag = line_addr;
+    line.lastUsed = cycle;
+    line.validAt = valid_at;
+    line.valid = true;
+    lookup_[set][line_addr] = victim;
+}
+
+bool
+Cache::writeProbe(uint64_t line_addr, uint64_t cycle)
+{
+    stats.writes++;
+    Line *line = findLine(line_addr);
+    if (line && line->validAt <= cycle) {
+        line->lastUsed = cycle;
+        stats.writeHits++;
+        return true;
+    }
+    stats.writeMisses++;
+    return false;
+}
+
+} // namespace lumi

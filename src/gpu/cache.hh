@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cache model with latency-pipelined fills and MSHR-style merging.
+ *
+ * The model is probe-at-issue: an access at cycle T walks the
+ * hierarchy immediately and computes the cycle its data is ready.
+ * A missing line is inserted with a future validAt timestamp; later
+ * accesses to the same line before validAt behave exactly like MSHR
+ * merges (they complete when the outstanding fill returns, counted
+ * as pending hits rather than new misses).
+ */
+
+#ifndef LUMI_GPU_CACHE_HH
+#define LUMI_GPU_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lumi
+{
+
+/** Outcome of a single-line cache probe. */
+struct CacheProbe
+{
+    enum class Outcome { Hit, PendingHit, Miss };
+
+    Outcome outcome = Outcome::Miss;
+    /** For PendingHit: cycle at which the in-flight fill lands. */
+    uint64_t validAt = 0;
+};
+
+/** Counter block kept per cache. */
+struct CacheStats
+{
+    uint64_t reads = 0;
+    uint64_t readHits = 0;
+    uint64_t readPendingHits = 0;
+    uint64_t readMisses = 0;
+    uint64_t writes = 0;
+    uint64_t writeHits = 0;
+    uint64_t writeMisses = 0;
+
+    double
+    readMissRate() const
+    {
+        return reads > 0
+                   ? static_cast<double>(readMisses) / reads
+                   : 0.0;
+    }
+};
+
+/**
+ * A set-associative (or fully associative) LRU cache with timestamped
+ * lines. Replacement is true LRU via last-used timestamps.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes capacity
+     * @param line_bytes line size
+     * @param ways associativity; 0 selects fully associative
+     * @param latency hit latency in cycles
+     */
+    Cache(uint32_t size_bytes, uint32_t line_bytes, uint32_t ways,
+          int latency);
+
+    uint32_t lineBytes() const { return lineBytes_; }
+    int latency() const { return latency_; }
+
+    /**
+     * Probe for the line containing @p line_addr (already
+     * line-aligned) at @p cycle. Hits update LRU state. Misses do
+     * NOT insert -- call fill() once the fill time is known.
+     */
+    CacheProbe probe(uint64_t line_addr, uint64_t cycle);
+
+    /** Insert @p line_addr with its data arriving at @p valid_at. */
+    void fill(uint64_t line_addr, uint64_t cycle, uint64_t valid_at);
+
+    /** Probe-and-update for writes (no allocate on miss). */
+    bool writeProbe(uint64_t line_addr, uint64_t cycle);
+
+    CacheStats stats;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUsed = 0;
+        uint64_t validAt = 0;
+        bool valid = false;
+    };
+
+    uint32_t setIndex(uint64_t line_addr) const;
+    Line *findLine(uint64_t line_addr);
+
+    uint32_t lineBytes_;
+    uint32_t numSets_;
+    uint32_t ways_;
+    int latency_;
+    /** sets_[set * ways_ + way]. */
+    std::vector<Line> lines_;
+    /** Tag -> index into lines_, per set, for O(1) lookup. */
+    std::vector<std::unordered_map<uint64_t, uint32_t>> lookup_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_CACHE_HH

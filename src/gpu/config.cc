@@ -1,0 +1,42 @@
+#include "gpu/config.hh"
+
+namespace lumi
+{
+
+GpuConfig
+GpuConfig::mobile()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::desktop()
+{
+    GpuConfig config;
+    config.name = "desktop";
+    config.numSms = 28;
+    config.maxWarpsPerSm = 32;
+    config.l2SizeBytes = 4 * 1024 * 1024;
+    config.l2Ways = 32;
+    config.dramChannels = 8;
+    config.dramTransferCycles = 4;
+    config.coreClockMhz = 1700;
+    config.memClockMhz = 7000;
+    return config;
+}
+
+GpuConfig
+GpuConfig::alternate()
+{
+    GpuConfig config;
+    config.name = "alternate";
+    config.numSms = 12;
+    config.l1SizeBytes = 32 * 1024;
+    config.l2SizeBytes = 2 * 1024 * 1024;
+    config.rtBoxTestLatency = 8;
+    config.rtTriTestLatency = 16;
+    config.rtMaxWarps = 8;
+    return config;
+}
+
+} // namespace lumi

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GPU hardware configuration (paper Table 4).
+ *
+ * The mobile configuration is the paper's default; the desktop
+ * configuration mirrors the Vulkan-Sim desktop setup the paper uses
+ * for the Fig. 12/14 comparisons. All latencies are expressed in
+ * core-clock cycles.
+ */
+
+#ifndef LUMI_GPU_CONFIG_HH
+#define LUMI_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lumi
+{
+
+/** Warp scheduling policies (Table 4 uses GTO). */
+enum class WarpSchedulerPolicy
+{
+    Gto, ///< greedy-then-oldest
+    Lrr, ///< loose round-robin
+};
+
+/** Complete simulator configuration. */
+struct GpuConfig
+{
+    std::string name = "mobile";
+
+    // --- SIMT cores (Table 4) ---
+    int numSms = 8;
+    int maxWarpsPerSm = 32;
+    int warpSize = 32;
+    int registersPerSm = 32768;
+
+    // --- Instruction latencies ---
+    int aluLatency = 4;
+    int sfuLatency = 16;
+    int issueWidth = 1;
+    WarpSchedulerPolicy scheduler = WarpSchedulerPolicy::Gto;
+
+    // --- L1 data cache (per SM) ---
+    uint32_t l1SizeBytes = 64 * 1024;
+    uint32_t l1LineBytes = 128;
+    /** 0 means fully associative (Table 4). */
+    uint32_t l1Ways = 0;
+    int l1Latency = 20;
+
+    // --- L2 unified cache (shared) ---
+    uint32_t l2SizeBytes = 3 * 1024 * 1024;
+    uint32_t l2LineBytes = 128;
+    uint32_t l2Ways = 16;
+    int l2Latency = 160;
+
+    // --- DRAM ---
+    int dramChannels = 2;
+    int dramBanksPerChannel = 8;
+    /** Access latency after a row-buffer hit. */
+    int dramRowHitLatency = 40;
+    /** Precharge + activate + access on a row-buffer miss. */
+    int dramRowMissLatency = 110;
+    /** Cycles to stream one 128B line over the channel. */
+    int dramTransferCycles = 8;
+    uint32_t dramRowBytes = 2048;
+
+    // --- RT unit (Table 4: 1 per SM, 4 warps) ---
+    int rtUnitsPerSm = 1;
+    int rtMaxWarps = 4;
+    /** Ray-box intersection test latency. */
+    int rtBoxTestLatency = 4;
+    /** Ray-triangle intersection test latency. */
+    int rtTriTestLatency = 10;
+    /** Rays the RT unit can advance per cycle. */
+    int rtIssueWidth = 4;
+
+    // --- Clocks (informational; timing is in core cycles) ---
+    int coreClockMhz = 1365;
+    int memClockMhz = 3500;
+
+    /** The paper's default mobile GPU configuration (Table 4). */
+    static GpuConfig mobile();
+
+    /** The Vulkan-Sim desktop configuration used for comparison. */
+    static GpuConfig desktop();
+
+    /**
+     * The alternate configuration of Sec. 3.4 used to validate the
+     * representative subset: different core count, cache size,
+     * intersection latencies and RT warps.
+     */
+    static GpuConfig alternate();
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_CONFIG_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Taxonomy of simulated-memory contents.
+ *
+ * Every address range registered with the AddressSpace carries a
+ * DataKind, so cache and DRAM statistics can be broken down by what
+ * was fetched -- the basis of the RT data-mix figure (Fig. 13) and
+ * the traceRay-vs-shader cache breakdown (Fig. 11).
+ */
+
+#ifndef LUMI_GPU_DATA_KIND_HH
+#define LUMI_GPU_DATA_KIND_HH
+
+#include <cstdint>
+
+namespace lumi
+{
+
+/** What a simulated memory address holds. */
+enum class DataKind : uint8_t
+{
+    TlasNode,     ///< top-level BVH nodes
+    BlasNode,     ///< bottom-level BVH nodes
+    Instance,     ///< instance descriptors / transforms
+    Triangle,     ///< triangle vertex+index data
+    Procedural,   ///< procedural primitive records
+    Texture,      ///< texel arrays
+    ShaderGlobal, ///< uniforms, light tables, material tables
+    Local,        ///< per-thread stack / spill space
+    Framebuffer,  ///< render target
+    Compute,      ///< compute-kernel data (Rodinia substitutes)
+    NumKinds,
+};
+
+/** Printable name for reports. */
+inline const char *
+dataKindName(DataKind kind)
+{
+    switch (kind) {
+      case DataKind::TlasNode: return "tlas_node";
+      case DataKind::BlasNode: return "blas_node";
+      case DataKind::Instance: return "instance";
+      case DataKind::Triangle: return "triangle";
+      case DataKind::Procedural: return "procedural";
+      case DataKind::Texture: return "texture";
+      case DataKind::ShaderGlobal: return "shader_global";
+      case DataKind::Local: return "local";
+      case DataKind::Framebuffer: return "framebuffer";
+      case DataKind::Compute: return "compute";
+      default: return "unknown";
+    }
+}
+
+constexpr int numDataKinds = static_cast<int>(DataKind::NumKinds);
+
+} // namespace lumi
+
+#endif // LUMI_GPU_DATA_KIND_HH

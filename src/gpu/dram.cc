@@ -1,0 +1,84 @@
+#include "gpu/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumi
+{
+
+Dram::Dram(const GpuConfig &config)
+    : config_(config), transferCycles_(config.dramTransferCycles)
+{
+    channels_.resize(config.dramChannels);
+    for (Channel &channel : channels_)
+        channel.banks.resize(config.dramBanksPerChannel);
+    stats_.channels = config.dramChannels;
+}
+
+void
+Dram::setBandwidthScale(double scale)
+{
+    if (scale <= 0.0)
+        return;
+    transferCycles_ = std::max(
+        1, static_cast<int>(std::lround(config_.dramTransferCycles /
+                                        scale)));
+}
+
+Dram::Result
+Dram::service(uint64_t addr, uint64_t cycle, uint32_t bytes)
+{
+    // Channel interleave at line granularity, banks by row.
+    uint64_t line = addr / config_.l2LineBytes;
+    Channel &channel = channels_[line % channels_.size()];
+    uint64_t row = addr / config_.dramRowBytes;
+    Bank &bank = channel.banks[row % channel.banks.size()];
+
+    uint64_t start = std::max(cycle, bank.nextFree);
+    bool row_hit = bank.openRow == row;
+    int access_latency = row_hit ? config_.dramRowHitLatency
+                                 : config_.dramRowMissLatency;
+    bank.openRow = row;
+
+    uint32_t lines = (bytes + config_.l2LineBytes - 1) /
+                     config_.l2LineBytes;
+    uint64_t transfer = static_cast<uint64_t>(transferCycles_) * lines;
+
+    // Bank access, then the shared channel bus streams the data.
+    // The bank frees after its access phase; the transfer occupies
+    // only the bus, so requests pipeline across banks.
+    uint64_t bus_start = std::max(start + access_latency,
+                                  channel.busNextFree);
+    uint64_t ready = bus_start + transfer;
+    channel.busNextFree = ready;
+    bank.nextFree = start + access_latency;
+
+    stats_.accesses++;
+    if (row_hit)
+        stats_.rowHits++;
+    stats_.dataCycles += transfer;
+    stats_.totalLatency += ready - cycle;
+    // Union of [arrival, ready] busy windows per channel.
+    uint64_t window_start = std::max(cycle, channel.occupiedEnd);
+    if (ready > window_start)
+        stats_.occupiedCycles += ready - window_start;
+    channel.occupiedEnd = std::max(channel.occupiedEnd, ready);
+
+    return {ready, row_hit};
+}
+
+Dram::Result
+Dram::read(uint64_t addr, uint64_t cycle, uint32_t bytes)
+{
+    stats_.readBytes += bytes;
+    return service(addr, cycle, bytes);
+}
+
+void
+Dram::write(uint64_t addr, uint64_t cycle, uint32_t bytes)
+{
+    stats_.writeBytes += bytes;
+    service(addr, cycle, bytes);
+}
+
+} // namespace lumi

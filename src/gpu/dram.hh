@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DRAM model: channels with banked row buffers and a shared data bus
+ * per channel.
+ *
+ * The model captures what the characterization measures (Sec. 5.3.2):
+ * row-buffer locality, queueing under bank conflicts, bus occupancy
+ * (data cycles), and the utilization/efficiency distinction -- data
+ * cycles relative to total cycles versus relative to cycles with
+ * outstanding requests.
+ */
+
+#ifndef LUMI_GPU_DRAM_HH
+#define LUMI_GPU_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/config.hh"
+
+namespace lumi
+{
+
+/** Aggregate DRAM statistics. */
+struct DramStats
+{
+    uint64_t accesses = 0;
+    uint64_t rowHits = 0;
+    uint64_t readBytes = 0;
+    uint64_t writeBytes = 0;
+    /** Cycles any channel was streaming data. */
+    uint64_t dataCycles = 0;
+    /** Union of [arrival, completion] windows (requests pending). */
+    uint64_t occupiedCycles = 0;
+    /** Sum of per-request latencies (arrival to data). */
+    uint64_t totalLatency = 0;
+
+    double
+    rowLocality() const
+    {
+        return accesses > 0
+                   ? static_cast<double>(rowHits) / accesses
+                   : 0.0;
+    }
+
+    double
+    avgLatency() const
+    {
+        return accesses > 0
+                   ? static_cast<double>(totalLatency) / accesses
+                   : 0.0;
+    }
+
+    /** Data cycles over request-pending cycles (Fig. 12). */
+    double
+    efficiency() const
+    {
+        return occupiedCycles > 0
+                   ? static_cast<double>(dataCycles) / occupiedCycles
+                   : 0.0;
+    }
+
+    /** Channels, for normalizing the aggregate counters. */
+    int channels = 1;
+
+    /** Data cycles over total program cycles, per channel (Fig 12). */
+    double
+    utilization(uint64_t total_cycles) const
+    {
+        uint64_t denom = total_cycles *
+                         static_cast<uint64_t>(channels);
+        return denom > 0
+                   ? static_cast<double>(dataCycles) / denom
+                   : 0.0;
+    }
+};
+
+/** The DRAM subsystem behind the L2. */
+class Dram
+{
+  public:
+    explicit Dram(const GpuConfig &config);
+
+    /** Result of one DRAM read. */
+    struct Result
+    {
+        uint64_t readyCycle = 0;
+        bool rowHit = false;
+    };
+
+    /**
+     * Service a read of @p bytes at @p addr arriving at @p cycle.
+     * Channel/bank state advances; the caller gets the data-ready
+     * cycle.
+     */
+    Result read(uint64_t addr, uint64_t cycle, uint32_t bytes);
+
+    /** Service a write (fire-and-forget; consumes bus bandwidth). */
+    void write(uint64_t addr, uint64_t cycle, uint32_t bytes);
+
+    /**
+     * Bandwidth scale knob for the Sec. 5.3.2 experiment: 2.0 halves
+     * the per-line transfer time, 0.5 doubles it.
+     */
+    void setBandwidthScale(double scale);
+
+    const DramStats &stats() const { return stats_; }
+
+  private:
+    struct Bank
+    {
+        uint64_t openRow = UINT64_MAX;
+        uint64_t nextFree = 0;
+    };
+
+    struct Channel
+    {
+        std::vector<Bank> banks;
+        uint64_t busNextFree = 0;
+        uint64_t occupiedEnd = 0;
+    };
+
+    /** Common bank/bus scheduling for reads and writes. */
+    Result service(uint64_t addr, uint64_t cycle, uint32_t bytes);
+
+    const GpuConfig &config_;
+    std::vector<Channel> channels_;
+    int transferCycles_;
+    DramStats stats_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_DRAM_HH

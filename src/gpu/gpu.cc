@@ -1,0 +1,195 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lumi
+{
+
+Gpu::Gpu(const GpuConfig &config, uint64_t timeline_interval)
+    : config_(config), timeline_(timeline_interval)
+{
+    mem_ = std::make_unique<MemSystem>(config_, space_);
+    for (int sm = 0; sm < config_.numSms; sm++) {
+        rtUnits_.push_back(std::make_unique<RtUnit>(sm, config_, *mem_,
+                                                    stats_));
+        cores_.push_back(std::make_unique<SimtCore>(sm, config_, *mem_,
+                                                    *rtUnits_[sm],
+                                                    stats_));
+    }
+}
+
+TimelineSample
+Gpu::snapshot() const
+{
+    TimelineSample sample;
+    sample.instructions = stats_.instructions;
+    sample.l1Reads = mem_->l1Rt().reads + mem_->l1Shader().reads;
+    sample.l1Misses = mem_->l1Rt().misses + mem_->l1Shader().misses;
+    sample.rtWarpCycles = stats_.rtWarpCycles;
+    return sample;
+}
+
+void
+Gpu::fillSlots(const KernelLaunch &launch, uint32_t &next_warp)
+{
+    // Round-robin over SMs so the grid spreads evenly, as a real
+    // grid scheduler would distribute thread blocks.
+    bool assigned = true;
+    while (assigned && next_warp < launch.warpCount) {
+        assigned = false;
+        for (auto &core : cores_) {
+            if (next_warp >= launch.warpCount)
+                break;
+            if (!core->hasFreeSlot())
+                continue;
+            int lanes = (next_warp + 1 == launch.warpCount)
+                            ? launch.lanesInLastWarp
+                            : 32;
+            WarpContext ctx(launch.layout, next_warp, lanes);
+            launch.program(ctx);
+            for (int k = 0; k < numRayKinds; k++)
+                stats_.raysByKind[k] += ctx.rayCounts()[k];
+            core->assignWarp(ctx.take(), next_warp, now_);
+            next_warp++;
+            assigned = true;
+        }
+    }
+}
+
+void
+Gpu::run(const KernelLaunch &launch)
+{
+    for (auto &rt : rtUnits_)
+        rt->setLayout(launch.layout);
+
+    // Snapshot for the per-launch delta (analytical modeling).
+    LaunchSample before;
+    before.cycles = now_;
+    before.warps = stats_.warpsLaunched;
+    for (int op = 0; op < numWarpOps; op++)
+        before.instrByOp[op] = stats_.instrByOp[op];
+    before.threadInstructions = stats_.threadInstructions;
+    before.memInstructions = stats_.memInstructions;
+    before.coalescedSegments = stats_.coalescedSegments;
+    before.l1Reads = mem_->l1Rt().reads + mem_->l1Shader().reads;
+    before.l1Misses = mem_->l1Rt().misses + mem_->l1Shader().misses;
+    uint64_t dram_lat_before = mem_->dram().stats().totalLatency;
+    uint64_t dram_acc_before = mem_->dram().stats().accesses;
+
+    uint32_t next_warp = 0;
+    fillSlots(launch, next_warp);
+
+    for (;;) {
+        bool busy = next_warp < launch.warpCount;
+        for (auto &core : cores_)
+            busy = busy || core->busy();
+        for (auto &rt : rtUnits_)
+            busy = busy || !rt->idle();
+        if (!busy)
+            break;
+
+        for (auto &core : cores_)
+            core->cycle(now_);
+        for (auto &rt : rtUnits_)
+            rt->cycle(now_);
+        fillSlots(launch, next_warp);
+
+        uint64_t next = UINT64_MAX;
+        for (auto &core : cores_)
+            next = std::min(next, core->nextEventCycle(now_));
+        for (auto &rt : rtUnits_)
+            next = std::min(next, rt->nextEventCycle(now_));
+        if (next == UINT64_MAX) {
+            // Work may have completed inside this very cycle.
+            bool still_busy = next_warp < launch.warpCount;
+            for (auto &core : cores_)
+                still_busy = still_busy || core->busy();
+            for (auto &rt : rtUnits_)
+                still_busy = still_busy || !rt->idle();
+            if (!still_busy)
+                break;
+            // Busy but event-less: that is a simulator bug (a warp
+            // sleeping with nobody left to wake it).
+            std::fprintf(stderr,
+                         "lumi: panic: deadlock at cycle %llu\n",
+                         static_cast<unsigned long long>(now_));
+            for (size_t i = 0; i < cores_.size(); i++) {
+                std::fprintf(stderr,
+                             "  sm%zu: resident=%d rtWarps=%d "
+                             "rtRays=%d rtIdle=%d\n",
+                             i, cores_[i]->residentWarps(),
+                             rtUnits_[i]->activeWarps(),
+                             rtUnits_[i]->activeRays(),
+                             rtUnits_[i]->idle() ? 1 : 0);
+            }
+            std::abort();
+        }
+
+        // Accumulate state-weighted statistics over (now, next]: no
+        // component changes state in the skipped span.
+        uint64_t dt = next - now_;
+        int resident = 0;
+        for (auto &core : cores_)
+            resident += core->residentWarps();
+        int rt_warps = 0, rt_rays = 0, rt_active_units = 0;
+        for (auto &rt : rtUnits_) {
+            rt_warps += rt->activeWarps();
+            rt_rays += rt->activeRays();
+            if (rt->activeWarps() > 0)
+                rt_active_units++;
+        }
+        stats_.warpCyclesResident += static_cast<uint64_t>(resident) *
+                                     dt;
+        stats_.rtWarpCycles += static_cast<uint64_t>(rt_warps) * dt;
+        stats_.rtRayCycles += static_cast<uint64_t>(rt_rays) * dt;
+        for (int k = 0; k < numRayKinds; k++) {
+            int warps_k = 0, rays_k = 0;
+            for (auto &rt : rtUnits_) {
+                warps_k += rt->warpsOfKind(k);
+                rays_k += rt->raysOfKind(k);
+            }
+            stats_.rtWarpCyclesByKind[k] +=
+                static_cast<uint64_t>(warps_k) * dt;
+            stats_.rtRayCyclesByKind[k] +=
+                static_cast<uint64_t>(rays_k) * dt;
+        }
+        stats_.rtActiveCycles += static_cast<uint64_t>(
+                                     rt_active_units) *
+                                 dt;
+        now_ = next;
+        timeline_.record(now_, snapshot());
+    }
+
+    stats_.cycles = now_;
+    timeline_.record(now_, snapshot());
+
+    LaunchSample sample;
+    sample.cycles = now_ - before.cycles;
+    sample.warps = stats_.warpsLaunched - before.warps;
+    for (int op = 0; op < numWarpOps; op++)
+        sample.instrByOp[op] = stats_.instrByOp[op] -
+                               before.instrByOp[op];
+    sample.threadInstructions = stats_.threadInstructions -
+                                before.threadInstructions;
+    sample.memInstructions = stats_.memInstructions -
+                             before.memInstructions;
+    sample.coalescedSegments = stats_.coalescedSegments -
+                               before.coalescedSegments;
+    sample.l1Reads = mem_->l1Rt().reads + mem_->l1Shader().reads -
+                     before.l1Reads;
+    sample.l1Misses = mem_->l1Rt().misses + mem_->l1Shader().misses -
+                      before.l1Misses;
+    uint64_t dram_acc = mem_->dram().stats().accesses -
+                        dram_acc_before;
+    sample.dramAvgLatency =
+        dram_acc > 0
+            ? static_cast<double>(mem_->dram().stats().totalLatency -
+                                  dram_lat_before) /
+                  dram_acc
+            : 0.0;
+    launchSamples_.push_back(sample);
+}
+
+} // namespace lumi

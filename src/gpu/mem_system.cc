@@ -1,0 +1,127 @@
+#include "gpu/mem_system.hh"
+
+#include <algorithm>
+
+namespace lumi
+{
+
+MemSystem::MemSystem(const GpuConfig &config, const AddressSpace &space)
+    : config_(config), space_(space)
+{
+    for (int sm = 0; sm < config.numSms; sm++) {
+        l1s_.push_back(std::make_unique<Cache>(config.l1SizeBytes,
+                                               config.l1LineBytes,
+                                               config.l1Ways,
+                                               config.l1Latency));
+    }
+    l2_ = std::make_unique<Cache>(config.l2SizeBytes,
+                                  config.l2LineBytes, config.l2Ways,
+                                  config.l2Latency);
+    dram_ = std::make_unique<Dram>(config);
+}
+
+uint64_t
+MemSystem::readLine(int sm, uint64_t cycle, uint64_t line_addr,
+                    bool rt, DataKind kind)
+{
+    RequesterStats &l1_stats = rt ? l1Rt_ : l1Shader_;
+    Cache &l1 = *l1s_[sm];
+    l1_stats.reads++;
+    kindReads_[static_cast<int>(kind)]++;
+
+    CacheProbe probe = l1.probe(line_addr, cycle);
+    if (probe.outcome == CacheProbe::Outcome::Hit) {
+        l1_stats.hits++;
+        return cycle + config_.l1Latency;
+    }
+    if (probe.outcome == CacheProbe::Outcome::PendingHit) {
+        l1_stats.pendingHits++;
+        return std::max(probe.validAt, cycle + config_.l1Latency);
+    }
+
+    l1_stats.misses++;
+    kindMisses_[static_cast<int>(kind)]++;
+    if (touchedLines_.insert(line_addr).second)
+        l1_stats.coldMisses++;
+
+    // Miss: go to L2 after the L1 lookup latency.
+    uint64_t l2_cycle = cycle + config_.l1Latency;
+    RequesterStats &l2_stats = rt ? l2Rt_ : l2Shader_;
+    l2_stats.reads++;
+    CacheProbe l2_probe = l2_->probe(line_addr, l2_cycle);
+    uint64_t ready;
+    if (l2_probe.outcome == CacheProbe::Outcome::Hit) {
+        l2_stats.hits++;
+        ready = l2_cycle + config_.l2Latency;
+    } else if (l2_probe.outcome == CacheProbe::Outcome::PendingHit) {
+        l2_stats.pendingHits++;
+        ready = std::max(l2_probe.validAt,
+                         l2_cycle + config_.l2Latency);
+    } else {
+        l2_stats.misses++;
+        uint64_t dram_cycle = l2_cycle + config_.l2Latency;
+        Dram::Result dram = dram_->read(line_addr, dram_cycle,
+                                        config_.l2LineBytes);
+        ready = dram.readyCycle;
+        l2_->fill(line_addr, l2_cycle, ready);
+    }
+    l1.fill(line_addr, cycle, ready);
+    return ready;
+}
+
+MemResult
+MemSystem::read(int sm, uint64_t cycle, uint64_t addr, uint32_t bytes,
+                bool rt)
+{
+    MemResult result;
+    DataKind kind = space_.kindOf(addr);
+    uint64_t line_bytes = config_.l1LineBytes;
+    uint64_t first = addr / line_bytes;
+    uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / line_bytes;
+    uint64_t ready = cycle + config_.l1Latency;
+    bool all_hits = true;
+    bool any_dram = false;
+    uint64_t before_misses = (rt ? l1Rt_ : l1Shader_).misses;
+    uint64_t before_dram = dram_->stats().accesses;
+    for (uint64_t line = first; line <= last; line++) {
+        uint64_t line_ready = readLine(sm, cycle, line * line_bytes,
+                                       rt, kind);
+        ready = std::max(ready, line_ready);
+    }
+    all_hits = (rt ? l1Rt_ : l1Shader_).misses == before_misses;
+    any_dram = dram_->stats().accesses != before_dram;
+    result.readyCycle = ready;
+    result.l1Hit = all_hits;
+    result.reachedDram = any_dram;
+    return result;
+}
+
+void
+MemSystem::write(int sm, uint64_t cycle, uint64_t addr, uint32_t bytes,
+                 bool rt)
+{
+    RequesterStats &l1_stats = rt ? l1Rt_ : l1Shader_;
+    l1_stats.writes++;
+    uint64_t line_bytes = config_.l1LineBytes;
+    uint64_t first = addr / line_bytes;
+    uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / line_bytes;
+    for (uint64_t line = first; line <= last; line++) {
+        uint64_t line_addr = line * line_bytes;
+        // Write-allocate in both levels: stores install the line in
+        // the writing SM's L1 (payload writebacks are read back by
+        // the same SM) and in the L2; the first store to a line
+        // costs a DRAM bus slot, repeated stores coalesce. Dirty
+        // evictions are not separately modeled.
+        if (!l1s_[sm]->writeProbe(line_addr, cycle))
+            l1s_[sm]->fill(line_addr, cycle, cycle);
+        uint64_t l2_cycle = cycle + config_.l1Latency;
+        if (!l2_->writeProbe(line_addr, l2_cycle)) {
+            l2_->fill(line_addr, l2_cycle,
+                      l2_cycle + config_.l2Latency);
+            dram_->write(line_addr, l2_cycle + config_.l2Latency,
+                         config_.l2LineBytes);
+        }
+    }
+}
+
+} // namespace lumi

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The full memory hierarchy: per-SM L1 data caches, the shared L2,
+ * and DRAM, with the RT-versus-shader and per-DataKind breakdowns
+ * the characterization figures are built from (Figs. 11-13).
+ */
+
+#ifndef LUMI_GPU_MEM_SYSTEM_HH
+#define LUMI_GPU_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "gpu/address_space.hh"
+#include "gpu/cache.hh"
+#include "gpu/config.hh"
+#include "gpu/dram.hh"
+
+namespace lumi
+{
+
+/** Result of a read through the hierarchy. */
+struct MemResult
+{
+    uint64_t readyCycle = 0;
+    bool l1Hit = false;
+    bool reachedDram = false;
+};
+
+/** Access counters split by requester (RT unit vs shader core). */
+struct RequesterStats
+{
+    uint64_t reads = 0;
+    uint64_t hits = 0;
+    uint64_t pendingHits = 0;
+    uint64_t misses = 0;
+    uint64_t coldMisses = 0;
+    uint64_t writes = 0;
+};
+
+/** The L1s, L2 and DRAM bundled behind one access interface. */
+class MemSystem
+{
+  public:
+    MemSystem(const GpuConfig &config, const AddressSpace &space);
+
+    /**
+     * Read @p bytes at @p addr from SM @p sm at @p cycle.
+     *
+     * @param rt true when the RT unit (traceRay) is the requester
+     * @return when the data is available
+     */
+    MemResult read(int sm, uint64_t cycle, uint64_t addr,
+                   uint32_t bytes, bool rt);
+
+    /** Write access; non-blocking for the requester. */
+    void write(int sm, uint64_t cycle, uint64_t addr, uint32_t bytes,
+               bool rt);
+
+    const Cache &l1(int sm) const { return *l1s_[sm]; }
+    const Cache &l2() const { return *l2_; }
+    Dram &dram() { return *dram_; }
+    const Dram &dram() const { return *dram_; }
+
+    /** L1 counters for RT-unit requests (aggregated over SMs). */
+    const RequesterStats &l1Rt() const { return l1Rt_; }
+    /** L1 counters for shader-core requests. */
+    const RequesterStats &l1Shader() const { return l1Shader_; }
+    /** L2 counters split the same way. */
+    const RequesterStats &l2Rt() const { return l2Rt_; }
+    const RequesterStats &l2Shader() const { return l2Shader_; }
+
+    /** Per-DataKind L1 read/miss counts (index by DataKind). */
+    const uint64_t *kindReads() const { return kindReads_; }
+    const uint64_t *kindMisses() const { return kindMisses_; }
+
+  private:
+    /** One line-granular read; returns its ready cycle. */
+    uint64_t readLine(int sm, uint64_t cycle, uint64_t line_addr,
+                      bool rt, DataKind kind);
+
+    const GpuConfig &config_;
+    const AddressSpace &space_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Dram> dram_;
+
+    RequesterStats l1Rt_;
+    RequesterStats l1Shader_;
+    RequesterStats l2Rt_;
+    RequesterStats l2Shader_;
+    uint64_t kindReads_[numDataKinds] = {};
+    uint64_t kindMisses_[numDataKinds] = {};
+
+    /** Lines ever filled, for compulsory-miss classification. */
+    std::unordered_set<uint64_t> touchedLines_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_MEM_SYSTEM_HH

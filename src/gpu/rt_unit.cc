@@ -1,0 +1,209 @@
+#include "gpu/rt_unit.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpu/simt_core.hh"
+
+namespace lumi
+{
+
+RtUnit::RtUnit(int sm_id, const GpuConfig &config, MemSystem &mem,
+               GpuStats &stats)
+    : smId_(sm_id), config_(config), mem_(mem), stats_(stats)
+{
+}
+
+void
+RtUnit::enqueue(SimtCore *core, int warp_slot, uint32_t warp_id,
+                const WarpInstr *instr, uint64_t now)
+{
+    PendingWarp pending{core, warp_slot, warp_id, instr};
+    if (residentWarps_ < config_.rtMaxWarps && pending_.empty()) {
+        admit(pending, now);
+    } else {
+        pending_.push_back(pending);
+    }
+}
+
+void
+RtUnit::admit(const PendingWarp &pending, uint64_t now)
+{
+    auto warp = std::make_unique<RtWarp>();
+    warp->core = pending.core;
+    warp->warpSlot = pending.warpSlot;
+    warp->warpId = pending.warpId;
+    const WarpInstr &instr = *pending.instr;
+    warp->rayKind = instr.rayKind;
+    warp->admitCycle = now;
+    int packed = 0;
+    for (int lane = 0; lane < 32; lane++) {
+        if (!((instr.mask >> lane) & 1u))
+            continue;
+        RayState ray;
+        ray.lane = lane;
+        ray.machine = std::make_unique<TraversalStateMachine>(
+            *layout_->accel, instr.rays[packed], instr.anyHitQuery,
+            1e-4f, instr.tMaxes[packed]);
+        warp->rays.push_back(std::move(ray));
+        packed++;
+    }
+    warp->remaining = static_cast<int>(warp->rays.size());
+    activeRays_ += warp->remaining;
+    raysByKind_[warp->rayKind] += warp->remaining;
+    warpsByKind_[warp->rayKind]++;
+    stats_.raysTraced += warp->remaining;
+
+    // Find a free slot (or append).
+    uint32_t index = 0;
+    for (; index < warps_.size(); index++) {
+        if (!warps_[index])
+            break;
+    }
+    if (index == warps_.size())
+        warps_.push_back(nullptr);
+    warps_[index] = std::move(warp);
+    residentWarps_++;
+
+    for (uint32_t r = 0; r < warps_[index]->rays.size(); r++)
+        events_.push({now, index, r});
+}
+
+void
+RtUnit::cycle(uint64_t now)
+{
+    int issued = 0;
+    while (!events_.empty() && events_.top().ready <= now &&
+           issued < config_.rtIssueWidth) {
+        Event event = events_.top();
+        events_.pop();
+        advanceRay(event.warpIndex, event.rayIndex, now);
+        issued++;
+    }
+}
+
+void
+RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
+                   uint64_t now)
+{
+    RtWarp &warp = *warps_[warp_index];
+    RayState &ray = warp.rays[ray_index];
+    TraversalEvent event = ray.machine->advance();
+
+    if (event.type == TraversalEvent::Type::Done) {
+        ray.done = true;
+        warp.remaining--;
+        activeRays_--;
+        raysByKind_[warp.rayKind]--;
+        warp.rayLifetimeSum += now - warp.admitCycle;
+        // Fold this ray's traversal statistics into the run totals.
+        const TraversalStats &ts = ray.machine->stats();
+        stats_.rtNodesTraversed += ts.nodesVisited();
+        stats_.rtBoxTests += ts.boxTests;
+        stats_.rtTriangleTests += ts.triangleTests;
+        stats_.rtProceduralTests += ts.proceduralTests;
+        stats_.anyHitInvocations += ray.machine->anyHitQueue().size();
+        stats_.intersectionInvocations +=
+            ray.machine->intersectionQueue().size();
+        if (ray.machine->result().hit)
+            stats_.raysHit++;
+        else
+            stats_.raysMissed++;
+        if (warp.remaining == 0)
+            completeWarp(warp_index, now);
+        return;
+    }
+
+    // Charge the fetch through the cache hierarchy plus the
+    // intersection-test latency the fetched data enables.
+    switch (event.type) {
+      case TraversalEvent::Type::TlasNode:
+        if (event.tlasLeaf)
+            stats_.rtTlasLeafFetches++;
+        else
+            stats_.rtTlasInternalFetches++;
+        break;
+      case TraversalEvent::Type::BlasNode:
+        if (event.leaf)
+            stats_.rtBlasLeafFetches++;
+        else
+            stats_.rtBlasInternalFetches++;
+        break;
+      case TraversalEvent::Type::Instance:
+        stats_.rtInstanceFetches++;
+        break;
+      case TraversalEvent::Type::TrianglePrims:
+        stats_.rtTriangleFetches++;
+        break;
+      case TraversalEvent::Type::ProceduralPrims:
+        stats_.rtProceduralFetches++;
+        break;
+      default:
+        break;
+    }
+
+    MemResult mem = mem_.read(smId_, now, event.address, event.bytes,
+                              true);
+    uint64_t ready = mem.readyCycle +
+                     static_cast<uint64_t>(event.boxTests) *
+                         config_.rtBoxTestLatency +
+                     static_cast<uint64_t>(event.primTests) *
+                         config_.rtTriTestLatency;
+    if (ready <= now)
+        ready = now + 1;
+    events_.push({ready, warp_index, ray_index});
+}
+
+void
+RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
+{
+    RtWarp &warp = *warps_[warp_index];
+    // Hit-record writeback: one packed 32B payload per traced ray,
+    // written as a single coalesced burst for the warp.
+    if (!warp.rays.empty()) {
+        uint32_t first_lane = static_cast<uint32_t>(
+            warp.rays.front().lane);
+        uint64_t base = layout_->hitRecordAddress(
+            warp.warpId * 32u + first_lane);
+        mem_.write(smId_, now, base,
+                   static_cast<uint32_t>(warp.rays.size()) *
+                       SceneGpuLayout::hitRecordStride,
+                   true);
+        stats_.rtResultWrites += warp.rays.size();
+    }
+    static const bool trace_warps = std::getenv("LUMI_RT_TRACE");
+    if (trace_warps) {
+        uint64_t residency = now - warp.admitCycle;
+        std::fprintf(stderr,
+                     "rtwarp sm=%d kind=%d lanes=%zu res=%llu "
+                     "eff=%.3f\n",
+                     smId_, warp.rayKind, warp.rays.size(),
+                     static_cast<unsigned long long>(residency),
+                     residency > 0
+                         ? static_cast<double>(warp.rayLifetimeSum) /
+                               (32.0 * residency)
+                         : 0.0);
+    }
+    SimtCore *core = warp.core;
+    int slot = warp.warpSlot;
+    warpsByKind_[warp.rayKind]--;
+    warps_[warp_index].reset();
+    residentWarps_--;
+    core->wakeWarp(slot, now + 1);
+
+    if (!pending_.empty()) {
+        PendingWarp next = pending_.front();
+        pending_.pop_front();
+        admit(next, now);
+    }
+}
+
+uint64_t
+RtUnit::nextEventCycle(uint64_t now) const
+{
+    if (events_.empty())
+        return UINT64_MAX;
+    return std::max(events_.top().ready, now + 1);
+}
+
+} // namespace lumi

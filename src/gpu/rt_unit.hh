@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The per-SM ray tracing unit.
+ *
+ * A warp that issues traceRay moves into the RT unit (up to
+ * rtMaxWarps resident warps, Table 4). Each of its rays runs an
+ * independent TraversalStateMachine; every traversal step fetches
+ * node/primitive data through the SM's L1 (tagged as an RT request)
+ * and then pays the configured box/triangle intersection latencies.
+ * A warp leaves only when its *last* ray finishes -- the straggler
+ * effect behind the low RT-unit efficiency of PT workloads (Fig. 9).
+ */
+
+#ifndef LUMI_GPU_RT_UNIT_HH
+#define LUMI_GPU_RT_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "bvh/traversal.hh"
+#include "gpu/config.hh"
+#include "gpu/mem_system.hh"
+#include "gpu/scene_layout.hh"
+#include "gpu/stats.hh"
+#include "gpu/warp_instr.hh"
+
+namespace lumi
+{
+
+class SimtCore;
+
+/** One hardware RT unit attached to an SM. */
+class RtUnit
+{
+  public:
+    RtUnit(int sm_id, const GpuConfig &config, MemSystem &mem,
+           GpuStats &stats);
+
+    /** Scene layout for the running kernel (null = compute only). */
+    void setLayout(const SceneGpuLayout *layout) { layout_ = layout; }
+
+    /**
+     * Hand a warp's traceRay to the RT unit. The warp sleeps until
+     * the unit calls SimtCore::wakeWarp.
+     */
+    void enqueue(SimtCore *core, int warp_slot, uint32_t warp_id,
+                 const WarpInstr *instr, uint64_t now);
+
+    /** Advance ray work scheduled at or before @p now. */
+    void cycle(uint64_t now);
+
+    /** Earliest cycle at which this unit has work to do. */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /** Warps currently resident (for occupancy accounting). */
+    int activeWarps() const { return residentWarps_; }
+
+    /** In-flight (unfinished) rays across resident warps. */
+    int activeRays() const { return activeRays_; }
+
+    /** Resident warps whose traceRay carries ray kind @p kind. */
+    int warpsOfKind(int kind) const { return warpsByKind_[kind]; }
+
+    /** In-flight rays of kind @p kind. */
+    int raysOfKind(int kind) const { return raysByKind_[kind]; }
+
+    bool
+    idle() const
+    {
+        return residentWarps_ == 0 && pending_.empty();
+    }
+
+  private:
+    struct RayState
+    {
+        std::unique_ptr<TraversalStateMachine> machine;
+        int lane = 0;
+        bool done = false;
+    };
+
+    struct RtWarp
+    {
+        SimtCore *core = nullptr;
+        int warpSlot = 0;
+        uint32_t warpId = 0;
+        int rayKind = 0;
+        uint64_t admitCycle = 0;
+        /** Sum of completed rays' (doneCycle - admitCycle). */
+        uint64_t rayLifetimeSum = 0;
+        std::vector<RayState> rays;
+        int remaining = 0;
+    };
+
+    struct PendingWarp
+    {
+        SimtCore *core;
+        int warpSlot;
+        uint32_t warpId;
+        const WarpInstr *instr;
+    };
+
+    /** (readyCycle, warpIndex, rayIndex) min-heap entry. */
+    struct Event
+    {
+        uint64_t ready;
+        uint32_t warpIndex;
+        uint32_t rayIndex;
+        bool operator>(const Event &o) const { return ready > o.ready; }
+    };
+
+    void admit(const PendingWarp &pending, uint64_t now);
+    void advanceRay(uint32_t warp_index, uint32_t ray_index,
+                    uint64_t now);
+    void completeWarp(uint32_t warp_index, uint64_t now);
+
+    int smId_;
+    const GpuConfig &config_;
+    MemSystem &mem_;
+    GpuStats &stats_;
+    const SceneGpuLayout *layout_ = nullptr;
+
+    std::deque<PendingWarp> pending_;
+    /** Sparse slots; completed warps leave empty entries reused. */
+    std::vector<std::unique_ptr<RtWarp>> warps_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    int activeRays_ = 0;
+    int residentWarps_ = 0;
+    int warpsByKind_[numRayKinds] = {};
+    int raysByKind_[numRayKinds] = {};
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_RT_UNIT_HH

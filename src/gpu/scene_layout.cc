@@ -1,0 +1,72 @@
+#include "gpu/scene_layout.hh"
+
+namespace lumi
+{
+
+SceneGpuLayout
+SceneGpuLayout::create(AddressSpace &space, AccelStructure &accel,
+                       uint32_t pixel_count, uint32_t thread_count)
+{
+    SceneGpuLayout layout;
+    layout.accel = &accel;
+    const Scene &scene = accel.scene();
+
+    // Acceleration structure first: it assigns its own sub-layout,
+    // which we mirror into tagged ranges for classification.
+    uint64_t accel_base = space.reserve(0);
+    uint64_t accel_end = accel.assignAddresses(accel_base);
+    space.reserve(accel_end - accel_base);
+    space.registerRange(accel.tlas().nodeBase,
+                        accel.tlas().bvh.nodeArrayBytes(),
+                        DataKind::TlasNode, "tlas");
+    space.registerRange(accel.tlas().instanceBase,
+                        scene.instances.size() *
+                            TlasAccel::instanceStride,
+                        DataKind::Instance, "instances");
+    for (const BlasAccel &blas : accel.blases()) {
+        const Geometry &geom = scene.geometries[blas.geometryId];
+        space.registerRange(blas.nodeBase,
+                            blas.bvh.nodeArrayBytes(),
+                            DataKind::BlasNode, "blas");
+        bool tris = geom.kind == Geometry::Kind::Triangles;
+        space.registerRange(blas.primBase,
+                            geom.primitiveCount() * blas.primStride,
+                            tris ? DataKind::Triangle
+                                 : DataKind::Procedural,
+                            "prims");
+    }
+
+    for (const Texture &texture : scene.textures) {
+        layout.textureBases.push_back(
+            space.allocate(DataKind::Texture, texture.dataBytes(),
+                           "texture"));
+    }
+    layout.materialBase =
+        space.allocate(DataKind::ShaderGlobal,
+                       scene.materials.size() * materialStride,
+                       "materials");
+    layout.lightBase =
+        space.allocate(DataKind::ShaderGlobal,
+                       (scene.lights.empty() ? 1
+                                             : scene.lights.size()) *
+                           lightStride,
+                       "lights");
+    layout.framebufferBase =
+        space.allocate(DataKind::Framebuffer,
+                       static_cast<uint64_t>(pixel_count) *
+                           pixelStride,
+                       "framebuffer");
+    layout.localBase =
+        space.allocate(DataKind::Local,
+                       static_cast<uint64_t>(thread_count) *
+                           localStride,
+                       "locals");
+    layout.hitRecordBase =
+        space.allocate(DataKind::Local,
+                       static_cast<uint64_t>(thread_count) *
+                           hitRecordStride,
+                       "hit_records");
+    return layout;
+}
+
+} // namespace lumi

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * GPU-resident layout of a scene: places the acceleration structure,
+ * textures, material/light tables, the framebuffer and per-thread
+ * local storage into the simulated address space.
+ */
+
+#ifndef LUMI_GPU_SCENE_LAYOUT_HH
+#define LUMI_GPU_SCENE_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/accel.hh"
+#include "gpu/address_space.hh"
+
+namespace lumi
+{
+
+/** Addresses of everything a ray tracing shader touches. */
+struct SceneGpuLayout
+{
+    const AccelStructure *accel = nullptr;
+
+    /** Base address per scene texture. */
+    std::vector<uint64_t> textureBases;
+    /** Material table (64 B per material). */
+    uint64_t materialBase = 0;
+    static constexpr uint32_t materialStride = 64;
+    /** Light table (32 B per light). */
+    uint64_t lightBase = 0;
+    static constexpr uint32_t lightStride = 32;
+    /** Render target (16 B per pixel accumulator). */
+    uint64_t framebufferBase = 0;
+    static constexpr uint32_t pixelStride = 16;
+    /** Per-thread local/stack space. */
+    uint64_t localBase = 0;
+    static constexpr uint32_t localStride = 512;
+    /** Packed per-thread traceRay hit records (RT unit writeback). */
+    uint64_t hitRecordBase = 0;
+    static constexpr uint32_t hitRecordStride = 32;
+
+    /**
+     * Lay out @p accel's scene in @p space. The acceleration
+     * structure's internal addresses are assigned here too.
+     *
+     * @param pixel_count framebuffer size in pixels
+     * @param thread_count number of simultaneous shader threads that
+     *        need local storage (image samples)
+     */
+    static SceneGpuLayout create(AddressSpace &space,
+                                 AccelStructure &accel,
+                                 uint32_t pixel_count,
+                                 uint32_t thread_count);
+
+    /** Address of the vertex/index data for a triangle hit. */
+    uint64_t
+    triangleAddress(int geometry_id, uint32_t prim) const
+    {
+        const BlasAccel &blas = accel->blases()[geometry_id];
+        return blas.primBase +
+               static_cast<uint64_t>(prim) * blas.primStride;
+    }
+
+    /** Address of a texel of texture @p texture_id. */
+    uint64_t
+    texelAddress(int texture_id, uint64_t texel_offset) const
+    {
+        return textureBases[texture_id] + texel_offset;
+    }
+
+    uint64_t
+    materialAddress(int material_id) const
+    {
+        return materialBase +
+               static_cast<uint64_t>(material_id) * materialStride;
+    }
+
+    uint64_t
+    lightAddress(int light_index) const
+    {
+        return lightBase +
+               static_cast<uint64_t>(light_index) * lightStride;
+    }
+
+    uint64_t
+    pixelAddress(uint32_t pixel_index) const
+    {
+        return framebufferBase +
+               static_cast<uint64_t>(pixel_index) * pixelStride;
+    }
+
+    /** Local storage slot of global thread @p thread_index. */
+    uint64_t
+    localAddress(uint32_t thread_index, uint32_t offset) const
+    {
+        return localBase +
+               static_cast<uint64_t>(thread_index) * localStride +
+               offset;
+    }
+
+    /** Hit-record slot of global thread @p thread_index. */
+    uint64_t
+    hitRecordAddress(uint32_t thread_index) const
+    {
+        return hitRecordBase +
+               static_cast<uint64_t>(thread_index) * hitRecordStride;
+    }
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_SCENE_LAYOUT_HH

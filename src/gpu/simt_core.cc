@@ -1,0 +1,220 @@
+#include "gpu/simt_core.hh"
+
+#include <algorithm>
+
+namespace lumi
+{
+
+SimtCore::SimtCore(int sm_id, const GpuConfig &config, MemSystem &mem,
+                   RtUnit &rt_unit, GpuStats &stats)
+    : smId_(sm_id), config_(config), mem_(mem), rtUnit_(rt_unit),
+      stats_(stats)
+{
+    slots_.resize(config.maxWarpsPerSm);
+}
+
+void
+SimtCore::assignWarp(WarpProgram &&program, uint32_t warp_id,
+                     uint64_t now)
+{
+    for (size_t i = 0; i < slots_.size(); i++) {
+        WarpSlot &slot = slots_[i];
+        if (slot.valid)
+            continue;
+        slot.valid = true;
+        slot.sleeping = false;
+        slot.program = std::move(program);
+        slot.pc = 0;
+        slot.repeatLeft = 0;
+        slot.readyCycle = now;
+        slot.order = launchCounter_++;
+        slot.warpId = warp_id;
+        residentWarps_++;
+        stats_.warpsLaunched++;
+        // Degenerate empty programs retire immediately.
+        if (slot.program.instrs.empty())
+            retire(slot);
+        return;
+    }
+}
+
+void
+SimtCore::retire(WarpSlot &slot)
+{
+    slot.valid = false;
+    slot.program.instrs.clear();
+    residentWarps_--;
+}
+
+void
+SimtCore::cycle(uint64_t now)
+{
+    int pick = -1;
+    if (config_.scheduler == WarpSchedulerPolicy::Gto) {
+        // Greedy-then-oldest: stick with the last warp while it is
+        // ready; otherwise pick the oldest ready warp.
+        if (lastIssued_ >= 0) {
+            WarpSlot &last = slots_[lastIssued_];
+            if (last.valid && !last.sleeping &&
+                last.readyCycle <= now) {
+                pick = lastIssued_;
+            }
+        }
+        if (pick < 0) {
+            uint64_t best_order = UINT64_MAX;
+            for (size_t i = 0; i < slots_.size(); i++) {
+                WarpSlot &slot = slots_[i];
+                if (slot.valid && !slot.sleeping &&
+                    slot.readyCycle <= now &&
+                    slot.order < best_order) {
+                    best_order = slot.order;
+                    pick = static_cast<int>(i);
+                }
+            }
+        }
+    } else {
+        // Loose round-robin: scan from the slot after the last
+        // issue and take the first ready warp.
+        size_t count = slots_.size();
+        for (size_t k = 1; k <= count; k++) {
+            size_t i = (static_cast<size_t>(lastIssued_ < 0
+                                                ? 0
+                                                : lastIssued_) +
+                        k) % count;
+            WarpSlot &slot = slots_[i];
+            if (slot.valid && !slot.sleeping &&
+                slot.readyCycle <= now) {
+                pick = static_cast<int>(i);
+                break;
+            }
+        }
+    }
+    if (pick < 0)
+        return;
+    lastIssued_ = pick;
+    issue(slots_[pick], pick, now);
+    stats_.issueCycles++;
+}
+
+void
+SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
+{
+    const WarpInstr &instr = slot.program.instrs[slot.pc];
+    int lanes = instr.activeLanes();
+    stats_.instructions++;
+    stats_.threadInstructions += lanes;
+    stats_.instrByOp[static_cast<int>(instr.op)]++;
+
+    switch (instr.op) {
+      case WarpOp::Alu:
+      case WarpOp::Sfu: {
+        int latency = instr.op == WarpOp::Alu ? config_.aluLatency
+                                              : config_.sfuLatency;
+        stats_.latencyByOp[static_cast<int>(instr.op)] += latency;
+        slot.readyCycle = now + latency;
+        if (slot.repeatLeft == 0)
+            slot.repeatLeft = instr.repeat;
+        slot.repeatLeft--;
+        if (slot.repeatLeft == 0)
+            slot.pc++;
+        break;
+      }
+      case WarpOp::MemLoad: {
+        stats_.memInstructions++;
+        // Coalesce per-lane addresses into unique cache-line
+        // segments; the warp resumes when the slowest returns.
+        uint64_t line_bytes = config_.l1LineBytes;
+        uint64_t ready = now + config_.l1Latency;
+        uint64_t prev_lines[2] = {UINT64_MAX, UINT64_MAX};
+        for (uint64_t addr : instr.addrs) {
+            uint64_t first = addr / line_bytes;
+            uint64_t last = (addr + instr.bytesPerLane - 1) /
+                            line_bytes;
+            for (uint64_t line = first; line <= last; line++) {
+                if (line == prev_lines[0] || line == prev_lines[1])
+                    continue;
+                prev_lines[1] = prev_lines[0];
+                prev_lines[0] = line;
+                MemResult r = mem_.read(smId_, now,
+                                        line * line_bytes,
+                                        static_cast<uint32_t>(
+                                            line_bytes),
+                                        false);
+                ready = std::max(ready, r.readyCycle);
+                stats_.coalescedSegments++;
+            }
+        }
+        stats_.latencyByOp[static_cast<int>(WarpOp::MemLoad)] +=
+            ready - now;
+        slot.readyCycle = ready;
+        slot.pc++;
+        break;
+      }
+      case WarpOp::MemStore: {
+        stats_.memInstructions++;
+        uint64_t line_bytes = config_.l1LineBytes;
+        uint64_t prev_lines[2] = {UINT64_MAX, UINT64_MAX};
+        for (uint64_t addr : instr.addrs) {
+            uint64_t first = addr / line_bytes;
+            uint64_t last = (addr + instr.bytesPerLane - 1) /
+                            line_bytes;
+            for (uint64_t line = first; line <= last; line++) {
+                if (line == prev_lines[0] || line == prev_lines[1])
+                    continue;
+                prev_lines[1] = prev_lines[0];
+                prev_lines[0] = line;
+                mem_.write(smId_, now, line * line_bytes,
+                           static_cast<uint32_t>(line_bytes), false);
+            }
+        }
+        stats_.latencyByOp[static_cast<int>(WarpOp::MemStore)] += 1;
+        slot.readyCycle = now + 1;
+        slot.pc++;
+        break;
+      }
+      case WarpOp::TraceRay: {
+        slot.sleeping = true;
+        slot.readyCycle = UINT64_MAX;
+        slot.pc++;
+        // Remember issue time to attribute the latency at wake-up.
+        slot.order = slot.order; // GTO age unchanged
+        sleepStart_.resize(slots_.size(), 0);
+        sleepStart_[slot_index] = now;
+        rtUnit_.enqueue(this, slot_index, slot.warpId, &instr, now);
+        break;
+      }
+    }
+
+    if (!slot.sleeping && slot.pc >= slot.program.instrs.size() &&
+        slot.repeatLeft == 0) {
+        retire(slot);
+    }
+}
+
+void
+SimtCore::wakeWarp(int slot, uint64_t ready_cycle)
+{
+    WarpSlot &warp = slots_[slot];
+    warp.sleeping = false;
+    warp.readyCycle = ready_cycle;
+    if (slot < static_cast<int>(sleepStart_.size())) {
+        stats_.latencyByOp[static_cast<int>(WarpOp::TraceRay)] +=
+            ready_cycle - sleepStart_[slot];
+    }
+    if (warp.pc >= warp.program.instrs.size())
+        retire(warp);
+}
+
+uint64_t
+SimtCore::nextEventCycle(uint64_t now) const
+{
+    uint64_t next = UINT64_MAX;
+    for (const WarpSlot &slot : slots_) {
+        if (!slot.valid || slot.sleeping)
+            continue;
+        next = std::min(next, std::max(slot.readyCycle, now + 1));
+    }
+    return next;
+}
+
+} // namespace lumi

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The SIMT core (streaming multiprocessor) timing model.
+ *
+ * Each SM holds up to maxWarpsPerSm resident warps and issues one
+ * warp instruction per cycle using greedy-then-oldest (GTO)
+ * scheduling (Table 4). A warp executes in order and becomes ready
+ * again when its issued instruction completes: arithmetic after the
+ * pipeline latency, memory when the data returns (stall-on-use), and
+ * traceRay when the RT unit hands the warp back. Latency is hidden
+ * across warps, not within one -- the standard throughput model.
+ */
+
+#ifndef LUMI_GPU_SIMT_CORE_HH
+#define LUMI_GPU_SIMT_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/config.hh"
+#include "gpu/mem_system.hh"
+#include "gpu/rt_unit.hh"
+#include "gpu/stats.hh"
+#include "gpu/warp_instr.hh"
+
+namespace lumi
+{
+
+/** One streaming multiprocessor. */
+class SimtCore
+{
+  public:
+    SimtCore(int sm_id, const GpuConfig &config, MemSystem &mem,
+             RtUnit &rt_unit, GpuStats &stats);
+
+    int smId() const { return smId_; }
+
+    /** True while any warp slot is occupied. */
+    bool busy() const { return residentWarps_ > 0; }
+
+    int residentWarps() const { return residentWarps_; }
+
+    bool
+    hasFreeSlot() const
+    {
+        return residentWarps_ < config_.maxWarpsPerSm;
+    }
+
+    /** Install a warp program into a free slot. */
+    void assignWarp(WarpProgram &&program, uint32_t warp_id,
+                    uint64_t now);
+
+    /** Issue phase for cycle @p now. */
+    void cycle(uint64_t now);
+
+    /** Earliest future cycle at which this core can issue. */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /** Called by the RT unit when a warp's traceRay completes. */
+    void wakeWarp(int slot, uint64_t ready_cycle);
+
+  private:
+    struct WarpSlot
+    {
+        bool valid = false;
+        bool sleeping = false; ///< parked in the RT unit
+        WarpProgram program;
+        size_t pc = 0;
+        uint16_t repeatLeft = 0;
+        uint64_t readyCycle = 0;
+        uint64_t order = 0; ///< launch order for GTO aging
+        uint32_t warpId = 0;
+    };
+
+    /** Execute the warp's next instruction; updates readyCycle. */
+    void issue(WarpSlot &slot, int slot_index, uint64_t now);
+    void retire(WarpSlot &slot);
+
+    int smId_;
+    const GpuConfig &config_;
+    MemSystem &mem_;
+    RtUnit &rtUnit_;
+    GpuStats &stats_;
+
+    std::vector<WarpSlot> slots_;
+    /** traceRay issue cycle per slot, for latency attribution. */
+    std::vector<uint64_t> sleepStart_;
+    int residentWarps_ = 0;
+    int lastIssued_ = -1;
+    uint64_t launchCounter_ = 0;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_SIMT_CORE_HH

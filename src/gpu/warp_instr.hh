@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The warp-level instruction trace consumed by the timing model.
+ *
+ * A shader program, executed functionally by a WarpContext, leaves
+ * behind a sequence of WarpInstr records: each carries the lanes
+ * that participated (the SIMT active mask) and, for memory
+ * operations, the per-lane addresses -- everything the timing model
+ * needs and nothing it does not.
+ */
+
+#ifndef LUMI_GPU_WARP_INSTR_HH
+#define LUMI_GPU_WARP_INSTR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/data_kind.hh"
+#include "scene/camera.hh"
+
+namespace lumi
+{
+
+/** Instruction classes distinguished by the timing model (Fig. 8). */
+enum class WarpOp : uint8_t
+{
+    Alu,      ///< integer / fp arithmetic
+    Sfu,      ///< transcendental (special function unit)
+    MemLoad,  ///< global load
+    MemStore, ///< global store
+    TraceRay, ///< hand the warp to the RT unit
+};
+
+/** One warp-level dynamic instruction (possibly repeated). */
+struct WarpInstr
+{
+    WarpOp op = WarpOp::Alu;
+    /** Lanes executing this instruction. */
+    uint32_t mask = 0;
+    /**
+     * Back-to-back repetitions of the same operation; the scheduler
+     * issues the instruction this many times (each counts as one
+     * dynamic instruction). Compresses straight-line arithmetic.
+     */
+    uint16_t repeat = 1;
+
+    // --- MemLoad / MemStore ---
+    uint32_t bytesPerLane = 0;
+    /** One address per *active* lane, in ascending lane order. */
+    std::vector<uint64_t> addrs;
+
+    // --- TraceRay ---
+    /** One ray per active lane, in ascending lane order. */
+    std::vector<Ray> rays;
+    /** Per-active-lane maximum hit distance. */
+    std::vector<float> tMaxes;
+    bool anyHitQuery = false;
+    /** Ray category of this traceRay (see RayKind). */
+    uint8_t rayKind = 0;
+
+    int activeLanes() const { return __builtin_popcount(mask); }
+};
+
+/** A complete warp program plus launch bookkeeping. */
+struct WarpProgram
+{
+    std::vector<WarpInstr> instrs;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_WARP_INSTR_HH

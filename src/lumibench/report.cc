@@ -1,0 +1,74 @@
+#include "lumibench/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lumi
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < cells.size(); c++) {
+            std::string cell = cells[c];
+            cell.resize(widths[c], ' ');
+            line += cell;
+            if (c + 1 < cells.size())
+                line += "  ";
+        }
+        // Trim trailing padding.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = emit_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); c++) {
+        rule.append(widths[c], '-');
+        if (c + 1 < widths.size())
+            rule += "  ";
+    }
+    out += rule + "\n";
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+std::string
+banner(const std::string &title)
+{
+    std::string line(title.size() + 8, '=');
+    return line + "\n==  " + title + "  ==\n" + line + "\n";
+}
+
+} // namespace lumi

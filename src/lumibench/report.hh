@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width text tables for the bench binaries: every figure and
+ * table of the paper is regenerated as rows printed by one binary,
+ * and these helpers keep the output uniform.
+ */
+
+#ifndef LUMI_LUMIBENCH_REPORT_HH
+#define LUMI_LUMIBENCH_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace lumi
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Add one row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Section banner used by the bench binaries. */
+std::string banner(const std::string &title);
+
+} // namespace lumi
+
+#endif // LUMI_LUMIBENCH_REPORT_HH

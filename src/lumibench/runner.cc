@@ -1,0 +1,118 @@
+#include "lumibench/runner.hh"
+
+#include <cstdlib>
+
+#include "rt/pipeline.hh"
+
+namespace lumi
+{
+
+namespace
+{
+
+int
+envInt(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    int parsed = std::atoi(value);
+    return parsed > 0 ? parsed : fallback;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    double parsed = std::atof(value);
+    return parsed > 0.0 ? parsed : fallback;
+}
+
+} // namespace
+
+RunOptions
+RunOptions::fromEnv()
+{
+    RunOptions options;
+    bool quick = envInt("LUMI_QUICK", 0) != 0;
+    int res = envInt("LUMI_RES", quick ? 32 : 96);
+    options.params.width = res;
+    options.params.height = res;
+    options.params.samplesPerPixel = envInt("LUMI_SPP", quick ? 1 : 2);
+    options.sceneDetail = static_cast<float>(
+        envDouble("LUMI_DETAIL", quick ? 0.25 : 2.0));
+    return options;
+}
+
+WorkloadResult
+runWorkload(const Workload &workload, const RunOptions &options)
+{
+    Scene scene = buildScene(workload.scene, options.sceneDetail);
+    Gpu gpu(options.config, options.timelineInterval);
+    if (options.dramBandwidthScale != 1.0) {
+        gpu.memSystem().dram().setBandwidthScale(
+            options.dramBandwidthScale);
+    }
+    RayTracingPipeline pipeline(gpu, scene, options.params);
+    pipeline.render(workload.shader);
+
+    WorkloadResult result;
+    result.id = workload.id();
+    result.stats = gpu.stats();
+    result.dram = gpu.memSystem().dram().stats();
+    result.l1Rt = gpu.memSystem().l1Rt();
+    result.l1Shader = gpu.memSystem().l1Shader();
+    result.l2Rt = gpu.memSystem().l2Rt();
+    result.l2Shader = gpu.memSystem().l2Shader();
+    for (int k = 0; k < numDataKinds; k++) {
+        result.kindReads[k] = gpu.memSystem().kindReads()[k];
+        result.kindMisses[k] = gpu.memSystem().kindMisses()[k];
+    }
+    result.accelStats = pipeline.accel().computeStats();
+    result.rtUnits = options.config.numSms *
+                     options.config.rtUnitsPerSm;
+
+    WorkloadContext context;
+    context.scene = &scene;
+    context.accelStats = &result.accelStats;
+    context.shader = workload.shader;
+    context.params = options.params;
+    result.metrics = collectMetrics(gpu, &context);
+    result.metrics.workload = result.id;
+    result.timeline = gpu.timeline().windows(result.rtUnits);
+    result.analytical = evaluateHongKim(gpu);
+    return result;
+}
+
+WorkloadResult
+runCompute(ComputeKernel kernel, const RunOptions &options)
+{
+    Gpu gpu(options.config, options.timelineInterval);
+    ComputeParams params;
+    params.scale = 1;
+    runComputeKernel(gpu, kernel, params);
+
+    WorkloadResult result;
+    result.id = computeKernelName(kernel);
+    result.stats = gpu.stats();
+    result.dram = gpu.memSystem().dram().stats();
+    result.l1Rt = gpu.memSystem().l1Rt();
+    result.l1Shader = gpu.memSystem().l1Shader();
+    result.l2Rt = gpu.memSystem().l2Rt();
+    result.l2Shader = gpu.memSystem().l2Shader();
+    for (int k = 0; k < numDataKinds; k++) {
+        result.kindReads[k] = gpu.memSystem().kindReads()[k];
+        result.kindMisses[k] = gpu.memSystem().kindMisses()[k];
+    }
+    result.rtUnits = options.config.numSms *
+                     options.config.rtUnitsPerSm;
+    result.metrics = collectMetrics(gpu, nullptr);
+    result.metrics.workload = result.id;
+    result.timeline = gpu.timeline().windows(result.rtUnits);
+    result.analytical = evaluateHongKim(gpu);
+    return result;
+}
+
+} // namespace lumi

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * One-call workload execution: build the scene, simulate a frame,
+ * and collect everything the tables and figures need.
+ */
+
+#ifndef LUMI_LUMIBENCH_RUNNER_HH
+#define LUMI_LUMIBENCH_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/analytical.hh"
+#include "bvh/accel.hh"
+#include "compute/rodinia.hh"
+#include "gpu/gpu.hh"
+#include "lumibench/workload.hh"
+#include "metrics/metrics.hh"
+
+namespace lumi
+{
+
+/** Execution options shared by all benches. */
+struct RunOptions
+{
+    GpuConfig config = GpuConfig::mobile();
+    RenderParams params;
+    /** Scene tessellation scale (Sec. 4.3 scaling). */
+    float sceneDetail = 1.0f;
+    uint64_t timelineInterval = 5000;
+    /** Optional DRAM bandwidth scale (Sec. 5.3.2 experiment). */
+    double dramBandwidthScale = 1.0;
+
+    /**
+     * Bench defaults honoring the environment: LUMI_RES (image edge,
+     * default 64), LUMI_SPP, LUMI_DETAIL, and LUMI_QUICK=1 for smoke
+     * runs (32x32, low detail).
+     */
+    static RunOptions fromEnv();
+};
+
+/** Everything collected from one workload simulation. */
+struct WorkloadResult
+{
+    std::string id;
+    GpuStats stats;
+    DramStats dram;
+    RequesterStats l1Rt;
+    RequesterStats l1Shader;
+    RequesterStats l2Rt;
+    RequesterStats l2Shader;
+    uint64_t kindReads[numDataKinds] = {};
+    uint64_t kindMisses[numDataKinds] = {};
+    AccelStats accelStats;
+    MetricVector metrics;
+    std::vector<TimelineWindow> timeline;
+    AnalyticalModel analytical;
+    int rtUnits = 8;
+
+    double
+    ipcThread() const
+    {
+        return stats.cycles > 0
+                   ? static_cast<double>(stats.threadInstructions) /
+                         stats.cycles
+                   : 0.0;
+    }
+};
+
+/** Simulate one ray tracing workload. */
+WorkloadResult runWorkload(const Workload &workload,
+                           const RunOptions &options);
+
+/** Simulate one compute (Rodinia-equivalent) workload. */
+WorkloadResult runCompute(ComputeKernel kernel,
+                          const RunOptions &options);
+
+} // namespace lumi
+
+#endif // LUMI_LUMIBENCH_RUNNER_HH

@@ -1,0 +1,60 @@
+#include "lumibench/workload.hh"
+
+namespace lumi
+{
+
+bool
+sceneSupportsShader(SceneId scene, ShaderKind shader)
+{
+    if (scene == SceneId::CHSNT)
+        return shader == ShaderKind::PathTracing;
+    return true;
+}
+
+std::vector<Workload>
+allWorkloads()
+{
+    std::vector<Workload> workloads;
+    const ShaderKind shaders[3] = {ShaderKind::PathTracing,
+                                   ShaderKind::Shadow,
+                                   ShaderKind::AmbientOcclusion};
+    for (SceneId scene : lumiScenes()) {
+        for (ShaderKind shader : shaders) {
+            if (sceneSupportsShader(scene, shader))
+                workloads.push_back({scene, shader});
+        }
+    }
+    return workloads;
+}
+
+std::vector<Workload>
+representativeSubset()
+{
+    // Table 2: the default representative selection.
+    return {
+        {SceneId::SPNZA, ShaderKind::AmbientOcclusion},
+        {SceneId::BUNNY, ShaderKind::AmbientOcclusion},
+        {SceneId::WKND, ShaderKind::PathTracing},
+        {SceneId::SHIP, ShaderKind::Shadow},
+        {SceneId::ROBOT, ShaderKind::Shadow},
+        {SceneId::BATH, ShaderKind::PathTracing},
+        {SceneId::PARK, ShaderKind::PathTracing},
+        {SceneId::CHSNT, ShaderKind::PathTracing},
+    };
+}
+
+std::vector<Workload>
+gameWorkloads()
+{
+    std::vector<Workload> workloads;
+    const ShaderKind shaders[3] = {ShaderKind::PathTracing,
+                                   ShaderKind::Shadow,
+                                   ShaderKind::AmbientOcclusion};
+    for (SceneId scene : gameScenes()) {
+        for (ShaderKind shader : shaders)
+            workloads.push_back({scene, shader});
+    }
+    return workloads;
+}
+
+} // namespace lumi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Workload definitions: a workload is a scene x shader combination
+ * (Sec. 3.4). 15 scenes support all three shaders and CHSNT supports
+ * only PT, giving the paper's 46 unique workloads; the CS:GO-like
+ * maps are tracked separately and used only for comparison.
+ */
+
+#ifndef LUMI_LUMIBENCH_WORKLOAD_HH
+#define LUMI_LUMIBENCH_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "rt/shader.hh"
+#include "scene/scene_library.hh"
+
+namespace lumi
+{
+
+/** One benchmark workload. */
+struct Workload
+{
+    SceneId scene;
+    ShaderKind shader;
+
+    /** Identifier in the paper's style: "SPNZA_AO". */
+    std::string
+    id() const
+    {
+        return std::string(sceneName(scene)) + "_" +
+               shaderName(shader);
+    }
+};
+
+/** True when @p scene supports @p shader (CHSNT is PT-only). */
+bool sceneSupportsShader(SceneId scene, ShaderKind shader);
+
+/** All 46 LumiBench workloads. */
+std::vector<Workload> allWorkloads();
+
+/** The representative 8-workload subset of Table 2. */
+std::vector<Workload> representativeSubset();
+
+/** CS:GO-like comparison workloads (not part of the suite). */
+std::vector<Workload> gameWorkloads();
+
+} // namespace lumi
+
+#endif // LUMI_LUMIBENCH_WORKLOAD_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Axis-aligned bounding boxes, the node volume of the BVH.
+ */
+
+#ifndef LUMI_MATH_AABB_HH
+#define LUMI_MATH_AABB_HH
+
+#include <limits>
+
+#include "math/mat4.hh"
+#include "math/vec.hh"
+
+namespace lumi
+{
+
+/** An axis-aligned bounding box stored as min/max corners. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    /** True if no point has ever been added. */
+    bool empty() const { return lo.x > hi.x; }
+
+    /** Grow to include point @p p. */
+    void
+    extend(const Vec3 &p)
+    {
+        lo = Vec3::min(lo, p);
+        hi = Vec3::max(hi, p);
+    }
+
+    /** Grow to include box @p b. */
+    void
+    extend(const Aabb &b)
+    {
+        lo = Vec3::min(lo, b.lo);
+        hi = Vec3::max(hi, b.hi);
+    }
+
+    /** Diagonal extent (hi - lo); zero for empty boxes. */
+    Vec3
+    extent() const
+    {
+        return empty() ? Vec3(0.0f) : hi - lo;
+    }
+
+    /** Box center point. */
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+
+    /** Surface area (the SAH cost metric). */
+    float
+    surfaceArea() const
+    {
+        if (empty())
+            return 0.0f;
+        Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** Index (0/1/2) of the widest axis. */
+    int
+    longestAxis() const
+    {
+        Vec3 e = extent();
+        if (e.x >= e.y && e.x >= e.z)
+            return 0;
+        return e.y >= e.z ? 1 : 2;
+    }
+
+    /** True if @p other overlaps this box. */
+    bool
+    overlaps(const Aabb &other) const
+    {
+        return lo.x <= other.hi.x && hi.x >= other.lo.x &&
+               lo.y <= other.hi.y && hi.y >= other.lo.y &&
+               lo.z <= other.hi.z && hi.z >= other.lo.z;
+    }
+
+    /** True if point @p p lies inside (inclusive). */
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x &&
+               p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /**
+     * Slab test of ray against the box.
+     *
+     * @param origin ray origin
+     * @param inv_dir reciprocal of the ray direction, per component
+     * @param t_max current closest-hit distance
+     * @param[out] t_near entry distance along the ray if hit
+     * @return true if the ray intersects [0, t_max]
+     */
+    bool
+    hit(const Vec3 &origin, const Vec3 &inv_dir, float t_max,
+        float &t_near) const
+    {
+        float t0 = 0.0f, t1 = t_max;
+        for (int axis = 0; axis < 3; axis++) {
+            float o = axis == 0 ? origin.x : (axis == 1 ? origin.y
+                                                        : origin.z);
+            float inv = axis == 0 ? inv_dir.x : (axis == 1 ? inv_dir.y
+                                                           : inv_dir.z);
+            float lo_a = axis == 0 ? lo.x : (axis == 1 ? lo.y : lo.z);
+            float hi_a = axis == 0 ? hi.x : (axis == 1 ? hi.y : hi.z);
+            float ta = (lo_a - o) * inv;
+            float tb = (hi_a - o) * inv;
+            if (ta > tb)
+                std::swap(ta, tb);
+            t0 = std::max(t0, ta);
+            t1 = std::min(t1, tb);
+            if (t0 > t1)
+                return false;
+        }
+        t_near = t0;
+        return true;
+    }
+
+    /** Transform the 8 corners by @p xform and rebound. */
+    Aabb
+    transformed(const Mat4 &xform) const
+    {
+        Aabb out;
+        if (empty())
+            return out;
+        for (int i = 0; i < 8; i++) {
+            Vec3 corner{(i & 1) ? hi.x : lo.x,
+                        (i & 2) ? hi.y : lo.y,
+                        (i & 4) ? hi.z : lo.z};
+            out.extend(xform.transformPoint(corner));
+        }
+        return out;
+    }
+};
+
+} // namespace lumi
+
+#endif // LUMI_MATH_AABB_HH

@@ -1,0 +1,146 @@
+#include "math/mat4.hh"
+
+#include <cmath>
+
+namespace lumi
+{
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; i++)
+        r.m[i][i] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::translate(const Vec3 &t)
+{
+    Mat4 r = identity();
+    r.m[0][3] = t.x;
+    r.m[1][3] = t.y;
+    r.m[2][3] = t.z;
+    return r;
+}
+
+Mat4
+Mat4::scale(const Vec3 &s)
+{
+    Mat4 r;
+    r.m[0][0] = s.x;
+    r.m[1][1] = s.y;
+    r.m[2][2] = s.z;
+    r.m[3][3] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::rotateX(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[1][1] = c;
+    r.m[1][2] = -s;
+    r.m[2][1] = s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateY(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][2] = s;
+    r.m[2][0] = -s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateZ(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][1] = -s;
+    r.m[1][0] = s;
+    r.m[1][1] = c;
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            float sum = 0.0f;
+            for (int k = 0; k < 4; k++)
+                sum += m[i][k] * o.m[k][j];
+            r.m[i][j] = sum;
+        }
+    }
+    return r;
+}
+
+Vec3
+Mat4::transformPoint(const Vec3 &p) const
+{
+    return {m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + m[0][3],
+            m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + m[1][3],
+            m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + m[2][3]};
+}
+
+Vec3
+Mat4::transformVector(const Vec3 &v) const
+{
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+}
+
+Mat4
+Mat4::inverse() const
+{
+    // Gauss-Jordan elimination on [A | I] with partial pivoting.
+    float a[4][8];
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            a[i][j] = m[i][j];
+            a[i][j + 4] = (i == j) ? 1.0f : 0.0f;
+        }
+    }
+    for (int col = 0; col < 4; col++) {
+        int pivot = col;
+        for (int row = col + 1; row < 4; row++) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-12f)
+            return identity();
+        if (pivot != col) {
+            for (int j = 0; j < 8; j++)
+                std::swap(a[col][j], a[pivot][j]);
+        }
+        float inv = 1.0f / a[col][col];
+        for (int j = 0; j < 8; j++)
+            a[col][j] *= inv;
+        for (int row = 0; row < 4; row++) {
+            if (row == col)
+                continue;
+            float f = a[row][col];
+            for (int j = 0; j < 8; j++)
+                a[row][j] -= f * a[col][j];
+        }
+    }
+    Mat4 r;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            r.m[i][j] = a[i][j + 4];
+    return r;
+}
+
+} // namespace lumi

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 4x4 row-major transformation matrices.
+ *
+ * Used for TLAS instance transforms: the ray tracing pipeline maps a
+ * world-space ray into each BLAS's object space using the instance's
+ * inverse transform, exactly as the Vulkan two-level acceleration
+ * structure does.
+ */
+
+#ifndef LUMI_MATH_MAT4_HH
+#define LUMI_MATH_MAT4_HH
+
+#include "math/vec.hh"
+
+namespace lumi
+{
+
+/** A row-major 4x4 float matrix. */
+struct Mat4
+{
+    /** Row-major storage: m[row][col]. */
+    float m[4][4] = {};
+
+    /** The identity matrix. */
+    static Mat4 identity();
+
+    /** Translation by @p t. */
+    static Mat4 translate(const Vec3 &t);
+
+    /** Non-uniform scale by @p s. */
+    static Mat4 scale(const Vec3 &s);
+
+    /** Rotation of @p radians around the X axis. */
+    static Mat4 rotateX(float radians);
+
+    /** Rotation of @p radians around the Y axis. */
+    static Mat4 rotateY(float radians);
+
+    /** Rotation of @p radians around the Z axis. */
+    static Mat4 rotateZ(float radians);
+
+    /** Matrix product (this * o). */
+    Mat4 operator*(const Mat4 &o) const;
+
+    /** Transform a point (w = 1). */
+    Vec3 transformPoint(const Vec3 &p) const;
+
+    /** Transform a direction (w = 0, no translation). */
+    Vec3 transformVector(const Vec3 &v) const;
+
+    /**
+     * General 4x4 inverse via Gauss-Jordan elimination.
+     *
+     * @retval identity if the matrix is singular (callers only invert
+     *         affine instance transforms, which never are).
+     */
+    Mat4 inverse() const;
+};
+
+} // namespace lumi
+
+#endif // LUMI_MATH_MAT4_HH

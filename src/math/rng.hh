@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32).
+ *
+ * Everything in LumiBench must be reproducible run-to-run: scene
+ * generation, shader sampling and the genetic algorithm all draw from
+ * explicitly seeded PCG32 streams so the characterization results are
+ * stable.
+ */
+
+#ifndef LUMI_MATH_RNG_HH
+#define LUMI_MATH_RNG_HH
+
+#include <cstdint>
+
+#include "math/vec.hh"
+
+namespace lumi
+{
+
+/**
+ * PCG32 generator (O'Neill 2014): 64-bit state, 32-bit output, with
+ * independent streams selected by the sequence constant.
+ */
+class Rng
+{
+  public:
+    /** Construct a stream from a seed and an optional stream id. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        nextU32();
+        state_ += seed;
+        nextU32();
+    }
+
+    /** Next 32 uniformly distributed bits. */
+    uint32_t
+    nextU32()
+    {
+        uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+        uint32_t rot = static_cast<uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    uint32_t
+    nextBelow(uint32_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        uint32_t threshold = (0u - bound) % bound;
+        for (;;) {
+            uint32_t r = nextU32();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextU32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Uniform point in the axis-aligned box [lo, hi). */
+    Vec3
+    nextInBox(const Vec3 &lo, const Vec3 &hi)
+    {
+        return {nextRange(lo.x, hi.x), nextRange(lo.y, hi.y),
+                nextRange(lo.z, hi.z)};
+    }
+
+  private:
+    uint64_t state_;
+    uint64_t inc_;
+};
+
+/**
+ * Stateless per-pixel/per-sample hash used by shaders so every lane of
+ * a warp gets an independent, reproducible sample sequence without
+ * carrying generator state through the pipeline (splitmix-style).
+ */
+inline uint32_t
+hashCombine(uint32_t a, uint32_t b)
+{
+    uint64_t x = (static_cast<uint64_t>(a) << 32) | b;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<uint32_t>(x);
+}
+
+} // namespace lumi
+
+#endif // LUMI_MATH_RNG_HH

@@ -1,0 +1,65 @@
+#include "math/sampling.hh"
+
+#include <cmath>
+
+namespace lumi
+{
+
+namespace
+{
+constexpr float pi = 3.14159265358979323846f;
+} // namespace
+
+Onb
+Onb::fromNormal(const Vec3 &n)
+{
+    // Duff et al. 2017, branchless ONB construction.
+    Onb onb;
+    onb.normal = n;
+    float sign = n.z >= 0.0f ? 1.0f : -1.0f;
+    float a = -1.0f / (sign + n.z);
+    float b = n.x * n.y * a;
+    onb.tangent = {1.0f + sign * n.x * n.x * a, sign * b, -sign * n.x};
+    onb.bitangent = {b, sign + n.y * n.y * a, -n.y};
+    return onb;
+}
+
+Vec3
+cosineSampleHemisphere(float u1, float u2)
+{
+    float r = std::sqrt(u1);
+    float phi = 2.0f * pi * u2;
+    float x = r * std::cos(phi);
+    float y = r * std::sin(phi);
+    float z = std::sqrt(std::max(0.0f, 1.0f - u1));
+    return {x, y, z};
+}
+
+Vec3
+uniformSampleSphere(float u1, float u2)
+{
+    float z = 1.0f - 2.0f * u1;
+    float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+    float phi = 2.0f * pi * u2;
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+Vec2
+concentricSampleDisk(float u1, float u2)
+{
+    float ox = 2.0f * u1 - 1.0f;
+    float oy = 2.0f * u2 - 1.0f;
+    if (ox == 0.0f && oy == 0.0f)
+        return {0.0f, 0.0f};
+    float r, theta;
+    if (std::fabs(ox) > std::fabs(oy)) {
+        r = ox;
+        theta = (pi / 4.0f) * (oy / ox);
+    } else {
+        r = oy;
+        theta = (pi / 2.0f) - (pi / 4.0f) * (ox / oy);
+    }
+    return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+} // namespace lumi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Direction sampling utilities used by the path tracing and ambient
+ * occlusion shaders.
+ */
+
+#ifndef LUMI_MATH_SAMPLING_HH
+#define LUMI_MATH_SAMPLING_HH
+
+#include "math/vec.hh"
+
+namespace lumi
+{
+
+/**
+ * An orthonormal basis built around a normal vector, used to map
+ * hemisphere samples into world space.
+ */
+struct Onb
+{
+    Vec3 tangent;
+    Vec3 bitangent;
+    Vec3 normal;
+
+    /** Build a basis whose third axis is @p n (assumed unit length). */
+    static Onb fromNormal(const Vec3 &n);
+
+    /** Map local coordinates (x: tangent, y: bitangent, z: normal). */
+    Vec3
+    toWorld(const Vec3 &local) const
+    {
+        return tangent * local.x + bitangent * local.y + normal * local.z;
+    }
+};
+
+/**
+ * Cosine-weighted hemisphere direction around +Z from two uniform
+ * samples in [0,1). Used for diffuse bounces and AO rays.
+ */
+Vec3 cosineSampleHemisphere(float u1, float u2);
+
+/** Uniform direction on the unit sphere from two uniform samples. */
+Vec3 uniformSampleSphere(float u1, float u2);
+
+/** Uniform point on a disk of radius 1 (concentric mapping). */
+Vec2 concentricSampleDisk(float u1, float u2);
+
+} // namespace lumi
+
+#endif // LUMI_MATH_SAMPLING_HH

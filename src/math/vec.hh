@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Small fixed-size vector types used throughout LumiBench.
+ *
+ * These are deliberately minimal: the renderer and the simulator only
+ * need float 2/3/4-vectors with component-wise arithmetic, dot/cross
+ * products and a few convenience helpers.
+ */
+
+#ifndef LUMI_MATH_VEC_HH
+#define LUMI_MATH_VEC_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace lumi
+{
+
+/** A 3-component float vector (points, directions, colors). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(const Vec3 &o) const
+    { return {x * o.x, y * o.y, z * o.z}; }
+    constexpr Vec3 operator*(float s) const
+    { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const
+    { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const
+    { return x == o.x && y == o.y && z == o.z; }
+
+    float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    /** Component-wise minimum. */
+    static Vec3
+    min(const Vec3 &a, const Vec3 &b)
+    {
+        return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+    }
+
+    /** Component-wise maximum. */
+    static Vec3
+    max(const Vec3 &a, const Vec3 &b)
+    {
+        return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+    }
+};
+
+constexpr Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+/** Dot product. */
+constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** Cross product. */
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+/** Euclidean length. */
+inline float length(const Vec3 &v) { return std::sqrt(dot(v, v)); }
+
+/** Squared length (avoids the sqrt). */
+constexpr float lengthSquared(const Vec3 &v) { return dot(v, v); }
+
+/** Unit-length copy of @p v. The zero vector is returned unchanged. */
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float len = length(v);
+    return len > 0.0f ? v / len : v;
+}
+
+/** Mirror @p v about normal @p n (both pointing away from the surface). */
+inline Vec3
+reflect(const Vec3 &v, const Vec3 &n)
+{
+    return v - n * (2.0f * dot(v, n));
+}
+
+/** Linear interpolation between @p a and @p b. */
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a * (1.0f - t) + b * t;
+}
+
+/** A 2-component float vector (texture coordinates). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float xx, float yy) : x(xx), y(yy) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const
+    { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+};
+
+/** A 4-component float vector (homogeneous coordinates, RGBA). */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float xx, float yy, float zz, float ww)
+        : x(xx), y(yy), z(zz), w(ww) {}
+    constexpr Vec4(const Vec3 &v, float ww) : x(v.x), y(v.y), z(v.z), w(ww) {}
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+} // namespace lumi
+
+#endif // LUMI_MATH_VEC_HH

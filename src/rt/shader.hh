@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shader selection and render parameters for the LumiBench pipeline.
+ */
+
+#ifndef LUMI_RT_SHADER_HH
+#define LUMI_RT_SHADER_HH
+
+#include <cstdint>
+
+namespace lumi
+{
+
+/** The three LumiBench effects (Sec. 3.3). */
+enum class ShaderKind
+{
+    PathTracing,      ///< PT: recursive bounces + reflections
+    Shadow,           ///< SH: occlusion rays toward each light
+    AmbientOcclusion, ///< AO: short random occlusion rays
+};
+
+/** Short name as used in workload ids ("PT", "SH", "AO"). */
+inline const char *
+shaderName(ShaderKind kind)
+{
+    switch (kind) {
+      case ShaderKind::PathTracing: return "PT";
+      case ShaderKind::Shadow: return "SH";
+      case ShaderKind::AmbientOcclusion: return "AO";
+    }
+    return "??";
+}
+
+/** Knobs of a render (Sec. 4.2: resolution, samples, depth). */
+struct RenderParams
+{
+    int width = 64;
+    int height = 64;
+    int samplesPerPixel = 1;
+    /** Maximum path length for PT (primary + bounces). */
+    int maxDepth = 3;
+    /** Occlusion rays per pixel for AO. */
+    int aoRays = 4;
+    /** AO ray length as a fraction of the scene diagonal. */
+    float aoRadiusScale = 0.05f;
+    /** Shadow rays per light for SH. */
+    int shadowRaysPerLight = 1;
+    uint32_t seed = 7;
+
+    int pixels() const { return width * height; }
+    int totalSamples() const { return pixels() * samplesPerPixel; }
+};
+
+} // namespace lumi
+
+#endif // LUMI_RT_SHADER_HH

@@ -1,0 +1,51 @@
+#include "rt/shading.hh"
+
+namespace lumi
+{
+
+SurfaceInteraction
+computeSurface(const Scene &scene, const HitInfo &hit, const Ray &ray)
+{
+    SurfaceInteraction surface;
+    surface.position = ray.origin + ray.dir * hit.t;
+
+    const Instance &inst = scene.instances[hit.instanceIndex];
+    const Geometry &geom = scene.geometries[hit.geometryId];
+
+    Vec3 object_normal;
+    if (geom.kind == Geometry::Kind::Triangles) {
+        object_normal = geom.mesh.shadingNormal(hit.primIndex, hit.u,
+                                                hit.v);
+        surface.uv = geom.mesh.uvAt(hit.primIndex, hit.u, hit.v);
+        surface.materialId = geom.mesh.materialId;
+    } else {
+        Vec3 object_point =
+            inst.invTransform.transformPoint(surface.position);
+        object_normal = geom.spheres.normalAt(hit.primIndex,
+                                              object_point);
+        surface.uv = {0.0f, 0.0f};
+        surface.materialId = geom.spheres.materialId;
+    }
+    // Instance transforms here are rotation + uniform scale, so the
+    // transformed-and-renormalized direction is the correct normal.
+    surface.normal =
+        normalize(inst.transform.transformVector(object_normal));
+    if (dot(surface.normal, ray.dir) > 0.0f)
+        surface.normal = -surface.normal;
+    return surface;
+}
+
+Vec3
+surfaceAlbedo(const Scene &scene, const SurfaceInteraction &surface)
+{
+    const Material &material = scene.materials[surface.materialId];
+    Vec3 albedo = material.albedo;
+    if (material.textureId >= 0) {
+        Vec4 texel = scene.textures[material.textureId].sample(
+            surface.uv.x, surface.uv.y);
+        albedo = albedo * texel.xyz();
+    }
+    return albedo;
+}
+
+} // namespace lumi

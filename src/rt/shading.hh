@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Functional shading helpers: reconstructing the surface interaction
+ * (world position, shading normal, texcoords, material) behind a
+ * HitInfo -- the work the closest-hit shader performs.
+ */
+
+#ifndef LUMI_RT_SHADING_HH
+#define LUMI_RT_SHADING_HH
+
+#include "bvh/traversal.hh"
+#include "scene/scene.hh"
+
+namespace lumi
+{
+
+/** Everything the closest-hit shader derives from a hit. */
+struct SurfaceInteraction
+{
+    Vec3 position;
+    Vec3 normal;  ///< world-space shading normal, faces the ray
+    Vec2 uv;
+    int materialId = 0;
+};
+
+/**
+ * Reconstruct the surface interaction at @p hit along @p ray.
+ * @p hit must have hit == true.
+ */
+SurfaceInteraction computeSurface(const Scene &scene,
+                                  const HitInfo &hit, const Ray &ray);
+
+/** Albedo after texturing at @p surface. */
+Vec3 surfaceAlbedo(const Scene &scene,
+                   const SurfaceInteraction &surface);
+
+} // namespace lumi
+
+#endif // LUMI_RT_SHADING_HH

@@ -1,0 +1,32 @@
+#include "scene/camera.hh"
+
+#include <cmath>
+
+namespace lumi
+{
+
+Camera::Camera(const Vec3 &origin, const Vec3 &look_at, const Vec3 &up,
+               float vfov_degrees)
+    : origin_(origin)
+{
+    forward_ = normalize(look_at - origin);
+    right_ = normalize(cross(forward_, up));
+    up_ = cross(right_, forward_);
+    tanHalfFov_ = std::tan(vfov_degrees * 3.14159265358979f / 360.0f);
+}
+
+Ray
+Camera::generateRay(int px, int py, int width, int height, float jx,
+                    float jy) const
+{
+    float aspect = static_cast<float>(width) / height;
+    float sx = (2.0f * ((px + jx) / width) - 1.0f) * tanHalfFov_ * aspect;
+    // Flip Y so py = 0 is the top row of the image.
+    float sy = (1.0f - 2.0f * ((py + jy) / height)) * tanHalfFov_;
+    Ray ray;
+    ray.origin = origin_;
+    ray.dir = normalize(forward_ + right_ * sx + up_ * sy);
+    return ray;
+}
+
+} // namespace lumi

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pinhole camera generating primary rays, one per image sample.
+ */
+
+#ifndef LUMI_SCENE_CAMERA_HH
+#define LUMI_SCENE_CAMERA_HH
+
+#include "math/vec.hh"
+
+namespace lumi
+{
+
+/** A ray as produced by the ray generation shader. */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir;
+};
+
+/** A simple pinhole camera. */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * @param origin eye position
+     * @param look_at point the camera faces
+     * @param up approximate up direction
+     * @param vfov_degrees vertical field of view
+     */
+    Camera(const Vec3 &origin, const Vec3 &look_at, const Vec3 &up,
+           float vfov_degrees);
+
+    /**
+     * Primary ray through pixel (px, py) of a width x height image.
+     * (jx, jy) in [0,1) jitter the sample inside the pixel.
+     */
+    Ray generateRay(int px, int py, int width, int height, float jx,
+                    float jy) const;
+
+    const Vec3 &origin() const { return origin_; }
+    const Vec3 &forward() const { return forward_; }
+
+  private:
+    Vec3 origin_{0.0f, 0.0f, 0.0f};
+    Vec3 forward_{0.0f, 0.0f, -1.0f};
+    Vec3 right_{1.0f, 0.0f, 0.0f};
+    Vec3 up_{0.0f, 1.0f, 0.0f};
+    float tanHalfFov_ = 1.0f;
+};
+
+} // namespace lumi
+
+#endif // LUMI_SCENE_CAMERA_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Scene graph: geometries (future BLASes), instances (future TLAS
+ * entries), materials, textures, lights and a camera.
+ *
+ * The structure mirrors the Vulkan acceleration-structure model: a
+ * Geometry is the unit a bottom-level acceleration structure is built
+ * over, and an Instance references a Geometry with a transform --
+ * geometry reuse without duplication, at the cost of a per-instance
+ * ray transformation during traversal (Sec. 2.1).
+ */
+
+#ifndef LUMI_SCENE_SCENE_HH
+#define LUMI_SCENE_SCENE_HH
+
+#include <string>
+#include <vector>
+
+#include "geometry/material.hh"
+#include "geometry/mesh.hh"
+#include "geometry/texture.hh"
+#include "math/mat4.hh"
+#include "scene/camera.hh"
+
+namespace lumi
+{
+
+/** A light source used by the shadow and path tracing shaders. */
+struct Light
+{
+    enum class Type { Point, Directional };
+
+    Type type = Type::Point;
+    /** Position (point) or direction toward the light (directional). */
+    Vec3 positionOrDir{0.0f, 10.0f, 0.0f};
+    /** Radiant intensity. */
+    Vec3 intensity{1.0f, 1.0f, 1.0f};
+};
+
+/** One BLAS-able geometry: either triangles or procedural spheres. */
+struct Geometry
+{
+    enum class Kind { Triangles, Procedural };
+
+    Kind kind = Kind::Triangles;
+    TriangleMesh mesh;
+    ProceduralSpheres spheres;
+
+    size_t
+    primitiveCount() const
+    {
+        return kind == Kind::Triangles ? mesh.triangleCount()
+                                       : spheres.count();
+    }
+
+    Aabb
+    bounds() const
+    {
+        return kind == Kind::Triangles ? mesh.bounds() : spheres.bounds();
+    }
+};
+
+/** A placement of a Geometry in the scene (a TLAS entry). */
+struct Instance
+{
+    int geometryId = 0;
+    Mat4 transform = Mat4::identity();
+    Mat4 invTransform = Mat4::identity();
+};
+
+/** A complete renderable scene. */
+class Scene
+{
+  public:
+    std::string name;
+    /** True for indoor/enclosed scenes where no ray escapes (3.1.3). */
+    bool enclosed = false;
+    /** Short description of the stress case the scene reproduces. */
+    std::string stress;
+
+    Camera camera;
+    std::vector<Geometry> geometries;
+    std::vector<Instance> instances;
+    std::vector<Material> materials;
+    std::vector<Texture> textures;
+    std::vector<Light> lights;
+
+    /** Sky color for rays that leave the scene. */
+    Vec3 skyHorizon{0.7f, 0.8f, 0.95f};
+    Vec3 skyZenith{0.25f, 0.45f, 0.85f};
+
+    /** Add a triangle geometry; returns its geometry id. */
+    int addGeometry(TriangleMesh mesh);
+
+    /** Add a procedural-sphere geometry; returns its geometry id. */
+    int addGeometry(ProceduralSpheres spheres);
+
+    /** Add a material; returns its material id. */
+    int addMaterial(const Material &material);
+
+    /** Add a texture; returns its texture id. */
+    int addTexture(const Texture &texture);
+
+    /** Instance geometry @p geometry_id with @p transform. */
+    void addInstance(int geometry_id, const Mat4 &transform);
+
+    /**
+     * Re-pose instance @p index (animation); keeps the cached
+     * inverse in sync. Follow with AccelStructure::refitTlas().
+     */
+    void setInstanceTransform(size_t index, const Mat4 &transform);
+
+    /** Background radiance for a ray direction that missed. */
+    Vec3 background(const Vec3 &dir) const;
+
+    /** Unique primitives summed over geometries. */
+    size_t uniquePrimitives() const;
+
+    /** Primitives counted once per instance (the "rendered" count). */
+    size_t instancedPrimitives() const;
+
+    /** Number of procedural (non-triangle) geometries. */
+    size_t proceduralGeometryCount() const;
+
+    /** True if any material requires the anyhit shader. */
+    bool usesAnyHit() const;
+
+    /** World-space bounds over all instances. */
+    Aabb worldBounds() const;
+
+    /**
+     * Convenience: place the camera on the given unit-ish direction
+     * from the scene's bounding-box center, far enough to frame it.
+     */
+    void frame(const Vec3 &view_dir, float distance_scale = 1.6f,
+               float vfov_degrees = 55.0f);
+};
+
+} // namespace lumi
+
+#endif // LUMI_SCENE_SCENE_HH

@@ -1,0 +1,78 @@
+#include "scene/scene_library.hh"
+
+#include "scene/scenes_internal.hh"
+
+namespace lumi
+{
+
+const char *
+sceneName(SceneId id)
+{
+    switch (id) {
+      case SceneId::LANDS: return "LANDS";
+      case SceneId::FRST: return "FRST";
+      case SceneId::FOX: return "FOX";
+      case SceneId::PARTY: return "PARTY";
+      case SceneId::SPRNG: return "SPRNG";
+      case SceneId::ROBOT: return "ROBOT";
+      case SceneId::CAR: return "CAR";
+      case SceneId::SHIP: return "SHIP";
+      case SceneId::BATH: return "BATH";
+      case SceneId::REF: return "REF";
+      case SceneId::BUNNY: return "BUNNY";
+      case SceneId::SPNZA: return "SPNZA";
+      case SceneId::CRNVL: return "CRNVL";
+      case SceneId::WKND: return "WKND";
+      case SceneId::CHSNT: return "CHSNT";
+      case SceneId::PARK: return "PARK";
+      case SceneId::DUST2: return "DUST2";
+      case SceneId::MIRAGE: return "MIRAGE";
+      case SceneId::INFERNO: return "INFERNO";
+    }
+    return "UNKNOWN";
+}
+
+Scene
+buildScene(SceneId id, float detail)
+{
+    switch (id) {
+      case SceneId::LANDS: return detail::buildLands(detail);
+      case SceneId::FRST: return detail::buildFrst(detail);
+      case SceneId::FOX: return detail::buildFox(detail);
+      case SceneId::PARTY: return detail::buildParty(detail);
+      case SceneId::SPRNG: return detail::buildSprng(detail);
+      case SceneId::ROBOT: return detail::buildRobot(detail);
+      case SceneId::CAR: return detail::buildCar(detail);
+      case SceneId::SHIP: return detail::buildShip(detail);
+      case SceneId::BATH: return detail::buildBath(detail);
+      case SceneId::REF: return detail::buildRef(detail);
+      case SceneId::BUNNY: return detail::buildBunny(detail);
+      case SceneId::SPNZA: return detail::buildSpnza(detail);
+      case SceneId::CRNVL: return detail::buildCrnvl(detail);
+      case SceneId::WKND: return detail::buildWknd(detail);
+      case SceneId::CHSNT: return detail::buildChsnt(detail);
+      case SceneId::PARK: return detail::buildPark(detail);
+      case SceneId::DUST2: return detail::buildDust2(detail);
+      case SceneId::MIRAGE: return detail::buildMirage(detail);
+      case SceneId::INFERNO: return detail::buildInferno(detail);
+    }
+    return Scene{};
+}
+
+std::vector<SceneId>
+lumiScenes()
+{
+    return {SceneId::LANDS, SceneId::FRST, SceneId::FOX, SceneId::PARTY,
+            SceneId::SPRNG, SceneId::ROBOT, SceneId::CAR, SceneId::SHIP,
+            SceneId::BATH, SceneId::REF, SceneId::BUNNY, SceneId::SPNZA,
+            SceneId::CRNVL, SceneId::WKND, SceneId::CHSNT,
+            SceneId::PARK};
+}
+
+std::vector<SceneId>
+gameScenes()
+{
+    return {SceneId::DUST2, SceneId::MIRAGE, SceneId::INFERNO};
+}
+
+} // namespace lumi

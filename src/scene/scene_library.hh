@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The LumiBench scene library (paper Table 1).
+ *
+ * Each scene is a from-scratch procedural stand-in for the published
+ * asset it is named after. The generators reproduce the *stress
+ * signature* the paper selected each scene for -- primitive-count
+ * class, instancing, BVH shape, long/thin geometry, enclosure,
+ * procedural geometry, alpha masking -- rather than the artistic
+ * content (see DESIGN.md, substitution table).
+ */
+
+#ifndef LUMI_SCENE_SCENE_LIBRARY_HH
+#define LUMI_SCENE_SCENE_LIBRARY_HH
+
+#include <string>
+#include <vector>
+
+#include "scene/scene.hh"
+
+namespace lumi
+{
+
+/** Identifiers for every scene in Table 1 plus CS:GO-like maps. */
+enum class SceneId
+{
+    LANDS,   ///< White Lands: open terrain, high primitive count
+    FRST,    ///< Red Autumn Forest: instanced trees, many triangles
+    FOX,     ///< Splash Fox: organic blob + hundreds of droplets
+    PARTY,   ///< PartyTug: few unique triangles, many instances
+    SPRNG,   ///< Spring: character in a meadow
+    ROBOT,   ///< Procedural robot: the largest working set
+    CAR,     ///< Racing Car: dense mechanical detail, deep BVH
+    SHIP,    ///< Ship: long/thin rigging ropes
+    BATH,    ///< Bathroom: enclosed, reflective, textured
+    REF,     ///< Reflective Cornell box
+    BUNNY,   ///< Stanford-bunny-like blob in an enclosed room
+    SPNZA,   ///< Sponza-like colonnade: enclosed, textured
+    CRNVL,   ///< Carnival: lighting challenge, several lights
+    WKND,    ///< Ray Tracing in One Weekend: procedural spheres
+    CHSNT,   ///< Horse Chestnut Tree: alpha-masked leaves (anyhit)
+    PARK,    ///< Synthetic park: long/thin grass + mixed assets
+    DUST2,   ///< CS:GO-like desert map (comparison only)
+    MIRAGE,  ///< CS:GO-like town map (comparison only)
+    INFERNO, ///< CS:GO-like village map (comparison only)
+};
+
+/** Short uppercase name as used in the paper. */
+const char *sceneName(SceneId id);
+
+/**
+ * Build a scene.
+ *
+ * @param id which scene
+ * @param detail tessellation/instance-count scale in (0, 1]; tests use
+ *        small values, the characterization uses 1.0. Relative scene
+ *        ordering is preserved at any fixed detail.
+ */
+Scene buildScene(SceneId id, float detail = 1.0f);
+
+/** The 16 LumiBench scenes of Table 1, in the paper's order. */
+std::vector<SceneId> lumiScenes();
+
+/** The CS:GO-like comparison maps (never part of the suite). */
+std::vector<SceneId> gameScenes();
+
+} // namespace lumi
+
+#endif // LUMI_SCENE_SCENE_LIBRARY_HH

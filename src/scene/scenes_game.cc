@@ -1,0 +1,163 @@
+/**
+ * @file
+ * CS:GO-like game map generators: DUST2, MIRAGE, INFERNO analogues.
+ *
+ * The paper evaluates several Counter-Strike: Global Offensive maps
+ * as a point of comparison but cannot redistribute them. We generate
+ * synthetic maps with the same gross structure -- a mid-size mixed
+ * indoor/outdoor layout of walls, crates, arches and props -- and use
+ * them exactly as the paper does: only in the similarity analysis
+ * (Fig. 3/4), never in the benchmark suite itself.
+ */
+
+#include <cmath>
+
+#include "geometry/shapes.hh"
+#include "math/rng.hh"
+#include "scene/scenes_internal.hh"
+
+namespace lumi
+{
+namespace detail
+{
+
+namespace
+{
+
+constexpr float pi = 3.14159265358979323846f;
+
+/**
+ * Shared machinery for the three maps: a walled compound with
+ * streets, buildings with doorways, crates and barrels, differing in
+ * seed, palette and density.
+ */
+Scene
+buildGameMap(const char *name, uint64_t seed, const Vec3 &wall_color,
+             const Vec3 &accent_color, int building_count,
+             int prop_count, float detail)
+{
+    Scene scene;
+    scene.name = name;
+    scene.stress = "real-world game map analogue (comparison only)";
+    Rng rng(seed);
+
+    int wall_tex = scene.addTexture(Texture(Texture::Kind::Noise, 512,
+                                            512, wall_color,
+                                            wall_color * 0.7f, 20.0f));
+    Material wall;
+    wall.albedo = wall_color;
+    wall.textureId = wall_tex;
+    int wall_mat = scene.addMaterial(wall);
+    Material accent;
+    accent.albedo = accent_color;
+    int accent_mat = scene.addMaterial(accent);
+    Material street;
+    street.albedo = {0.45f, 0.42f, 0.38f};
+    int street_mat = scene.addMaterial(street);
+
+    TriangleMesh ground = shapes::gridPlane(80.0f, 80.0f,
+                                            scaled(20, detail, 5),
+                                            scaled(20, detail, 5));
+    ground.materialId = street_mat;
+    scene.addInstance(scene.addGeometry(std::move(ground)),
+                      Mat4::identity());
+
+    // Perimeter walls.
+    TriangleMesh perimeter = shapes::box({-40.0f, 0.0f, -40.0f},
+                                         {40.0f, 6.0f, -38.5f});
+    perimeter.append(shapes::box({-40.0f, 0.0f, 38.5f},
+                                 {40.0f, 6.0f, 40.0f}));
+    perimeter.append(shapes::box({-40.0f, 0.0f, -38.5f},
+                                 {-38.5f, 6.0f, 38.5f}));
+    perimeter.append(shapes::box({38.5f, 0.0f, -38.5f},
+                                 {40.0f, 6.0f, 38.5f}));
+    perimeter.materialId = wall_mat;
+    scene.addInstance(scene.addGeometry(std::move(perimeter)),
+                      Mat4::identity());
+
+    // Buildings: box shells with door openings approximated by a
+    // lintel over two jamb boxes, plus a flat or peaked roof.
+    for (int b = 0; b < building_count; b++) {
+        Vec3 pos = rng.nextInBox({-30.0f, 0.0f, -30.0f},
+                                 {30.0f, 0.0f, 30.0f});
+        float w = rng.nextRange(4.0f, 9.0f);
+        float d = rng.nextRange(4.0f, 9.0f);
+        float h = rng.nextRange(3.0f, 7.0f);
+        TriangleMesh bld;
+        // Three full walls plus a doorway wall.
+        bld.append(shapes::box({-w, 0.0f, -d}, {w, h, -d + 0.4f}));
+        bld.append(shapes::box({-w, 0.0f, d - 0.4f}, {w, h, d}));
+        bld.append(shapes::box({-w, 0.0f, -d}, {-w + 0.4f, h, d}));
+        bld.append(shapes::box({w - 0.4f, 0.0f, -d},
+                               {w, h, -1.0f}));
+        bld.append(shapes::box({w - 0.4f, 0.0f, 1.0f}, {w, h, d}));
+        bld.append(shapes::box({w - 0.4f, 2.4f, -1.0f},
+                               {w, h, 1.0f}));
+        if (b % 2 == 0) {
+            bld.append(shapes::box({-w, h, -d}, {w, h + 0.4f, d}));
+        } else {
+            bld.append(shapes::cone({0.0f, h, 0.0f},
+                                    std::max(w, d) * 1.1f, 2.0f,
+                                    scaled(10, detail, 5)));
+        }
+        bld.materialId = wall_mat;
+        Mat4 xform = Mat4::translate(pos) *
+                     Mat4::rotateY(rng.nextRange(0.0f, pi));
+        scene.addInstance(scene.addGeometry(std::move(bld)), xform);
+    }
+
+    // Props: crates and barrels, shared geometry, many instances.
+    TriangleMesh crate = shapes::box({-0.5f, 0.0f, -0.5f},
+                                     {0.5f, 1.0f, 0.5f});
+    crate.materialId = accent_mat;
+    int crate_id = scene.addGeometry(std::move(crate));
+    TriangleMesh barrel = shapes::cylinder({0.0f, 0.0f, 0.0f}, 0.4f,
+                                           1.1f, scaled(12, detail, 6));
+    barrel.materialId = accent_mat;
+    int barrel_id = scene.addGeometry(std::move(barrel));
+    for (int i = 0; i < prop_count; i++) {
+        Vec3 pos = rng.nextInBox({-34.0f, 0.0f, -34.0f},
+                                 {34.0f, 0.0f, 34.0f});
+        Mat4 xform = Mat4::translate(pos) *
+                     Mat4::rotateY(rng.nextRange(0.0f, 2.0f * pi)) *
+                     Mat4::scale(Vec3(rng.nextRange(0.7f, 1.6f)));
+        scene.addInstance(rng.nextBelow(2) ? crate_id : barrel_id,
+                          xform);
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.35f, 1.0f, 0.25f}),
+                            {2.8f, 2.7f, 2.5f}});
+    scene.camera = Camera({-28.0f, 2.0f, -28.0f}, {5.0f, 1.5f, 5.0f},
+                          {0.0f, 1.0f, 0.0f}, 70.0f);
+    return scene;
+}
+
+} // namespace
+
+Scene
+buildDust2(float detail)
+{
+    return buildGameMap("DUST2", 1001, {0.78f, 0.68f, 0.5f},
+                        {0.55f, 0.4f, 0.25f}, scaled(22, detail, 6),
+                        scaled(180, detail, 20), detail);
+}
+
+Scene
+buildMirage(float detail)
+{
+    return buildGameMap("MIRAGE", 1002, {0.8f, 0.75f, 0.62f},
+                        {0.35f, 0.5f, 0.6f}, scaled(26, detail, 7),
+                        scaled(150, detail, 18), detail);
+}
+
+Scene
+buildInferno(float detail)
+{
+    return buildGameMap("INFERNO", 1003, {0.72f, 0.6f, 0.5f},
+                        {0.6f, 0.25f, 0.15f}, scaled(30, detail, 8),
+                        scaled(220, detail, 24), detail);
+}
+
+} // namespace detail
+} // namespace lumi

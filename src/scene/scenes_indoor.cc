@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Indoor/enclosed scene generators: BATH, REF, BUNNY, SPNZA.
+ *
+ * Enclosed scenes guarantee every ray hits geometry (full root-to-leaf
+ * BVH traversals, Sec. 3.1.3) and feature reflective surfaces that
+ * spawn coherent secondary rays.
+ */
+
+#include <cmath>
+
+#include "geometry/shapes.hh"
+#include "math/rng.hh"
+#include "scene/scenes_internal.hh"
+
+namespace lumi
+{
+namespace detail
+{
+
+namespace
+{
+constexpr float pi = 3.14159265358979323846f;
+} // namespace
+
+Scene
+buildBath(float detail)
+{
+    // Bathroom: an enclosed, tiled room with a mirror and a tub.
+    // Stress: enclosure, reflective surfaces, texture fetches.
+    Scene scene;
+    scene.name = "BATH";
+    scene.stress = "enclosed, reflective surfaces, textures";
+    scene.enclosed = true;
+    Rng rng(707);
+
+    int tile_tex = scene.addTexture(Texture(Texture::Kind::Checker, 512,
+                                            512, {0.85f, 0.9f, 0.92f},
+                                            {0.55f, 0.62f, 0.7f},
+                                            16.0f));
+    int marble_tex = scene.addTexture(Texture(Texture::Kind::Marble,
+                                              512, 512,
+                                              {0.9f, 0.88f, 0.85f},
+                                              {0.6f, 0.58f, 0.55f},
+                                              6.0f));
+    Material tiles;
+    tiles.albedo = {0.8f, 0.85f, 0.9f};
+    tiles.textureId = tile_tex;
+    int tiles_mat = scene.addMaterial(tiles);
+    Material mirror;
+    mirror.albedo = {0.95f, 0.95f, 0.95f};
+    mirror.reflectivity = 0.92f;
+    int mirror_mat = scene.addMaterial(mirror);
+    Material porcelain;
+    porcelain.albedo = {0.92f, 0.92f, 0.9f};
+    porcelain.reflectivity = 0.15f;
+    porcelain.textureId = marble_tex;
+    int porcelain_mat = scene.addMaterial(porcelain);
+    Material chrome;
+    chrome.albedo = {0.8f, 0.8f, 0.85f};
+    chrome.reflectivity = 0.7f;
+    int chrome_mat = scene.addMaterial(chrome);
+
+    // The room shell (inward-facing, tessellated walls).
+    TriangleMesh room = shapes::roomShell({-4.0f, 0.0f, -3.0f},
+                                          {4.0f, 3.2f, 3.0f},
+                                          scaled(14, detail, 4));
+    room.materialId = tiles_mat;
+    scene.addInstance(scene.addGeometry(std::move(room)),
+                      Mat4::identity());
+
+    // Mirror on the back wall.
+    TriangleMesh mirror_quad =
+        shapes::texturedQuad({-1.6f, 1.0f, -2.98f}, {3.2f, 0.0f, 0.0f},
+                             {0.0f, 1.6f, 0.0f});
+    mirror_quad.materialId = mirror_mat;
+    scene.addInstance(scene.addGeometry(std::move(mirror_quad)),
+                      Mat4::identity());
+
+    // Bathtub: a scaled, hollowed blob plus a rim.
+    TriangleMesh tub = shapes::blob({0.0f, 0.0f, 0.0f}, 1.0f,
+                                    scaled(16, detail, 6), 0.06f, rng);
+    tub.transform(Mat4::translate({-2.0f, 0.55f, -1.6f}) *
+                  Mat4::scale({1.7f, 0.55f, 0.9f}));
+    tub.materialId = porcelain_mat;
+    scene.addInstance(scene.addGeometry(std::move(tub)),
+                      Mat4::identity());
+
+    // Sink: pedestal cylinder plus basin.
+    TriangleMesh sink = shapes::cylinder({2.4f, 0.0f, -2.2f}, 0.18f,
+                                         0.8f, scaled(16, detail, 8));
+    sink.append(shapes::uvSphere({2.4f, 0.95f, -2.2f}, 0.35f,
+                                 scaled(12, detail, 5),
+                                 scaled(24, detail, 10)));
+    sink.materialId = porcelain_mat;
+    scene.addInstance(scene.addGeometry(std::move(sink)),
+                      Mat4::identity());
+
+    // Chrome fixtures: taps, towel bar, shower pipe.
+    TriangleMesh fixtures = shapes::rope({2.4f, 1.1f, -2.5f},
+                                         {2.4f, 1.35f, -2.3f}, 0.03f,
+                                         8, 4);
+    fixtures.append(shapes::rope({-3.6f, 1.5f, -0.5f},
+                                 {-3.6f, 1.5f, 1.0f}, 0.025f, 8, 4));
+    fixtures.append(shapes::rope({3.6f, 0.2f, 2.0f},
+                                 {3.6f, 2.8f, 2.0f}, 0.04f, 8, 6));
+    fixtures.materialId = chrome_mat;
+    scene.addInstance(scene.addGeometry(std::move(fixtures)),
+                      Mat4::identity());
+
+    // Small tiles details: a row of bottles (instanced).
+    TriangleMesh bottle = shapes::cylinder({0.0f, 0.0f, 0.0f}, 0.05f,
+                                           0.22f, scaled(10, detail, 6),
+                                           2);
+    bottle.append(shapes::uvSphere({0.0f, 0.25f, 0.0f}, 0.045f, 6, 10));
+    bottle.materialId = chrome_mat;
+    int bottle_id = scene.addGeometry(std::move(bottle));
+    for (int i = 0; i < scaled(10, detail, 3); i++) {
+        scene.addInstance(bottle_id,
+                          Mat4::translate({1.2f + 0.18f * i, 1.05f,
+                                           -2.3f}));
+    }
+
+    scene.lights.push_back({Light::Type::Point, {0.0f, 3.0f, 0.0f},
+                            {9.0f, 9.0f, 8.5f}});
+    scene.lights.push_back({Light::Type::Point, {2.4f, 2.2f, -2.2f},
+                            {3.0f, 3.0f, 2.6f}});
+    scene.camera = Camera({3.2f, 1.7f, 2.4f}, {-1.2f, 0.9f, -1.4f},
+                          {0.0f, 1.0f, 0.0f}, 60.0f);
+    return scene;
+}
+
+Scene
+buildRef(float detail)
+{
+    // Reflective Cornell box (the RayTracingInVulkan REF scene):
+    // a small enclosed box with mirrored spheres.
+    Scene scene;
+    scene.name = "REF";
+    scene.stress = "enclosed box, mirror reflections";
+    scene.enclosed = true;
+
+    Material white;
+    white.albedo = {0.75f, 0.75f, 0.75f};
+    int white_mat = scene.addMaterial(white);
+    Material red;
+    red.albedo = {0.65f, 0.06f, 0.06f};
+    int red_mat = scene.addMaterial(red);
+    Material green;
+    green.albedo = {0.1f, 0.55f, 0.12f};
+    int green_mat = scene.addMaterial(green);
+    Material mirror;
+    mirror.albedo = {0.9f, 0.9f, 0.9f};
+    mirror.reflectivity = 0.95f;
+    int mirror_mat = scene.addMaterial(mirror);
+    Material glossy;
+    glossy.albedo = {0.7f, 0.6f, 0.2f};
+    glossy.reflectivity = 0.4f;
+    int glossy_mat = scene.addMaterial(glossy);
+
+    // Box interior: floor/ceiling/back in white, side walls colored.
+    TriangleMesh shell = shapes::roomShell({-1.0f, 0.0f, -1.0f},
+                                           {1.0f, 2.0f, 1.0f},
+                                           scaled(10, detail, 4));
+    shell.materialId = white_mat;
+    scene.addInstance(scene.addGeometry(std::move(shell)),
+                      Mat4::identity());
+    TriangleMesh left = shapes::texturedQuad({-0.999f, 0.0f, 1.0f},
+                                             {0.0f, 0.0f, -2.0f},
+                                             {0.0f, 2.0f, 0.0f});
+    left.materialId = red_mat;
+    scene.addInstance(scene.addGeometry(std::move(left)),
+                      Mat4::identity());
+    TriangleMesh right = shapes::texturedQuad({0.999f, 0.0f, -1.0f},
+                                              {0.0f, 0.0f, 2.0f},
+                                              {0.0f, 2.0f, 0.0f});
+    right.materialId = green_mat;
+    scene.addInstance(scene.addGeometry(std::move(right)),
+                      Mat4::identity());
+
+    int stacks = scaled(18, detail, 8);
+    TriangleMesh ball = shapes::uvSphere({-0.35f, 0.45f, -0.3f}, 0.45f,
+                                         stacks, stacks * 2);
+    ball.materialId = mirror_mat;
+    scene.addInstance(scene.addGeometry(std::move(ball)),
+                      Mat4::identity());
+    TriangleMesh ball2 = shapes::uvSphere({0.45f, 0.3f, 0.35f}, 0.3f,
+                                          stacks, stacks * 2);
+    ball2.materialId = glossy_mat;
+    scene.addInstance(scene.addGeometry(std::move(ball2)),
+                      Mat4::identity());
+    TriangleMesh pedestal = shapes::box({0.15f, 0.0f, 0.05f},
+                                        {0.75f, 0.12f, 0.65f});
+    pedestal.materialId = white_mat;
+    scene.addInstance(scene.addGeometry(std::move(pedestal)),
+                      Mat4::identity());
+
+    scene.lights.push_back({Light::Type::Point, {0.0f, 1.9f, 0.0f},
+                            {5.0f, 5.0f, 5.0f}});
+    scene.camera = Camera({0.0f, 1.0f, 0.97f}, {0.0f, 0.8f, -1.0f},
+                          {0.0f, 1.0f, 0.0f}, 65.0f);
+    return scene;
+}
+
+Scene
+buildBunny(float detail)
+{
+    // A Stanford-bunny-like organic blob sitting inside an enclosed
+    // room: the simple indoor scene of Table 2 (BUNNY_AO).
+    Scene scene;
+    scene.name = "BUNNY";
+    scene.stress = "indoor and enclosed, simple geometry";
+    scene.enclosed = true;
+    Rng rng(808);
+
+    Material walls;
+    walls.albedo = {0.7f, 0.68f, 0.62f};
+    int walls_mat = scene.addMaterial(walls);
+    Material fur;
+    fur.albedo = {0.75f, 0.72f, 0.68f};
+    int fur_mat = scene.addMaterial(fur);
+
+    TriangleMesh room = shapes::roomShell({-3.0f, 0.0f, -3.0f},
+                                          {3.0f, 3.5f, 3.0f},
+                                          scaled(12, detail, 4));
+    room.materialId = walls_mat;
+    scene.addInstance(scene.addGeometry(std::move(room)),
+                      Mat4::identity());
+
+    // Bunny: body + head + two ears + feet, all one mesh.
+    int d = scaled(22, detail, 8);
+    TriangleMesh bunny = shapes::blob({0.0f, 0.75f, 0.0f}, 0.75f, d,
+                                      0.07f, rng);
+    bunny.append(shapes::blob({0.0f, 1.6f, 0.45f}, 0.42f,
+                              scaled(16, detail, 6), 0.06f, rng));
+    // Ears: flattened thin cylinders.
+    TriangleMesh ear = shapes::cylinder({0.0f, 0.0f, 0.0f}, 0.12f,
+                                        0.85f, scaled(10, detail, 6),
+                                        3);
+    ear.transform(Mat4::scale({1.0f, 1.0f, 0.35f}));
+    TriangleMesh ear_l = ear;
+    ear_l.transform(Mat4::translate({-0.18f, 1.85f, 0.4f}) *
+                    Mat4::rotateZ(0.25f));
+    bunny.append(ear_l);
+    TriangleMesh ear_r = ear;
+    ear_r.transform(Mat4::translate({0.18f, 1.85f, 0.4f}) *
+                    Mat4::rotateZ(-0.25f));
+    bunny.append(ear_r);
+    bunny.append(shapes::blob({-0.35f, 0.2f, 0.45f}, 0.25f,
+                              scaled(8, detail, 4), 0.05f, rng));
+    bunny.append(shapes::blob({0.35f, 0.2f, 0.45f}, 0.25f,
+                              scaled(8, detail, 4), 0.05f, rng));
+    bunny.materialId = fur_mat;
+    scene.addInstance(scene.addGeometry(std::move(bunny)),
+                      Mat4::identity());
+
+    scene.lights.push_back({Light::Type::Point, {0.0f, 3.2f, 0.0f},
+                            {8.0f, 8.0f, 7.5f}});
+    scene.camera = Camera({2.0f, 1.6f, 2.6f}, {0.0f, 1.0f, 0.0f},
+                          {0.0f, 1.0f, 0.0f}, 55.0f);
+    return scene;
+}
+
+Scene
+buildSpnza(float detail)
+{
+    // Sponza-like colonnade atrium: two stories of instanced pillars
+    // and arches around a courtyard, with textured walls and hanging
+    // fabric. Stress: enclosure + texture fetches (SPNZA_AO).
+    Scene scene;
+    scene.name = "SPNZA";
+    scene.stress = "indoor and enclosed, textures";
+    scene.enclosed = true;
+    Rng rng(909);
+
+    int wall_tex = scene.addTexture(Texture(Texture::Kind::Noise, 512,
+                                            512, {0.75f, 0.68f, 0.58f},
+                                            {0.6f, 0.52f, 0.42f},
+                                            18.0f));
+    int floor_tex = scene.addTexture(Texture(Texture::Kind::Checker,
+                                             512, 512,
+                                             {0.7f, 0.66f, 0.6f},
+                                             {0.5f, 0.46f, 0.4f},
+                                             24.0f));
+    int fabric_tex = scene.addTexture(Texture(Texture::Kind::Marble,
+                                              256, 256,
+                                              {0.6f, 0.15f, 0.12f},
+                                              {0.3f, 0.08f, 0.1f},
+                                              4.0f));
+    Material stone;
+    stone.albedo = {0.7f, 0.64f, 0.55f};
+    stone.textureId = wall_tex;
+    int stone_mat = scene.addMaterial(stone);
+    Material floor;
+    floor.albedo = {0.65f, 0.6f, 0.55f};
+    floor.textureId = floor_tex;
+    int floor_mat = scene.addMaterial(floor);
+    Material fabric;
+    fabric.albedo = {0.55f, 0.12f, 0.1f};
+    fabric.textureId = fabric_tex;
+    int fabric_mat = scene.addMaterial(fabric);
+
+    // Outer shell (the atrium walls and roof).
+    TriangleMesh shell = shapes::roomShell({-12.0f, 0.0f, -5.0f},
+                                           {12.0f, 9.0f, 5.0f},
+                                           scaled(18, detail, 5));
+    shell.materialId = stone_mat;
+    scene.addInstance(scene.addGeometry(std::move(shell)),
+                      Mat4::identity());
+
+    // Floor slab with its own texture.
+    TriangleMesh slab = shapes::gridPlane(23.8f, 9.8f,
+                                          scaled(16, detail, 4),
+                                          scaled(8, detail, 2));
+    slab.transform(Mat4::translate({0.0f, 0.02f, 0.0f}));
+    slab.materialId = floor_mat;
+    scene.addInstance(scene.addGeometry(std::move(slab)),
+                      Mat4::identity());
+
+    // Pillar archetype: fluted column with base and capital.
+    int slices = scaled(18, detail, 8);
+    TriangleMesh pillar = shapes::box({-0.45f, 0.0f, -0.45f},
+                                      {0.45f, 0.3f, 0.45f});
+    pillar.append(shapes::cylinder({0.0f, 0.3f, 0.0f}, 0.3f, 3.0f,
+                                   slices, 4));
+    pillar.append(shapes::box({-0.45f, 3.3f, -0.45f},
+                              {0.45f, 3.6f, 0.45f}));
+    pillar.materialId = stone_mat;
+    int pillar_id = scene.addGeometry(std::move(pillar));
+
+    // Two stories of pillars along both long walls.
+    for (int story = 0; story < 2; story++) {
+        float y = story * 4.2f;
+        for (int i = 0; i < 8; i++) {
+            float x = -10.5f + 3.0f * i;
+            scene.addInstance(pillar_id,
+                              Mat4::translate({x, y, -3.6f}));
+            scene.addInstance(pillar_id,
+                              Mat4::translate({x, y, 3.6f}));
+        }
+    }
+
+    // Upper gallery floor ring.
+    TriangleMesh gallery = shapes::box({-11.5f, 3.6f, -4.9f},
+                                       {11.5f, 4.2f, -2.8f});
+    gallery.append(shapes::box({-11.5f, 3.6f, 2.8f},
+                               {11.5f, 4.2f, 4.9f}));
+    gallery.materialId = stone_mat;
+    scene.addInstance(scene.addGeometry(std::move(gallery)),
+                      Mat4::identity());
+
+    // Hanging fabric banners across the courtyard.
+    TriangleMesh banner = shapes::gridPlane(1.6f, 2.4f,
+                                            scaled(6, detail, 2),
+                                            scaled(10, detail, 3));
+    banner.transform(Mat4::rotateX(pi * 0.5f));
+    banner.materialId = fabric_mat;
+    int banner_id = scene.addGeometry(std::move(banner));
+    for (int i = 0; i < scaled(9, detail, 3); i++) {
+        float x = -9.0f + 2.4f * i;
+        scene.addInstance(banner_id,
+                          Mat4::translate({x, 6.0f,
+                                           (i % 2) ? 1.8f : -1.8f}));
+    }
+
+    // Lion-head-ish ornaments (blobs) on the end walls.
+    TriangleMesh ornament = shapes::blob({0.0f, 0.0f, 0.0f}, 0.5f,
+                                         scaled(10, detail, 4), 0.2f,
+                                         rng);
+    ornament.materialId = stone_mat;
+    int ornament_id = scene.addGeometry(std::move(ornament));
+    scene.addInstance(ornament_id, Mat4::translate({-11.4f, 5.0f,
+                                                    0.0f}));
+    scene.addInstance(ornament_id, Mat4::translate({11.4f, 5.0f,
+                                                    0.0f}));
+
+    scene.lights.push_back({Light::Type::Point, {0.0f, 8.4f, 0.0f},
+                            {30.0f, 29.0f, 26.0f}});
+    scene.lights.push_back({Light::Type::Point, {-8.0f, 2.5f, 0.0f},
+                            {6.0f, 5.5f, 4.5f}});
+    scene.lights.push_back({Light::Type::Point, {8.0f, 2.5f, 0.0f},
+                            {6.0f, 5.5f, 4.5f}});
+    scene.camera = Camera({-10.2f, 1.8f, 0.0f}, {6.0f, 2.6f, 0.0f},
+                          {0.0f, 1.0f, 0.0f}, 62.0f);
+    return scene;
+}
+
+} // namespace detail
+} // namespace lumi

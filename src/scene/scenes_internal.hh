@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Internal declarations for the per-scene generator functions. Not
+ * part of the public API; use scene_library.hh instead.
+ */
+
+#ifndef LUMI_SCENE_SCENES_INTERNAL_HH
+#define LUMI_SCENE_SCENES_INTERNAL_HH
+
+#include "scene/scene.hh"
+
+namespace lumi
+{
+namespace detail
+{
+
+/** Clamp a detail-scaled count to at least @p floor_value. */
+inline int
+scaled(int full, float detail, int floor_value = 1)
+{
+    int v = static_cast<int>(full * detail);
+    return v < floor_value ? floor_value : v;
+}
+
+// scenes_nature.cc
+Scene buildLands(float detail);
+Scene buildFrst(float detail);
+Scene buildSprng(float detail);
+Scene buildChsnt(float detail);
+Scene buildPark(float detail);
+Scene buildFox(float detail);
+
+// scenes_indoor.cc
+Scene buildBath(float detail);
+Scene buildRef(float detail);
+Scene buildBunny(float detail);
+Scene buildSpnza(float detail);
+
+// scenes_objects.cc
+Scene buildShip(float detail);
+Scene buildCar(float detail);
+Scene buildRobot(float detail);
+Scene buildParty(float detail);
+Scene buildCrnvl(float detail);
+Scene buildWknd(float detail);
+
+// scenes_game.cc
+Scene buildDust2(float detail);
+Scene buildMirage(float detail);
+Scene buildInferno(float detail);
+
+} // namespace detail
+} // namespace lumi
+
+#endif // LUMI_SCENE_SCENES_INTERNAL_HH

@@ -1,0 +1,587 @@
+/**
+ * @file
+ * Nature scene generators: LANDS, FRST, SPRNG, CHSNT, PARK, FOX.
+ *
+ * These reproduce the outdoor scenes of Table 1: terrain-dominated
+ * open scenes, instanced forests, alpha-masked foliage and the
+ * long-and-thin grass stress case.
+ */
+
+#include <cmath>
+
+#include "geometry/shapes.hh"
+#include "math/rng.hh"
+#include "scene/scenes_internal.hh"
+
+namespace lumi
+{
+namespace detail
+{
+
+namespace
+{
+
+constexpr float pi = 3.14159265358979323846f;
+
+float
+rollingHills(float x, float z)
+{
+    return 1.5f * std::sin(x * 0.08f) * std::cos(z * 0.06f) +
+           0.6f * std::sin(x * 0.23f + 1.7f) * std::sin(z * 0.19f);
+}
+
+float
+snowDunes(float x, float z)
+{
+    return 2.2f * std::sin(x * 0.05f + 0.4f) * std::sin(z * 0.045f) +
+           0.4f * std::cos(x * 0.31f) * std::cos(z * 0.27f);
+}
+
+/** A stylized conifer: trunk cylinder plus stacked canopy cones. */
+TriangleMesh
+conifer(float trunk_h, float canopy_r, int slices, int layers)
+{
+    TriangleMesh tree = shapes::cylinder({0.0f, 0.0f, 0.0f},
+                                         trunk_h * 0.08f, trunk_h,
+                                         slices);
+    for (int layer = 0; layer < layers; layer++) {
+        float t = static_cast<float>(layer) / layers;
+        float y = trunk_h * (0.35f + 0.6f * t);
+        float r = canopy_r * (1.0f - 0.65f * t);
+        tree.append(shapes::cone({0.0f, y, 0.0f}, r,
+                                 trunk_h * 0.5f * (1.0f - 0.4f * t),
+                                 slices));
+    }
+    return tree;
+}
+
+/** A broadleaf tree: trunk plus a blobby canopy. */
+TriangleMesh
+broadleaf(float trunk_h, float canopy_r, int detail_level, Rng &rng)
+{
+    TriangleMesh tree = shapes::cylinder({0.0f, 0.0f, 0.0f},
+                                         trunk_h * 0.1f, trunk_h, 8);
+    tree.append(shapes::blob({0.0f, trunk_h + canopy_r * 0.6f, 0.0f},
+                             canopy_r, detail_level, 0.25f, rng));
+    return tree;
+}
+
+/** A clump of grass blades rooted near the origin. */
+TriangleMesh
+grassClump(int blades, float blade_h, Rng &rng)
+{
+    TriangleMesh clump;
+    for (int i = 0; i < blades; i++) {
+        Vec3 base = rng.nextInBox({-0.5f, 0.0f, -0.5f},
+                                  {0.5f, 0.0f, 0.5f});
+        float h = blade_h * rng.nextRange(0.7f, 1.3f);
+        clump.append(shapes::grassBlade(base, h, 0.02f * h,
+                                        rng.nextRange(0.1f, 0.5f) * h,
+                                        rng.nextRange(0.0f, 2.0f * pi)));
+    }
+    return clump;
+}
+
+/** A very rough humanoid from blobs and cylinders. */
+TriangleMesh
+humanoid(float height, int detail_level, Rng &rng)
+{
+    float head_r = height * 0.09f;
+    TriangleMesh body = shapes::blob({0.0f, height * 0.55f, 0.0f},
+                                     height * 0.18f, detail_level,
+                                     0.08f, rng);
+    body.append(shapes::uvSphere({0.0f, height * 0.88f, 0.0f}, head_r,
+                                 detail_level, detail_level * 2));
+    // Legs and arms as thin cylinders.
+    body.append(shapes::cylinder({-height * 0.07f, 0.0f, 0.0f},
+                                 height * 0.04f, height * 0.42f, 8));
+    body.append(shapes::cylinder({height * 0.07f, 0.0f, 0.0f},
+                                 height * 0.04f, height * 0.42f, 8));
+    body.append(shapes::cylinder({-height * 0.2f, height * 0.45f, 0.0f},
+                                 height * 0.03f, height * 0.3f, 8));
+    body.append(shapes::cylinder({height * 0.2f, height * 0.45f, 0.0f},
+                                 height * 0.03f, height * 0.3f, 8));
+    return body;
+}
+
+} // namespace
+
+Scene
+buildLands(float detail)
+{
+    // White Lands: a large snowy terrain with scattered monoliths.
+    // Stress: high primitive count, open scene (rays can miss).
+    Scene scene;
+    scene.name = "LANDS";
+    scene.stress = "large open terrain, high primitive count";
+    Rng rng(101);
+
+    int snow_tex = scene.addTexture(Texture(Texture::Kind::Noise, 512,
+                                            512, {0.92f, 0.94f, 0.98f},
+                                            {0.75f, 0.8f, 0.9f}, 24.0f));
+    Material snow;
+    snow.albedo = {0.9f, 0.92f, 0.96f};
+    snow.textureId = snow_tex;
+    int snow_mat = scene.addMaterial(snow);
+
+    Material rock;
+    rock.albedo = {0.35f, 0.33f, 0.38f};
+    int rock_mat = scene.addMaterial(rock);
+
+    int grid = scaled(96, detail, 12);
+    TriangleMesh terrain = shapes::gridPlane(120.0f, 120.0f, grid, grid,
+                                             snowDunes);
+    terrain.materialId = snow_mat;
+    int terrain_id = scene.addGeometry(std::move(terrain));
+    scene.addInstance(terrain_id, Mat4::identity());
+
+    // Monolith geometry shared by all placements.
+    TriangleMesh monolith = shapes::box({-0.8f, 0.0f, -0.5f},
+                                        {0.8f, 6.0f, 0.5f});
+    monolith.append(shapes::blob({0.0f, 6.5f, 0.0f}, 1.2f,
+                                 scaled(10, detail, 4), 0.3f, rng));
+    monolith.materialId = rock_mat;
+    int monolith_id = scene.addGeometry(std::move(monolith));
+
+    int count = scaled(48, detail, 6);
+    for (int i = 0; i < count; i++) {
+        Vec3 pos = rng.nextInBox({-55.0f, 0.0f, -55.0f},
+                                 {55.0f, 0.0f, 55.0f});
+        pos.y = snowDunes(pos.x, pos.z) - 0.2f;
+        Mat4 xform = Mat4::translate(pos) *
+                     Mat4::rotateY(rng.nextRange(0.0f, 2.0f * pi)) *
+                     Mat4::scale(Vec3(rng.nextRange(0.6f, 1.8f)));
+        scene.addInstance(monolith_id, xform);
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.4f, 1.0f, 0.2f}),
+                            {3.0f, 2.9f, 2.7f}});
+    scene.frame({0.5f, 0.35f, 1.0f}, 0.7f);
+    return scene;
+}
+
+Scene
+buildFrst(float detail)
+{
+    // Red Autumn Forest: many instanced trees over rolling terrain.
+    // Stress: high rendered triangle count through instancing.
+    Scene scene;
+    scene.name = "FRST";
+    scene.stress = "instanced forest, high triangle count";
+    Rng rng(202);
+
+    Material ground;
+    ground.albedo = {0.45f, 0.3f, 0.15f};
+    int bark_tex = scene.addTexture(Texture(Texture::Kind::Bark, 256,
+                                            256, {0.3f, 0.2f, 0.12f},
+                                            {0.5f, 0.35f, 0.2f}));
+    int ground_mat = scene.addMaterial(ground);
+    Material autumn;
+    autumn.albedo = {0.75f, 0.3f, 0.12f};
+    autumn.textureId = bark_tex;
+    int tree_mat = scene.addMaterial(autumn);
+
+    int grid = scaled(64, detail, 10);
+    TriangleMesh terrain = shapes::gridPlane(90.0f, 90.0f, grid, grid,
+                                             rollingHills);
+    terrain.materialId = ground_mat;
+    scene.addInstance(scene.addGeometry(std::move(terrain)),
+                      Mat4::identity());
+
+    // Four tree archetypes, heavily instanced.
+    std::vector<int> tree_ids;
+    for (int variant = 0; variant < 4; variant++) {
+        int slices = scaled(12 + variant * 2, detail, 5);
+        TriangleMesh tree =
+            variant % 2 == 0
+                ? conifer(5.0f + variant, 2.2f, slices, 3 + variant)
+                : broadleaf(3.5f + variant, 2.0f,
+                            scaled(10, detail, 4), rng);
+        tree.materialId = tree_mat;
+        tree_ids.push_back(scene.addGeometry(std::move(tree)));
+    }
+
+    int count = scaled(280, detail, 16);
+    for (int i = 0; i < count; i++) {
+        Vec3 pos = rng.nextInBox({-42.0f, 0.0f, -42.0f},
+                                 {42.0f, 0.0f, 42.0f});
+        pos.y = rollingHills(pos.x, pos.z) - 0.1f;
+        Mat4 xform = Mat4::translate(pos) *
+                     Mat4::rotateY(rng.nextRange(0.0f, 2.0f * pi)) *
+                     Mat4::scale(Vec3(rng.nextRange(0.7f, 1.4f)));
+        scene.addInstance(tree_ids[rng.nextBelow(4)], xform);
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{-0.3f, 1.0f, 0.4f}),
+                            {2.6f, 2.2f, 1.8f}});
+    scene.frame({0.8f, 0.3f, 0.9f}, 0.55f);
+    return scene;
+}
+
+Scene
+buildSprng(float detail)
+{
+    // Spring: a character standing in a flowery meadow with trees.
+    Scene scene;
+    scene.name = "SPRNG";
+    scene.stress = "organic character, meadow with grass clumps";
+    Rng rng(303);
+
+    Material ground;
+    ground.albedo = {0.3f, 0.5f, 0.2f};
+    int ground_mat = scene.addMaterial(ground);
+    Material grass;
+    grass.albedo = {0.35f, 0.6f, 0.25f};
+    int grass_mat = scene.addMaterial(grass);
+    Material skin;
+    skin.albedo = {0.8f, 0.65f, 0.55f};
+    int skin_mat = scene.addMaterial(skin);
+    Material leaf;
+    leaf.albedo = {0.4f, 0.65f, 0.3f};
+    int leaf_mat = scene.addMaterial(leaf);
+
+    int grid = scaled(48, detail, 8);
+    TriangleMesh terrain = shapes::gridPlane(40.0f, 40.0f, grid, grid,
+                                             rollingHills);
+    terrain.materialId = ground_mat;
+    scene.addInstance(scene.addGeometry(std::move(terrain)),
+                      Mat4::identity());
+
+    TriangleMesh person = humanoid(1.7f, scaled(14, detail, 6), rng);
+    person.materialId = skin_mat;
+    scene.addInstance(scene.addGeometry(std::move(person)),
+                      Mat4::translate({0.0f, 0.2f, 0.0f}));
+
+    TriangleMesh clump = grassClump(scaled(40, detail, 6), 0.5f, rng);
+    clump.materialId = grass_mat;
+    int clump_id = scene.addGeometry(std::move(clump));
+    int clumps = scaled(220, detail, 12);
+    for (int i = 0; i < clumps; i++) {
+        Vec3 pos = rng.nextInBox({-18.0f, 0.0f, -18.0f},
+                                 {18.0f, 0.0f, 18.0f});
+        pos.y = rollingHills(pos.x, pos.z);
+        scene.addInstance(clump_id, Mat4::translate(pos));
+    }
+
+    TriangleMesh tree = broadleaf(4.0f, 2.4f, scaled(12, detail, 5),
+                                  rng);
+    tree.materialId = leaf_mat;
+    int tree_id = scene.addGeometry(std::move(tree));
+    int trees = scaled(24, detail, 4);
+    for (int i = 0; i < trees; i++) {
+        Vec3 pos = rng.nextInBox({-17.0f, 0.0f, -17.0f},
+                                 {17.0f, 0.0f, 17.0f});
+        if (lengthSquared(pos) < 16.0f)
+            continue; // keep a clearing around the character
+        pos.y = rollingHills(pos.x, pos.z);
+        scene.addInstance(tree_id, Mat4::translate(pos));
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.2f, 1.0f, -0.3f}),
+                            {2.8f, 2.7f, 2.4f}});
+    scene.lights.push_back({Light::Type::Point, {3.0f, 3.0f, 3.0f},
+                            {6.0f, 6.0f, 5.0f}});
+    scene.frame({0.3f, 0.25f, 1.0f}, 0.45f);
+    return scene;
+}
+
+Scene
+buildChsnt(float detail)
+{
+    // Horse Chestnut Tree: a single tree whose foliage is thousands
+    // of alpha-masked leaf cards. Stress: anyhit shader invocations
+    // with texture fetches (Sec. 3.1.4).
+    Scene scene;
+    scene.name = "CHSNT";
+    scene.stress = "anyhit texture alpha masking";
+    Rng rng(404);
+
+    int leaf_tex = scene.addTexture(Texture(Texture::Kind::LeafMask,
+                                            256, 256,
+                                            {0.25f, 0.5f, 0.15f},
+                                            {0.45f, 0.7f, 0.25f}));
+    int bark_tex = scene.addTexture(Texture(Texture::Kind::Bark, 256,
+                                            256, {0.25f, 0.17f, 0.1f},
+                                            {0.4f, 0.3f, 0.18f}));
+    Material leaf;
+    leaf.albedo = {0.35f, 0.6f, 0.2f};
+    leaf.textureId = leaf_tex;
+    leaf.alphaTextureId = leaf_tex;
+    int leaf_mat = scene.addMaterial(leaf);
+    Material bark;
+    bark.albedo = {0.3f, 0.22f, 0.14f};
+    bark.textureId = bark_tex;
+    int bark_mat = scene.addMaterial(bark);
+    Material ground;
+    ground.albedo = {0.35f, 0.45f, 0.25f};
+    int ground_mat = scene.addMaterial(ground);
+
+    int grid = scaled(24, detail, 6);
+    TriangleMesh lawn = shapes::gridPlane(30.0f, 30.0f, grid, grid);
+    lawn.materialId = ground_mat;
+    scene.addInstance(scene.addGeometry(std::move(lawn)),
+                      Mat4::identity());
+
+    // Trunk and branches.
+    TriangleMesh trunk = shapes::cylinder({0.0f, 0.0f, 0.0f}, 0.45f,
+                                          5.0f, scaled(14, detail, 6),
+                                          3);
+    int branches = scaled(24, detail, 6);
+    for (int i = 0; i < branches; i++) {
+        float angle = rng.nextRange(0.0f, 2.0f * pi);
+        float y = rng.nextRange(2.5f, 5.0f);
+        Vec3 from{0.0f, y, 0.0f};
+        Vec3 to = from + Vec3(std::cos(angle) * 2.5f,
+                              rng.nextRange(0.5f, 1.8f),
+                              std::sin(angle) * 2.5f);
+        trunk.append(shapes::rope(from, to, 0.08f, 6, 3));
+    }
+    trunk.materialId = bark_mat;
+    scene.addInstance(scene.addGeometry(std::move(trunk)),
+                      Mat4::identity());
+
+    // Leaf cards: one shared two-triangle quad, instanced per leaf.
+    TriangleMesh card = shapes::texturedQuad({-0.48f, -0.48f, 0.0f},
+                                             {0.96f, 0.0f, 0.0f},
+                                             {0.0f, 0.96f, 0.0f});
+    card.materialId = leaf_mat;
+    int card_id = scene.addGeometry(std::move(card));
+    int leaves = scaled(3800, detail, 60);
+    for (int i = 0; i < leaves; i++) {
+        // Distribute in a canopy ellipsoid around the trunk top.
+        Vec3 p = rng.nextInBox({-1.0f, -1.0f, -1.0f},
+                               {1.0f, 1.0f, 1.0f});
+        if (lengthSquared(p) > 1.0f) {
+            i--;
+            continue;
+        }
+        Vec3 pos{p.x * 2.9f, 6.2f + p.y * 2.1f, p.z * 2.9f};
+        Mat4 xform = Mat4::translate(pos) *
+                     Mat4::rotateY(rng.nextRange(0.0f, 2.0f * pi)) *
+                     Mat4::rotateX(rng.nextRange(-0.8f, 0.8f));
+        scene.addInstance(card_id, xform);
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.3f, 1.0f, 0.25f}),
+                            {2.9f, 2.8f, 2.5f}});
+    // Frame the canopy: the alpha-masked leaf cards must dominate
+    // the view for the anyhit stress to show (Sec. 3.1.4).
+    scene.camera = Camera({9.5f, 5.5f, 7.5f}, {0.0f, 6.2f, 0.0f},
+                          {0.0f, 1.0f, 0.0f}, 42.0f);
+    return scene;
+}
+
+Scene
+buildPark(float detail)
+{
+    // Synthetic Park (the paper's own composite scene): grass field,
+    // trees, human characters, mountains and a car. Stress: long and
+    // thin grass blades plus a high primitive count.
+    Scene scene;
+    scene.name = "PARK";
+    scene.stress = "long/thin grass, high primitive count";
+    Rng rng(505);
+
+    Material ground;
+    ground.albedo = {0.28f, 0.42f, 0.18f};
+    int ground_mat = scene.addMaterial(ground);
+    Material grass;
+    grass.albedo = {0.3f, 0.55f, 0.2f};
+    int grass_mat = scene.addMaterial(grass);
+    Material rock;
+    rock.albedo = {0.45f, 0.42f, 0.4f};
+    int rock_mat = scene.addMaterial(rock);
+    Material skin;
+    skin.albedo = {0.75f, 0.6f, 0.5f};
+    int skin_mat = scene.addMaterial(skin);
+    Material paint;
+    paint.albedo = {0.7f, 0.1f, 0.1f};
+    paint.reflectivity = 0.35f;
+    int paint_mat = scene.addMaterial(paint);
+    Material canopy;
+    canopy.albedo = {0.25f, 0.5f, 0.18f};
+    int canopy_mat = scene.addMaterial(canopy);
+
+    int grid = scaled(56, detail, 8);
+    TriangleMesh terrain = shapes::gridPlane(70.0f, 70.0f, grid, grid,
+                                             rollingHills);
+    terrain.materialId = ground_mat;
+    scene.addInstance(scene.addGeometry(std::move(terrain)),
+                      Mat4::identity());
+
+    // The long-and-thin stress: large unique grass-field patches
+    // (the original asset is one big grass mesh, not instanced
+    // clumps -- a flat layout keeps traversal inside deep BLASes).
+    for (int patch = 0; patch < 8; patch++) {
+        TriangleMesh field;
+        float px = (patch % 4) * 15.0f - 22.5f;
+        float pz = (patch / 4) * 15.0f - 7.5f;
+        int blades = scaled(2000, detail, 60);
+        for (int i = 0; i < blades; i++) {
+            Vec3 base = rng.nextInBox({px - 7.5f, 0.0f, pz - 7.5f},
+                                      {px + 7.5f, 0.0f, pz + 7.5f});
+            base.y = rollingHills(base.x, base.z);
+            float h = 0.9f * rng.nextRange(0.7f, 1.4f);
+            field.append(shapes::grassBlade(
+                base, h, 0.02f * h, rng.nextRange(0.1f, 0.5f) * h,
+                rng.nextRange(0.0f, 2.0f * pi)));
+        }
+        field.materialId = grass_mat;
+        scene.addInstance(scene.addGeometry(std::move(field)),
+                          Mat4::identity());
+    }
+
+    TriangleMesh tree = broadleaf(4.5f, 2.6f, scaled(13, detail, 5),
+                                  rng);
+    tree.materialId = canopy_mat;
+    int tree_id = scene.addGeometry(std::move(tree));
+    int trees = scaled(56, detail, 5);
+    for (int i = 0; i < trees; i++) {
+        Vec3 pos = rng.nextInBox({-32.0f, 0.0f, -32.0f},
+                                 {32.0f, 0.0f, 32.0f});
+        pos.y = rollingHills(pos.x, pos.z);
+        scene.addInstance(tree_id,
+                          Mat4::translate(pos) *
+                              Mat4::scale(Vec3(rng.nextRange(0.7f,
+                                                             1.5f))));
+    }
+
+    TriangleMesh person = humanoid(1.75f, scaled(12, detail, 5), rng);
+    person.materialId = skin_mat;
+    int person_id = scene.addGeometry(std::move(person));
+    for (int i = 0; i < 3; i++) {
+        Vec3 pos{-4.0f + 4.0f * i, 0.0f, 2.0f - 3.0f * i};
+        pos.y = rollingHills(pos.x, pos.z);
+        scene.addInstance(person_id,
+                          Mat4::translate(pos) *
+                              Mat4::rotateY(rng.nextRange(0.0f,
+                                                          2.0f * pi)));
+    }
+
+    // A parked car: body blob, cabin box, cylinder wheels.
+    TriangleMesh car = shapes::blob({0.0f, 0.7f, 0.0f}, 1.0f,
+                                    scaled(12, detail, 5), 0.12f, rng);
+    car.transform(Mat4::scale({2.2f, 0.7f, 1.0f}));
+    car.append(shapes::box({-1.2f, 1.0f, -0.8f}, {1.2f, 1.7f, 0.8f}));
+    for (int w = 0; w < 4; w++) {
+        Vec3 hub{(w & 1) ? 1.4f : -1.4f, 0.35f,
+                 (w & 2) ? 0.85f : -0.85f};
+        TriangleMesh wheel = shapes::cylinder(hub - Vec3(0, 0.35f, 0),
+                                              0.35f, 0.7f,
+                                              scaled(12, detail, 6));
+        car.append(wheel);
+    }
+    car.materialId = paint_mat;
+    Vec3 car_pos{8.0f, rollingHills(8.0f, -6.0f), -6.0f};
+    scene.addInstance(scene.addGeometry(std::move(car)),
+                      Mat4::translate(car_pos));
+
+    // Distant mountains ringing the park.
+    TriangleMesh mountain = shapes::blob({0.0f, 0.0f, 0.0f}, 9.0f,
+                                         scaled(10, detail, 4), 0.45f,
+                                         rng);
+    mountain.materialId = rock_mat;
+    int mtn_id = scene.addGeometry(std::move(mountain));
+    for (int i = 0; i < 6; i++) {
+        float angle = 2.0f * pi * i / 6.0f;
+        Vec3 pos{std::cos(angle) * 48.0f, -2.0f,
+                 std::sin(angle) * 48.0f};
+        scene.addInstance(mtn_id,
+                          Mat4::translate(pos) *
+                              Mat4::scale({1.6f, 1.0f, 1.3f}));
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.35f, 1.0f, 0.3f}),
+                            {2.9f, 2.8f, 2.6f}});
+    scene.frame({0.6f, 0.18f, 1.0f}, 0.4f);
+    return scene;
+}
+
+Scene
+buildFox(float detail)
+{
+    // Splash Fox: an organic fox body leaping through a water splash
+    // of hundreds of instanced droplets.
+    Scene scene;
+    scene.name = "FOX";
+    scene.stress = "organic blob plus many droplet instances";
+    Rng rng(606);
+
+    Material fur;
+    fur.albedo = {0.85f, 0.45f, 0.15f};
+    int fur_mat = scene.addMaterial(fur);
+    Material water;
+    water.albedo = {0.55f, 0.7f, 0.85f};
+    water.reflectivity = 0.5f;
+    int water_mat = scene.addMaterial(water);
+
+    // Fox: body, head, tail, legs.
+    TriangleMesh fox = shapes::blob({0.0f, 1.2f, 0.0f}, 0.8f,
+                                    scaled(18, detail, 6), 0.1f, rng);
+    fox.transform(Mat4::scale({1.8f, 0.9f, 0.8f}));
+    fox.append(shapes::uvSphere({1.6f, 1.5f, 0.0f}, 0.42f,
+                                scaled(14, detail, 6),
+                                scaled(28, detail, 10)));
+    TriangleMesh tail = shapes::blob({-1.9f, 1.4f, 0.0f}, 0.5f,
+                                     scaled(12, detail, 5), 0.15f,
+                                     rng);
+    tail.transform(Mat4::translate({-1.9f, 1.4f, 0.0f}) *
+                   Mat4::scale({1.8f, 0.6f, 0.6f}) *
+                   Mat4::translate({1.9f, -1.4f, 0.0f}));
+    fox.append(tail);
+    for (int leg = 0; leg < 4; leg++) {
+        Vec3 base{(leg & 1) ? 0.9f : -0.9f, 0.0f,
+                  (leg & 2) ? 0.3f : -0.3f};
+        fox.append(shapes::cylinder(base, 0.09f, 1.0f, 8));
+    }
+    fox.materialId = fur_mat;
+    scene.addInstance(scene.addGeometry(std::move(fox)),
+                      Mat4::identity());
+
+    // The splash: one droplet geometry instanced hundreds of times.
+    TriangleMesh droplet = shapes::uvSphere({0.0f, 0.0f, 0.0f}, 0.06f,
+                                            scaled(8, detail, 4),
+                                            scaled(12, detail, 6));
+    droplet.materialId = water_mat;
+    int droplet_id = scene.addGeometry(std::move(droplet));
+    int drops = scaled(560, detail, 24);
+    for (int i = 0; i < drops; i++) {
+        // Droplets form an arc under and behind the fox.
+        float t = rng.nextFloat();
+        float angle = rng.nextRange(-0.8f, 0.8f);
+        Vec3 pos{-2.5f + 4.5f * t,
+                 0.15f + 1.6f * std::sin(t * pi) *
+                     rng.nextRange(0.4f, 1.0f),
+                 std::sin(angle) * (0.4f + t)};
+        scene.addInstance(droplet_id,
+                          Mat4::translate(pos) *
+                              Mat4::scale(Vec3(rng.nextRange(0.5f,
+                                                             2.2f))));
+    }
+
+    // Water surface below.
+    Material pool;
+    pool.albedo = {0.3f, 0.45f, 0.6f};
+    pool.reflectivity = 0.4f;
+    int pool_mat = scene.addMaterial(pool);
+    TriangleMesh surface = shapes::gridPlane(16.0f, 16.0f,
+                                             scaled(24, detail, 6),
+                                             scaled(24, detail, 6));
+    surface.materialId = pool_mat;
+    scene.addInstance(scene.addGeometry(std::move(surface)),
+                      Mat4::identity());
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.2f, 1.0f, 0.5f}),
+                            {2.8f, 2.8f, 2.7f}});
+    scene.frame({0.2f, 0.3f, 1.0f}, 0.6f);
+    return scene;
+}
+
+} // namespace detail
+} // namespace lumi

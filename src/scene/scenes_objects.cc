@@ -1,0 +1,636 @@
+/**
+ * @file
+ * Object-centric scene generators: SHIP, CAR, ROBOT, PARTY, CRNVL,
+ * WKND.
+ *
+ * These cover the remaining stress cases: long/thin rigging (SHIP),
+ * deep/dense BVHs (CAR, ROBOT), instancing-dominated scenes (PARTY),
+ * many light sources (CRNVL) and procedural geometry requiring
+ * intersection shaders (WKND).
+ */
+
+#include <cmath>
+
+#include "geometry/shapes.hh"
+#include "math/rng.hh"
+#include "scene/scenes_internal.hh"
+
+namespace lumi
+{
+namespace detail
+{
+
+namespace
+{
+constexpr float pi = 3.14159265358979323846f;
+} // namespace
+
+Scene
+buildShip(float detail)
+{
+    // Tall ship on the ocean: hull, masts, sails and above all a
+    // dense web of thin rigging ropes -- the long-and-thin stress
+    // case (SHIP_SH in Table 2).
+    Scene scene;
+    scene.name = "SHIP";
+    scene.stress = "long and thin rigging primitives";
+    Rng rng(111);
+
+    Material wood;
+    wood.albedo = {0.4f, 0.26f, 0.14f};
+    int wood_mat = scene.addMaterial(wood);
+    Material canvas;
+    canvas.albedo = {0.85f, 0.83f, 0.75f};
+    int canvas_mat = scene.addMaterial(canvas);
+    Material hemp;
+    hemp.albedo = {0.55f, 0.45f, 0.3f};
+    int hemp_mat = scene.addMaterial(hemp);
+    Material sea;
+    sea.albedo = {0.15f, 0.3f, 0.45f};
+    sea.reflectivity = 0.3f;
+    int sea_mat = scene.addMaterial(sea);
+
+    // Ocean.
+    TriangleMesh ocean = shapes::gridPlane(80.0f, 80.0f,
+                                           scaled(32, detail, 6),
+                                           scaled(32, detail, 6),
+                                           [](float x, float z) {
+                                               return 0.25f *
+                                                      std::sin(x * 0.7f) *
+                                                      std::cos(z * 0.6f);
+                                           });
+    ocean.materialId = sea_mat;
+    scene.addInstance(scene.addGeometry(std::move(ocean)),
+                      Mat4::identity());
+
+    // Hull: a stretched blob plus deck box.
+    TriangleMesh hull = shapes::blob({0.0f, 0.0f, 0.0f}, 1.0f,
+                                     scaled(16, detail, 6), 0.08f,
+                                     rng);
+    hull.transform(Mat4::translate({0.0f, 1.2f, 0.0f}) *
+                   Mat4::scale({9.0f, 1.6f, 2.4f}));
+    hull.append(shapes::box({-8.0f, 2.2f, -2.0f}, {8.0f, 2.7f, 2.0f}));
+    hull.materialId = wood_mat;
+    scene.addInstance(scene.addGeometry(std::move(hull)),
+                      Mat4::identity());
+
+    // Three masts with yards.
+    TriangleMesh masts;
+    float mast_x[3] = {-5.0f, 0.0f, 5.0f};
+    float mast_h[3] = {14.0f, 17.0f, 12.0f};
+    for (int m = 0; m < 3; m++) {
+        masts.append(shapes::cylinder({mast_x[m], 2.7f, 0.0f}, 0.22f,
+                                      mast_h[m], scaled(10, detail, 6),
+                                      4));
+        for (int yard = 0; yard < 3; yard++) {
+            float y = 5.5f + yard * (mast_h[m] - 6.0f) / 3.0f;
+            float half = 3.5f - yard * 0.8f;
+            masts.append(shapes::rope({mast_x[m] - half, y, 0.0f},
+                                      {mast_x[m] + half, y, 0.0f},
+                                      0.09f, 6, 4));
+        }
+    }
+    masts.materialId = wood_mat;
+    scene.addInstance(scene.addGeometry(std::move(masts)),
+                      Mat4::identity());
+
+    // Sails: slightly bowed grids between yards.
+    TriangleMesh sails;
+    for (int m = 0; m < 3; m++) {
+        for (int s = 0; s < 2; s++) {
+            float y0 = 5.5f + s * (mast_h[m] - 6.0f) / 3.0f;
+            float h = (mast_h[m] - 6.0f) / 3.0f - 0.4f;
+            float half = 3.2f - s * 0.7f;
+            TriangleMesh sail = shapes::gridPlane(half * 2.0f, h,
+                                                  scaled(8, detail, 3),
+                                                  scaled(8, detail, 3));
+            sail.transform(Mat4::translate({mast_x[m], y0 + h * 0.5f,
+                                            0.5f}) *
+                           Mat4::rotateX(pi * 0.5f));
+            sails.append(sail);
+        }
+    }
+    sails.materialId = canvas_mat;
+    scene.addInstance(scene.addGeometry(std::move(sails)),
+                      Mat4::identity());
+
+    // The rigging: dozens of long thin ropes from deck to mastheads.
+    TriangleMesh rigging;
+    int shrouds = scaled(26, detail, 6);
+    for (int m = 0; m < 3; m++) {
+        Vec3 masthead{mast_x[m], 2.7f + mast_h[m], 0.0f};
+        for (int r = 0; r < shrouds; r++) {
+            float t = static_cast<float>(r) / (shrouds - 1);
+            Vec3 deck{mast_x[m] - 6.0f + 12.0f * t, 2.7f,
+                      (r % 2) ? 1.9f : -1.9f};
+            rigging.append(shapes::rope(deck, masthead, 0.03f, 5,
+                                        scaled(10, detail, 4)));
+        }
+    }
+    // Stays between mastheads and to the bow/stern.
+    for (int m = 0; m < 2; m++) {
+        rigging.append(shapes::rope({mast_x[m], 2.7f + mast_h[m],
+                                     0.0f},
+                                    {mast_x[m + 1],
+                                     2.7f + mast_h[m + 1], 0.0f},
+                                    0.035f, 5, scaled(8, detail, 4)));
+    }
+    rigging.append(shapes::rope({mast_x[0], 2.7f + mast_h[0], 0.0f},
+                                {-9.5f, 2.8f, 0.0f}, 0.035f, 5,
+                                scaled(8, detail, 4)));
+    rigging.append(shapes::rope({mast_x[2], 2.7f + mast_h[2], 0.0f},
+                                {9.5f, 2.8f, 0.0f}, 0.035f, 5,
+                                scaled(8, detail, 4)));
+    rigging.materialId = hemp_mat;
+    scene.addInstance(scene.addGeometry(std::move(rigging)),
+                      Mat4::identity());
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.45f, 1.0f, 0.3f}),
+                            {2.9f, 2.85f, 2.7f}});
+    scene.frame({0.7f, 0.25f, 1.0f}, 0.75f);
+    return scene;
+}
+
+Scene
+buildCar(float detail)
+{
+    // Racing car: dense mechanical detail in a compact volume makes
+    // the BVH deep relative to the scene size.
+    Scene scene;
+    scene.name = "CAR";
+    scene.stress = "dense mechanical detail, deep BVH";
+    Rng rng(222);
+
+    Material paint;
+    paint.albedo = {0.75f, 0.05f, 0.05f};
+    paint.reflectivity = 0.45f;
+    int paint_mat = scene.addMaterial(paint);
+    Material rubber;
+    rubber.albedo = {0.08f, 0.08f, 0.08f};
+    int rubber_mat = scene.addMaterial(rubber);
+    Material chrome;
+    chrome.albedo = {0.85f, 0.85f, 0.88f};
+    chrome.reflectivity = 0.75f;
+    int chrome_mat = scene.addMaterial(chrome);
+    Material tarmac;
+    tarmac.albedo = {0.2f, 0.2f, 0.22f};
+    int tarmac_mat = scene.addMaterial(tarmac);
+
+    TriangleMesh track = shapes::gridPlane(30.0f, 30.0f,
+                                           scaled(12, detail, 4),
+                                           scaled(12, detail, 4));
+    track.materialId = tarmac_mat;
+    scene.addInstance(scene.addGeometry(std::move(track)),
+                      Mat4::identity());
+
+    // Body: high-resolution blob shell squeezed into a car profile.
+    int d = scaled(26, detail, 8);
+    TriangleMesh body = shapes::blob({0.0f, 0.0f, 0.0f}, 1.0f, d,
+                                     0.04f, rng);
+    body.transform(Mat4::translate({0.0f, 0.62f, 0.0f}) *
+                   Mat4::scale({2.6f, 0.55f, 1.05f}));
+    // Cabin and spoiler.
+    TriangleMesh cabin = shapes::blob({0.0f, 0.0f, 0.0f}, 1.0f,
+                                      scaled(18, detail, 6), 0.03f,
+                                      rng);
+    cabin.transform(Mat4::translate({-0.3f, 1.05f, 0.0f}) *
+                    Mat4::scale({1.1f, 0.4f, 0.8f}));
+    body.append(cabin);
+    body.append(shapes::box({-2.7f, 1.0f, -0.9f}, {-2.4f, 1.1f, 0.9f}));
+    body.append(shapes::cylinder({-2.65f, 0.6f, -0.7f}, 0.05f, 0.45f,
+                                 8));
+    body.append(shapes::cylinder({-2.65f, 0.6f, 0.7f}, 0.05f, 0.45f,
+                                 8));
+    body.materialId = paint_mat;
+    scene.addInstance(scene.addGeometry(std::move(body)),
+                      Mat4::identity());
+
+    // Wheels: tire (high-poly cylinder) + hub + spokes.
+    TriangleMesh wheel = shapes::cylinder({0.0f, 0.0f, 0.0f}, 0.42f,
+                                          0.32f, scaled(36, detail, 10),
+                                          2);
+    wheel.transform(Mat4::rotateX(pi * 0.5f));
+    wheel.materialId = rubber_mat;
+    int wheel_id = scene.addGeometry(std::move(wheel));
+    TriangleMesh hub = shapes::uvSphere({0.0f, 0.0f, 0.0f}, 0.18f,
+                                        scaled(10, detail, 5),
+                                        scaled(20, detail, 8));
+    for (int spoke = 0; spoke < 5; spoke++) {
+        float a = 2.0f * pi * spoke / 5.0f;
+        hub.append(shapes::rope({0.0f, 0.0f, 0.0f},
+                                {std::cos(a) * 0.36f,
+                                 std::sin(a) * 0.36f, 0.0f},
+                                0.035f, 6, 2));
+    }
+    hub.materialId = chrome_mat;
+    int hub_id = scene.addGeometry(std::move(hub));
+    for (int w = 0; w < 4; w++) {
+        Vec3 pos{(w & 1) ? 1.7f : -1.7f, 0.42f,
+                 (w & 2) ? 1.08f : -1.24f};
+        scene.addInstance(wheel_id, Mat4::translate(pos));
+        scene.addInstance(hub_id,
+                          Mat4::translate(pos +
+                                          Vec3(0.0f, 0.0f,
+                                               (w & 2) ? 0.17f
+                                                       : -0.17f)));
+    }
+
+    // Engine bay greebles: dozens of small chrome parts clustered
+    // tightly -- this is what deepens the BVH.
+    TriangleMesh greeble;
+    int parts = scaled(160, detail, 16);
+    for (int i = 0; i < parts; i++) {
+        Vec3 pos = rng.nextInBox({1.2f, 0.5f, -0.7f},
+                                 {2.3f, 0.95f, 0.7f});
+        float size = rng.nextRange(0.03f, 0.1f);
+        if (i % 3 == 0) {
+            greeble.append(shapes::uvSphere(pos, size, 6, 10));
+        } else if (i % 3 == 1) {
+            greeble.append(shapes::cylinder(pos, size * 0.6f,
+                                            size * 2.0f, 6));
+        } else {
+            greeble.append(shapes::box(pos - Vec3(size),
+                                       pos + Vec3(size)));
+        }
+    }
+    greeble.materialId = chrome_mat;
+    scene.addInstance(scene.addGeometry(std::move(greeble)),
+                      Mat4::identity());
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.3f, 1.0f, 0.45f}),
+                            {2.9f, 2.85f, 2.7f}});
+    scene.lights.push_back({Light::Type::Point, {4.0f, 4.0f, 4.0f},
+                            {10.0f, 10.0f, 9.0f}});
+    scene.frame({0.8f, 0.3f, 1.0f}, 0.35f);
+    return scene;
+}
+
+Scene
+buildRobot(float detail)
+{
+    // Procedural robot (the Blender "Procedural" demo): the largest
+    // working set in the suite -- a giant articulated robot with
+    // high-tessellation panels covering every limb.
+    Scene scene;
+    scene.name = "ROBOT";
+    scene.stress = "large working set";
+    Rng rng(333);
+
+    Material steel;
+    steel.albedo = {0.55f, 0.58f, 0.62f};
+    steel.reflectivity = 0.25f;
+    int steel_mat = scene.addMaterial(steel);
+    Material dark;
+    dark.albedo = {0.15f, 0.15f, 0.18f};
+    int dark_mat = scene.addMaterial(dark);
+    Material floor;
+    floor.albedo = {0.4f, 0.4f, 0.42f};
+    int floor_mat = scene.addMaterial(floor);
+
+    TriangleMesh ground = shapes::gridPlane(60.0f, 60.0f,
+                                            scaled(16, detail, 4),
+                                            scaled(16, detail, 4));
+    ground.materialId = floor_mat;
+    scene.addInstance(scene.addGeometry(std::move(ground)),
+                      Mat4::identity());
+
+    // One limb segment: a high-poly cylinder core with riveted
+    // panels (many small boxes) and joint spheres. Reused for arms
+    // and legs but *not* instanced for the torso pieces, inflating
+    // the unique-geometry working set as in the original scene.
+    auto make_segment = [&](float len, float radius) {
+        TriangleMesh seg = shapes::cylinder({0.0f, 0.0f, 0.0f}, radius,
+                                            len,
+                                            scaled(28, detail, 10),
+                                            scaled(6, detail, 2));
+        int rivets = scaled(90, detail, 10);
+        for (int i = 0; i < rivets; i++) {
+            float a = rng.nextRange(0.0f, 2.0f * pi);
+            float y = rng.nextRange(0.1f * len, 0.9f * len);
+            Vec3 pos{std::cos(a) * radius, y, std::sin(a) * radius};
+            seg.append(shapes::uvSphere(pos, radius * 0.07f, 4, 8));
+        }
+        seg.append(shapes::uvSphere({0.0f, len, 0.0f}, radius * 1.25f,
+                                    scaled(14, detail, 6),
+                                    scaled(28, detail, 10)));
+        return seg;
+    };
+
+    // Torso: stacked unique segments.
+    TriangleMesh torso = make_segment(3.5f, 1.4f);
+    TriangleMesh chest = make_segment(2.5f, 1.7f);
+    chest.transform(Mat4::translate({0.0f, 3.5f, 0.0f}));
+    torso.append(chest);
+    TriangleMesh head = shapes::blob({0.0f, 7.2f, 0.0f}, 1.0f,
+                                     scaled(20, detail, 7), 0.1f, rng);
+    torso.append(head);
+    torso.transform(Mat4::translate({0.0f, 4.5f, 0.0f}));
+    torso.materialId = steel_mat;
+    scene.addInstance(scene.addGeometry(std::move(torso)),
+                      Mat4::identity());
+
+    // Limbs: four unique two-segment chains (again not instanced).
+    struct LimbSpec { Vec3 base; float yaw; float pitch; };
+    LimbSpec limbs[4] = {
+        {{-1.9f, 7.5f, 0.0f}, 0.3f, 2.6f},  // left arm
+        {{1.9f, 7.5f, 0.0f}, -0.3f, 2.6f},  // right arm
+        {{-0.9f, 4.5f, 0.0f}, 0.1f, 3.1f},  // left leg
+        {{0.9f, 4.5f, 0.0f}, -0.1f, 3.1f},  // right leg
+    };
+    for (const LimbSpec &spec : limbs) {
+        TriangleMesh upper = make_segment(2.4f, 0.55f);
+        TriangleMesh lower = make_segment(2.2f, 0.45f);
+        lower.transform(Mat4::translate({0.0f, 2.4f, 0.0f}));
+        upper.append(lower);
+        upper.transform(Mat4::translate(spec.base) *
+                        Mat4::rotateY(spec.yaw) *
+                        Mat4::rotateX(spec.pitch));
+        upper.materialId = dark_mat;
+        scene.addInstance(scene.addGeometry(std::move(upper)),
+                          Mat4::identity());
+    }
+
+    // Scaffolding around the robot: thin instanced struts.
+    TriangleMesh strut = shapes::rope({0.0f, 0.0f, 0.0f},
+                                      {0.0f, 9.0f, 0.0f}, 0.06f, 6,
+                                      scaled(6, detail, 2));
+    strut.materialId = dark_mat;
+    int strut_id = scene.addGeometry(std::move(strut));
+    for (int i = 0; i < scaled(28, detail, 6); i++) {
+        float a = 2.0f * pi * i / 28.0f;
+        scene.addInstance(strut_id,
+                          Mat4::translate({std::cos(a) * 5.5f, 0.0f,
+                                           std::sin(a) * 5.5f}));
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{-0.4f, 1.0f, 0.35f}),
+                            {2.8f, 2.8f, 2.75f}});
+    scene.lights.push_back({Light::Type::Point, {6.0f, 10.0f, 6.0f},
+                            {40.0f, 38.0f, 35.0f}});
+    scene.frame({0.9f, 0.35f, 1.0f}, 0.55f);
+    return scene;
+}
+
+Scene
+buildParty(float detail)
+{
+    // PartyTug: a modest tugboat drowning in instanced party props.
+    // Stress: few unique triangles, very many BLAS instances
+    // (Sec. 3.1.1's many-instances subclass).
+    Scene scene;
+    scene.name = "PARTY";
+    scene.stress = "many BLAS instances";
+    Rng rng(444);
+
+    Material hull_paint;
+    hull_paint.albedo = {0.8f, 0.5f, 0.1f};
+    int hull_mat = scene.addMaterial(hull_paint);
+    Material sea;
+    sea.albedo = {0.12f, 0.28f, 0.4f};
+    sea.reflectivity = 0.25f;
+    int sea_mat = scene.addMaterial(sea);
+    Material prop;
+    prop.albedo = {0.85f, 0.2f, 0.45f};
+    int prop_mat = scene.addMaterial(prop);
+    Material string_mat_m;
+    string_mat_m.albedo = {0.6f, 0.6f, 0.5f};
+    int string_mat = scene.addMaterial(string_mat_m);
+
+    TriangleMesh ocean = shapes::gridPlane(50.0f, 50.0f,
+                                           scaled(20, detail, 5),
+                                           scaled(20, detail, 5),
+                                           [](float x, float z) {
+                                               return 0.2f *
+                                                      std::sin(x * 0.9f) *
+                                                      std::sin(z * 0.8f);
+                                           });
+    ocean.materialId = sea_mat;
+    scene.addInstance(scene.addGeometry(std::move(ocean)),
+                      Mat4::identity());
+
+    // Tugboat: simple hull + cabin + funnel; low unique-poly.
+    TriangleMesh tug = shapes::blob({0.0f, 0.0f, 0.0f}, 1.0f,
+                                    scaled(12, detail, 5), 0.07f, rng);
+    tug.transform(Mat4::translate({0.0f, 0.9f, 0.0f}) *
+                  Mat4::scale({4.0f, 1.1f, 1.8f}));
+    tug.append(shapes::box({-1.5f, 1.8f, -1.2f}, {1.5f, 3.2f, 1.2f}));
+    tug.append(shapes::cylinder({1.9f, 1.9f, 0.0f}, 0.4f, 1.8f,
+                                scaled(12, detail, 6)));
+    tug.materialId = hull_mat;
+    scene.addInstance(scene.addGeometry(std::move(tug)),
+                      Mat4::identity());
+
+    // Party props, each tiny and massively instanced:
+    // balloons, lanterns, flags, crates, bottles.
+    TriangleMesh balloon = shapes::uvSphere({0.0f, 0.0f, 0.0f}, 0.16f,
+                                            6, 10);
+    balloon.materialId = prop_mat;
+    int balloon_id = scene.addGeometry(std::move(balloon));
+    TriangleMesh lantern = shapes::box({-0.08f, -0.1f, -0.08f},
+                                       {0.08f, 0.1f, 0.08f});
+    lantern.materialId = prop_mat;
+    int lantern_id = scene.addGeometry(std::move(lantern));
+    TriangleMesh flag = shapes::texturedQuad({0.0f, 0.0f, 0.0f},
+                                             {0.22f, 0.0f, 0.0f},
+                                             {0.0f, 0.16f, 0.0f});
+    flag.materialId = prop_mat;
+    int flag_id = scene.addGeometry(std::move(flag));
+    TriangleMesh crate = shapes::box({-0.15f, 0.0f, -0.15f},
+                                     {0.15f, 0.3f, 0.15f});
+    crate.materialId = hull_mat;
+    int crate_id = scene.addGeometry(std::move(crate));
+
+    // Strings of lanterns and flags between masts.
+    TriangleMesh line = shapes::rope({-2.0f, 4.2f, 0.0f},
+                                     {2.0f, 3.6f, 1.4f}, 0.015f, 4,
+                                     scaled(8, detail, 3));
+    line.materialId = string_mat;
+    scene.addInstance(scene.addGeometry(std::move(line)),
+                      Mat4::identity());
+
+    int props = scaled(640, detail, 30);
+    for (int i = 0; i < props; i++) {
+        int kind = rng.nextBelow(4);
+        Vec3 pos = rng.nextInBox({-3.8f, 1.6f, -1.7f},
+                                 {3.8f, 4.6f, 1.7f});
+        Mat4 xform = Mat4::translate(pos) *
+                     Mat4::rotateY(rng.nextRange(0.0f, 2.0f * pi));
+        switch (kind) {
+          case 0: scene.addInstance(balloon_id, xform); break;
+          case 1: scene.addInstance(lantern_id, xform); break;
+          case 2: scene.addInstance(flag_id, xform); break;
+          default: {
+            Vec3 deck = rng.nextInBox({-3.5f, 1.9f, -1.5f},
+                                      {3.5f, 1.9f, 1.5f});
+            scene.addInstance(crate_id, Mat4::translate(deck));
+            break;
+          }
+        }
+    }
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{-0.25f, 1.0f, 0.4f}),
+                            {2.5f, 2.3f, 2.1f}});
+    scene.lights.push_back({Light::Type::Point, {0.0f, 4.5f, 0.0f},
+                            {8.0f, 7.0f, 5.0f}});
+    scene.frame({0.65f, 0.3f, 1.0f}, 0.45f);
+    return scene;
+}
+
+Scene
+buildCrnvl(float detail)
+{
+    // Carnival (the 3drender lighting challenge): a fairground at
+    // night with many point lights.
+    Scene scene;
+    scene.name = "CRNVL";
+    scene.stress = "many light sources";
+    Rng rng(555);
+
+    Material tent_a;
+    tent_a.albedo = {0.75f, 0.15f, 0.12f};
+    int tent_a_mat = scene.addMaterial(tent_a);
+    Material tent_b;
+    tent_b.albedo = {0.85f, 0.8f, 0.3f};
+    int tent_b_mat = scene.addMaterial(tent_b);
+    Material metal;
+    metal.albedo = {0.5f, 0.5f, 0.55f};
+    metal.reflectivity = 0.3f;
+    int metal_mat = scene.addMaterial(metal);
+    Material ground;
+    ground.albedo = {0.35f, 0.3f, 0.25f};
+    int ground_mat = scene.addMaterial(ground);
+
+    TriangleMesh field = shapes::gridPlane(50.0f, 50.0f,
+                                           scaled(14, detail, 4),
+                                           scaled(14, detail, 4));
+    field.materialId = ground_mat;
+    scene.addInstance(scene.addGeometry(std::move(field)),
+                      Mat4::identity());
+
+    // Circus tents: cylinder walls + cone roofs.
+    int slices = scaled(20, detail, 8);
+    TriangleMesh tent = shapes::cylinder({0.0f, 0.0f, 0.0f}, 3.0f,
+                                         2.5f, slices);
+    tent.append(shapes::cone({0.0f, 2.5f, 0.0f}, 3.4f, 2.8f, slices));
+    tent.materialId = tent_a_mat;
+    int tent_id = scene.addGeometry(std::move(tent));
+    TriangleMesh booth = shapes::box({-1.2f, 0.0f, -1.2f},
+                                     {1.2f, 2.2f, 1.2f});
+    booth.append(shapes::cone({0.0f, 2.2f, 0.0f}, 1.7f, 1.2f, slices));
+    booth.materialId = tent_b_mat;
+    int booth_id = scene.addGeometry(std::move(booth));
+    Vec3 tent_pos[3] = {{-8.0f, 0.0f, -6.0f}, {7.0f, 0.0f, -8.0f},
+                        {0.0f, 0.0f, 6.0f}};
+    for (const Vec3 &pos : tent_pos)
+        scene.addInstance(tent_id, Mat4::translate(pos));
+    for (int i = 0; i < scaled(8, detail, 3); i++) {
+        Vec3 pos = rng.nextInBox({-14.0f, 0.0f, -14.0f},
+                                 {14.0f, 0.0f, 14.0f});
+        scene.addInstance(booth_id, Mat4::translate(pos));
+    }
+
+    // Ferris wheel: rim ropes, spokes and gondola boxes.
+    TriangleMesh wheel;
+    Vec3 hub{14.0f, 7.0f, 0.0f};
+    int spokes = scaled(14, detail, 8);
+    for (int i = 0; i < spokes; i++) {
+        float a0 = 2.0f * pi * i / spokes;
+        float a1 = 2.0f * pi * (i + 1) / spokes;
+        Vec3 p0 = hub + Vec3(std::cos(a0) * 6.0f, std::sin(a0) * 6.0f,
+                             0.0f);
+        Vec3 p1 = hub + Vec3(std::cos(a1) * 6.0f, std::sin(a1) * 6.0f,
+                             0.0f);
+        wheel.append(shapes::rope(hub, p0, 0.08f, 5, 3));
+        wheel.append(shapes::rope(p0, p1, 0.08f, 5, 2));
+        wheel.append(shapes::box(p0 - Vec3(0.4f, 0.7f, 0.3f),
+                                 p0 + Vec3(0.4f, 0.0f, 0.3f)));
+    }
+    wheel.append(shapes::cylinder({hub.x - 0.5f, 0.0f, -0.5f}, 0.3f,
+                                  7.0f, 8));
+    wheel.append(shapes::cylinder({hub.x + 0.5f, 0.0f, 0.5f}, 0.3f,
+                                  7.0f, 8));
+    wheel.materialId = metal_mat;
+    scene.addInstance(scene.addGeometry(std::move(wheel)),
+                      Mat4::identity());
+
+    // String lights: the lighting-challenge aspect -- many points.
+    int light_count = scaled(10, detail, 4);
+    for (int i = 0; i < light_count; i++) {
+        Vec3 pos = rng.nextInBox({-12.0f, 2.5f, -12.0f},
+                                 {12.0f, 6.0f, 12.0f});
+        Vec3 tint{rng.nextRange(0.6f, 1.0f), rng.nextRange(0.4f, 0.9f),
+                  rng.nextRange(0.3f, 0.8f)};
+        scene.lights.push_back({Light::Type::Point, pos, tint * 6.0f});
+    }
+    // Dim moonlight so shadows have a base direction.
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.2f, 1.0f, -0.3f}),
+                            {0.4f, 0.45f, 0.6f}});
+    scene.frame({0.7f, 0.3f, 1.0f}, 0.5f);
+    return scene;
+}
+
+Scene
+buildWknd(float detail)
+{
+    // Ray Tracing in One Weekend: hundreds of *procedural* spheres on
+    // a ground plane. Every primitive needs the intersection shader
+    // (Sec. 3.1.4) -- the only scene with no triangle BLAS work to
+    // speak of.
+    Scene scene;
+    scene.name = "WKND";
+    scene.stress = "procedural geometry, intersection shaders";
+    Rng rng(666);
+
+    Material ground;
+    ground.albedo = {0.5f, 0.5f, 0.5f};
+    int ground_mat = scene.addMaterial(ground);
+    Material diffuse;
+    diffuse.albedo = {0.6f, 0.35f, 0.3f};
+    int diffuse_mat = scene.addMaterial(diffuse);
+    Material mirror;
+    mirror.albedo = {0.85f, 0.85f, 0.85f};
+    mirror.reflectivity = 0.85f;
+    int mirror_mat = scene.addMaterial(mirror);
+
+    TriangleMesh plane = shapes::gridPlane(60.0f, 60.0f, 4, 4);
+    plane.materialId = ground_mat;
+    scene.addInstance(scene.addGeometry(std::move(plane)),
+                      Mat4::identity());
+
+    // The classic grid of small random spheres plus three big ones.
+    ProceduralSpheres small;
+    small.materialId = diffuse_mat;
+    int extent = scaled(11, detail, 4);
+    for (int a = -extent; a < extent; a++) {
+        for (int b = -extent; b < extent; b++) {
+            Vec3 center{a + 0.9f * rng.nextFloat(), 0.2f,
+                        b + 0.9f * rng.nextFloat()};
+            small.spheres.push_back(Vec4(center, 0.2f));
+        }
+    }
+    scene.addInstance(scene.addGeometry(std::move(small)),
+                      Mat4::identity());
+
+    ProceduralSpheres big;
+    big.materialId = mirror_mat;
+    big.spheres.push_back(Vec4({0.0f, 1.0f, 0.0f}, 1.0f));
+    big.spheres.push_back(Vec4({-4.0f, 1.0f, 0.0f}, 1.0f));
+    big.spheres.push_back(Vec4({4.0f, 1.0f, 0.0f}, 1.0f));
+    scene.addInstance(scene.addGeometry(std::move(big)),
+                      Mat4::identity());
+
+    scene.lights.push_back({Light::Type::Directional,
+                            normalize(Vec3{0.4f, 1.0f, 0.2f}),
+                            {2.9f, 2.85f, 2.8f}});
+    scene.camera = Camera({13.0f, 2.0f, 3.0f}, {0.0f, 0.6f, 0.0f},
+                          {0.0f, 1.0f, 0.0f}, 32.0f);
+    return scene;
+}
+
+} // namespace detail
+} // namespace lumi

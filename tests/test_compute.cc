@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the Rodinia-equivalent compute workloads: every kernel
+ * runs to completion on the simulator, produces instruction and
+ * memory traffic, and never touches the RT unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compute/rodinia.hh"
+
+namespace lumi
+{
+namespace
+{
+
+class EveryKernel : public ::testing::TestWithParam<ComputeKernel>
+{
+};
+
+TEST_P(EveryKernel, RunsAndProducesWork)
+{
+    Gpu gpu(GpuConfig::mobile());
+    runComputeKernel(gpu, GetParam());
+    const GpuStats &stats = gpu.stats();
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.instructions, 100u);
+    EXPECT_GT(stats.warpsLaunched, 0u);
+    // Compute kernels never trace rays.
+    EXPECT_EQ(stats.raysTraced, 0u);
+    EXPECT_EQ(stats.rtWarpCycles, 0u);
+    EXPECT_EQ(gpu.memSystem().l1Rt().reads, 0u);
+    // But they do move data.
+    EXPECT_GT(gpu.memSystem().l1Shader().reads, 0u);
+    // All data is tagged Compute.
+    EXPECT_GT(gpu.memSystem().kindReads()[static_cast<int>(
+                  DataKind::Compute)],
+              0u);
+}
+
+TEST_P(EveryKernel, Deterministic)
+{
+    auto run = [&] {
+        Gpu gpu(GpuConfig::mobile());
+        runComputeKernel(gpu, GetParam());
+        return gpu.stats().cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryKernel,
+    ::testing::ValuesIn(allComputeKernels()),
+    [](const ::testing::TestParamInfo<ComputeKernel> &info) {
+        return computeKernelName(info.param);
+    });
+
+TEST(ComputeKernels, ThirteenKernels)
+{
+    EXPECT_EQ(allComputeKernels().size(), 13u);
+}
+
+TEST(ComputeKernels, BfsIsDivergent)
+{
+    Gpu gpu(GpuConfig::mobile());
+    runComputeKernel(gpu, ComputeKernel::Bfs);
+    // Frontier-dependent control flow keeps SIMT efficiency well
+    // below streaming kernels like nn.
+    double bfs_eff = gpu.stats().simtEfficiency();
+    Gpu gpu_nn(GpuConfig::mobile());
+    runComputeKernel(gpu_nn, ComputeKernel::Nn);
+    double nn_eff = gpu_nn.stats().simtEfficiency();
+    EXPECT_LT(bfs_eff, nn_eff);
+    EXPECT_GT(nn_eff, 0.95);
+}
+
+TEST(ComputeKernels, NnIsStreaming)
+{
+    Gpu gpu(GpuConfig::mobile());
+    runComputeKernel(gpu, ComputeKernel::Nn);
+    // Contiguous 8B loads coalesce into few segments per warp.
+    double seg_per_instr =
+        static_cast<double>(gpu.stats().coalescedSegments) /
+        gpu.stats().memInstructions;
+    EXPECT_LT(seg_per_instr, 4.0);
+}
+
+TEST(ComputeKernels, BtreeGathersRandomly)
+{
+    Gpu gpu(GpuConfig::mobile());
+    runComputeKernel(gpu, ComputeKernel::Btree);
+    // Pointer chasing: poor coalescing relative to hotspot.
+    double btree_seg =
+        static_cast<double>(gpu.stats().coalescedSegments) /
+        gpu.stats().memInstructions;
+    Gpu gpu_hs(GpuConfig::mobile());
+    runComputeKernel(gpu_hs, ComputeKernel::Hotspot);
+    double hotspot_seg =
+        static_cast<double>(gpu_hs.stats().coalescedSegments) /
+        gpu_hs.stats().memInstructions;
+    EXPECT_GT(btree_seg, hotspot_seg);
+}
+
+} // namespace
+} // namespace lumi

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for meshes, procedural primitives, shape builders and
+ * procedural textures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geometry/mesh.hh"
+#include "geometry/shapes.hh"
+#include "geometry/texture.hh"
+#include "math/rng.hh"
+
+namespace lumi
+{
+namespace
+{
+
+TriangleMesh
+singleTriangle()
+{
+    TriangleMesh mesh;
+    mesh.positions = {{0.0f, 0.0f, 0.0f},
+                      {1.0f, 0.0f, 0.0f},
+                      {0.0f, 1.0f, 0.0f}};
+    mesh.indices = {0, 1, 2};
+    return mesh;
+}
+
+TEST(TriangleMesh, IntersectFrontAndBarycentrics)
+{
+    TriangleMesh mesh = singleTriangle();
+    TriangleHit hit;
+    // Shoot at the centroid from +Z.
+    Vec3 origin{1.0f / 3.0f, 1.0f / 3.0f, 5.0f};
+    ASSERT_TRUE(mesh.intersect(0, origin, {0, 0, -1}, 1e-4f, 100.0f,
+                               hit));
+    EXPECT_NEAR(hit.t, 5.0f, 1e-4f);
+    EXPECT_NEAR(hit.u, 1.0f / 3.0f, 1e-4f);
+    EXPECT_NEAR(hit.v, 1.0f / 3.0f, 1e-4f);
+}
+
+TEST(TriangleMesh, IntersectMissesOutside)
+{
+    TriangleMesh mesh = singleTriangle();
+    TriangleHit hit;
+    EXPECT_FALSE(mesh.intersect(0, {0.9f, 0.9f, 5.0f}, {0, 0, -1},
+                                1e-4f, 100.0f, hit));
+    // Parallel ray.
+    EXPECT_FALSE(mesh.intersect(0, {0.2f, 0.2f, 5.0f}, {1, 0, 0},
+                                1e-4f, 100.0f, hit));
+    // Behind t_max.
+    EXPECT_FALSE(mesh.intersect(0, {0.2f, 0.2f, 5.0f}, {0, 0, -1},
+                                1e-4f, 4.0f, hit));
+}
+
+TEST(TriangleMesh, BoundsAndCentroid)
+{
+    TriangleMesh mesh = singleTriangle();
+    Aabb bounds = mesh.triangleBounds(0);
+    EXPECT_EQ(bounds.lo, Vec3(0.0f, 0.0f, 0.0f));
+    EXPECT_EQ(bounds.hi, Vec3(1.0f, 1.0f, 0.0f));
+    Vec3 c = mesh.triangleCentroid(0);
+    EXPECT_NEAR(c.x, 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(TriangleMesh, FaceNormal)
+{
+    TriangleMesh mesh = singleTriangle();
+    EXPECT_NEAR(mesh.faceNormal(0).z, 1.0f, 1e-5f);
+}
+
+TEST(TriangleMesh, AppendReindexes)
+{
+    TriangleMesh a = singleTriangle();
+    TriangleMesh b = singleTriangle();
+    b.transform(Mat4::translate({5.0f, 0.0f, 0.0f}));
+    a.append(b);
+    EXPECT_EQ(a.triangleCount(), 2u);
+    EXPECT_EQ(a.positions.size(), 6u);
+    // Second triangle's indices must point at the appended verts.
+    EXPECT_EQ(a.indices[3], 3u);
+    Aabb bounds = a.bounds();
+    EXPECT_FLOAT_EQ(bounds.hi.x, 6.0f);
+}
+
+TEST(TriangleMesh, ComputeVertexNormalsUnit)
+{
+    TriangleMesh mesh = shapes::uvSphere({0, 0, 0}, 1.0f, 8, 16);
+    mesh.computeVertexNormals();
+    for (const Vec3 &n : mesh.normals)
+        EXPECT_NEAR(length(n), 1.0f, 1e-3f);
+}
+
+TEST(ProceduralSpheres, IntersectAnalytic)
+{
+    ProceduralSpheres spheres;
+    spheres.spheres.push_back(Vec4({0.0f, 0.0f, 0.0f}, 1.0f));
+    float t;
+    ASSERT_TRUE(spheres.intersect(0, {0, 0, 5}, {0, 0, -1}, 1e-4f,
+                                  100.0f, t));
+    EXPECT_NEAR(t, 4.0f, 1e-4f);
+    // From inside: the far root.
+    ASSERT_TRUE(spheres.intersect(0, {0, 0, 0}, {0, 0, -1}, 1e-4f,
+                                  100.0f, t));
+    EXPECT_NEAR(t, 1.0f, 1e-4f);
+    // Miss.
+    EXPECT_FALSE(spheres.intersect(0, {3, 0, 5}, {0, 0, -1}, 1e-4f,
+                                   100.0f, t));
+}
+
+TEST(ProceduralSpheres, BoundsAndNormal)
+{
+    ProceduralSpheres spheres;
+    spheres.spheres.push_back(Vec4({2.0f, 0.0f, 0.0f}, 0.5f));
+    Aabb box = spheres.sphereBounds(0);
+    EXPECT_FLOAT_EQ(box.lo.x, 1.5f);
+    EXPECT_FLOAT_EQ(box.hi.x, 2.5f);
+    Vec3 n = spheres.normalAt(0, {2.5f, 0.0f, 0.0f});
+    EXPECT_NEAR(n.x, 1.0f, 1e-5f);
+}
+
+TEST(Shapes, GridPlaneStructure)
+{
+    TriangleMesh mesh = shapes::gridPlane(10.0f, 20.0f, 4, 5);
+    EXPECT_EQ(mesh.positions.size(), 5u * 6u);
+    EXPECT_EQ(mesh.triangleCount(), 4u * 5u * 2u);
+    Aabb bounds = mesh.bounds();
+    EXPECT_NEAR(bounds.extent().x, 10.0f, 1e-4f);
+    EXPECT_NEAR(bounds.extent().z, 20.0f, 1e-4f);
+    EXPECT_NEAR(bounds.extent().y, 0.0f, 1e-4f);
+}
+
+TEST(Shapes, BoxIsClosedAndOutwardFacing)
+{
+    TriangleMesh mesh = shapes::box({0, 0, 0}, {1, 1, 1});
+    EXPECT_EQ(mesh.triangleCount(), 12u);
+    Vec3 center{0.5f, 0.5f, 0.5f};
+    for (size_t t = 0; t < mesh.triangleCount(); t++) {
+        Vec3 n = mesh.faceNormal(t);
+        Vec3 to_face = mesh.triangleCentroid(t) - center;
+        EXPECT_GT(dot(n, to_face), 0.0f)
+            << "face " << t << " points inward";
+    }
+}
+
+TEST(Shapes, InvertedBoxFacesInward)
+{
+    TriangleMesh mesh = shapes::invertedBox({0, 0, 0}, {1, 1, 1});
+    Vec3 center{0.5f, 0.5f, 0.5f};
+    for (size_t t = 0; t < mesh.triangleCount(); t++) {
+        Vec3 n = mesh.faceNormal(t);
+        Vec3 to_face = mesh.triangleCentroid(t) - center;
+        EXPECT_LT(dot(n, to_face), 0.0f);
+    }
+}
+
+TEST(Shapes, SphereVerticesOnSurface)
+{
+    Vec3 center{1.0f, 2.0f, 3.0f};
+    TriangleMesh mesh = shapes::uvSphere(center, 2.0f, 10, 20);
+    for (const Vec3 &p : mesh.positions)
+        EXPECT_NEAR(length(p - center), 2.0f, 1e-3f);
+}
+
+TEST(Shapes, GrassBladeIsThin)
+{
+    TriangleMesh blade = shapes::grassBlade({0, 0, 0}, 1.0f, 0.02f,
+                                            0.3f, 0.0f);
+    Aabb bounds = blade.bounds();
+    // Tall relative to its width: the long-and-thin stress property.
+    float height = bounds.extent().y;
+    float width = std::min(bounds.extent().x, bounds.extent().z);
+    EXPECT_GT(height / std::max(width, 1e-6f), 5.0f);
+}
+
+TEST(Shapes, RopeSpansEndpoints)
+{
+    Vec3 from{0, 0, 0}, to{3, 4, 0};
+    TriangleMesh rope = shapes::rope(from, to, 0.05f, 6, 8);
+    EXPECT_GT(rope.triangleCount(), 0u);
+    Aabb bounds = rope.bounds();
+    EXPECT_LT(bounds.lo.y, 0.1f);
+    EXPECT_GT(bounds.hi.y, 3.9f);
+    // Degenerate rope returns an empty mesh instead of NaNs.
+    TriangleMesh degenerate = shapes::rope(from, from, 0.05f, 6, 8);
+    EXPECT_EQ(degenerate.triangleCount(), 0u);
+}
+
+TEST(Shapes, TexturedQuadUvs)
+{
+    TriangleMesh quad = shapes::texturedQuad({0, 0, 0}, {2, 0, 0},
+                                             {0, 2, 0});
+    EXPECT_EQ(quad.triangleCount(), 2u);
+    ASSERT_EQ(quad.uvs.size(), 4u);
+    Vec2 uv = quad.uvAt(0, 0.5f, 0.25f);
+    EXPECT_GE(uv.x, 0.0f);
+    EXPECT_LE(uv.x, 1.0f);
+}
+
+TEST(Shapes, BlobStaysNearRadius)
+{
+    Rng rng(1);
+    Vec3 center{0, 5, 0};
+    TriangleMesh blob = shapes::blob(center, 2.0f, 8, 0.2f, rng);
+    for (const Vec3 &p : blob.positions) {
+        float r = length(p - center);
+        EXPECT_GT(r, 2.0f * 0.7f);
+        EXPECT_LT(r, 2.0f * 1.3f);
+    }
+}
+
+TEST(Texture, CheckerAlternates)
+{
+    Texture tex(Texture::Kind::Checker, 64, 64, {1, 1, 1}, {0, 0, 0},
+                2.0f);
+    Vec4 a = tex.sample(0.1f, 0.1f);
+    Vec4 b = tex.sample(0.6f, 0.1f);
+    EXPECT_NE(a.x, b.x);
+    EXPECT_FLOAT_EQ(a.w, 1.0f);
+}
+
+TEST(Texture, LeafMaskHasTransparency)
+{
+    Texture tex(Texture::Kind::LeafMask, 128, 128, {0.2f, 0.5f, 0.1f},
+                {0.4f, 0.7f, 0.2f});
+    // Center is leaf, far corner is cut away.
+    EXPECT_FLOAT_EQ(tex.sample(0.5f, 0.5f).w, 1.0f);
+    EXPECT_FLOAT_EQ(tex.sample(0.02f, 0.02f).w, 0.0f);
+    // The mask must have both opaque and transparent texels overall.
+    int opaque = 0, total = 0;
+    for (int y = 0; y < 16; y++) {
+        for (int x = 0; x < 16; x++) {
+            total++;
+            if (tex.sample((x + 0.5f) / 16, (y + 0.5f) / 16).w > 0.5f)
+                opaque++;
+        }
+    }
+    EXPECT_GT(opaque, 0);
+    EXPECT_LT(opaque, total);
+}
+
+TEST(Texture, TexelOffsetInRange)
+{
+    Texture tex(Texture::Kind::Noise, 32, 16, {0, 0, 0}, {1, 1, 1});
+    EXPECT_EQ(tex.dataBytes(), 32u * 16u * 4u);
+    EXPECT_LT(tex.texelOffset(0.999f, 0.999f), tex.dataBytes());
+    EXPECT_EQ(tex.texelOffset(0.0f, 0.0f), 0u);
+    // Wrapping keeps offsets valid.
+    EXPECT_LT(tex.texelOffset(7.3f, -2.9f), tex.dataBytes());
+}
+
+TEST(Texture, SamplingDeterministic)
+{
+    Texture tex(Texture::Kind::Marble, 64, 64, {0.9f, 0.9f, 0.9f},
+                {0.5f, 0.5f, 0.5f});
+    Vec4 a = tex.sample(0.3f, 0.7f);
+    Vec4 b = tex.sample(0.3f, 0.7f);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+}
+
+} // namespace
+} // namespace lumi

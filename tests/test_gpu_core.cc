@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the SIMT execution layer: WarpContext mask semantics and
+ * trace emission, the core scheduler, the RT unit, and whole-GPU
+ * kernel runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/accel.hh"
+#include "gpu/gpu.hh"
+#include "scene/scene_library.hh"
+
+namespace lumi
+{
+namespace
+{
+
+TEST(WarpContext, FullMaskByDefault)
+{
+    WarpContext ctx(nullptr, 0);
+    EXPECT_EQ(ctx.activeMask(), 0xffffffffu);
+    WarpContext tail(nullptr, 1, 5);
+    EXPECT_EQ(tail.activeMask(), 0x1fu);
+    EXPECT_TRUE(tail.laneActive(4));
+    EXPECT_FALSE(tail.laneActive(5));
+}
+
+TEST(WarpContext, AluMergesRepeats)
+{
+    WarpContext ctx(nullptr, 0);
+    ctx.alu(3);
+    ctx.alu(2);
+    WarpProgram program = ctx.take();
+    ASSERT_EQ(program.instrs.size(), 1u);
+    EXPECT_EQ(program.instrs[0].repeat, 5);
+    EXPECT_EQ(program.instrs[0].op, WarpOp::Alu);
+}
+
+TEST(WarpContext, BranchSplitsMask)
+{
+    WarpContext ctx(nullptr, 0);
+    ctx.branch([](int lane) { return lane < 8; },
+               [&] { ctx.sfu(1); }, [&] { ctx.load(4, [](int lane) {
+                   return 0x10000 + lane * 4;
+               }); });
+    WarpProgram program = ctx.take();
+    // predicate alu + sfu(then) + load(else)
+    ASSERT_EQ(program.instrs.size(), 3u);
+    EXPECT_EQ(program.instrs[1].op, WarpOp::Sfu);
+    EXPECT_EQ(program.instrs[1].mask, 0xffu);
+    EXPECT_EQ(program.instrs[2].op, WarpOp::MemLoad);
+    EXPECT_EQ(program.instrs[2].mask, 0xffffff00u);
+    EXPECT_EQ(program.instrs[2].addrs.size(), 24u);
+}
+
+TEST(WarpContext, BranchSkipsEmptySides)
+{
+    WarpContext ctx(nullptr, 0);
+    ctx.branch([](int) { return true; }, [&] { ctx.alu(1); },
+               [&] { ctx.sfu(99); });
+    WarpProgram program = ctx.take();
+    for (const WarpInstr &instr : program.instrs)
+        EXPECT_NE(instr.op, WarpOp::Sfu);
+}
+
+TEST(WarpContext, NestedBranchRestoresMask)
+{
+    WarpContext ctx(nullptr, 0);
+    ctx.branch([](int lane) { return lane < 16; }, [&] {
+        ctx.branch([](int lane) { return lane < 4; },
+                   [&] { ctx.sfu(1); });
+        ctx.sfu(1);
+    });
+    WarpProgram program = ctx.take();
+    // inner sfu has 4 lanes, outer sfu is back to 16 lanes.
+    std::vector<uint32_t> sfu_masks;
+    for (const WarpInstr &instr : program.instrs) {
+        if (instr.op == WarpOp::Sfu)
+            sfu_masks.push_back(instr.mask);
+    }
+    ASSERT_EQ(sfu_masks.size(), 2u);
+    EXPECT_EQ(sfu_masks[0], 0xfu);
+    EXPECT_EQ(sfu_masks[1], 0xffffu);
+}
+
+TEST(WarpContext, LoopWhileDrainsLanes)
+{
+    WarpContext ctx(nullptr, 0);
+    int counters[32];
+    for (int lane = 0; lane < 32; lane++)
+        counters[lane] = lane % 4; // lanes iterate 0..3 times
+    ctx.loopWhile([&](int lane) { return counters[lane] > 0; },
+                  [&] {
+                      ctx.sfu(1);
+                      for (int lane = 0; lane < 32; lane++) {
+                          if (ctx.laneActive(lane))
+                              counters[lane]--;
+                      }
+                  });
+    WarpProgram program = ctx.take();
+    // Three iterations execute (max count 3); masks shrink.
+    std::vector<int> lanes;
+    for (const WarpInstr &instr : program.instrs) {
+        if (instr.op == WarpOp::Sfu)
+            lanes.push_back(instr.activeLanes());
+    }
+    ASSERT_EQ(lanes.size(), 3u);
+    EXPECT_EQ(lanes[0], 24); // lanes with count >= 1
+    EXPECT_EQ(lanes[1], 16);
+    EXPECT_EQ(lanes[2], 8);
+    // All lanes restored after the loop.
+    EXPECT_EQ(ctx.activeMask(), 0xffffffffu);
+}
+
+TEST(WarpContext, StoreRecordsActiveAddresses)
+{
+    WarpContext ctx(nullptr, 2, 8);
+    ctx.store(4, [&](int lane) {
+        return 0x20000 + ctx.threadIndex(lane) * 4ull;
+    });
+    WarpProgram program = ctx.take();
+    ASSERT_EQ(program.instrs.size(), 1u);
+    EXPECT_EQ(program.instrs[0].addrs.size(), 8u);
+    EXPECT_EQ(program.instrs[0].addrs[0], 0x20000 + 64ull * 4);
+}
+
+// ------------------------------------------------------------------
+// Whole-GPU kernel execution.
+// ------------------------------------------------------------------
+
+TEST(Gpu, StraightLineKernelInstructionCount)
+{
+    Gpu gpu(GpuConfig::mobile());
+    KernelLaunch launch;
+    launch.name = "alu_only";
+    launch.warpCount = 16;
+    launch.program = [](WarpContext &ctx) { ctx.alu(10); };
+    gpu.run(launch);
+    const GpuStats &stats = gpu.stats();
+    EXPECT_EQ(stats.instructions, 160u);
+    EXPECT_EQ(stats.threadInstructions, 160u * 32u);
+    EXPECT_EQ(stats.warpsLaunched, 16u);
+    EXPECT_DOUBLE_EQ(stats.simtEfficiency(), 1.0);
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST(Gpu, MemoryKernelTouchesHierarchy)
+{
+    Gpu gpu(GpuConfig::mobile());
+    uint64_t buf = gpu.addressSpace().allocate(DataKind::Compute,
+                                               1 << 20, "buf");
+    KernelLaunch launch;
+    launch.warpCount = 32;
+    launch.program = [buf](WarpContext &ctx) {
+        ctx.load(4, [&](int lane) {
+            return buf + ctx.threadIndex(lane) * 4096ull;
+        });
+        ctx.alu(4);
+    };
+    gpu.run(launch);
+    EXPECT_GT(gpu.memSystem().l1Shader().reads, 0u);
+    EXPECT_GT(gpu.memSystem().dram().stats().accesses, 0u);
+    EXPECT_EQ(gpu.memSystem().l1Rt().reads, 0u);
+}
+
+TEST(Gpu, CoalescedLoadsFewerSegments)
+{
+    auto run = [](bool coalesced) {
+        Gpu gpu(GpuConfig::mobile());
+        uint64_t buf = gpu.addressSpace().allocate(
+            DataKind::Compute, 1 << 22, "buf");
+        KernelLaunch launch;
+        launch.warpCount = 8;
+        launch.program = [&, buf](WarpContext &ctx) {
+            ctx.load(4, [&](int lane) {
+                uint64_t idx = ctx.threadIndex(lane);
+                return coalesced ? buf + idx * 4
+                                 : buf + idx * 4096;
+            });
+        };
+        gpu.run(launch);
+        return gpu.stats().coalescedSegments;
+    };
+    uint64_t seg_good = run(true);
+    uint64_t seg_bad = run(false);
+    EXPECT_LT(seg_good, seg_bad);
+    EXPECT_EQ(seg_good, 8u);      // 32 lanes x 4B = 1 line per warp
+    EXPECT_EQ(seg_bad, 8u * 32u); // one line per lane
+}
+
+TEST(Gpu, MoreWarpsHideMemoryLatency)
+{
+    auto run_ipc = [](uint32_t warps) {
+        Gpu gpu(GpuConfig::mobile());
+        uint64_t buf = gpu.addressSpace().allocate(
+            DataKind::Compute, 1 << 24, "buf");
+        KernelLaunch launch;
+        launch.warpCount = warps;
+        launch.program = [&, buf](WarpContext &ctx) {
+            for (int i = 0; i < 8; i++) {
+                // Coalesced but always-missing loads: one unique
+                // line per warp per iteration, so the chain is
+                // latency-bound, not bandwidth-bound.
+                uint64_t line =
+                    (static_cast<uint64_t>(ctx.warpId()) * 8 + i) *
+                    128;
+                ctx.load(4, [&](int lane) {
+                    return buf + line + (lane % 32) * 4;
+                });
+                ctx.alu(4);
+            }
+        };
+        gpu.run(launch);
+        return gpu.stats().ipc();
+    };
+    double ipc_few = run_ipc(8);
+    double ipc_many = run_ipc(128);
+    EXPECT_GT(ipc_many, ipc_few * 1.3);
+}
+
+TEST(Gpu, TraceRayRunsThroughRtUnit)
+{
+    Scene scene = buildScene(SceneId::REF, 0.3f);
+    Gpu gpu(GpuConfig::mobile());
+    AccelStructure accel;
+    accel.build(scene);
+    SceneGpuLayout layout = SceneGpuLayout::create(
+        gpu.addressSpace(), accel, 256, 256);
+
+    KernelLaunch launch;
+    launch.warpCount = 8;
+    launch.layout = &layout;
+    launch.program = [&](WarpContext &ctx) {
+        HitInfo hits[32];
+        ctx.traceRay(
+            [&](int lane) {
+                int tid = static_cast<int>(ctx.threadIndex(lane));
+                return scene.camera.generateRay(tid % 16, tid / 16,
+                                                16, 16, 0.5f, 0.5f);
+            },
+            [](int) { return 1e30f; }, false, RayKind::Primary,
+            hits);
+        // REF is enclosed: every ray must hit.
+        for (int lane = 0; lane < 32; lane++) {
+            if (ctx.laneActive(lane))
+                EXPECT_TRUE(hits[lane].hit);
+        }
+    };
+    gpu.run(launch);
+
+    const GpuStats &stats = gpu.stats();
+    EXPECT_EQ(stats.raysTraced, 256u);
+    EXPECT_EQ(stats.raysHit, 256u);
+    EXPECT_EQ(stats.raysByKind[0], 256u);
+    EXPECT_GT(stats.rtWarpCycles, 0u);
+    EXPECT_GT(stats.rtNodesTraversed, 0u);
+    EXPECT_GT(stats.rtResultWrites, 0u);
+    EXPECT_GT(gpu.memSystem().l1Rt().reads, 0u);
+    // RT occupancy and efficiency are well-formed fractions.
+    EXPECT_GT(stats.rtOccupancy(8), 0.0);
+    EXPECT_LE(stats.rtOccupancy(8), 4.0);
+    EXPECT_GT(stats.rtEfficiency(), 0.0);
+    EXPECT_LE(stats.rtEfficiency(), 1.0);
+}
+
+TEST(Gpu, RtUnitQueuesBeyondCapacity)
+{
+    // More concurrent traceRay warps than RT slots: all must finish.
+    Scene scene = buildScene(SceneId::BUNNY, 0.2f);
+    Gpu gpu(GpuConfig::mobile());
+    AccelStructure accel;
+    accel.build(scene);
+    SceneGpuLayout layout = SceneGpuLayout::create(
+        gpu.addressSpace(), accel, 2048, 2048);
+    KernelLaunch launch;
+    launch.warpCount = 64; // 8 per SM, RT capacity is 4
+    launch.layout = &layout;
+    launch.program = [&](WarpContext &ctx) {
+        HitInfo hits[32];
+        ctx.traceRay(
+            [&](int lane) {
+                int tid = static_cast<int>(ctx.threadIndex(lane));
+                return scene.camera.generateRay(tid % 45, tid / 45,
+                                                45, 45, 0.5f, 0.5f);
+            },
+            [](int) { return 1e30f; }, false, RayKind::Primary,
+            hits);
+    };
+    gpu.run(launch);
+    EXPECT_EQ(gpu.stats().raysTraced, 64u * 32u);
+}
+
+TEST(Gpu, TimelineMonotone)
+{
+    Gpu gpu(GpuConfig::mobile(), 100);
+    KernelLaunch launch;
+    launch.warpCount = 64;
+    launch.program = [](WarpContext &ctx) { ctx.alu(50); };
+    gpu.run(launch);
+    const auto &samples = gpu.timeline().samples();
+    ASSERT_GE(samples.size(), 2u);
+    for (size_t i = 1; i < samples.size(); i++) {
+        EXPECT_GE(samples[i].cycle, samples[i - 1].cycle);
+        EXPECT_GE(samples[i].instructions,
+                  samples[i - 1].instructions);
+    }
+}
+
+TEST(Gpu, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Scene scene = buildScene(SceneId::REF, 0.25f);
+        Gpu gpu(GpuConfig::mobile());
+        AccelStructure accel;
+        accel.build(scene);
+        SceneGpuLayout layout = SceneGpuLayout::create(
+            gpu.addressSpace(), accel, 256, 256);
+        KernelLaunch launch;
+        launch.warpCount = 8;
+        launch.layout = &layout;
+        launch.program = [&](WarpContext &ctx) {
+            HitInfo hits[32];
+            ctx.traceRay(
+                [&](int lane) {
+                    int tid =
+                        static_cast<int>(ctx.threadIndex(lane));
+                    return scene.camera.generateRay(
+                        tid % 16, tid / 16, 16, 16, 0.5f, 0.5f);
+                },
+                [](int) { return 1e30f; }, false, RayKind::Primary,
+                hits);
+        };
+        gpu.run(launch);
+        return gpu.stats().cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(GpuConfig, PresetsDiffer)
+{
+    GpuConfig mobile = GpuConfig::mobile();
+    GpuConfig desktop = GpuConfig::desktop();
+    GpuConfig alternate = GpuConfig::alternate();
+    EXPECT_GT(desktop.numSms, mobile.numSms);
+    EXPECT_GT(desktop.dramChannels, mobile.dramChannels);
+    EXPECT_NE(alternate.rtBoxTestLatency, mobile.rtBoxTestLatency);
+    EXPECT_NE(alternate.rtMaxWarps, mobile.rtMaxWarps);
+    EXPECT_EQ(mobile.numSms, 8);
+    EXPECT_EQ(mobile.maxWarpsPerSm, 32);
+    EXPECT_EQ(mobile.rtMaxWarps, 4);
+}
+
+} // namespace
+} // namespace lumi
+
+namespace lumi
+{
+namespace
+{
+
+TEST(Gpu, LrrSchedulerCompletesIdentically)
+{
+    auto run = [](WarpSchedulerPolicy policy) {
+        GpuConfig config;
+        config.scheduler = policy;
+        Gpu gpu(config);
+        uint64_t buf = gpu.addressSpace().allocate(
+            DataKind::Compute, 1 << 20, "buf");
+        KernelLaunch launch;
+        launch.warpCount = 64;
+        launch.program = [buf](WarpContext &ctx) {
+            for (int i = 0; i < 4; i++) {
+                ctx.load(4, [&](int lane) {
+                    return buf + ctx.threadIndex(lane) * 64ull +
+                           i * 16384ull;
+                });
+                ctx.alu(6);
+            }
+        };
+        gpu.run(launch);
+        return gpu.stats();
+    };
+    GpuStats gto = run(WarpSchedulerPolicy::Gto);
+    GpuStats lrr = run(WarpSchedulerPolicy::Lrr);
+    // Same work either way; only the timing may differ.
+    EXPECT_EQ(gto.instructions, lrr.instructions);
+    EXPECT_EQ(gto.threadInstructions, lrr.threadInstructions);
+    EXPECT_GT(lrr.cycles, 0u);
+}
+
+TEST(Gpu, LaunchSamplesRecordDeltas)
+{
+    Gpu gpu(GpuConfig::mobile());
+    KernelLaunch launch;
+    launch.warpCount = 8;
+    launch.program = [](WarpContext &ctx) { ctx.alu(5); };
+    gpu.run(launch);
+    launch.warpCount = 16;
+    gpu.run(launch);
+    ASSERT_EQ(gpu.launchSamples().size(), 2u);
+    const LaunchSample &first = gpu.launchSamples()[0];
+    const LaunchSample &second = gpu.launchSamples()[1];
+    EXPECT_EQ(first.warps, 8u);
+    EXPECT_EQ(second.warps, 16u);
+    EXPECT_EQ(first.instrByOp[0], 40u);
+    EXPECT_EQ(second.instrByOp[0], 80u);
+    EXPECT_EQ(first.cycles + second.cycles, gpu.stats().cycles);
+}
+
+} // namespace
+} // namespace lumi

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the memory hierarchy: caches (LRU, MSHR-style pending
+ * hits, associativity), DRAM (row buffer, queueing, bandwidth knob),
+ * the address space and the combined MemSystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/address_space.hh"
+#include "gpu/cache.hh"
+#include "gpu/config.hh"
+#include "gpu/dram.hh"
+#include "gpu/mem_system.hh"
+
+namespace lumi
+{
+namespace
+{
+
+TEST(Cache, HitAfterFill)
+{
+    Cache cache(1024, 128, 2, 10);
+    EXPECT_EQ(cache.probe(0, 0).outcome, CacheProbe::Outcome::Miss);
+    cache.fill(0, 0, 5);
+    EXPECT_EQ(cache.probe(0, 10).outcome, CacheProbe::Outcome::Hit);
+    EXPECT_EQ(cache.stats.reads, 2u);
+    EXPECT_EQ(cache.stats.readMisses, 1u);
+    EXPECT_EQ(cache.stats.readHits, 1u);
+}
+
+TEST(Cache, PendingHitBeforeFillLands)
+{
+    Cache cache(1024, 128, 2, 10);
+    cache.probe(0, 0);
+    cache.fill(0, 0, 100); // data arrives at cycle 100
+    CacheProbe probe = cache.probe(0, 50);
+    EXPECT_EQ(probe.outcome, CacheProbe::Outcome::PendingHit);
+    EXPECT_EQ(probe.validAt, 100u);
+    // After the fill lands it is a plain hit.
+    EXPECT_EQ(cache.probe(0, 200).outcome,
+              CacheProbe::Outcome::Hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 ways, 128B lines, 256B total -> one set of 2 ways.
+    Cache cache(256, 128, 2, 10);
+    cache.fill(0, 0, 0);
+    cache.fill(128 * 1, 1, 1); // different set? no: set = line % sets
+    // With 1 set, line 0 and line 1 share it; add a third.
+    cache.probe(0, 10);        // touch line 0 (more recent)
+    cache.fill(128 * 2, 20, 20);
+    // Line 1 (LRU) must have been evicted.
+    EXPECT_EQ(cache.probe(128 * 1, 30).outcome,
+              CacheProbe::Outcome::Miss);
+    EXPECT_EQ(cache.probe(0, 31).outcome, CacheProbe::Outcome::Hit);
+    EXPECT_EQ(cache.probe(128 * 2, 32).outcome,
+              CacheProbe::Outcome::Hit);
+}
+
+TEST(Cache, FullyAssociativeUsesWholeCapacity)
+{
+    // ways = 0 selects fully associative: 8 lines.
+    Cache cache(1024, 128, 0, 10);
+    for (uint64_t i = 0; i < 8; i++)
+        cache.fill(i * 128, i, i);
+    for (uint64_t i = 0; i < 8; i++) {
+        EXPECT_EQ(cache.probe(i * 128, 100 + i).outcome,
+                  CacheProbe::Outcome::Hit)
+            << "line " << i;
+    }
+    // A set-associative cache with pathological mapping would have
+    // evicted; fully associative keeps all 8.
+    cache.fill(8 * 128, 200, 200);
+    int hits = 0;
+    for (uint64_t i = 0; i <= 8; i++) {
+        if (cache.probe(i * 128, 300 + i).outcome ==
+            CacheProbe::Outcome::Hit) {
+            hits++;
+        }
+    }
+    EXPECT_EQ(hits, 8);
+}
+
+TEST(Cache, WriteProbeNoAllocate)
+{
+    Cache cache(1024, 128, 2, 10);
+    EXPECT_FALSE(cache.writeProbe(0, 0));
+    EXPECT_EQ(cache.stats.writeMisses, 1u);
+    // Write miss does not install the line.
+    EXPECT_EQ(cache.probe(0, 1).outcome, CacheProbe::Outcome::Miss);
+    cache.fill(0, 2, 2);
+    EXPECT_TRUE(cache.writeProbe(0, 10));
+}
+
+TEST(Dram, RowBufferHitsAreFaster)
+{
+    GpuConfig config;
+    Dram dram(config);
+    Dram::Result first = dram.read(0, 0, 128);
+    EXPECT_FALSE(first.rowHit);
+    // Same row, later: hit, shorter latency.
+    Dram::Result second = dram.read(256, first.readyCycle, 128);
+    EXPECT_TRUE(second.rowHit);
+    uint64_t first_latency = first.readyCycle;
+    uint64_t second_latency = second.readyCycle - first.readyCycle;
+    EXPECT_LT(second_latency, first_latency);
+    EXPECT_EQ(dram.stats().accesses, 2u);
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+}
+
+TEST(Dram, BankConflictQueues)
+{
+    GpuConfig config;
+    Dram dram(config);
+    // Two concurrent requests to the same bank+row region serialize.
+    Dram::Result a = dram.read(0, 0, 128);
+    Dram::Result b = dram.read(config.dramRowBytes *
+                                   config.dramBanksPerChannel *
+                                   config.dramChannels,
+                               0, 128);
+    // b maps to the same channel/bank (row stride x banks x chans)
+    // but a different row: it must wait and row-miss.
+    EXPECT_FALSE(b.rowHit);
+    EXPECT_GT(b.readyCycle, a.readyCycle);
+}
+
+TEST(Dram, ChannelsServeInParallel)
+{
+    GpuConfig config;
+    Dram dram(config);
+    // Lines 0 and 1 interleave across channels.
+    Dram::Result a = dram.read(0, 0, 128);
+    Dram::Result b = dram.read(128, 0, 128);
+    EXPECT_EQ(a.readyCycle, b.readyCycle);
+}
+
+TEST(Dram, BandwidthScaleChangesTransferTime)
+{
+    GpuConfig config;
+    Dram slow(config), fast(config);
+    fast.setBandwidthScale(2.0);
+    uint64_t t_slow = slow.read(0, 0, 1024).readyCycle;
+    uint64_t t_fast = fast.read(0, 0, 1024).readyCycle;
+    EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(Dram, UtilizationBelowEfficiency)
+{
+    GpuConfig config;
+    Dram dram(config);
+    uint64_t cycle = 0;
+    for (int i = 0; i < 64; i++) {
+        // Sparse accesses: long idle gaps.
+        dram.read(static_cast<uint64_t>(i) * 4096, cycle, 128);
+        cycle += 5000;
+    }
+    const DramStats &stats = dram.stats();
+    EXPECT_GT(stats.efficiency(), stats.utilization(cycle));
+    EXPECT_LE(stats.efficiency(), 1.0);
+}
+
+TEST(AddressSpace, AllocateAndClassify)
+{
+    AddressSpace space;
+    uint64_t a = space.allocate(DataKind::TlasNode, 1000, "tlas");
+    uint64_t b = space.allocate(DataKind::Texture, 500, "tex");
+    EXPECT_EQ(a % 128, 0u);
+    EXPECT_GE(b, a + 1000);
+    EXPECT_EQ(space.kindOf(a), DataKind::TlasNode);
+    EXPECT_EQ(space.kindOf(a + 999), DataKind::TlasNode);
+    EXPECT_EQ(space.kindOf(b + 10), DataKind::Texture);
+    // Unregistered addresses default to Compute.
+    EXPECT_EQ(space.kindOf(1), DataKind::Compute);
+}
+
+TEST(AddressSpace, RegisterExternalRange)
+{
+    AddressSpace space;
+    uint64_t base = space.reserve(4096);
+    space.registerRange(base, 1024, DataKind::BlasNode, "blas");
+    space.registerRange(base + 1024, 1024, DataKind::Triangle,
+                        "tris");
+    EXPECT_EQ(space.kindOf(base + 100), DataKind::BlasNode);
+    EXPECT_EQ(space.kindOf(base + 1500), DataKind::Triangle);
+    // Later allocations do not overlap the reserved block.
+    uint64_t next = space.allocate(DataKind::Local, 64, "x");
+    EXPECT_GE(next, base + 2048);
+}
+
+TEST(MemSystem, HitLatencyOrdering)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 1 << 20, "buf");
+    MemSystem mem(config, space);
+
+    MemResult cold = mem.read(0, 0, addr, 4, false);
+    EXPECT_FALSE(cold.l1Hit);
+    EXPECT_TRUE(cold.reachedDram);
+    // Warm L1 hit is much faster.
+    uint64_t warm_start = cold.readyCycle + 10;
+    MemResult warm = mem.read(0, warm_start, addr, 4, false);
+    EXPECT_TRUE(warm.l1Hit);
+    EXPECT_EQ(warm.readyCycle, warm_start + config.l1Latency);
+    EXPECT_LT(warm.readyCycle - warm_start,
+              cold.readyCycle - 0);
+}
+
+TEST(MemSystem, L2SharedAcrossSms)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 4096, "buf");
+    MemSystem mem(config, space);
+    MemResult first = mem.read(0, 0, addr, 4, false);
+    // SM 1 misses its own L1 but hits the shared L2.
+    MemResult second = mem.read(1, first.readyCycle + 10, addr, 4,
+                                false);
+    EXPECT_FALSE(second.l1Hit);
+    EXPECT_FALSE(second.reachedDram);
+}
+
+TEST(MemSystem, ColdMissClassification)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 1 << 20, "buf");
+    MemSystem mem(config, space);
+    mem.read(0, 0, addr, 4, false);
+    mem.read(0, 0, addr + 4096, 4, false);
+    EXPECT_EQ(mem.l1Shader().coldMisses, 2u);
+    // Evict-free re-read is not cold even if it misses later; touch
+    // the same line from another SM: miss but not cold.
+    mem.read(1, 100, addr, 4, false);
+    EXPECT_EQ(mem.l1Shader().coldMisses, 2u);
+    EXPECT_EQ(mem.l1Shader().misses, 3u);
+}
+
+TEST(MemSystem, RtAndShaderCountersSeparate)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::BlasNode, 4096, "blas");
+    MemSystem mem(config, space);
+    mem.read(0, 0, addr, 32, true);
+    mem.read(0, 0, addr + 2048, 32, false);
+    EXPECT_EQ(mem.l1Rt().reads, 1u);
+    EXPECT_EQ(mem.l1Shader().reads, 1u);
+    EXPECT_EQ(mem.kindReads()[static_cast<int>(DataKind::BlasNode)],
+              2u);
+}
+
+TEST(MemSystem, MultiLineAccessCountsSegments)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 4096, "buf");
+    MemSystem mem(config, space);
+    // 256B spanning two lines -> two L1 accesses.
+    mem.read(0, 0, addr, 256, false);
+    EXPECT_EQ(mem.l1Shader().reads, 2u);
+}
+
+TEST(MemSystem, WriteAllocatesInBothLevels)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Local, 4096, "local");
+    MemSystem mem(config, space);
+    mem.write(0, 0, addr, 32, false);
+    uint64_t first_dram_writes = mem.dram().stats().writeBytes;
+    EXPECT_GT(first_dram_writes, 0u);
+    // Second write to the same line coalesces in the caches.
+    mem.write(0, 1000, addr, 32, false);
+    EXPECT_EQ(mem.dram().stats().writeBytes, first_dram_writes);
+    // The writing SM reads its own store back from the L1.
+    MemResult read = mem.read(0, 2000, addr, 4, false);
+    EXPECT_TRUE(read.l1Hit);
+    // Another SM misses its L1 but hits the shared L2.
+    MemResult other = mem.read(1, 3000, addr, 4, false);
+    EXPECT_FALSE(other.l1Hit);
+    EXPECT_FALSE(other.reachedDram);
+}
+
+} // namespace
+} // namespace lumi

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the math module: vectors, matrices, AABBs, RNG and
+ * sampling routines.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/aabb.hh"
+#include "math/mat4.hh"
+#include "math/rng.hh"
+#include "math/sampling.hh"
+#include "math/vec.hh"
+
+namespace lumi
+{
+namespace
+{
+
+TEST(Vec3, Arithmetic)
+{
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{4.0f, -1.0f, 0.5f};
+    EXPECT_EQ(a + b, Vec3(5.0f, 1.0f, 3.5f));
+    EXPECT_EQ(a - b, Vec3(-3.0f, 3.0f, 2.5f));
+    EXPECT_EQ(a * 2.0f, Vec3(2.0f, 4.0f, 6.0f));
+    EXPECT_EQ(2.0f * a, a * 2.0f);
+    EXPECT_EQ(-a, Vec3(-1.0f, -2.0f, -3.0f));
+    EXPECT_FLOAT_EQ(dot(a, b), 4.0f - 2.0f + 1.5f);
+}
+
+TEST(Vec3, CrossProductOrthogonality)
+{
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{-2.0f, 0.5f, 1.0f};
+    Vec3 c = cross(a, b);
+    EXPECT_NEAR(dot(c, a), 0.0f, 1e-5f);
+    EXPECT_NEAR(dot(c, b), 0.0f, 1e-5f);
+    EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+}
+
+TEST(Vec3, NormalizeAndLength)
+{
+    Vec3 v{3.0f, 4.0f, 0.0f};
+    EXPECT_FLOAT_EQ(length(v), 5.0f);
+    EXPECT_NEAR(length(normalize(v)), 1.0f, 1e-6f);
+    // Zero vector stays zero instead of producing NaN.
+    Vec3 z = normalize(Vec3(0.0f));
+    EXPECT_EQ(z, Vec3(0.0f));
+}
+
+TEST(Vec3, Reflect)
+{
+    Vec3 d = normalize(Vec3(1.0f, -1.0f, 0.0f));
+    Vec3 r = reflect(d, {0.0f, 1.0f, 0.0f});
+    EXPECT_NEAR(r.x, d.x, 1e-6f);
+    EXPECT_NEAR(r.y, -d.y, 1e-6f);
+}
+
+TEST(Mat4, IdentityTransform)
+{
+    Mat4 m = Mat4::identity();
+    Vec3 p{1.5f, -2.0f, 7.0f};
+    EXPECT_EQ(m.transformPoint(p), p);
+    EXPECT_EQ(m.transformVector(p), p);
+}
+
+TEST(Mat4, TranslateAffectsPointsNotVectors)
+{
+    Mat4 m = Mat4::translate({1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(m.transformPoint(Vec3(0.0f)), Vec3(1.0f, 2.0f, 3.0f));
+    EXPECT_EQ(m.transformVector(Vec3(1.0f, 0.0f, 0.0f)),
+              Vec3(1.0f, 0.0f, 0.0f));
+}
+
+TEST(Mat4, RotationPreservesLength)
+{
+    Mat4 m = Mat4::rotateY(0.7f) * Mat4::rotateX(-1.2f) *
+             Mat4::rotateZ(2.1f);
+    Vec3 v{1.0f, 2.0f, 3.0f};
+    EXPECT_NEAR(length(m.transformVector(v)), length(v), 1e-5f);
+}
+
+TEST(Mat4, InverseRoundTrip)
+{
+    Mat4 m = Mat4::translate({3.0f, -1.0f, 2.0f}) *
+             Mat4::rotateY(0.9f) * Mat4::scale({2.0f, 2.0f, 2.0f});
+    Mat4 inv = m.inverse();
+    Vec3 p{0.3f, 1.7f, -4.2f};
+    Vec3 round = inv.transformPoint(m.transformPoint(p));
+    EXPECT_NEAR(round.x, p.x, 1e-4f);
+    EXPECT_NEAR(round.y, p.y, 1e-4f);
+    EXPECT_NEAR(round.z, p.z, 1e-4f);
+}
+
+TEST(Mat4, CompositionOrder)
+{
+    // translate * scale: scaling happens first.
+    Mat4 m = Mat4::translate({1.0f, 0.0f, 0.0f}) *
+             Mat4::scale({2.0f, 1.0f, 1.0f});
+    EXPECT_EQ(m.transformPoint(Vec3(1.0f, 0.0f, 0.0f)),
+              Vec3(3.0f, 0.0f, 0.0f));
+}
+
+TEST(Aabb, ExtendAndContains)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+    box.extend({1.0f, 1.0f, 1.0f});
+    box.extend({-1.0f, 2.0f, 0.0f});
+    EXPECT_FALSE(box.empty());
+    EXPECT_TRUE(box.contains({0.0f, 1.5f, 0.5f}));
+    EXPECT_FALSE(box.contains({0.0f, 3.0f, 0.5f}));
+    EXPECT_FLOAT_EQ(box.extent().x, 2.0f);
+}
+
+TEST(Aabb, SurfaceArea)
+{
+    Aabb box;
+    box.extend({0.0f, 0.0f, 0.0f});
+    box.extend({2.0f, 3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(box.surfaceArea(),
+                    2.0f * (2 * 3 + 3 * 4 + 4 * 2));
+    EXPECT_EQ(box.longestAxis(), 2);
+    EXPECT_FLOAT_EQ(Aabb{}.surfaceArea(), 0.0f);
+}
+
+TEST(Aabb, RayHit)
+{
+    Aabb box;
+    box.extend({-1.0f, -1.0f, -1.0f});
+    box.extend({1.0f, 1.0f, 1.0f});
+    Vec3 origin{0.0f, 0.0f, -5.0f};
+    Vec3 dir{0.0f, 0.0f, 1.0f};
+    Vec3 inv{1e12f, 1e12f, 1.0f};
+    float t;
+    EXPECT_TRUE(box.hit(origin, inv, 100.0f, t));
+    EXPECT_NEAR(t, 4.0f, 1e-4f);
+    // Beyond t_max: no hit.
+    EXPECT_FALSE(box.hit(origin, inv, 3.0f, t));
+    // Pointing away: no hit.
+    Vec3 inv_away{1e12f, 1e12f, -1.0f};
+    EXPECT_FALSE(box.hit(origin, inv_away, 100.0f, t));
+    // Origin inside the box: hit with t = 0.
+    EXPECT_TRUE(box.hit({0.0f, 0.0f, 0.0f}, inv, 100.0f, t));
+    EXPECT_FLOAT_EQ(t, 0.0f);
+}
+
+TEST(Aabb, Overlaps)
+{
+    Aabb a, b, c;
+    a.extend({0.0f, 0.0f, 0.0f});
+    a.extend({2.0f, 2.0f, 2.0f});
+    b.extend({1.0f, 1.0f, 1.0f});
+    b.extend({3.0f, 3.0f, 3.0f});
+    c.extend({5.0f, 5.0f, 5.0f});
+    c.extend({6.0f, 6.0f, 6.0f});
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Aabb, TransformedContainsAllCorners)
+{
+    Aabb box;
+    box.extend({-1.0f, 0.0f, -2.0f});
+    box.extend({1.0f, 3.0f, 2.0f});
+    Mat4 m = Mat4::translate({5.0f, 0.0f, 0.0f}) * Mat4::rotateY(0.8f);
+    Aabb out = box.transformed(m);
+    for (int i = 0; i < 8; i++) {
+        Vec3 corner{(i & 1) ? box.hi.x : box.lo.x,
+                    (i & 2) ? box.hi.y : box.lo.y,
+                    (i & 4) ? box.hi.z : box.lo.z};
+        Vec3 p = m.transformPoint(corner);
+        EXPECT_TRUE(out.contains(p));
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++) {
+        if (a.nextU32() == b.nextU32())
+            same++;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, FloatRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, BoundedUniform)
+{
+    Rng rng(9);
+    int counts[10] = {};
+    for (int i = 0; i < 10000; i++) {
+        uint32_t v = rng.nextBelow(10);
+        ASSERT_LT(v, 10u);
+        counts[v]++;
+    }
+    for (int c : counts) {
+        EXPECT_GT(c, 700);
+        EXPECT_LT(c, 1300);
+    }
+    EXPECT_EQ(rng.nextBelow(1), 0u);
+    EXPECT_EQ(rng.nextBelow(0), 0u);
+}
+
+TEST(Rng, HashCombineSpreads)
+{
+    // Nearby inputs should hash to very different values.
+    uint32_t a = hashCombine(1, 1);
+    uint32_t b = hashCombine(1, 2);
+    uint32_t c = hashCombine(2, 1);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+}
+
+TEST(Sampling, OnbIsOrthonormal)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; i++) {
+        Vec3 n = normalize(rng.nextInBox({-1, -1, -1}, {1, 1, 1}));
+        if (lengthSquared(n) < 1e-6f)
+            continue;
+        Onb onb = Onb::fromNormal(n);
+        EXPECT_NEAR(length(onb.tangent), 1.0f, 1e-4f);
+        EXPECT_NEAR(length(onb.bitangent), 1.0f, 1e-4f);
+        EXPECT_NEAR(dot(onb.tangent, onb.normal), 0.0f, 1e-4f);
+        EXPECT_NEAR(dot(onb.bitangent, onb.normal), 0.0f, 1e-4f);
+        EXPECT_NEAR(dot(onb.tangent, onb.bitangent), 0.0f, 1e-4f);
+    }
+}
+
+TEST(Sampling, CosineHemisphereAboveSurface)
+{
+    Rng rng(5);
+    double mean_z = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; i++) {
+        Vec3 d = cosineSampleHemisphere(rng.nextFloat(),
+                                        rng.nextFloat());
+        EXPECT_NEAR(length(d), 1.0f, 1e-3f);
+        EXPECT_GE(d.z, 0.0f);
+        mean_z += d.z;
+    }
+    // Cosine weighting gives E[z] = 2/3.
+    EXPECT_NEAR(mean_z / n, 2.0 / 3.0, 0.03);
+}
+
+TEST(Sampling, UniformSphereCoversBothHemispheres)
+{
+    Rng rng(11);
+    int above = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; i++) {
+        Vec3 d = uniformSampleSphere(rng.nextFloat(),
+                                     rng.nextFloat());
+        EXPECT_NEAR(length(d), 1.0f, 1e-3f);
+        if (d.z > 0)
+            above++;
+    }
+    EXPECT_GT(above, n / 2 - 150);
+    EXPECT_LT(above, n / 2 + 150);
+}
+
+TEST(Sampling, ConcentricDiskInUnitDisk)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; i++) {
+        Vec2 p = concentricSampleDisk(rng.nextFloat(),
+                                      rng.nextFloat());
+        EXPECT_LE(p.x * p.x + p.y * p.y, 1.0f + 1e-5f);
+    }
+}
+
+} // namespace
+} // namespace lumi

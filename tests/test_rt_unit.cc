@@ -1,0 +1,138 @@
+/**
+ * @file
+ * RT-unit-focused tests: capacity limits, per-ray-kind accounting,
+ * alternate-config latencies, and a regression guard on the Fig. 9
+ * headline result (PT is the least efficient shader) -- the
+ * simulator is deterministic, so these hold exactly run-to-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/pipeline.hh"
+#include "scene/scene_library.hh"
+
+namespace lumi
+{
+namespace
+{
+
+GpuStats
+renderStats(SceneId scene_id, ShaderKind shader,
+            const GpuConfig &config, int res = 24,
+            float detail = 0.25f)
+{
+    Scene scene = buildScene(scene_id, detail);
+    Gpu gpu(config);
+    RenderParams params;
+    params.width = res;
+    params.height = res;
+    RayTracingPipeline pipeline(gpu, scene, params);
+    pipeline.render(shader);
+    return gpu.stats();
+}
+
+TEST(RtUnit, OccupancyNeverExceedsCapacity)
+{
+    for (int max_warps : {2, 4, 8}) {
+        GpuConfig config;
+        config.rtMaxWarps = max_warps;
+        GpuStats stats = renderStats(SceneId::REF,
+                                     ShaderKind::AmbientOcclusion,
+                                     config);
+        double occupancy = stats.rtOccupancy(config.numSms);
+        EXPECT_LE(occupancy, static_cast<double>(max_warps))
+            << "capacity " << max_warps;
+        EXPECT_GT(occupancy, 0.0);
+    }
+}
+
+TEST(RtUnit, PerKindCyclesSumToTotals)
+{
+    GpuStats stats = renderStats(SceneId::BATH,
+                                 ShaderKind::PathTracing,
+                                 GpuConfig::mobile());
+    uint64_t warp_sum = 0, ray_sum = 0;
+    for (int k = 0; k < numRayKinds; k++) {
+        warp_sum += stats.rtWarpCyclesByKind[k];
+        ray_sum += stats.rtRayCyclesByKind[k];
+    }
+    EXPECT_EQ(warp_sum, stats.rtWarpCycles);
+    EXPECT_EQ(ray_sum, stats.rtRayCycles);
+    // PT renders trace primary, secondary and shadow (NEE) rays.
+    EXPECT_GT(stats.rtWarpCyclesByKind[static_cast<int>(
+                  RayKind::Primary)],
+              0u);
+    EXPECT_GT(stats.rtWarpCyclesByKind[static_cast<int>(
+                  RayKind::Secondary)],
+              0u);
+    EXPECT_EQ(stats.rtWarpCyclesByKind[static_cast<int>(
+                  RayKind::AmbientOcclusion)],
+              0u);
+}
+
+TEST(RtUnit, SlowerIntersectionUnitsSlowTraversalBoundScenes)
+{
+    GpuConfig fast = GpuConfig::mobile();
+    GpuConfig slow = GpuConfig::mobile();
+    slow.rtBoxTestLatency = 32;
+    slow.rtTriTestLatency = 64;
+    GpuStats fast_stats = renderStats(
+        SceneId::BUNNY, ShaderKind::AmbientOcclusion, fast);
+    GpuStats slow_stats = renderStats(
+        SceneId::BUNNY, ShaderKind::AmbientOcclusion, slow);
+    EXPECT_GT(slow_stats.cycles, fast_stats.cycles);
+}
+
+TEST(RtUnit, MoreRtWarpsRaiseOccupancyCeiling)
+{
+    GpuConfig narrow = GpuConfig::mobile();
+    narrow.rtMaxWarps = 1;
+    GpuConfig wide = GpuConfig::mobile();
+    wide.rtMaxWarps = 16;
+    GpuStats narrow_stats = renderStats(
+        SceneId::SPNZA, ShaderKind::AmbientOcclusion, narrow);
+    GpuStats wide_stats = renderStats(
+        SceneId::SPNZA, ShaderKind::AmbientOcclusion, wide);
+    // With queuing pressure, a 1-warp unit is the bottleneck.
+    EXPECT_GT(wide_stats.rtOccupancy(8),
+              narrow_stats.rtOccupancy(8));
+    EXPECT_LE(narrow_stats.rtOccupancy(8), 1.0);
+}
+
+TEST(RtUnit, PaperOrderingPtLeastEfficient)
+{
+    // The Fig. 9 headline: for a fixed scene, the PT workload has
+    // lower RT-unit efficiency than the SH and AO workloads
+    // (divergent bounces). Deterministic, so an exact regression.
+    for (SceneId id : {SceneId::REF, SceneId::SPNZA}) {
+        GpuStats pt = renderStats(id, ShaderKind::PathTracing,
+                                  GpuConfig::mobile(), 32);
+        GpuStats sh = renderStats(id, ShaderKind::Shadow,
+                                  GpuConfig::mobile(), 32);
+        GpuStats ao = renderStats(id,
+                                  ShaderKind::AmbientOcclusion,
+                                  GpuConfig::mobile(), 32);
+        EXPECT_LT(pt.rtEfficiency(), sh.rtEfficiency())
+            << sceneName(id);
+        EXPECT_LT(pt.rtEfficiency(), ao.rtEfficiency())
+            << sceneName(id);
+        // And the same ordering in SIMT efficiency.
+        EXPECT_LT(pt.simtEfficiency(), sh.simtEfficiency())
+            << sceneName(id);
+    }
+}
+
+TEST(RtUnit, OccupancyHighWhileEfficiencyLow)
+{
+    // "Deceptively high occupancy" (Sec. 5.2.1): the RT unit looks
+    // busy while most ray slots are idle.
+    GpuStats stats = renderStats(SceneId::SPNZA,
+                                 ShaderKind::PathTracing,
+                                 GpuConfig::mobile(), 48, 0.5f);
+    double occupancy_frac = stats.rtOccupancy(8) / 4.0;
+    EXPECT_GT(occupancy_frac, 0.6);
+    EXPECT_LT(stats.rtEfficiency(), occupancy_frac);
+}
+
+} // namespace
+} // namespace lumi

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the scene library: every generator builds, cameras frame
+ * their scene, and each scene exhibits the stress property Table 1
+ * selected it for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/accel.hh"
+#include "bvh/traversal.hh"
+#include "scene/scene_library.hh"
+
+namespace lumi
+{
+namespace
+{
+
+class EveryScene : public ::testing::TestWithParam<SceneId>
+{
+};
+
+TEST_P(EveryScene, BuildsValid)
+{
+    Scene scene = buildScene(GetParam(), 0.15f);
+    EXPECT_EQ(scene.name, sceneName(GetParam()));
+    EXPECT_FALSE(scene.geometries.empty());
+    EXPECT_FALSE(scene.instances.empty());
+    EXPECT_FALSE(scene.materials.empty());
+    EXPECT_FALSE(scene.lights.empty());
+    EXPECT_GT(scene.uniquePrimitives(), 0u);
+    // Instances reference valid geometry and materials exist for
+    // every mesh.
+    for (const Instance &inst : scene.instances) {
+        ASSERT_GE(inst.geometryId, 0);
+        ASSERT_LT(inst.geometryId,
+                  static_cast<int>(scene.geometries.size()));
+    }
+    for (const Geometry &geom : scene.geometries) {
+        int mat = geom.kind == Geometry::Kind::Triangles
+                      ? geom.mesh.materialId
+                      : geom.spheres.materialId;
+        ASSERT_GE(mat, 0);
+        ASSERT_LT(mat, static_cast<int>(scene.materials.size()));
+    }
+    for (const Material &mat : scene.materials) {
+        if (mat.textureId >= 0) {
+            ASSERT_LT(mat.textureId,
+                      static_cast<int>(scene.textures.size()));
+        }
+        if (mat.alphaTextureId >= 0) {
+            ASSERT_LT(mat.alphaTextureId,
+                      static_cast<int>(scene.textures.size()));
+        }
+    }
+}
+
+TEST_P(EveryScene, CameraSeesGeometry)
+{
+    Scene scene = buildScene(GetParam(), 0.15f);
+    AccelStructure accel;
+    accel.build(scene);
+    accel.assignAddresses(0x10000);
+    int hits = 0;
+    const int edge = 12;
+    for (int y = 0; y < edge; y++) {
+        for (int x = 0; x < edge; x++) {
+            Ray ray = scene.camera.generateRay(x, y, edge, edge, 0.5f,
+                                               0.5f);
+            HitInfo hit = TraversalStateMachine::traceFunctional(
+                accel, ray, false);
+            if (hit.hit)
+                hits++;
+        }
+    }
+    // The camera must actually frame the scene: at least 30% of
+    // primary rays hit something.
+    EXPECT_GT(hits, edge * edge * 3 / 10)
+        << "camera misses " << scene.name;
+}
+
+TEST_P(EveryScene, DeterministicRebuild)
+{
+    Scene a = buildScene(GetParam(), 0.15f);
+    Scene b = buildScene(GetParam(), 0.15f);
+    EXPECT_EQ(a.uniquePrimitives(), b.uniquePrimitives());
+    EXPECT_EQ(a.instances.size(), b.instances.size());
+    EXPECT_EQ(a.lights.size(), b.lights.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryScene,
+    ::testing::Values(SceneId::LANDS, SceneId::FRST, SceneId::FOX,
+                      SceneId::PARTY, SceneId::SPRNG, SceneId::ROBOT,
+                      SceneId::CAR, SceneId::SHIP, SceneId::BATH,
+                      SceneId::REF, SceneId::BUNNY, SceneId::SPNZA,
+                      SceneId::CRNVL, SceneId::WKND, SceneId::CHSNT,
+                      SceneId::PARK, SceneId::DUST2, SceneId::MIRAGE,
+                      SceneId::INFERNO),
+    [](const ::testing::TestParamInfo<SceneId> &info) {
+        return sceneName(info.param);
+    });
+
+TEST(SceneLibrary, SixteenLumiScenesAndThreeGameMaps)
+{
+    EXPECT_EQ(lumiScenes().size(), 16u);
+    EXPECT_EQ(gameScenes().size(), 3u);
+}
+
+TEST(SceneStress, PartyHasManyInstancesFewUniqueTriangles)
+{
+    Scene party = buildScene(SceneId::PARTY, 0.5f);
+    Scene robot = buildScene(SceneId::ROBOT, 0.5f);
+    // PARTY: instance-dominated; ROBOT: unique-geometry-dominated.
+    EXPECT_GT(party.instances.size(), 100u);
+    EXPECT_GT(robot.uniquePrimitives(), party.uniquePrimitives());
+    EXPECT_GT(party.instances.size(), robot.instances.size());
+}
+
+TEST(SceneStress, RobotHasLargestWorkingSet)
+{
+    float d = 0.4f;
+    size_t robot = buildScene(SceneId::ROBOT, d).uniquePrimitives();
+    EXPECT_GT(robot, buildScene(SceneId::BUNNY, d).uniquePrimitives());
+    EXPECT_GT(robot, buildScene(SceneId::REF, d).uniquePrimitives());
+    EXPECT_GT(robot, buildScene(SceneId::PARTY, d).uniquePrimitives());
+}
+
+TEST(SceneStress, EnclosedFlags)
+{
+    EXPECT_TRUE(buildScene(SceneId::BATH, 0.2f).enclosed);
+    EXPECT_TRUE(buildScene(SceneId::REF, 0.2f).enclosed);
+    EXPECT_TRUE(buildScene(SceneId::BUNNY, 0.2f).enclosed);
+    EXPECT_TRUE(buildScene(SceneId::SPNZA, 0.2f).enclosed);
+    EXPECT_FALSE(buildScene(SceneId::LANDS, 0.2f).enclosed);
+    EXPECT_FALSE(buildScene(SceneId::PARK, 0.2f).enclosed);
+}
+
+TEST(SceneStress, EnclosedScenesOccludeAllRays)
+{
+    Scene scene = buildScene(SceneId::REF, 0.3f);
+    AccelStructure accel;
+    accel.build(scene);
+    accel.assignAddresses(0x10000);
+    // Every primary ray in an enclosed scene must hit something.
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            Ray ray = scene.camera.generateRay(x, y, 8, 8, 0.5f,
+                                               0.5f);
+            HitInfo hit = TraversalStateMachine::traceFunctional(
+                accel, ray, false);
+            EXPECT_TRUE(hit.hit) << "pixel " << x << "," << y;
+        }
+    }
+}
+
+TEST(SceneStress, ChsntUsesAnyHitOnly)
+{
+    Scene chsnt = buildScene(SceneId::CHSNT, 0.2f);
+    EXPECT_TRUE(chsnt.usesAnyHit());
+    // None of the other suite scenes require anyhit.
+    for (SceneId id : lumiScenes()) {
+        if (id == SceneId::CHSNT)
+            continue;
+        EXPECT_FALSE(buildScene(id, 0.1f).usesAnyHit())
+            << sceneName(id);
+    }
+}
+
+TEST(SceneStress, WkndIsProcedural)
+{
+    Scene wknd = buildScene(SceneId::WKND, 0.3f);
+    EXPECT_GT(wknd.proceduralGeometryCount(), 0u);
+    size_t procedural = 0;
+    for (const Geometry &geom : wknd.geometries) {
+        if (geom.kind == Geometry::Kind::Procedural)
+            procedural += geom.spheres.count();
+    }
+    EXPECT_GT(procedural, 20u);
+    // The only procedural scene in the suite.
+    for (SceneId id : lumiScenes()) {
+        if (id == SceneId::WKND)
+            continue;
+        EXPECT_EQ(buildScene(id, 0.1f).proceduralGeometryCount(), 0u)
+            << sceneName(id);
+    }
+}
+
+TEST(SceneStress, ShipAndParkAreLongAndThin)
+{
+    // Sec. 3.1.2: SHIP (rigging) and PARK (grass) are selected for
+    // long/thin primitives whose AABBs are mostly empty space.
+    // Measure the fraction of triangles whose area is tiny relative
+    // to their bounding box surface.
+    auto empty_fraction = [](SceneId id) {
+        Scene scene = buildScene(id, 0.25f);
+        size_t thin = 0, total = 0;
+        for (const Instance &inst : scene.instances) {
+            const Geometry &geom =
+                scene.geometries[inst.geometryId];
+            if (geom.kind != Geometry::Kind::Triangles)
+                continue;
+            const TriangleMesh &mesh = geom.mesh;
+            for (size_t t = 0; t < mesh.triangleCount(); t++) {
+                const Vec3 &a = mesh.positions[mesh.indices[t * 3]];
+                const Vec3 &b =
+                    mesh.positions[mesh.indices[t * 3 + 1]];
+                const Vec3 &c =
+                    mesh.positions[mesh.indices[t * 3 + 2]];
+                float area = 0.5f * length(cross(b - a, c - a));
+                float box =
+                    mesh.triangleBounds(t).surfaceArea() * 0.5f;
+                if (box > 1e-12f && area / box < 0.2f)
+                    thin++;
+                total++;
+            }
+        }
+        return total > 0 ? static_cast<double>(thin) / total : 0.0;
+    };
+    double ship = empty_fraction(SceneId::SHIP);
+    double park = empty_fraction(SceneId::PARK);
+    double bunny = empty_fraction(SceneId::BUNNY);
+    EXPECT_GT(ship, bunny * 1.5);
+    EXPECT_GT(park, bunny * 2.0);
+}
+
+TEST(SceneStress, CrnvlHasManyLights)
+{
+    Scene crnvl = buildScene(SceneId::CRNVL, 0.5f);
+    EXPECT_GE(crnvl.lights.size(), 5u);
+}
+
+TEST(SceneStress, BathHasReflectiveMaterial)
+{
+    Scene bath = buildScene(SceneId::BATH, 0.2f);
+    bool reflective = false;
+    for (const Material &mat : bath.materials)
+        reflective = reflective || mat.reflectivity > 0.5f;
+    EXPECT_TRUE(reflective);
+}
+
+TEST(SceneStress, DetailScalesPrimitives)
+{
+    size_t low = buildScene(SceneId::FRST, 0.1f).instancedPrimitives();
+    size_t high =
+        buildScene(SceneId::FRST, 0.6f).instancedPrimitives();
+    EXPECT_GT(high, low * 2);
+}
+
+TEST(Scene, BackgroundEnclosedIsBlack)
+{
+    Scene bath = buildScene(SceneId::BATH, 0.1f);
+    Vec3 bg = bath.background({0.0f, 1.0f, 0.0f});
+    EXPECT_EQ(bg, Vec3(0.0f));
+    Scene lands = buildScene(SceneId::LANDS, 0.1f);
+    Vec3 sky = lands.background({0.0f, 1.0f, 0.0f});
+    EXPECT_GT(sky.z, 0.0f);
+}
+
+TEST(Camera, RaysSpanTheImagePlane)
+{
+    Camera camera({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0f);
+    Ray center = camera.generateRay(8, 8, 16, 16, 0.0f, 0.0f);
+    Ray corner = camera.generateRay(0, 0, 16, 16, 0.0f, 0.0f);
+    EXPECT_NEAR(length(center.dir), 1.0f, 1e-5f);
+    // Top-left corner ray points up-left relative to center.
+    EXPECT_LT(corner.dir.x, center.dir.x);
+    EXPECT_GT(corner.dir.y, center.dir.y);
+}
+
+} // namespace
+} // namespace lumi

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The LumiBench command-line driver: the C++ analog of the paper
+ * artifact's run_benchmark.py / generate_results.py /
+ * plot_dendrogram.py workflow (Appendix Sec. 5).
+ *
+ *   lumibench list
+ *       Enumerate scenes and the 46 workloads.
+ *   lumibench run [--subset|--all|--workload ID]...
+ *                 [--config mobile|desktop|alternate]
+ *                 [--csv results.csv] [--ppm-dir DIR]
+ *       Simulate workloads; write the metric table and images.
+ *   lumibench results --csv results.csv
+ *       Summarize a metric table (the Fig. 14-style report).
+ *   lumibench dendrogram --csv results.csv
+ *       PCA + clustering over a metric table (the Fig. 3 figure).
+ *
+ * Resolution/detail honor LUMI_RES / LUMI_SPP / LUMI_DETAIL /
+ * LUMI_QUICK, like the bench binaries.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/cluster.hh"
+#include "analysis/pca.hh"
+#include "lumibench/report.hh"
+#include "lumibench/runner.hh"
+#include "rt/pipeline.hh"
+
+using namespace lumi;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: lumibench <list|run|results|dendrogram> "
+                 "[options]\n"
+                 "  run options: --subset | --all | --workload ID "
+                 "(repeatable)\n"
+                 "               --config mobile|desktop|alternate\n"
+                 "               --csv FILE  --ppm-dir DIR  "
+                 "--timeline-dir DIR\n"
+                 "  results/dendrogram options: --csv FILE\n");
+    return 2;
+}
+
+Workload
+parseWorkload(const std::string &id, bool &ok)
+{
+    ok = false;
+    for (const Workload &w : allWorkloads()) {
+        if (w.id() == id) {
+            ok = true;
+            return w;
+        }
+    }
+    for (const Workload &w : gameWorkloads()) {
+        if (w.id() == id) {
+            ok = true;
+            return w;
+        }
+    }
+    return {SceneId::BUNNY, ShaderKind::AmbientOcclusion};
+}
+
+int
+cmdList()
+{
+    std::printf("scenes (Table 1):\n");
+    for (SceneId id : lumiScenes()) {
+        Scene scene = buildScene(id, 0.1f);
+        std::printf("  %-6s %s\n", sceneName(id),
+                    scene.stress.c_str());
+    }
+    std::printf("\ncomparison maps: ");
+    for (SceneId id : gameScenes())
+        std::printf("%s ", sceneName(id));
+    std::printf("\n\nworkloads (%zu):\n ", allWorkloads().size());
+    int col = 0;
+    for (const Workload &w : allWorkloads()) {
+        std::printf(" %-9s", w.id().c_str());
+        if (++col % 6 == 0)
+            std::printf("\n ");
+    }
+    std::printf("\n\nrepresentative subset (Table 2): ");
+    for (const Workload &w : representativeSubset())
+        std::printf("%s ", w.id().c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::vector<Workload> workloads;
+    std::string csv_path = "results.csv";
+    std::string ppm_dir;
+    std::string timeline_dir;
+
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--subset") {
+            for (const Workload &w : representativeSubset())
+                workloads.push_back(w);
+        } else if (arg == "--all") {
+            for (const Workload &w : allWorkloads())
+                workloads.push_back(w);
+        } else if (arg == "--workload") {
+            bool ok = false;
+            Workload w = parseWorkload(next("--workload"), ok);
+            if (!ok) {
+                std::fprintf(stderr, "unknown workload\n");
+                return 2;
+            }
+            workloads.push_back(w);
+        } else if (arg == "--config") {
+            std::string name = next("--config");
+            if (name == "desktop")
+                options.config = GpuConfig::desktop();
+            else if (name == "alternate")
+                options.config = GpuConfig::alternate();
+            else
+                options.config = GpuConfig::mobile();
+        } else if (arg == "--csv") {
+            csv_path = next("--csv");
+        } else if (arg == "--ppm-dir") {
+            ppm_dir = next("--ppm-dir");
+        } else if (arg == "--timeline-dir") {
+            timeline_dir = next("--timeline-dir");
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (workloads.empty()) {
+        for (const Workload &w : representativeSubset())
+            workloads.push_back(w);
+    }
+
+    std::vector<MetricVector> rows;
+    TextTable table({"workload", "cycles", "ipc", "rays",
+                     "rt_efficiency", "simt"});
+    for (const Workload &workload : workloads) {
+        std::fprintf(stderr, "running %-10s ...\n",
+                     workload.id().c_str());
+        if (!ppm_dir.empty() || !timeline_dir.empty()) {
+            // Render via the pipeline directly to keep the image
+            // and the AerialVision-style time series.
+            Scene scene = buildScene(workload.scene,
+                                     options.sceneDetail);
+            Gpu gpu(options.config, options.timelineInterval);
+            RayTracingPipeline pipeline(gpu, scene, options.params);
+            pipeline.render(workload.shader);
+            if (!ppm_dir.empty()) {
+                pipeline.writePpm(ppm_dir + "/" + workload.id() +
+                                  ".ppm");
+            }
+            if (!timeline_dir.empty()) {
+                gpu.timeline().writeCsv(
+                    timeline_dir + "/" + workload.id() + ".csv",
+                    options.config.numSms *
+                        options.config.rtUnitsPerSm);
+            }
+        }
+        WorkloadResult result = runWorkload(workload, options);
+        rows.push_back(result.metrics);
+        table.addRow({result.id, std::to_string(result.stats.cycles),
+                      TextTable::num(result.ipcThread(), 2),
+                      std::to_string(result.stats.raysTraced),
+                      TextTable::num(result.stats.rtEfficiency(), 3),
+                      TextTable::num(result.stats.simtEfficiency(),
+                                     3)});
+    }
+    writeCsv(csv_path, rows);
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Simulation complete! wrote %s (%zu workloads x %zu "
+                "metrics)\n",
+                csv_path.c_str(), rows.size(),
+                metricSchema().size());
+    return 0;
+}
+
+std::string
+csvArg(const std::vector<std::string> &args)
+{
+    for (size_t i = 0; i + 1 < args.size(); i++) {
+        if (args[i] == "--csv")
+            return args[i + 1];
+    }
+    return "results.csv";
+}
+
+int
+cmdResults(const std::vector<std::string> &args)
+{
+    std::vector<MetricVector> rows = readCsv(csvArg(args));
+    if (rows.empty()) {
+        std::fprintf(stderr, "no rows in %s\n",
+                     csvArg(args).c_str());
+        return 1;
+    }
+    int ipc = metricIndex("ipc_thread");
+    int rt_eff = metricIndex("rt_efficiency");
+    int rt_occ = metricIndex("rt_occupancy");
+    int dram_eff = metricIndex("dram_efficiency");
+    TextTable table({"workload", "ipc", "rt_occupancy",
+                     "rt_efficiency", "dram_efficiency"});
+    for (const MetricVector &row : rows) {
+        table.addRow({row.workload, TextTable::num(row[ipc], 2),
+                      TextTable::num(row[rt_occ], 2),
+                      TextTable::num(row[rt_eff], 3),
+                      TextTable::num(row[dram_eff], 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdDendrogram(const std::vector<std::string> &args)
+{
+    std::vector<MetricVector> rows = readCsv(csvArg(args));
+    if (rows.size() < 2) {
+        std::fprintf(stderr, "need at least 2 rows\n");
+        return 1;
+    }
+    std::vector<std::vector<double>> data;
+    std::vector<std::string> names;
+    for (const MetricVector &row : rows) {
+        data.push_back(row.values);
+        names.push_back(row.workload);
+    }
+    std::vector<int> kept;
+    auto dense = denseColumns(data, kept);
+    PcaResult reduced = pca(dense, 0.9);
+    std::printf("PCA: %d components, %.1f%% variance, %zu metrics\n",
+                reduced.kept, 100.0 * reduced.coveredVariance,
+                kept.size());
+    Dendrogram tree = agglomerate(reduced.scores);
+    std::printf("%s", renderDendrogram(tree, names).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "list")
+        return cmdList();
+    if (command == "run")
+        return cmdRun(args);
+    if (command == "results")
+        return cmdResults(args);
+    if (command == "dendrogram")
+        return cmdDendrogram(args);
+    return usage();
+}
