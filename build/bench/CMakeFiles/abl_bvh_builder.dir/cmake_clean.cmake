@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bvh_builder.dir/abl_bvh_builder.cc.o"
+  "CMakeFiles/abl_bvh_builder.dir/abl_bvh_builder.cc.o.d"
+  "abl_bvh_builder"
+  "abl_bvh_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bvh_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

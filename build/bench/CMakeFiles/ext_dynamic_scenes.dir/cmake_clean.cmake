@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_scenes.dir/ext_dynamic_scenes.cc.o"
+  "CMakeFiles/ext_dynamic_scenes.dir/ext_dynamic_scenes.cc.o.d"
+  "ext_dynamic_scenes"
+  "ext_dynamic_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_kiviat.dir/fig04_kiviat.cc.o"
+  "CMakeFiles/fig04_kiviat.dir/fig04_kiviat.cc.o.d"
+  "fig04_kiviat"
+  "fig04_kiviat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_kiviat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_timeline.cc" "bench/CMakeFiles/fig06_timeline.dir/fig06_timeline.cc.o" "gcc" "bench/CMakeFiles/fig06_timeline.dir/fig06_timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lumibench/CMakeFiles/lumi_lumibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lumi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/lumi_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lumi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/lumi_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/lumi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/lumi_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/lumi_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/lumi_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/lumi_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

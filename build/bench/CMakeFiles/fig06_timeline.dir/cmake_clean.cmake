@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_timeline.dir/fig06_timeline.cc.o"
+  "CMakeFiles/fig06_timeline.dir/fig06_timeline.cc.o.d"
+  "fig06_timeline"
+  "fig06_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

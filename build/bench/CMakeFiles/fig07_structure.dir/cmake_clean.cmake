@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_structure.dir/fig07_structure.cc.o"
+  "CMakeFiles/fig07_structure.dir/fig07_structure.cc.o.d"
+  "fig07_structure"
+  "fig07_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

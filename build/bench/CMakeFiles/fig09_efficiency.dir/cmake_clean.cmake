@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_efficiency.dir/fig09_efficiency.cc.o"
+  "CMakeFiles/fig09_efficiency.dir/fig09_efficiency.cc.o.d"
+  "fig09_efficiency"
+  "fig09_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

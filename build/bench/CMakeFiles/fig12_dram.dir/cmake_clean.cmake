@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dram.dir/fig12_dram.cc.o"
+  "CMakeFiles/fig12_dram.dir/fig12_dram.cc.o.d"
+  "fig12_dram"
+  "fig12_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_data_mix.dir/fig13_data_mix.cc.o"
+  "CMakeFiles/fig13_data_mix.dir/fig13_data_mix.cc.o.d"
+  "fig13_data_mix"
+  "fig13_data_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_data_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ipc.dir/fig14_ipc.cc.o"
+  "CMakeFiles/fig14_ipc.dir/fig14_ipc.cc.o.d"
+  "fig14_ipc"
+  "fig14_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_analytical.dir/fig15_analytical.cc.o"
+  "CMakeFiles/fig15_analytical.dir/fig15_analytical.cc.o.d"
+  "fig15_analytical"
+  "fig15_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

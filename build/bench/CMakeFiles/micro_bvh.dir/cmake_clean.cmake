@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bvh.dir/micro_bvh.cc.o"
+  "CMakeFiles/micro_bvh.dir/micro_bvh.cc.o.d"
+  "micro_bvh"
+  "micro_bvh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_memsys.dir/micro_memsys.cc.o"
+  "CMakeFiles/micro_memsys.dir/micro_memsys.cc.o.d"
+  "micro_memsys"
+  "micro_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

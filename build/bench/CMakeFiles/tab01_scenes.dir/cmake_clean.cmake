@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_scenes.dir/tab01_scenes.cc.o"
+  "CMakeFiles/tab01_scenes.dir/tab01_scenes.cc.o.d"
+  "tab01_scenes"
+  "tab01_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_subset.dir/tab02_subset.cc.o"
+  "CMakeFiles/tab02_subset.dir/tab02_subset.cc.o.d"
+  "tab02_subset"
+  "tab02_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

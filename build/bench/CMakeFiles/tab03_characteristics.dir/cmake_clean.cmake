@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_characteristics.dir/tab03_characteristics.cc.o"
+  "CMakeFiles/tab03_characteristics.dir/tab03_characteristics.cc.o.d"
+  "tab03_characteristics"
+  "tab03_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

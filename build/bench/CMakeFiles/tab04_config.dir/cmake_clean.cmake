@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_config.dir/tab04_config.cc.o"
+  "CMakeFiles/tab04_config.dir/tab04_config.cc.o.d"
+  "tab04_config"
+  "tab04_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

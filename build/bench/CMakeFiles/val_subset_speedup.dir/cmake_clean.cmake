@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/val_subset_speedup.dir/val_subset_speedup.cc.o"
+  "CMakeFiles/val_subset_speedup.dir/val_subset_speedup.cc.o.d"
+  "val_subset_speedup"
+  "val_subset_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/val_subset_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

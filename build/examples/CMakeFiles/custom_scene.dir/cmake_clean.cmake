@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_scene.dir/custom_scene.cpp.o"
+  "CMakeFiles/custom_scene.dir/custom_scene.cpp.o.d"
+  "custom_scene"
+  "custom_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_sweep.dir/hardware_sweep.cpp.o"
+  "CMakeFiles/hardware_sweep.dir/hardware_sweep.cpp.o.d"
+  "hardware_sweep"
+  "hardware_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obj_viewer.dir/obj_viewer.cpp.o"
+  "CMakeFiles/obj_viewer.dir/obj_viewer.cpp.o.d"
+  "obj_viewer"
+  "obj_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obj_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_analysis.dir/similarity_analysis.cpp.o"
+  "CMakeFiles/similarity_analysis.dir/similarity_analysis.cpp.o.d"
+  "similarity_analysis"
+  "similarity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analytical.cc" "src/analysis/CMakeFiles/lumi_analysis.dir/analytical.cc.o" "gcc" "src/analysis/CMakeFiles/lumi_analysis.dir/analytical.cc.o.d"
+  "/root/repo/src/analysis/cluster.cc" "src/analysis/CMakeFiles/lumi_analysis.dir/cluster.cc.o" "gcc" "src/analysis/CMakeFiles/lumi_analysis.dir/cluster.cc.o.d"
+  "/root/repo/src/analysis/genetic.cc" "src/analysis/CMakeFiles/lumi_analysis.dir/genetic.cc.o" "gcc" "src/analysis/CMakeFiles/lumi_analysis.dir/genetic.cc.o.d"
+  "/root/repo/src/analysis/kiviat.cc" "src/analysis/CMakeFiles/lumi_analysis.dir/kiviat.cc.o" "gcc" "src/analysis/CMakeFiles/lumi_analysis.dir/kiviat.cc.o.d"
+  "/root/repo/src/analysis/pca.cc" "src/analysis/CMakeFiles/lumi_analysis.dir/pca.cc.o" "gcc" "src/analysis/CMakeFiles/lumi_analysis.dir/pca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/lumi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/lumi_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/lumi_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/lumi_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/lumi_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

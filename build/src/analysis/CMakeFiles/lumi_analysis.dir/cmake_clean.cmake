@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_analysis.dir/analytical.cc.o"
+  "CMakeFiles/lumi_analysis.dir/analytical.cc.o.d"
+  "CMakeFiles/lumi_analysis.dir/cluster.cc.o"
+  "CMakeFiles/lumi_analysis.dir/cluster.cc.o.d"
+  "CMakeFiles/lumi_analysis.dir/genetic.cc.o"
+  "CMakeFiles/lumi_analysis.dir/genetic.cc.o.d"
+  "CMakeFiles/lumi_analysis.dir/kiviat.cc.o"
+  "CMakeFiles/lumi_analysis.dir/kiviat.cc.o.d"
+  "CMakeFiles/lumi_analysis.dir/pca.cc.o"
+  "CMakeFiles/lumi_analysis.dir/pca.cc.o.d"
+  "liblumi_analysis.a"
+  "liblumi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bvh/accel.cc" "src/bvh/CMakeFiles/lumi_bvh.dir/accel.cc.o" "gcc" "src/bvh/CMakeFiles/lumi_bvh.dir/accel.cc.o.d"
+  "/root/repo/src/bvh/builder.cc" "src/bvh/CMakeFiles/lumi_bvh.dir/builder.cc.o" "gcc" "src/bvh/CMakeFiles/lumi_bvh.dir/builder.cc.o.d"
+  "/root/repo/src/bvh/bvh.cc" "src/bvh/CMakeFiles/lumi_bvh.dir/bvh.cc.o" "gcc" "src/bvh/CMakeFiles/lumi_bvh.dir/bvh.cc.o.d"
+  "/root/repo/src/bvh/traversal.cc" "src/bvh/CMakeFiles/lumi_bvh.dir/traversal.cc.o" "gcc" "src/bvh/CMakeFiles/lumi_bvh.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scene/CMakeFiles/lumi_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/lumi_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/lumi_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

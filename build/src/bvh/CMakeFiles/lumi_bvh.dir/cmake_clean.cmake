@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_bvh.dir/accel.cc.o"
+  "CMakeFiles/lumi_bvh.dir/accel.cc.o.d"
+  "CMakeFiles/lumi_bvh.dir/builder.cc.o"
+  "CMakeFiles/lumi_bvh.dir/builder.cc.o.d"
+  "CMakeFiles/lumi_bvh.dir/bvh.cc.o"
+  "CMakeFiles/lumi_bvh.dir/bvh.cc.o.d"
+  "CMakeFiles/lumi_bvh.dir/traversal.cc.o"
+  "CMakeFiles/lumi_bvh.dir/traversal.cc.o.d"
+  "liblumi_bvh.a"
+  "liblumi_bvh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_compute.dir/rodinia.cc.o"
+  "CMakeFiles/lumi_compute.dir/rodinia.cc.o.d"
+  "CMakeFiles/lumi_compute.dir/rodinia_misc.cc.o"
+  "CMakeFiles/lumi_compute.dir/rodinia_misc.cc.o.d"
+  "liblumi_compute.a"
+  "liblumi_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

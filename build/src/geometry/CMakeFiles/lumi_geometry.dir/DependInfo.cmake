@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/mesh.cc" "src/geometry/CMakeFiles/lumi_geometry.dir/mesh.cc.o" "gcc" "src/geometry/CMakeFiles/lumi_geometry.dir/mesh.cc.o.d"
+  "/root/repo/src/geometry/obj_loader.cc" "src/geometry/CMakeFiles/lumi_geometry.dir/obj_loader.cc.o" "gcc" "src/geometry/CMakeFiles/lumi_geometry.dir/obj_loader.cc.o.d"
+  "/root/repo/src/geometry/shapes.cc" "src/geometry/CMakeFiles/lumi_geometry.dir/shapes.cc.o" "gcc" "src/geometry/CMakeFiles/lumi_geometry.dir/shapes.cc.o.d"
+  "/root/repo/src/geometry/texture.cc" "src/geometry/CMakeFiles/lumi_geometry.dir/texture.cc.o" "gcc" "src/geometry/CMakeFiles/lumi_geometry.dir/texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/lumi_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_geometry.dir/mesh.cc.o"
+  "CMakeFiles/lumi_geometry.dir/mesh.cc.o.d"
+  "CMakeFiles/lumi_geometry.dir/obj_loader.cc.o"
+  "CMakeFiles/lumi_geometry.dir/obj_loader.cc.o.d"
+  "CMakeFiles/lumi_geometry.dir/shapes.cc.o"
+  "CMakeFiles/lumi_geometry.dir/shapes.cc.o.d"
+  "CMakeFiles/lumi_geometry.dir/texture.cc.o"
+  "CMakeFiles/lumi_geometry.dir/texture.cc.o.d"
+  "liblumi_geometry.a"
+  "liblumi_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/address_space.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/address_space.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/address_space.cc.o.d"
+  "/root/repo/src/gpu/cache.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/cache.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/cache.cc.o.d"
+  "/root/repo/src/gpu/config.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/config.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/config.cc.o.d"
+  "/root/repo/src/gpu/dram.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/dram.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/dram.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/gpu.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/gpu.cc.o.d"
+  "/root/repo/src/gpu/mem_system.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/mem_system.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/mem_system.cc.o.d"
+  "/root/repo/src/gpu/rt_unit.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/rt_unit.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/rt_unit.cc.o.d"
+  "/root/repo/src/gpu/scene_layout.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/scene_layout.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/scene_layout.cc.o.d"
+  "/root/repo/src/gpu/simt_core.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/simt_core.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/simt_core.cc.o.d"
+  "/root/repo/src/gpu/warp_context.cc" "src/gpu/CMakeFiles/lumi_gpu.dir/warp_context.cc.o" "gcc" "src/gpu/CMakeFiles/lumi_gpu.dir/warp_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bvh/CMakeFiles/lumi_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/lumi_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/lumi_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/lumi_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_gpu.dir/address_space.cc.o"
+  "CMakeFiles/lumi_gpu.dir/address_space.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/cache.cc.o"
+  "CMakeFiles/lumi_gpu.dir/cache.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/config.cc.o"
+  "CMakeFiles/lumi_gpu.dir/config.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/dram.cc.o"
+  "CMakeFiles/lumi_gpu.dir/dram.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/gpu.cc.o"
+  "CMakeFiles/lumi_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/mem_system.cc.o"
+  "CMakeFiles/lumi_gpu.dir/mem_system.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/rt_unit.cc.o"
+  "CMakeFiles/lumi_gpu.dir/rt_unit.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/scene_layout.cc.o"
+  "CMakeFiles/lumi_gpu.dir/scene_layout.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/simt_core.cc.o"
+  "CMakeFiles/lumi_gpu.dir/simt_core.cc.o.d"
+  "CMakeFiles/lumi_gpu.dir/warp_context.cc.o"
+  "CMakeFiles/lumi_gpu.dir/warp_context.cc.o.d"
+  "liblumi_gpu.a"
+  "liblumi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_lumibench.dir/report.cc.o"
+  "CMakeFiles/lumi_lumibench.dir/report.cc.o.d"
+  "CMakeFiles/lumi_lumibench.dir/runner.cc.o"
+  "CMakeFiles/lumi_lumibench.dir/runner.cc.o.d"
+  "CMakeFiles/lumi_lumibench.dir/workload.cc.o"
+  "CMakeFiles/lumi_lumibench.dir/workload.cc.o.d"
+  "liblumi_lumibench.a"
+  "liblumi_lumibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_lumibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/mat4.cc" "src/math/CMakeFiles/lumi_math.dir/mat4.cc.o" "gcc" "src/math/CMakeFiles/lumi_math.dir/mat4.cc.o.d"
+  "/root/repo/src/math/sampling.cc" "src/math/CMakeFiles/lumi_math.dir/sampling.cc.o" "gcc" "src/math/CMakeFiles/lumi_math.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

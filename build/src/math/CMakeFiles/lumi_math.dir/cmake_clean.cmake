@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_math.dir/mat4.cc.o"
+  "CMakeFiles/lumi_math.dir/mat4.cc.o.d"
+  "CMakeFiles/lumi_math.dir/sampling.cc.o"
+  "CMakeFiles/lumi_math.dir/sampling.cc.o.d"
+  "liblumi_math.a"
+  "liblumi_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

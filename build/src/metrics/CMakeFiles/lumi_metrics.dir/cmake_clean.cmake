@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_metrics.dir/metrics.cc.o"
+  "CMakeFiles/lumi_metrics.dir/metrics.cc.o.d"
+  "liblumi_metrics.a"
+  "liblumi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_rt.dir/pipeline.cc.o"
+  "CMakeFiles/lumi_rt.dir/pipeline.cc.o.d"
+  "CMakeFiles/lumi_rt.dir/shading.cc.o"
+  "CMakeFiles/lumi_rt.dir/shading.cc.o.d"
+  "liblumi_rt.a"
+  "liblumi_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

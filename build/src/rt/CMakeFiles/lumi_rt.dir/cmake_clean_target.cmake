@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblumi_rt.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/camera.cc" "src/scene/CMakeFiles/lumi_scene.dir/camera.cc.o" "gcc" "src/scene/CMakeFiles/lumi_scene.dir/camera.cc.o.d"
+  "/root/repo/src/scene/scene.cc" "src/scene/CMakeFiles/lumi_scene.dir/scene.cc.o" "gcc" "src/scene/CMakeFiles/lumi_scene.dir/scene.cc.o.d"
+  "/root/repo/src/scene/scene_library.cc" "src/scene/CMakeFiles/lumi_scene.dir/scene_library.cc.o" "gcc" "src/scene/CMakeFiles/lumi_scene.dir/scene_library.cc.o.d"
+  "/root/repo/src/scene/scenes_game.cc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_game.cc.o" "gcc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_game.cc.o.d"
+  "/root/repo/src/scene/scenes_indoor.cc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_indoor.cc.o" "gcc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_indoor.cc.o.d"
+  "/root/repo/src/scene/scenes_nature.cc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_nature.cc.o" "gcc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_nature.cc.o.d"
+  "/root/repo/src/scene/scenes_objects.cc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_objects.cc.o" "gcc" "src/scene/CMakeFiles/lumi_scene.dir/scenes_objects.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/lumi_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/lumi_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumi_scene.dir/camera.cc.o"
+  "CMakeFiles/lumi_scene.dir/camera.cc.o.d"
+  "CMakeFiles/lumi_scene.dir/scene.cc.o"
+  "CMakeFiles/lumi_scene.dir/scene.cc.o.d"
+  "CMakeFiles/lumi_scene.dir/scene_library.cc.o"
+  "CMakeFiles/lumi_scene.dir/scene_library.cc.o.d"
+  "CMakeFiles/lumi_scene.dir/scenes_game.cc.o"
+  "CMakeFiles/lumi_scene.dir/scenes_game.cc.o.d"
+  "CMakeFiles/lumi_scene.dir/scenes_indoor.cc.o"
+  "CMakeFiles/lumi_scene.dir/scenes_indoor.cc.o.d"
+  "CMakeFiles/lumi_scene.dir/scenes_nature.cc.o"
+  "CMakeFiles/lumi_scene.dir/scenes_nature.cc.o.d"
+  "CMakeFiles/lumi_scene.dir/scenes_objects.cc.o"
+  "CMakeFiles/lumi_scene.dir/scenes_objects.cc.o.d"
+  "liblumi_scene.a"
+  "liblumi_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumi_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

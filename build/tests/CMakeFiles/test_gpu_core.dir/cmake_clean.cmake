@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_core.dir/test_gpu_core.cc.o"
+  "CMakeFiles/test_gpu_core.dir/test_gpu_core.cc.o.d"
+  "test_gpu_core"
+  "test_gpu_core.pdb"
+  "test_gpu_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

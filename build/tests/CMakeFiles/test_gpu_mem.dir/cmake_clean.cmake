@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_mem.dir/test_gpu_mem.cc.o"
+  "CMakeFiles/test_gpu_mem.dir/test_gpu_mem.cc.o.d"
+  "test_gpu_mem"
+  "test_gpu_mem.pdb"
+  "test_gpu_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

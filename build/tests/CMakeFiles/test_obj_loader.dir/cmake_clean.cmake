@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obj_loader.dir/test_obj_loader.cc.o"
+  "CMakeFiles/test_obj_loader.dir/test_obj_loader.cc.o.d"
+  "test_obj_loader"
+  "test_obj_loader.pdb"
+  "test_obj_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obj_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

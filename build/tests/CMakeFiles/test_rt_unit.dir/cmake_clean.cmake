@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_unit.dir/test_rt_unit.cc.o"
+  "CMakeFiles/test_rt_unit.dir/test_rt_unit.cc.o.d"
+  "test_rt_unit"
+  "test_rt_unit.pdb"
+  "test_rt_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

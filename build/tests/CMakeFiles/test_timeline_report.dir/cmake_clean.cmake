@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeline_report.dir/test_timeline_report.cc.o"
+  "CMakeFiles/test_timeline_report.dir/test_timeline_report.cc.o.d"
+  "test_timeline_report"
+  "test_timeline_report.pdb"
+  "test_timeline_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeline_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_scene[1]_include.cmake")
+include("/root/repo/build/tests/test_bvh[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_core[1]_include.cmake")
+include("/root/repo/build/tests/test_rt_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_compute[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_timeline_report[1]_include.cmake")
+include("/root/repo/build/tests/test_rt_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_obj_loader[1]_include.cmake")

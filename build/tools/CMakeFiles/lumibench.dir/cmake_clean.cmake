@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumibench.dir/lumibench_cli.cc.o"
+  "CMakeFiles/lumibench.dir/lumibench_cli.cc.o.d"
+  "lumibench"
+  "lumibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
