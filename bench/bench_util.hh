@@ -13,10 +13,12 @@
 #define LUMI_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "lumibench/report.hh"
+#include "lumibench/run_report.hh"
 #include "lumibench/runner.hh"
 #include "lumibench/workload.hh"
 
@@ -24,6 +26,26 @@ namespace lumi
 {
 namespace bench
 {
+
+/**
+ * Observability side-channel for the figure/table binaries: when
+ * LUMI_REPORT_DIR is set, every simulated workload also drops a
+ * machine-readable run report at $LUMI_REPORT_DIR/<id>.report.json,
+ * so a bench sweep leaves analyzable artifacts behind without any
+ * per-binary flag plumbing.
+ */
+inline void
+maybeWriteReport(const WorkloadResult &result,
+                 const RunOptions &options)
+{
+    const char *dir = std::getenv("LUMI_REPORT_DIR");
+    if (!dir || !*dir)
+        return;
+    std::string path = std::string(dir) + "/" + result.id +
+                       ".report.json";
+    if (!writeRunReport(path, {result}, options))
+        std::fprintf(stderr, "  failed to write %s\n", path.c_str());
+}
 
 /** Run a list of workloads, echoing progress to stderr. */
 inline std::vector<WorkloadResult>
@@ -36,6 +58,7 @@ runAll(const std::vector<Workload> &workloads,
         std::fprintf(stderr, "  running %-10s ...\n",
                      workload.id().c_str());
         results.push_back(runWorkload(workload, options));
+        maybeWriteReport(results.back(), options);
     }
     return results;
 }
@@ -49,6 +72,7 @@ runAllCompute(const RunOptions &options)
         std::fprintf(stderr, "  running %-10s ...\n",
                      computeKernelName(kernel));
         results.push_back(runCompute(kernel, options));
+        maybeWriteReport(results.back(), options);
     }
     return results;
 }

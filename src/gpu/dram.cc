@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.hh"
+
 namespace lumi
 {
 
-Dram::Dram(const GpuConfig &config)
-    : config_(config), transferCycles_(config.dramTransferCycles)
+Dram::Dram(const GpuConfig &config, Tracer *tracer)
+    : config_(config), tracer_(tracer),
+      transferCycles_(config.dramTransferCycles)
 {
     channels_.resize(config.dramChannels);
     for (Channel &channel : channels_)
@@ -30,14 +33,31 @@ Dram::service(uint64_t addr, uint64_t cycle, uint32_t bytes)
 {
     // Channel interleave at line granularity, banks by row.
     uint64_t line = addr / config_.l2LineBytes;
-    Channel &channel = channels_[line % channels_.size()];
+    uint32_t channel_index = static_cast<uint32_t>(
+        line % channels_.size());
+    Channel &channel = channels_[channel_index];
     uint64_t row = addr / config_.dramRowBytes;
-    Bank &bank = channel.banks[row % channel.banks.size()];
+    uint64_t bank_index = row % channel.banks.size();
+    Bank &bank = channel.banks[bank_index];
 
     uint64_t start = std::max(cycle, bank.nextFree);
     bool row_hit = bank.openRow == row;
     int access_latency = row_hit ? config_.dramRowHitLatency
                                  : config_.dramRowMissLatency;
+    const bool trace = tracer_ &&
+                       tracer_->wants(TraceCategory::Dram);
+    if (trace && !row_hit) {
+        // Implicit close of the previously open row, then the
+        // activate of the new one.
+        if (bank.openRow != UINT64_MAX) {
+            tracer_->instant(TraceCategory::Dram, "row_precharge",
+                             channel_index, start, "bank",
+                             bank_index, "row", bank.openRow);
+        }
+        tracer_->instant(TraceCategory::Dram, "row_activate",
+                         channel_index, start, "bank", bank_index,
+                         "row", row);
+    }
     bank.openRow = row;
 
     uint32_t lines = (bytes + config_.l2LineBytes - 1) /
@@ -52,6 +72,11 @@ Dram::service(uint64_t addr, uint64_t cycle, uint32_t bytes)
     uint64_t ready = bus_start + transfer;
     channel.busNextFree = ready;
     bank.nextFree = start + access_latency;
+    if (trace) {
+        tracer_->span(TraceCategory::Dram, "burst", channel_index,
+                      bus_start, ready, "bytes", bytes, "row_hit",
+                      row_hit ? 1 : 0);
+    }
 
     stats_.accesses++;
     if (row_hit)

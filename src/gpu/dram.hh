@@ -21,6 +21,8 @@
 namespace lumi
 {
 
+class Tracer;
+
 /** Aggregate DRAM statistics. */
 struct DramStats
 {
@@ -79,7 +81,7 @@ struct DramStats
 class Dram
 {
   public:
-    explicit Dram(const GpuConfig &config);
+    explicit Dram(const GpuConfig &config, Tracer *tracer = nullptr);
 
     /** Result of one DRAM read. */
     struct Result
@@ -124,6 +126,7 @@ class Dram
     Result service(uint64_t addr, uint64_t cycle, uint32_t bytes);
 
     const GpuConfig &config_;
+    Tracer *tracer_ = nullptr;
     std::vector<Channel> channels_;
     int transferCycles_;
     DramStats stats_;

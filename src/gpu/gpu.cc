@@ -7,16 +7,17 @@
 namespace lumi
 {
 
-Gpu::Gpu(const GpuConfig &config, uint64_t timeline_interval)
-    : config_(config), timeline_(timeline_interval)
+Gpu::Gpu(const GpuConfig &config, uint64_t timeline_interval,
+         Tracer *tracer)
+    : config_(config), tracer_(tracer), timeline_(timeline_interval)
 {
-    mem_ = std::make_unique<MemSystem>(config_, space_);
+    mem_ = std::make_unique<MemSystem>(config_, space_, tracer_);
     for (int sm = 0; sm < config_.numSms; sm++) {
         rtUnits_.push_back(std::make_unique<RtUnit>(sm, config_, *mem_,
-                                                    stats_));
+                                                    stats_, tracer_));
         cores_.push_back(std::make_unique<SimtCore>(sm, config_, *mem_,
                                                     *rtUnits_[sm],
-                                                    stats_));
+                                                    stats_, tracer_));
     }
 }
 

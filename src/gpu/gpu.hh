@@ -29,6 +29,8 @@
 namespace lumi
 {
 
+class Tracer;
+
 /** One kernel grid to execute. */
 struct KernelLaunch
 {
@@ -64,8 +66,14 @@ struct LaunchSample
 class Gpu
 {
   public:
+    /**
+     * @param tracer optional structured event tracer; the GPU only
+     *        observes into it (simulated timing is unaffected) and
+     *        does not take ownership. Null disables tracing.
+     */
     explicit Gpu(const GpuConfig &config,
-                 uint64_t timeline_interval = 10000);
+                 uint64_t timeline_interval = 10000,
+                 Tracer *tracer = nullptr);
 
     Gpu(const Gpu &) = delete;
     Gpu &operator=(const Gpu &) = delete;
@@ -77,6 +85,7 @@ class Gpu
     GpuStats &stats() { return stats_; }
     const GpuStats &stats() const { return stats_; }
     const Timeline &timeline() const { return timeline_; }
+    Tracer *tracer() const { return tracer_; }
 
     /**
      * Execute @p launch to completion. Statistics accumulate across
@@ -99,6 +108,7 @@ class Gpu
 
     GpuConfig config_;
     AddressSpace space_;
+    Tracer *tracer_ = nullptr;
     std::unique_ptr<MemSystem> mem_;
     GpuStats stats_;
     Timeline timeline_;

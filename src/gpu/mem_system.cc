@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace lumi
 {
 
-MemSystem::MemSystem(const GpuConfig &config, const AddressSpace &space)
-    : config_(config), space_(space)
+MemSystem::MemSystem(const GpuConfig &config, const AddressSpace &space,
+                     Tracer *tracer)
+    : config_(config), space_(space), tracer_(tracer)
 {
     for (int sm = 0; sm < config.numSms; sm++) {
         l1s_.push_back(std::make_unique<Cache>(config.l1SizeBytes,
@@ -17,7 +20,7 @@ MemSystem::MemSystem(const GpuConfig &config, const AddressSpace &space)
     l2_ = std::make_unique<Cache>(config.l2SizeBytes,
                                   config.l2LineBytes, config.l2Ways,
                                   config.l2Latency);
-    dram_ = std::make_unique<Dram>(config);
+    dram_ = std::make_unique<Dram>(config, tracer);
 }
 
 uint64_t
@@ -28,6 +31,8 @@ MemSystem::readLine(int sm, uint64_t cycle, uint64_t line_addr,
     Cache &l1 = *l1s_[sm];
     l1_stats.reads++;
     kindReads_[static_cast<int>(kind)]++;
+    const bool trace = tracer_ &&
+                       tracer_->wants(TraceCategory::Cache);
 
     CacheProbe probe = l1.probe(line_addr, cycle);
     if (probe.outcome == CacheProbe::Outcome::Hit) {
@@ -36,6 +41,12 @@ MemSystem::readLine(int sm, uint64_t cycle, uint64_t line_addr,
     }
     if (probe.outcome == CacheProbe::Outcome::PendingHit) {
         l1_stats.pendingHits++;
+        if (trace) {
+            tracer_->instant(TraceCategory::Cache, "l1_mshr_merge",
+                             static_cast<uint32_t>(sm), cycle,
+                             "line", line_addr, "rt",
+                             rt ? 1 : 0);
+        }
         return std::max(probe.validAt, cycle + config_.l1Latency);
     }
 
@@ -43,6 +54,12 @@ MemSystem::readLine(int sm, uint64_t cycle, uint64_t line_addr,
     kindMisses_[static_cast<int>(kind)]++;
     if (touchedLines_.insert(line_addr).second)
         l1_stats.coldMisses++;
+    if (trace) {
+        tracer_->instant(TraceCategory::Cache, "l1_miss",
+                         static_cast<uint32_t>(sm), cycle, "line",
+                         line_addr, "kind",
+                         static_cast<uint64_t>(kind));
+    }
 
     // Miss: go to L2 after the L1 lookup latency.
     uint64_t l2_cycle = cycle + config_.l1Latency;
@@ -55,10 +72,21 @@ MemSystem::readLine(int sm, uint64_t cycle, uint64_t line_addr,
         ready = l2_cycle + config_.l2Latency;
     } else if (l2_probe.outcome == CacheProbe::Outcome::PendingHit) {
         l2_stats.pendingHits++;
+        if (trace) {
+            tracer_->instant(TraceCategory::Cache, "l2_mshr_merge",
+                             static_cast<uint32_t>(sm), l2_cycle,
+                             "line", line_addr);
+        }
         ready = std::max(l2_probe.validAt,
                          l2_cycle + config_.l2Latency);
     } else {
         l2_stats.misses++;
+        if (trace) {
+            tracer_->instant(TraceCategory::Cache, "l2_miss",
+                             static_cast<uint32_t>(sm), l2_cycle,
+                             "line", line_addr, "kind",
+                             static_cast<uint64_t>(kind));
+        }
         uint64_t dram_cycle = l2_cycle + config_.l2Latency;
         Dram::Result dram = dram_->read(line_addr, dram_cycle,
                                         config_.l2LineBytes);

@@ -21,6 +21,8 @@
 namespace lumi
 {
 
+class Tracer;
+
 /** Result of a read through the hierarchy. */
 struct MemResult
 {
@@ -44,7 +46,8 @@ struct RequesterStats
 class MemSystem
 {
   public:
-    MemSystem(const GpuConfig &config, const AddressSpace &space);
+    MemSystem(const GpuConfig &config, const AddressSpace &space,
+              Tracer *tracer = nullptr);
 
     /**
      * Read @p bytes at @p addr from SM @p sm at @p cycle.
@@ -83,6 +86,7 @@ class MemSystem
 
     const GpuConfig &config_;
     const AddressSpace &space_;
+    Tracer *tracer_ = nullptr;
     std::vector<std::unique_ptr<Cache>> l1s_;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Dram> dram_;

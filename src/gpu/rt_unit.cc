@@ -4,13 +4,15 @@
 #include <cstdlib>
 
 #include "gpu/simt_core.hh"
+#include "trace/trace.hh"
 
 namespace lumi
 {
 
 RtUnit::RtUnit(int sm_id, const GpuConfig &config, MemSystem &mem,
-               GpuStats &stats)
-    : smId_(sm_id), config_(config), mem_(mem), stats_(stats)
+               GpuStats &stats, Tracer *tracer)
+    : smId_(sm_id), config_(config), mem_(mem), stats_(stats),
+      tracer_(tracer)
 {
 }
 
@@ -141,6 +143,7 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
       default:
         break;
     }
+    warp.nodeFetches++;
 
     MemResult mem = mem_.read(smId_, now, event.address, event.bytes,
                               true);
@@ -170,6 +173,15 @@ RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
                        SceneGpuLayout::hitRecordStride,
                    true);
         stats_.rtResultWrites += warp.rays.size();
+    }
+    if (tracer_ && tracer_->wants(TraceCategory::Rt)) {
+        // One span per warp residency in the RT unit: the Daisen-
+        // style traversal view (kind + fetch volume as args).
+        tracer_->span(TraceCategory::Rt, "rt_warp",
+                      static_cast<uint32_t>(smId_), warp.admitCycle,
+                      now, "kind",
+                      static_cast<uint64_t>(warp.rayKind), "nodes",
+                      warp.nodeFetches);
     }
     static const bool trace_warps = std::getenv("LUMI_RT_TRACE");
     if (trace_warps) {

@@ -31,13 +31,14 @@ namespace lumi
 {
 
 class SimtCore;
+class Tracer;
 
 /** One hardware RT unit attached to an SM. */
 class RtUnit
 {
   public:
     RtUnit(int sm_id, const GpuConfig &config, MemSystem &mem,
-           GpuStats &stats);
+           GpuStats &stats, Tracer *tracer = nullptr);
 
     /** Scene layout for the running kernel (null = compute only). */
     void setLayout(const SceneGpuLayout *layout) { layout_ = layout; }
@@ -90,6 +91,8 @@ class RtUnit
         uint64_t admitCycle = 0;
         /** Sum of completed rays' (doneCycle - admitCycle). */
         uint64_t rayLifetimeSum = 0;
+        /** Node/primitive fetches issued by this warp (trace arg). */
+        uint64_t nodeFetches = 0;
         std::vector<RayState> rays;
         int remaining = 0;
     };
@@ -120,6 +123,7 @@ class RtUnit
     const GpuConfig &config_;
     MemSystem &mem_;
     GpuStats &stats_;
+    Tracer *tracer_ = nullptr;
     const SceneGpuLayout *layout_ = nullptr;
 
     std::deque<PendingWarp> pending_;

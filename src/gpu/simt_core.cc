@@ -2,13 +2,15 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace lumi
 {
 
 SimtCore::SimtCore(int sm_id, const GpuConfig &config, MemSystem &mem,
-                   RtUnit &rt_unit, GpuStats &stats)
+                   RtUnit &rt_unit, GpuStats &stats, Tracer *tracer)
     : smId_(sm_id), config_(config), mem_(mem), rtUnit_(rt_unit),
-      stats_(stats)
+      stats_(stats), tracer_(tracer)
 {
     slots_.resize(config.maxWarpsPerSm);
 }
@@ -29,18 +31,32 @@ SimtCore::assignWarp(WarpProgram &&program, uint32_t warp_id,
         slot.readyCycle = now;
         slot.order = launchCounter_++;
         slot.warpId = warp_id;
+        slot.assignCycle = now;
+        slot.instrsIssued = 0;
         residentWarps_++;
         stats_.warpsLaunched++;
+        if (tracer_ && tracer_->wants(TraceCategory::Sm)) {
+            tracer_->instant(TraceCategory::Sm, "warp_launch",
+                             static_cast<uint32_t>(smId_), now,
+                             "warp", warp_id);
+        }
         // Degenerate empty programs retire immediately.
         if (slot.program.instrs.empty())
-            retire(slot);
+            retire(slot, now);
         return;
     }
 }
 
 void
-SimtCore::retire(WarpSlot &slot)
+SimtCore::retire(WarpSlot &slot, uint64_t now)
 {
+    if (tracer_ && tracer_->wants(TraceCategory::Sm)) {
+        // One span covering the warp's whole SM residency.
+        tracer_->span(TraceCategory::Sm, "warp",
+                      static_cast<uint32_t>(smId_),
+                      slot.assignCycle, now, "warp", slot.warpId,
+                      "instrs", slot.instrsIssued);
+    }
     slot.valid = false;
     slot.program.instrs.clear();
     residentWarps_--;
@@ -104,6 +120,7 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
     stats_.instructions++;
     stats_.threadInstructions += lanes;
     stats_.instrByOp[static_cast<int>(instr.op)]++;
+    slot.instrsIssued++;
 
     switch (instr.op) {
       case WarpOp::Alu:
@@ -187,7 +204,7 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
 
     if (!slot.sleeping && slot.pc >= slot.program.instrs.size() &&
         slot.repeatLeft == 0) {
-        retire(slot);
+        retire(slot, slot.readyCycle);
     }
 }
 
@@ -202,7 +219,7 @@ SimtCore::wakeWarp(int slot, uint64_t ready_cycle)
             ready_cycle - sleepStart_[slot];
     }
     if (warp.pc >= warp.program.instrs.size())
-        retire(warp);
+        retire(warp, ready_cycle);
 }
 
 uint64_t

@@ -26,12 +26,15 @@
 namespace lumi
 {
 
+class Tracer;
+
 /** One streaming multiprocessor. */
 class SimtCore
 {
   public:
     SimtCore(int sm_id, const GpuConfig &config, MemSystem &mem,
-             RtUnit &rt_unit, GpuStats &stats);
+             RtUnit &rt_unit, GpuStats &stats,
+             Tracer *tracer = nullptr);
 
     int smId() const { return smId_; }
 
@@ -70,17 +73,20 @@ class SimtCore
         uint64_t readyCycle = 0;
         uint64_t order = 0; ///< launch order for GTO aging
         uint32_t warpId = 0;
+        uint64_t assignCycle = 0; ///< residency span start (trace)
+        uint32_t instrsIssued = 0;
     };
 
     /** Execute the warp's next instruction; updates readyCycle. */
     void issue(WarpSlot &slot, int slot_index, uint64_t now);
-    void retire(WarpSlot &slot);
+    void retire(WarpSlot &slot, uint64_t now);
 
     int smId_;
     const GpuConfig &config_;
     MemSystem &mem_;
     RtUnit &rtUnit_;
     GpuStats &stats_;
+    Tracer *tracer_ = nullptr;
 
     std::vector<WarpSlot> slots_;
     /** traceRay issue cycle per slot, for latency attribution. */

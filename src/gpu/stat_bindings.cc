@@ -1,0 +1,222 @@
+#include "gpu/stat_bindings.hh"
+
+#include <cstdio>
+
+#include "gpu/data_kind.hh"
+#include "gpu/gpu.hh"
+
+namespace lumi
+{
+
+const char *
+warpOpName(WarpOp op)
+{
+    switch (op) {
+      case WarpOp::Alu: return "alu";
+      case WarpOp::Sfu: return "sfu";
+      case WarpOp::MemLoad: return "mem_load";
+      case WarpOp::MemStore: return "mem_store";
+      case WarpOp::TraceRay: return "trace_ray";
+      default: return "unknown";
+    }
+}
+
+const char *
+rayKindName(RayKind kind)
+{
+    switch (kind) {
+      case RayKind::Primary: return "primary";
+      case RayKind::Secondary: return "secondary";
+      case RayKind::Shadow: return "shadow";
+      case RayKind::AmbientOcclusion: return "ao";
+      default: return "unknown";
+    }
+}
+
+void
+registerGpuStats(StatRegistry &registry, const GpuStats &stats,
+                 const std::string &prefix)
+{
+    const GpuStats *s = &stats;
+    registry.addCounter(prefix + ".cycles", &s->cycles);
+    registry.addCounter(prefix + ".warps_launched",
+                        &s->warpsLaunched);
+    registry.addCounter(prefix + ".instructions", &s->instructions);
+    registry.addCounter(prefix + ".thread_instructions",
+                        &s->threadInstructions);
+    registry.addCounter(prefix + ".mem_instructions",
+                        &s->memInstructions);
+    registry.addCounter(prefix + ".coalesced_segments",
+                        &s->coalescedSegments);
+    registry.addCounter(prefix + ".warp_cycles_resident",
+                        &s->warpCyclesResident);
+    registry.addCounter(prefix + ".issue_cycles", &s->issueCycles);
+    for (int op = 0; op < numWarpOps; op++) {
+        std::string name = warpOpName(static_cast<WarpOp>(op));
+        registry.addCounter(prefix + ".instr." + name,
+                            &s->instrByOp[op]);
+        registry.addCounter(prefix + ".latency." + name,
+                            &s->latencyByOp[op]);
+    }
+    registry.addFormula(prefix + ".ipc",
+                        [s] { return s->ipc(); });
+    registry.addFormula(prefix + ".simt_efficiency",
+                        [s] { return s->simtEfficiency(); });
+
+    // The RT-unit group gets its own top-level namespace.
+    registry.addCounter("rt.warp_cycles", &s->rtWarpCycles);
+    registry.addCounter("rt.ray_cycles", &s->rtRayCycles);
+    registry.addCounter("rt.active_cycles", &s->rtActiveCycles);
+    registry.addCounter("rt.rays_traced", &s->raysTraced);
+    registry.addCounter("rt.rays_hit", &s->raysHit);
+    registry.addCounter("rt.rays_missed", &s->raysMissed);
+    registry.addCounter("rt.result_writes", &s->rtResultWrites);
+    registry.addCounter("rt.any_hit_invocations",
+                        &s->anyHitInvocations);
+    registry.addCounter("rt.intersection_invocations",
+                        &s->intersectionInvocations);
+    registry.addCounter("rt.nodes_traversed", &s->rtNodesTraversed);
+    registry.addCounter("rt.box_tests", &s->rtBoxTests);
+    registry.addCounter("rt.triangle_tests", &s->rtTriangleTests);
+    registry.addCounter("rt.procedural_tests",
+                        &s->rtProceduralTests);
+    registry.addCounter("rt.fetch.tlas_internal",
+                        &s->rtTlasInternalFetches);
+    registry.addCounter("rt.fetch.tlas_leaf", &s->rtTlasLeafFetches);
+    registry.addCounter("rt.fetch.blas_internal",
+                        &s->rtBlasInternalFetches);
+    registry.addCounter("rt.fetch.blas_leaf", &s->rtBlasLeafFetches);
+    registry.addCounter("rt.fetch.instance", &s->rtInstanceFetches);
+    registry.addCounter("rt.fetch.triangle", &s->rtTriangleFetches);
+    registry.addCounter("rt.fetch.procedural",
+                        &s->rtProceduralFetches);
+    for (int k = 0; k < numRayKinds; k++) {
+        std::string name = rayKindName(static_cast<RayKind>(k));
+        registry.addCounter("rt.rays." + name, &s->raysByKind[k]);
+        registry.addCounter("rt.warp_cycles_by_kind." + name,
+                            &s->rtWarpCyclesByKind[k]);
+        registry.addCounter("rt.ray_cycles_by_kind." + name,
+                            &s->rtRayCyclesByKind[k]);
+    }
+    registry.addFormula("rt.efficiency",
+                        [s] { return s->rtEfficiency(); });
+    registry.addFormula("rt.avg_traversal_length",
+                        [s] { return s->avgTraversalLength(); });
+}
+
+void
+registerCacheStats(StatRegistry &registry, const CacheStats &stats,
+                   const std::string &prefix)
+{
+    const CacheStats *s = &stats;
+    registry.addCounter(prefix + ".reads", &s->reads);
+    registry.addCounter(prefix + ".read_hits", &s->readHits);
+    registry.addCounter(prefix + ".read_pending_hits",
+                        &s->readPendingHits);
+    registry.addCounter(prefix + ".misses", &s->readMisses);
+    registry.addCounter(prefix + ".writes", &s->writes);
+    registry.addCounter(prefix + ".write_hits", &s->writeHits);
+    registry.addCounter(prefix + ".write_misses", &s->writeMisses);
+    registry.addFormula(prefix + ".miss_rate",
+                        [s] { return s->readMissRate(); });
+}
+
+void
+registerRequesterStats(StatRegistry &registry,
+                       const RequesterStats &stats,
+                       const std::string &prefix)
+{
+    const RequesterStats *s = &stats;
+    registry.addCounter(prefix + ".reads", &s->reads);
+    registry.addCounter(prefix + ".hits", &s->hits);
+    registry.addCounter(prefix + ".pending_hits", &s->pendingHits);
+    registry.addCounter(prefix + ".misses", &s->misses);
+    registry.addCounter(prefix + ".cold_misses", &s->coldMisses);
+    registry.addCounter(prefix + ".writes", &s->writes);
+}
+
+void
+registerDramStats(StatRegistry &registry, const DramStats &stats,
+                  const std::string &prefix)
+{
+    const DramStats *s = &stats;
+    registry.addCounter(prefix + ".accesses", &s->accesses);
+    registry.addCounter(prefix + ".row_hits", &s->rowHits);
+    registry.addCounter(prefix + ".read_bytes", &s->readBytes);
+    registry.addCounter(prefix + ".write_bytes", &s->writeBytes);
+    registry.addCounter(prefix + ".data_cycles", &s->dataCycles);
+    registry.addCounter(prefix + ".occupied_cycles",
+                        &s->occupiedCycles);
+    registry.addCounter(prefix + ".total_latency", &s->totalLatency);
+    registry.addFormula(prefix + ".channels", [s] {
+        return static_cast<double>(s->channels);
+    });
+    registry.addFormula(prefix + ".row_locality",
+                        [s] { return s->rowLocality(); });
+    registry.addFormula(prefix + ".avg_latency",
+                        [s] { return s->avgLatency(); });
+    registry.addFormula(prefix + ".efficiency",
+                        [s] { return s->efficiency(); });
+}
+
+void
+registerAccelStats(StatRegistry &registry, const AccelStats &stats,
+                   const std::string &prefix)
+{
+    // AccelStats fields are size_t/int/double; expose them as
+    // formulas reading the live struct.
+    const AccelStats *s = &stats;
+    auto add = [&](const char *name, auto getter) {
+        registry.addFormula(prefix + "." + name,
+                            [s, getter] {
+                                return static_cast<double>(getter(*s));
+                            });
+    };
+    add("unique_triangles",
+        [](const AccelStats &a) { return a.uniqueTriangles; });
+    add("unique_procedural_prims",
+        [](const AccelStats &a) { return a.uniqueProceduralPrims; });
+    add("instances",
+        [](const AccelStats &a) { return a.instances; });
+    add("instanced_primitives",
+        [](const AccelStats &a) { return a.instancedPrimitives; });
+    add("blas_count", [](const AccelStats &a) { return a.blasCount; });
+    add("blas_nodes", [](const AccelStats &a) { return a.blasNodes; });
+    add("tlas_nodes", [](const AccelStats &a) { return a.tlasNodes; });
+    add("tlas_depth", [](const AccelStats &a) { return a.tlasDepth; });
+    add("max_blas_depth",
+        [](const AccelStats &a) { return a.maxBlasDepth; });
+    add("total_depth",
+        [](const AccelStats &a) { return a.totalDepth; });
+    add("avg_sibling_overlap",
+        [](const AccelStats &a) { return a.avgSiblingOverlap; });
+    add("memory_footprint_bytes",
+        [](const AccelStats &a) { return a.memoryFootprintBytes; });
+}
+
+void
+registerGpu(StatRegistry &registry, const Gpu &gpu)
+{
+    registerGpuStats(registry, gpu.stats());
+    const MemSystem &mem = gpu.memSystem();
+    for (int sm = 0; sm < gpu.config().numSms; sm++) {
+        char prefix[32];
+        std::snprintf(prefix, sizeof(prefix), "sm%02d.l1d", sm);
+        registerCacheStats(registry, mem.l1(sm).stats, prefix);
+    }
+    registerCacheStats(registry, mem.l2().stats, "l2");
+    registerRequesterStats(registry, mem.l1Rt(), "l1.rt");
+    registerRequesterStats(registry, mem.l1Shader(), "l1.shader");
+    registerRequesterStats(registry, mem.l2Rt(), "l2.rt");
+    registerRequesterStats(registry, mem.l2Shader(), "l2.shader");
+    for (int k = 0; k < numDataKinds; k++) {
+        std::string name = dataKindName(static_cast<DataKind>(k));
+        registry.addCounter("l1.kind." + name + ".reads",
+                            &mem.kindReads()[k]);
+        registry.addCounter("l1.kind." + name + ".misses",
+                            &mem.kindMisses()[k]);
+    }
+    registerDramStats(registry, mem.dram().stats());
+}
+
+} // namespace lumi

@@ -8,6 +8,7 @@
 #ifndef LUMI_GPU_TIMELINE_HH
 #define LUMI_GPU_TIMELINE_HH
 
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -113,17 +114,21 @@ class Timeline
         FILE *file = std::fopen(path.c_str(), "w");
         if (!file)
             return false;
-        std::fprintf(file, "cycle_start,cycle_end,ipc,"
-                           "l1d_miss_rate,rt_warps_per_unit\n");
+        bool ok = std::fprintf(file,
+                               "cycle_start,cycle_end,ipc,"
+                               "l1d_miss_rate,rt_warps_per_unit\n") >=
+                  0;
         for (const TimelineWindow &w : windows(rt_units)) {
-            std::fprintf(file, "%llu,%llu,%.6f,%.6f,%.6f\n",
-                         static_cast<unsigned long long>(
-                             w.cycleStart),
-                         static_cast<unsigned long long>(w.cycleEnd),
-                         w.ipc, w.l1MissRate, w.rtWarpsPerUnit);
+            if (std::fprintf(file,
+                             "%" PRIu64 ",%" PRIu64
+                             ",%.6f,%.6f,%.6f\n",
+                             w.cycleStart, w.cycleEnd, w.ipc,
+                             w.l1MissRate, w.rtWarpsPerUnit) < 0)
+                ok = false;
         }
-        std::fclose(file);
-        return true;
+        if (std::fclose(file) != 0)
+            ok = false;
+        return ok;
     }
 
   private:

@@ -1,7 +1,12 @@
 #include "lumibench/runner.hh"
 
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
+#include <optional>
 
+#include "gpu/stat_bindings.hh"
 #include "rt/pipeline.hh"
 
 namespace lumi
@@ -10,24 +15,61 @@ namespace lumi
 namespace
 {
 
+/**
+ * Strict env-int parse: the whole value must be a number and at
+ * least @p min, otherwise warn once and use @p fallback. An unset or
+ * empty variable silently falls back (not an error).
+ */
 int
-envInt(const char *name, int fallback)
+envInt(const char *name, int fallback, int min = 1)
 {
     const char *value = std::getenv(name);
     if (!value || !*value)
         return fallback;
-    int parsed = std::atoi(value);
-    return parsed > 0 ? parsed : fallback;
+    errno = 0;
+    char *end = nullptr;
+    long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        parsed < min || parsed > INT_MAX) {
+        std::fprintf(stderr,
+                     "lumi: ignoring %s='%s' (want an integer >= %d); "
+                     "using %d\n",
+                     name, value, min, fallback);
+        return fallback;
+    }
+    return static_cast<int>(parsed);
 }
 
+/** Strict env-double parse; must be finite and > 0. */
 double
 envDouble(const char *name, double fallback)
 {
     const char *value = std::getenv(name);
     if (!value || !*value)
         return fallback;
-    double parsed = std::atof(value);
-    return parsed > 0.0 ? parsed : fallback;
+    errno = 0;
+    char *end = nullptr;
+    double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        !(parsed > 0.0)) {
+        std::fprintf(stderr,
+                     "lumi: ignoring %s='%s' (want a number > 0); "
+                     "using %g\n",
+                     name, value, fallback);
+        return fallback;
+    }
+    return parsed;
+}
+
+/** Register everything a finished run exposes and dump it. */
+std::string
+dumpStats(const Gpu &gpu, const AccelStats *accel)
+{
+    StatRegistry registry;
+    registerGpu(registry, gpu);
+    if (accel)
+        registerAccelStats(registry, *accel);
+    return registry.toJson();
 }
 
 } // namespace
@@ -36,82 +78,123 @@ RunOptions
 RunOptions::fromEnv()
 {
     RunOptions options;
-    bool quick = envInt("LUMI_QUICK", 0) != 0;
+    bool quick = envInt("LUMI_QUICK", 0, 0) != 0;
     int res = envInt("LUMI_RES", quick ? 32 : 96);
     options.params.width = res;
     options.params.height = res;
     options.params.samplesPerPixel = envInt("LUMI_SPP", quick ? 1 : 2);
     options.sceneDetail = static_cast<float>(
         envDouble("LUMI_DETAIL", quick ? 0.25 : 2.0));
+    if (const char *trace = std::getenv("LUMI_TRACE");
+        trace && *trace) {
+        options.traceMask = parseTraceCategories(trace);
+    }
     return options;
 }
 
 WorkloadResult
 runWorkload(const Workload &workload, const RunOptions &options)
 {
-    Scene scene = buildScene(workload.scene, options.sceneDetail);
-    Gpu gpu(options.config, options.timelineInterval);
+    PhaseProfiler profiler;
+    Scene scene = [&] {
+        PhaseProfiler::Scoped phase(profiler, "scene_build");
+        return buildScene(workload.scene, options.sceneDetail);
+    }();
+
+    auto tracer = std::make_shared<Tracer>(options.traceCapacity);
+    tracer->setMask(options.traceMask);
+    Gpu gpu(options.config, options.timelineInterval, tracer.get());
     if (options.dramBandwidthScale != 1.0) {
         gpu.memSystem().dram().setBandwidthScale(
             options.dramBandwidthScale);
     }
-    RayTracingPipeline pipeline(gpu, scene, options.params);
-    pipeline.render(workload.shader);
+
+    // The pipeline constructor builds the BLASes/TLAS and lays the
+    // scene out in GPU memory; time it as the BVH-build phase.
+    std::optional<RayTracingPipeline> pipeline;
+    {
+        PhaseProfiler::Scoped phase(profiler, "bvh_build");
+        pipeline.emplace(gpu, scene, options.params);
+    }
+    {
+        PhaseProfiler::Scoped phase(profiler, "simulate");
+        pipeline->render(workload.shader);
+    }
 
     WorkloadResult result;
-    result.id = workload.id();
-    result.stats = gpu.stats();
-    result.dram = gpu.memSystem().dram().stats();
-    result.l1Rt = gpu.memSystem().l1Rt();
-    result.l1Shader = gpu.memSystem().l1Shader();
-    result.l2Rt = gpu.memSystem().l2Rt();
-    result.l2Shader = gpu.memSystem().l2Shader();
-    for (int k = 0; k < numDataKinds; k++) {
-        result.kindReads[k] = gpu.memSystem().kindReads()[k];
-        result.kindMisses[k] = gpu.memSystem().kindMisses()[k];
-    }
-    result.accelStats = pipeline.accel().computeStats();
-    result.rtUnits = options.config.numSms *
-                     options.config.rtUnitsPerSm;
+    {
+        PhaseProfiler::Scoped phase(profiler, "analysis");
+        result.id = workload.id();
+        result.stats = gpu.stats();
+        result.dram = gpu.memSystem().dram().stats();
+        result.l1Rt = gpu.memSystem().l1Rt();
+        result.l1Shader = gpu.memSystem().l1Shader();
+        result.l2Rt = gpu.memSystem().l2Rt();
+        result.l2Shader = gpu.memSystem().l2Shader();
+        for (int k = 0; k < numDataKinds; k++) {
+            result.kindReads[k] = gpu.memSystem().kindReads()[k];
+            result.kindMisses[k] = gpu.memSystem().kindMisses()[k];
+        }
+        result.accelStats = pipeline->accel().computeStats();
+        result.rtUnits = options.config.numSms *
+                         options.config.rtUnitsPerSm;
 
-    WorkloadContext context;
-    context.scene = &scene;
-    context.accelStats = &result.accelStats;
-    context.shader = workload.shader;
-    context.params = options.params;
-    result.metrics = collectMetrics(gpu, &context);
-    result.metrics.workload = result.id;
-    result.timeline = gpu.timeline().windows(result.rtUnits);
-    result.analytical = evaluateHongKim(gpu);
+        WorkloadContext context;
+        context.scene = &scene;
+        context.accelStats = &result.accelStats;
+        context.shader = workload.shader;
+        context.params = options.params;
+        result.metrics = collectMetrics(gpu, &context);
+        result.metrics.workload = result.id;
+        result.timeline = gpu.timeline().windows(result.rtUnits);
+        result.analytical = evaluateHongKim(gpu);
+        result.statsJson = dumpStats(gpu, &result.accelStats);
+    }
+    if (options.traceMask != 0)
+        result.trace = tracer;
+    result.phases = profiler.timings();
     return result;
 }
 
 WorkloadResult
 runCompute(ComputeKernel kernel, const RunOptions &options)
 {
-    Gpu gpu(options.config, options.timelineInterval);
+    PhaseProfiler profiler;
+    auto tracer = std::make_shared<Tracer>(options.traceCapacity);
+    tracer->setMask(options.traceMask);
+    Gpu gpu(options.config, options.timelineInterval, tracer.get());
     ComputeParams params;
     params.scale = 1;
-    runComputeKernel(gpu, kernel, params);
+    {
+        PhaseProfiler::Scoped phase(profiler, "simulate");
+        runComputeKernel(gpu, kernel, params);
+    }
 
     WorkloadResult result;
-    result.id = computeKernelName(kernel);
-    result.stats = gpu.stats();
-    result.dram = gpu.memSystem().dram().stats();
-    result.l1Rt = gpu.memSystem().l1Rt();
-    result.l1Shader = gpu.memSystem().l1Shader();
-    result.l2Rt = gpu.memSystem().l2Rt();
-    result.l2Shader = gpu.memSystem().l2Shader();
-    for (int k = 0; k < numDataKinds; k++) {
-        result.kindReads[k] = gpu.memSystem().kindReads()[k];
-        result.kindMisses[k] = gpu.memSystem().kindMisses()[k];
+    {
+        PhaseProfiler::Scoped phase(profiler, "analysis");
+        result.id = computeKernelName(kernel);
+        result.stats = gpu.stats();
+        result.dram = gpu.memSystem().dram().stats();
+        result.l1Rt = gpu.memSystem().l1Rt();
+        result.l1Shader = gpu.memSystem().l1Shader();
+        result.l2Rt = gpu.memSystem().l2Rt();
+        result.l2Shader = gpu.memSystem().l2Shader();
+        for (int k = 0; k < numDataKinds; k++) {
+            result.kindReads[k] = gpu.memSystem().kindReads()[k];
+            result.kindMisses[k] = gpu.memSystem().kindMisses()[k];
+        }
+        result.rtUnits = options.config.numSms *
+                         options.config.rtUnitsPerSm;
+        result.metrics = collectMetrics(gpu, nullptr);
+        result.metrics.workload = result.id;
+        result.timeline = gpu.timeline().windows(result.rtUnits);
+        result.analytical = evaluateHongKim(gpu);
+        result.statsJson = dumpStats(gpu, nullptr);
     }
-    result.rtUnits = options.config.numSms *
-                     options.config.rtUnitsPerSm;
-    result.metrics = collectMetrics(gpu, nullptr);
-    result.metrics.workload = result.id;
-    result.timeline = gpu.timeline().windows(result.rtUnits);
-    result.analytical = evaluateHongKim(gpu);
+    if (options.traceMask != 0)
+        result.trace = tracer;
+    result.phases = profiler.timings();
     return result;
 }
 

@@ -7,6 +7,7 @@
 #ifndef LUMI_LUMIBENCH_RUNNER_HH
 #define LUMI_LUMIBENCH_RUNNER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "gpu/gpu.hh"
 #include "lumibench/workload.hh"
 #include "metrics/metrics.hh"
+#include "trace/phase.hh"
+#include "trace/trace.hh"
 
 namespace lumi
 {
@@ -30,11 +33,21 @@ struct RunOptions
     uint64_t timelineInterval = 5000;
     /** Optional DRAM bandwidth scale (Sec. 5.3.2 experiment). */
     double dramBandwidthScale = 1.0;
+    /**
+     * TraceCategory bitmask for the structured event tracer; 0 (the
+     * default) disables tracing entirely and the result carries no
+     * trace. Tracing never changes simulated cycle counts.
+     */
+    uint32_t traceMask = 0;
+    /** Events retained per trace category (ring-buffer size). */
+    size_t traceCapacity = 1 << 14;
 
     /**
      * Bench defaults honoring the environment: LUMI_RES (image edge,
-     * default 64), LUMI_SPP, LUMI_DETAIL, and LUMI_QUICK=1 for smoke
-     * runs (32x32, low detail).
+     * default 64), LUMI_SPP, LUMI_DETAIL, LUMI_QUICK=1 for smoke
+     * runs (32x32, low detail), and LUMI_TRACE (category list, e.g.
+     * "sm,rt" or "all") for the event tracer. Malformed values fall
+     * back to the defaults with a warning on stderr.
      */
     static RunOptions fromEnv();
 };
@@ -56,6 +69,12 @@ struct WorkloadResult
     std::vector<TimelineWindow> timeline;
     AnalyticalModel analytical;
     int rtUnits = 8;
+    /** Stat-registry dump (one flat JSON object, names sorted). */
+    std::string statsJson;
+    /** Wall-clock host phases (scene_build, simulate, ...). */
+    std::vector<PhaseTiming> phases;
+    /** Event trace; non-null only when RunOptions::traceMask != 0. */
+    std::shared_ptr<Tracer> trace;
 
     double
     ipcThread() const

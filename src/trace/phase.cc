@@ -1,0 +1,42 @@
+#include "trace/phase.hh"
+
+namespace lumi
+{
+
+void
+PhaseProfiler::add(const std::string &name, double seconds)
+{
+    for (PhaseTiming &timing : timings_) {
+        if (timing.name == name) {
+            timing.seconds += seconds;
+            timing.count++;
+            return;
+        }
+    }
+    PhaseTiming timing;
+    timing.name = name;
+    timing.seconds = seconds;
+    timing.count = 1;
+    timings_.push_back(timing);
+}
+
+double
+PhaseProfiler::seconds(const std::string &name) const
+{
+    for (const PhaseTiming &timing : timings_) {
+        if (timing.name == name)
+            return timing.seconds;
+    }
+    return 0.0;
+}
+
+double
+PhaseProfiler::totalSeconds() const
+{
+    double total = 0.0;
+    for (const PhaseTiming &timing : timings_)
+        total += timing.seconds;
+    return total;
+}
+
+} // namespace lumi

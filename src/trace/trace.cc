@@ -1,0 +1,231 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "trace/json.hh"
+
+namespace lumi
+{
+
+const char *
+traceCategoryName(TraceCategory category)
+{
+    switch (category) {
+      case TraceCategory::Sm: return "sm";
+      case TraceCategory::Rt: return "rt";
+      case TraceCategory::Cache: return "cache";
+      case TraceCategory::Dram: return "dram";
+      case TraceCategory::Phase: return "phase";
+      default: return "unknown";
+    }
+}
+
+uint32_t
+parseTraceCategories(const std::string &spec)
+{
+    if (spec.empty() || spec == "all" || spec == "1")
+        return traceAllCategories;
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        bool known = false;
+        for (int c = 0; c < numTraceCategories; c++) {
+            TraceCategory category = static_cast<TraceCategory>(c);
+            if (token == traceCategoryName(category)) {
+                mask |= traceBit(category);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::fprintf(stderr,
+                         "lumi: unknown trace category '%s' "
+                         "(known: sm,rt,cache,dram,phase,all)\n",
+                         token.c_str());
+        }
+    }
+    return mask;
+}
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1)
+{
+}
+
+void
+Tracer::push(const TraceEvent &event)
+{
+    // Callers gate on wants() for speed, but the mask stays
+    // authoritative even for unguarded emission.
+    if (!wants(event.category))
+        return;
+    Ring &ring = rings_[static_cast<int>(event.category)];
+    if (ring.events.size() < capacity_) {
+        ring.events.push_back(event);
+    } else {
+        ring.events[ring.next] = event;
+        ring.next = (ring.next + 1) % capacity_;
+    }
+    ring.emitted++;
+}
+
+size_t
+Tracer::size() const
+{
+    size_t total = 0;
+    for (const Ring &ring : rings_)
+        total += ring.events.size();
+    return total;
+}
+
+uint64_t
+Tracer::emitted(TraceCategory category) const
+{
+    return rings_[static_cast<int>(category)].emitted;
+}
+
+uint64_t
+Tracer::dropped(TraceCategory category) const
+{
+    const Ring &ring = rings_[static_cast<int>(category)];
+    return ring.emitted - ring.events.size();
+}
+
+std::vector<TraceEvent>
+Tracer::events(TraceCategory category) const
+{
+    const Ring &ring = rings_[static_cast<int>(category)];
+    std::vector<TraceEvent> out;
+    out.reserve(ring.events.size());
+    // Oldest first: the ring's write index is the oldest slot once
+    // the buffer has wrapped.
+    size_t count = ring.events.size();
+    size_t oldest = count < capacity_ ? 0 : ring.next;
+    for (size_t i = 0; i < count; i++)
+        out.push_back(ring.events[(oldest + i) % count]);
+    return out;
+}
+
+std::vector<TraceEvent>
+Tracer::sortedEvents() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size());
+    for (int c = 0; c < numTraceCategories; c++) {
+        for (const TraceEvent &event :
+             events(static_cast<TraceCategory>(c)))
+            out.push_back(event);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.start < b.start;
+                     });
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    for (Ring &ring : rings_) {
+        ring.events.clear();
+        ring.next = 0;
+        ring.emitted = 0;
+    }
+}
+
+std::string
+Tracer::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("displayTimeUnit");
+    json.value("ns");
+    json.key("traceEvents");
+    json.beginArray();
+
+    // Metadata: one "process" per category so Perfetto groups the
+    // tracks, with per-track (tid) names like "sm3".
+    for (int c = 0; c < numTraceCategories; c++) {
+        TraceCategory category = static_cast<TraceCategory>(c);
+        if (rings_[c].events.empty())
+            continue;
+        json.beginObject();
+        json.key("name");
+        json.value("process_name");
+        json.key("ph");
+        json.value("M");
+        json.key("pid");
+        json.value(c);
+        json.key("args");
+        json.beginObject();
+        json.key("name");
+        json.value(traceCategoryName(category));
+        json.endObject();
+        json.endObject();
+    }
+
+    for (const TraceEvent &event : sortedEvents()) {
+        json.beginObject();
+        json.key("name");
+        json.value(event.name ? event.name : "event");
+        json.key("cat");
+        json.value(traceCategoryName(event.category));
+        json.key("ph");
+        json.value(event.instant ? "i" : "X");
+        if (event.instant) {
+            json.key("s");
+            json.value("t"); // thread-scoped instant
+        }
+        json.key("ts");
+        json.value(event.start);
+        if (!event.instant) {
+            json.key("dur");
+            json.value(event.duration);
+        }
+        json.key("pid");
+        json.value(static_cast<int>(event.category));
+        json.key("tid");
+        json.value(static_cast<uint64_t>(event.track));
+        if (event.argName0 || event.argName1) {
+            json.key("args");
+            json.beginObject();
+            if (event.argName0) {
+                json.key(event.argName0);
+                json.value(event.arg0);
+            }
+            if (event.argName1) {
+                json.key(event.argName1);
+                json.value(event.arg1);
+            }
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+bool
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    std::string body = toJson();
+    bool ok = std::fwrite(body.data(), 1, body.size(), file) ==
+              body.size();
+    if (std::fclose(file) != 0)
+        ok = false;
+    return ok;
+}
+
+} // namespace lumi

@@ -27,8 +27,10 @@
 #include "analysis/cluster.hh"
 #include "analysis/pca.hh"
 #include "lumibench/report.hh"
+#include "lumibench/run_report.hh"
 #include "lumibench/runner.hh"
 #include "rt/pipeline.hh"
+#include "trace/trace.hh"
 
 using namespace lumi;
 
@@ -46,8 +48,25 @@ usage()
                  "               --config mobile|desktop|alternate\n"
                  "               --csv FILE  --ppm-dir DIR  "
                  "--timeline-dir DIR\n"
-                 "  results/dendrogram options: --csv FILE\n");
+                 "               --trace FILE  "
+                 "--trace-categories sm,rt,cache,dram\n"
+                 "               --stats-json FILE  --report FILE\n"
+                 "  results/dendrogram options: --csv FILE\n"
+                 "  (observability flags imply 'run'; a %%w in FILE "
+                 "expands to the workload id)\n");
     return 2;
+}
+
+/** Expand "%w" in @p path to @p workload_id. */
+std::string
+perWorkloadPath(const std::string &path,
+                const std::string &workload_id)
+{
+    std::string out = path;
+    size_t pos = out.find("%w");
+    if (pos != std::string::npos)
+        out.replace(pos, 2, workload_id);
+    return out;
 }
 
 Workload
@@ -103,6 +122,10 @@ cmdRun(const std::vector<std::string> &args)
     std::string csv_path = "results.csv";
     std::string ppm_dir;
     std::string timeline_dir;
+    std::string trace_path;
+    std::string trace_categories = "all";
+    std::string stats_path;
+    std::string report_path;
 
     for (size_t i = 0; i < args.size(); i++) {
         const std::string &arg = args[i];
@@ -120,10 +143,14 @@ cmdRun(const std::vector<std::string> &args)
             for (const Workload &w : allWorkloads())
                 workloads.push_back(w);
         } else if (arg == "--workload") {
+            std::string id = next("--workload");
             bool ok = false;
-            Workload w = parseWorkload(next("--workload"), ok);
+            Workload w = parseWorkload(id, ok);
             if (!ok) {
-                std::fprintf(stderr, "unknown workload\n");
+                std::fprintf(stderr,
+                             "unknown workload '%s' (see "
+                             "'lumibench list')\n",
+                             id.c_str());
                 return 2;
             }
             workloads.push_back(w);
@@ -141,6 +168,14 @@ cmdRun(const std::vector<std::string> &args)
             ppm_dir = next("--ppm-dir");
         } else if (arg == "--timeline-dir") {
             timeline_dir = next("--timeline-dir");
+        } else if (arg == "--trace") {
+            trace_path = next("--trace");
+        } else if (arg == "--trace-categories") {
+            trace_categories = next("--trace-categories");
+        } else if (arg == "--stats-json") {
+            stats_path = next("--stats-json");
+        } else if (arg == "--report") {
+            report_path = next("--report");
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 2;
@@ -150,7 +185,25 @@ cmdRun(const std::vector<std::string> &args)
         for (const Workload &w : representativeSubset())
             workloads.push_back(w);
     }
+    if (!trace_path.empty()) {
+        options.traceMask = parseTraceCategories(trace_categories);
+        if (options.traceMask == 0) {
+            std::fprintf(stderr,
+                         "--trace-categories '%s' selects nothing\n",
+                         trace_categories.c_str());
+            return 2;
+        }
+    }
+    if (workloads.size() > 1 &&
+        trace_path.find("%w") == std::string::npos &&
+        (!trace_path.empty() || !stats_path.empty())) {
+        std::fprintf(stderr,
+                     "note: multiple workloads share one --trace/"
+                     "--stats-json path; last run wins (use %%w in "
+                     "the path for per-workload files)\n");
+    }
 
+    std::vector<WorkloadResult> results;
     std::vector<MetricVector> rows;
     TextTable table({"workload", "cycles", "ipc", "rays",
                      "rt_efficiency", "simt"});
@@ -184,8 +237,41 @@ cmdRun(const std::vector<std::string> &args)
                       TextTable::num(result.stats.rtEfficiency(), 3),
                       TextTable::num(result.stats.simtEfficiency(),
                                      3)});
+        if (!trace_path.empty() && result.trace) {
+            std::string path = perWorkloadPath(trace_path,
+                                               result.id);
+            if (!result.trace->writeChromeTrace(path)) {
+                std::fprintf(stderr, "failed to write %s\n",
+                             path.c_str());
+                return 1;
+            }
+        }
+        if (!stats_path.empty()) {
+            std::string path = perWorkloadPath(stats_path,
+                                               result.id);
+            FILE *file = std::fopen(path.c_str(), "w");
+            bool ok = file != nullptr;
+            if (ok && std::fputs(result.statsJson.c_str(),
+                                 file) == EOF)
+                ok = false;
+            if (file && std::fclose(file) != 0)
+                ok = false;
+            if (!ok) {
+                std::fprintf(stderr, "failed to write %s\n",
+                             path.c_str());
+                return 1;
+            }
+        }
+        if (!report_path.empty())
+            results.push_back(std::move(result));
     }
     writeCsv(csv_path, rows);
+    if (!report_path.empty() &&
+        !writeRunReport(report_path, results, options)) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     report_path.c_str());
+        return 1;
+    }
     std::printf("%s\n", table.render().c_str());
     std::printf("Simulation complete! wrote %s (%zu workloads x %zu "
                 "metrics)\n",
@@ -263,6 +349,11 @@ main(int argc, char **argv)
         return usage();
     std::string command = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
+    if (command.size() >= 2 && command[0] == '-') {
+        // Bare observability/run flags imply the run command.
+        command = "run";
+        args.assign(argv + 1, argv + argc);
+    }
     if (command == "list")
         return cmdList();
     if (command == "run")
