@@ -145,6 +145,15 @@ class TraversalStateMachine
 
     const TraversalStats &stats() const { return stats_; }
 
+    /**
+     * Current TLAS/BLAS traversal-stack depths. Each node is pushed
+     * at most once per (instance) descent, so depth is bounded by
+     * the node count of the level being walked — the RT unit checks
+     * this invariant every advance.
+     */
+    size_t tlasStackDepth() const { return tlasStack_.size(); }
+    size_t blasStackDepth() const { return blasStack_.size(); }
+
     /** Anyhit shader invocations queued during traversal. */
     const std::vector<AnyHitRecord> &anyHitQueue() const
     {

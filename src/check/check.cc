@@ -1,0 +1,171 @@
+#include "check/check.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "trace/stat_registry.hh"
+
+namespace lumi
+{
+
+namespace
+{
+
+/** Violations echoed to stderr per subsystem in count mode. */
+constexpr uint64_t maxPrintedPerSubsys = 8;
+
+struct CheckState
+{
+    CheckMode mode = CheckMode::FailFast;
+    uint64_t violations[numCheckSubsystems] = {};
+    uint64_t total = 0;
+    uint64_t printed[numCheckSubsystems] = {};
+    std::string lastMessage;
+};
+
+CheckState &
+state()
+{
+    static CheckState s = [] {
+        CheckState init;
+        // Triage escape hatch: LUMI_CHECK_MODE=count turns a run
+        // that would abort into one that reports violation counts.
+        if (const char *mode = std::getenv("LUMI_CHECK_MODE");
+            mode && std::strcmp(mode, "count") == 0) {
+            init.mode = CheckMode::Count;
+        }
+        return init;
+    }();
+    return s;
+}
+
+} // namespace
+
+const char *
+checkSubsysName(CheckSubsys subsys)
+{
+    switch (subsys) {
+      case CheckSubsys::Simt: return "simt";
+      case CheckSubsys::Sched: return "sched";
+      case CheckSubsys::Cache: return "cache";
+      case CheckSubsys::Dram: return "dram";
+      case CheckSubsys::Rt: return "rt";
+      case CheckSubsys::Mem: return "mem";
+      default: return "unknown";
+    }
+}
+
+namespace checks
+{
+
+void
+setMode(CheckMode mode)
+{
+    state().mode = mode;
+}
+
+CheckMode
+mode()
+{
+    return state().mode;
+}
+
+void
+reset()
+{
+    CheckState &s = state();
+    for (int i = 0; i < numCheckSubsystems; i++) {
+        s.violations[i] = 0;
+        s.printed[i] = 0;
+    }
+    s.total = 0;
+    s.lastMessage.clear();
+}
+
+uint64_t
+violations(CheckSubsys subsys)
+{
+    return state().violations[static_cast<int>(subsys)];
+}
+
+uint64_t
+total()
+{
+    return state().total;
+}
+
+const std::string &
+lastMessage()
+{
+    return state().lastMessage;
+}
+
+ScopedCountMode::ScopedCountMode() : saved_(mode())
+{
+    setMode(CheckMode::Count);
+    reset();
+}
+
+ScopedCountMode::~ScopedCountMode()
+{
+    setMode(saved_);
+    reset();
+}
+
+} // namespace checks
+
+void
+checkFailed(CheckSubsys subsys, const char *file, int line,
+            const char *fmt, ...)
+{
+    CheckState &s = state();
+    int index = static_cast<int>(subsys);
+    s.violations[index]++;
+    s.total++;
+
+    char message[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof(message), fmt, args);
+    va_end(args);
+    s.lastMessage = message;
+
+    bool fail_fast = s.mode == CheckMode::FailFast;
+    if (fail_fast || s.printed[index] < maxPrintedPerSubsys) {
+        s.printed[index]++;
+        std::fprintf(stderr,
+                     "lumi: invariant violated [%s] at %s:%d: %s\n",
+                     checkSubsysName(subsys), file, line, message);
+        if (!fail_fast && s.printed[index] == maxPrintedPerSubsys) {
+            std::fprintf(stderr,
+                         "lumi: [%s] further violations counted "
+                         "but not printed\n",
+                         checkSubsysName(subsys));
+        }
+    }
+    if (fail_fast) {
+        std::fprintf(stderr,
+                     "lumi: aborting (LUMI_CHECK_MODE=count to "
+                     "continue and count)\n");
+        std::abort();
+    }
+}
+
+void
+registerCheckStats(StatRegistry &registry)
+{
+    const CheckState &s = state();
+    for (int i = 0; i < numCheckSubsystems; i++) {
+        registry.addCounter(
+            std::string("check.violations.") +
+                checkSubsysName(static_cast<CheckSubsys>(i)),
+            &s.violations[i],
+            "model invariant violations (count mode)");
+    }
+    registry.addCounter("check.violations.total", &s.total,
+                        "model invariant violations, all subsystems");
+}
+
+} // namespace lumi

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Runtime invariant checking for the cycle-level model.
+ *
+ * Every number the benchmark reports is only as trustworthy as the
+ * micro-architectural model behind it, so the hot paths carry
+ * LUMI_CHECK() assertions of model invariants: counter conservation
+ * in the caches, bank state-machine legality in DRAM, divergence
+ * stack well-formedness in the SIMT cores, traversal-stack and
+ * address-space containment in the RT units, and scheduler legality
+ * in the GTO issue path.
+ *
+ * Two properties are non-negotiable:
+ *
+ *  1. Checks are *observers*: they read simulator state and never
+ *     mutate it, so cycle counts are bit-identical with checks
+ *     enabled or disabled (tests/test_check.cc and CI enforce this).
+ *  2. Checks compile out completely with -DLUMI_CHECKS=OFF: the
+ *     condition is not evaluated and no code is generated, so the
+ *     production hot path pays nothing.
+ *
+ * Two runtime modes (checks-enabled builds only):
+ *  - FailFast (default): print the violation and abort. A wrong
+ *    simulator state should never silently flow into a run report.
+ *  - Count: increment per-subsystem violation counters and keep
+ *    going. Used by tests that deliberately corrupt state, and
+ *    available for triage runs (LUMI_CHECK_MODE=count). Violation
+ *    counters register in the StatRegistry as check.violations.* so
+ *    they surface in --stats-json dumps and run reports.
+ */
+
+#ifndef LUMI_CHECK_CHECK_HH
+#define LUMI_CHECK_CHECK_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lumi
+{
+
+class StatRegistry;
+
+/** Simulator subsystems with their own violation counter. */
+enum class CheckSubsys : uint8_t
+{
+    Simt,  ///< divergence stacks, issue legality (simt_core/warp_context)
+    Sched, ///< warp scheduler legality (GTO/LRR pick, wake ordering)
+    Cache, ///< cache counter conservation, LRU/validAt sanity
+    Dram,  ///< bank state machine, bus/row-buffer bookkeeping
+    Rt,    ///< RT unit residency, traversal stacks, fetch containment
+    Mem,   ///< address-space layout, hierarchy-level conservation
+    NumSubsys,
+};
+
+constexpr int numCheckSubsystems =
+    static_cast<int>(CheckSubsys::NumSubsys);
+
+/** Stable lower-case name used in stats and messages. */
+const char *checkSubsysName(CheckSubsys subsys);
+
+/** What a failed check does. */
+enum class CheckMode : uint8_t
+{
+    FailFast, ///< print and abort (default)
+    Count,    ///< count, print the first few, continue
+};
+
+namespace checks
+{
+
+void setMode(CheckMode mode);
+CheckMode mode();
+
+/** Zero every violation counter and the last-message buffer. */
+void reset();
+
+uint64_t violations(CheckSubsys subsys);
+uint64_t total();
+
+/** Last formatted violation message (for tests). */
+const std::string &lastMessage();
+
+/**
+ * RAII guard: switch to count-and-continue and reset counters, for
+ * tests that deliberately corrupt simulator state. Restores the
+ * previous mode (and re-resets the counters) on destruction.
+ */
+class ScopedCountMode
+{
+  public:
+    ScopedCountMode();
+    ~ScopedCountMode();
+    ScopedCountMode(const ScopedCountMode &) = delete;
+    ScopedCountMode &operator=(const ScopedCountMode &) = delete;
+
+  private:
+    CheckMode saved_;
+};
+
+} // namespace checks
+
+/**
+ * Register the per-subsystem violation counters (plus the total)
+ * under check.violations.*. Safe to call in checks-disabled builds:
+ * the counters exist and stay zero, so stats dumps keep an identical
+ * schema either way.
+ */
+void registerCheckStats(StatRegistry &registry);
+
+/**
+ * Out-of-line slow path invoked by LUMI_CHECK on violation. @p fmt
+ * and the varargs are printf-style.
+ */
+[[gnu::format(printf, 4, 5)]]
+void checkFailed(CheckSubsys subsys, const char *file, int line,
+                 const char *fmt, ...);
+
+} // namespace lumi
+
+#if LUMI_CHECKS_ENABLED
+
+/**
+ * Assert a model invariant. @p subsys is a bare CheckSubsys
+ * enumerator (Simt, Sched, Cache, Dram, Rt, Mem); @p cond must be
+ * side-effect free -- it is not evaluated in checks-disabled builds.
+ */
+#define LUMI_CHECK(subsys, cond, ...)                                 \
+    do {                                                              \
+        if (!(cond)) [[unlikely]] {                                   \
+            ::lumi::checkFailed(::lumi::CheckSubsys::subsys,          \
+                                __FILE__, __LINE__, __VA_ARGS__);     \
+        }                                                             \
+    } while (0)
+
+/** Code emitted only in checks-enabled builds (heavier validators). */
+#define LUMI_CHECKS_ONLY(...) __VA_ARGS__
+
+#else // !LUMI_CHECKS_ENABLED
+
+namespace lumi::check_detail
+{
+/** Swallows check arguments unevaluated in disabled builds. */
+template <typename... Args>
+inline void
+sink(Args &&...)
+{
+}
+} // namespace lumi::check_detail
+
+#define LUMI_CHECK(subsys, cond, ...)                                 \
+    do {                                                              \
+        if (false) {                                                  \
+            ::lumi::check_detail::sink((cond)__VA_OPT__(, )           \
+                                           __VA_ARGS__);              \
+        }                                                             \
+    } while (0)
+
+#define LUMI_CHECKS_ONLY(...)
+
+#endif // LUMI_CHECKS_ENABLED
+
+#endif // LUMI_CHECK_CHECK_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+
 namespace lumi
 {
 
@@ -26,11 +28,45 @@ void
 AddressSpace::registerRange(uint64_t base, uint64_t size,
                             DataKind kind, const std::string &label)
 {
+    LUMI_CHECK(Mem, size > 0, "empty range '%s' at 0x%llx",
+               label.c_str(), static_cast<unsigned long long>(base));
+    LUMI_CHECK(Mem, base >= baseAddress,
+               "range '%s' at 0x%llx below the null page",
+               label.c_str(), static_cast<unsigned long long>(base));
     AddressRange range{base, size, kind, label};
     auto pos = std::lower_bound(ranges_.begin(), ranges_.end(), base,
                                 [](const AddressRange &r, uint64_t b) {
                                     return r.base < b;
                                 });
+#if LUMI_CHECKS_ENABLED
+    // Layout legality: tagged ranges must not overlap, or address
+    // classification (and the per-DataKind traffic breakdown built
+    // on it) silently misattributes accesses.
+    if (pos != ranges_.begin()) {
+        const AddressRange &prev = *(pos - 1);
+        LUMI_CHECK(Mem, prev.base + prev.size <= base,
+                   "range '%s' [0x%llx,+%llu) overlaps '%s' "
+                   "[0x%llx,+%llu)",
+                   label.c_str(),
+                   static_cast<unsigned long long>(base),
+                   static_cast<unsigned long long>(size),
+                   prev.label.c_str(),
+                   static_cast<unsigned long long>(prev.base),
+                   static_cast<unsigned long long>(prev.size));
+    }
+    if (pos != ranges_.end()) {
+        const AddressRange &next = *pos;
+        LUMI_CHECK(Mem, base + size <= next.base,
+                   "range '%s' [0x%llx,+%llu) overlaps '%s' "
+                   "[0x%llx,+%llu)",
+                   label.c_str(),
+                   static_cast<unsigned long long>(base),
+                   static_cast<unsigned long long>(size),
+                   next.label.c_str(),
+                   static_cast<unsigned long long>(next.base),
+                   static_cast<unsigned long long>(next.size));
+    }
+#endif
     ranges_.insert(pos, range);
     if (base + size > cursor_)
         cursor_ = base + size;

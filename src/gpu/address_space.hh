@@ -63,6 +63,17 @@ class AddressSpace
     /** Classify an address; unknown addresses report Compute. */
     DataKind kindOf(uint64_t addr) const;
 
+    /** One past the highest address handed out so far. */
+    uint64_t limit() const { return cursor_; }
+
+    /** True when [addr, addr+size) lies inside allocated space. */
+    bool
+    contains(uint64_t addr, uint64_t size) const
+    {
+        return addr >= baseAddress && addr < cursor_ &&
+               size <= cursor_ - addr;
+    }
+
     const std::vector<AddressRange> &ranges() const { return ranges_; }
 
     /** Total bytes allocated. */

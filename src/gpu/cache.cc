@@ -1,5 +1,7 @@
 #include "gpu/cache.hh"
 
+#include "check/check.hh"
+
 namespace lumi
 {
 
@@ -42,24 +44,41 @@ Cache::probe(uint64_t line_addr, uint64_t cycle)
     Line *line = findLine(line_addr);
     if (!line) {
         stats.readMisses++;
-        result.outcome = CacheProbe::Outcome::Miss;
-        return result;
-    }
-    line->lastUsed = cycle;
-    if (line->validAt > cycle) {
-        stats.readPendingHits++;
-        result.outcome = CacheProbe::Outcome::PendingHit;
-        result.validAt = line->validAt;
     } else {
-        stats.readHits++;
-        result.outcome = CacheProbe::Outcome::Hit;
+        line->lastUsed = cycle;
+        if (line->validAt > cycle) {
+            stats.readPendingHits++;
+            result.outcome = CacheProbe::Outcome::PendingHit;
+            result.validAt = line->validAt;
+        } else {
+            stats.readHits++;
+            result.outcome = CacheProbe::Outcome::Hit;
+        }
     }
+    // Every probe lands in exactly one outcome bucket; drift here
+    // means a stat was bumped outside this function or lost.
+    LUMI_CHECK(Cache,
+               stats.reads == stats.readHits + stats.readPendingHits +
+                                  stats.readMisses,
+               "read counter drift: reads=%llu != hits=%llu + "
+               "pending=%llu + misses=%llu",
+               static_cast<unsigned long long>(stats.reads),
+               static_cast<unsigned long long>(stats.readHits),
+               static_cast<unsigned long long>(stats.readPendingHits),
+               static_cast<unsigned long long>(stats.readMisses));
     return result;
 }
 
 void
 Cache::fill(uint64_t line_addr, uint64_t cycle, uint64_t valid_at)
 {
+    // A fill's data cannot land before the access that requested it.
+    LUMI_CHECK(Cache, valid_at >= cycle,
+               "fill of line 0x%llx completes in the past: "
+               "validAt=%llu < cycle=%llu",
+               static_cast<unsigned long long>(line_addr),
+               static_cast<unsigned long long>(valid_at),
+               static_cast<unsigned long long>(cycle));
     uint32_t set = setIndex(line_addr);
     if (lookup_[set].count(line_addr))
         return; // already present (raced fill)
@@ -80,6 +99,25 @@ Cache::fill(uint64_t line_addr, uint64_t cycle, uint64_t valid_at)
             victim = base + w;
         }
     }
+#if LUMI_CHECKS_ENABLED
+    // Replacement legality: the victim must be an invalid way or the
+    // true LRU of the set (no valid line older than it).
+    if (lines_[victim].valid) {
+        for (uint32_t w = 0; w < ways_; w++) {
+            const Line &line = lines_[base + w];
+            LUMI_CHECK(Cache,
+                       !line.valid ||
+                           line.lastUsed >= lines_[victim].lastUsed,
+                       "LRU violation in set %u: victim lastUsed=%llu "
+                       "but way %u has lastUsed=%llu",
+                       set,
+                       static_cast<unsigned long long>(
+                           lines_[victim].lastUsed),
+                       w,
+                       static_cast<unsigned long long>(line.lastUsed));
+        }
+    }
+#endif
     Line &line = lines_[victim];
     if (line.valid)
         lookup_[set].erase(line.tag);
@@ -88,6 +126,11 @@ Cache::fill(uint64_t line_addr, uint64_t cycle, uint64_t valid_at)
     line.validAt = valid_at;
     line.valid = true;
     lookup_[set][line_addr] = victim;
+    // The tag index and the line array must stay in lockstep: a set
+    // can never track more lines than it has ways.
+    LUMI_CHECK(Cache, lookup_[set].size() <= ways_,
+               "set %u tracks %zu lines with only %u ways", set,
+               lookup_[set].size(), ways_);
 }
 
 bool
@@ -95,13 +138,21 @@ Cache::writeProbe(uint64_t line_addr, uint64_t cycle)
 {
     stats.writes++;
     Line *line = findLine(line_addr);
-    if (line && line->validAt <= cycle) {
+    bool hit = line && line->validAt <= cycle;
+    if (hit) {
         line->lastUsed = cycle;
         stats.writeHits++;
-        return true;
+    } else {
+        stats.writeMisses++;
     }
-    stats.writeMisses++;
-    return false;
+    LUMI_CHECK(Cache,
+               stats.writes == stats.writeHits + stats.writeMisses,
+               "write counter drift: writes=%llu != hits=%llu + "
+               "misses=%llu",
+               static_cast<unsigned long long>(stats.writes),
+               static_cast<unsigned long long>(stats.writeHits),
+               static_cast<unsigned long long>(stats.writeMisses));
+    return hit;
 }
 
 } // namespace lumi

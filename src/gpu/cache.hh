@@ -49,6 +49,14 @@ struct CacheStats
                    ? static_cast<double>(readMisses) / reads
                    : 0.0;
     }
+
+    double
+    writeMissRate() const
+    {
+        return writes > 0
+                   ? static_cast<double>(writeMisses) / writes
+                   : 0.0;
+    }
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.hh"
 #include "trace/trace.hh"
 
 namespace lumi
@@ -42,6 +43,20 @@ Dram::service(uint64_t addr, uint64_t cycle, uint32_t bytes)
 
     uint64_t start = std::max(cycle, bank.nextFree);
     bool row_hit = bank.openRow == row;
+    // Bank state-machine legality: a row-buffer hit requires an
+    // actually open row, and the bank cannot start a new access
+    // while a previous one still occupies it.
+    LUMI_CHECK(Dram, !row_hit || bank.openRow != UINT64_MAX,
+               "row hit against a closed bank (ch%u bank%llu)",
+               channel_index,
+               static_cast<unsigned long long>(bank_index));
+    LUMI_CHECK(Dram, start >= bank.nextFree,
+               "bank activated while busy: start=%llu < "
+               "nextFree=%llu (ch%u bank%llu)",
+               static_cast<unsigned long long>(start),
+               static_cast<unsigned long long>(bank.nextFree),
+               channel_index,
+               static_cast<unsigned long long>(bank_index));
     int access_latency = row_hit ? config_.dramRowHitLatency
                                  : config_.dramRowMissLatency;
     const bool trace = tracer_ &&
@@ -70,6 +85,20 @@ Dram::service(uint64_t addr, uint64_t cycle, uint32_t bytes)
     uint64_t bus_start = std::max(start + access_latency,
                                   channel.busNextFree);
     uint64_t ready = bus_start + transfer;
+    // Bus bookkeeping: the data burst cannot begin before the bank
+    // access completes or while an earlier burst still owns the bus,
+    // and the bus-free cursor only moves forward.
+    LUMI_CHECK(Dram,
+               bus_start >= start + static_cast<uint64_t>(
+                                        access_latency) &&
+                   bus_start >= channel.busNextFree,
+               "burst scheduled illegally: bus_start=%llu access "
+               "done=%llu busNextFree=%llu (ch%u)",
+               static_cast<unsigned long long>(bus_start),
+               static_cast<unsigned long long>(
+                   start + static_cast<uint64_t>(access_latency)),
+               static_cast<unsigned long long>(channel.busNextFree),
+               channel_index);
     channel.busNextFree = ready;
     bank.nextFree = start + access_latency;
     if (trace) {
@@ -88,6 +117,19 @@ Dram::service(uint64_t addr, uint64_t cycle, uint32_t bytes)
     if (ready > window_start)
         stats_.occupiedCycles += ready - window_start;
     channel.occupiedEnd = std::max(channel.occupiedEnd, ready);
+
+    // Aggregate conservation: hits are a subset of accesses, and the
+    // bus cannot stream data for longer than requests were pending.
+    LUMI_CHECK(Dram, stats_.rowHits <= stats_.accesses,
+               "row-hit counter drift: rowHits=%llu > accesses=%llu",
+               static_cast<unsigned long long>(stats_.rowHits),
+               static_cast<unsigned long long>(stats_.accesses));
+    LUMI_CHECK(Dram, stats_.dataCycles <= stats_.occupiedCycles,
+               "bus accounting drift: dataCycles=%llu > "
+               "occupiedCycles=%llu",
+               static_cast<unsigned long long>(stats_.dataCycles),
+               static_cast<unsigned long long>(
+                   stats_.occupiedCycles));
 
     return {ready, row_hit};
 }

@@ -125,6 +125,9 @@ class Dram
     /** Common bank/bus scheduling for reads and writes. */
     Result service(uint64_t addr, uint64_t cycle, uint32_t bytes);
 
+    /** Lets tests corrupt internal state to prove checks fire. */
+    friend struct DramTestPeer;
+
     const GpuConfig &config_;
     Tracer *tracer_ = nullptr;
     std::vector<Channel> channels_;

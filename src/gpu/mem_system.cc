@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "trace/trace.hh"
 
 namespace lumi
@@ -27,6 +28,10 @@ uint64_t
 MemSystem::readLine(int sm, uint64_t cycle, uint64_t line_addr,
                     bool rt, DataKind kind)
 {
+    LUMI_CHECK(Mem, line_addr % config_.l1LineBytes == 0,
+               "unaligned line read: 0x%llx with %u-byte lines",
+               static_cast<unsigned long long>(line_addr),
+               config_.l1LineBytes);
     RequesterStats &l1_stats = rt ? l1Rt_ : l1Shader_;
     Cache &l1 = *l1s_[sm];
     l1_stats.reads++;
@@ -118,6 +123,26 @@ MemSystem::read(int sm, uint64_t cycle, uint64_t addr, uint32_t bytes,
     }
     all_hits = (rt ? l1Rt_ : l1Shader_).misses == before_misses;
     any_dram = dram_->stats().accesses != before_dram;
+    // Per-requester conservation at both levels: every read lands in
+    // exactly one outcome bucket, and compulsory misses are a subset
+    // of all misses.
+#if LUMI_CHECKS_ENABLED
+    for (const RequesterStats *s : {&l1Rt_, &l1Shader_, &l2Rt_,
+                                    &l2Shader_}) {
+        LUMI_CHECK(Mem,
+                   s->reads == s->hits + s->pendingHits + s->misses,
+                   "requester counter drift: reads=%llu != "
+                   "hits=%llu + pending=%llu + misses=%llu",
+                   static_cast<unsigned long long>(s->reads),
+                   static_cast<unsigned long long>(s->hits),
+                   static_cast<unsigned long long>(s->pendingHits),
+                   static_cast<unsigned long long>(s->misses));
+        LUMI_CHECK(Mem, s->coldMisses <= s->misses,
+                   "cold misses %llu exceed total misses %llu",
+                   static_cast<unsigned long long>(s->coldMisses),
+                   static_cast<unsigned long long>(s->misses));
+    }
+#endif
     result.readyCycle = ready;
     result.l1Hit = all_hits;
     result.reachedDram = any_dram;

@@ -64,6 +64,7 @@ class MemSystem
 
     const Cache &l1(int sm) const { return *l1s_[sm]; }
     const Cache &l2() const { return *l2_; }
+    const AddressSpace &space() const { return space_; }
     Dram &dram() { return *dram_; }
     const Dram &dram() const { return *dram_; }
 

@@ -1,8 +1,10 @@
 #include "gpu/rt_unit.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/check.hh"
 #include "gpu/simt_core.hh"
 #include "trace/trace.hh"
 
@@ -20,6 +22,13 @@ void
 RtUnit::enqueue(SimtCore *core, int warp_slot, uint32_t warp_id,
                 const WarpInstr *instr, uint64_t now)
 {
+    LUMI_CHECK(Rt, instr && instr->op == WarpOp::TraceRay,
+               "sm%d RT unit handed a non-traceRay instruction for "
+               "warp %u",
+               smId_, warp_id);
+    LUMI_CHECK(Rt, layout_ && layout_->accel,
+               "sm%d RT unit has no scene layout for warp %u", smId_,
+               warp_id);
     PendingWarp pending{core, warp_slot, warp_id, instr};
     if (residentWarps_ < config_.rtMaxWarps && pending_.empty()) {
         admit(pending, now);
@@ -31,6 +40,12 @@ RtUnit::enqueue(SimtCore *core, int warp_slot, uint32_t warp_id,
 void
 RtUnit::admit(const PendingWarp &pending, uint64_t now)
 {
+    // Residency bound: admission is gated on a free warp slot
+    // (Table 4's rtMaxWarps).
+    LUMI_CHECK(Rt, residentWarps_ < config_.rtMaxWarps,
+               "sm%d RT unit over-subscribed: %d resident warps with "
+               "rtMaxWarps=%d",
+               smId_, residentWarps_, config_.rtMaxWarps);
     auto warp = std::make_unique<RtWarp>();
     warp->core = pending.core;
     warp->warpSlot = pending.warpSlot;
@@ -38,10 +53,26 @@ RtUnit::admit(const PendingWarp &pending, uint64_t now)
     const WarpInstr &instr = *pending.instr;
     warp->rayKind = instr.rayKind;
     warp->admitCycle = now;
+    // The packed ray payload must carry exactly one ray per active
+    // lane (WarpContext emits them in ascending lane order).
+    LUMI_CHECK(Rt,
+               static_cast<size_t>(instr.activeLanes()) ==
+                       instr.rays.size() &&
+                   instr.rays.size() == instr.tMaxes.size(),
+               "sm%d traceRay payload mismatch: %d active lanes, "
+               "%zu rays, %zu tMaxes",
+               smId_, instr.activeLanes(), instr.rays.size(),
+               instr.tMaxes.size());
     int packed = 0;
     for (int lane = 0; lane < 32; lane++) {
         if (!((instr.mask >> lane) & 1u))
             continue;
+#if LUMI_CHECKS_ENABLED
+        if (static_cast<size_t>(packed) >= instr.rays.size() ||
+            static_cast<size_t>(packed) >= instr.tMaxes.size()) {
+            break; // count mode: survive the short payload
+        }
+#endif
         RayState ray;
         ray.lane = lane;
         ray.machine = std::make_unique<TraversalStateMachine>(
@@ -88,9 +119,54 @@ void
 RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
                    uint64_t now)
 {
+    LUMI_CHECK(Rt,
+               warp_index < warps_.size() && warps_[warp_index] &&
+                   ray_index < warps_[warp_index]->rays.size(),
+               "sm%d event for stale RT slot: warp %u ray %u", smId_,
+               warp_index, ray_index);
+#if LUMI_CHECKS_ENABLED
+    if (warp_index >= warps_.size() || !warps_[warp_index] ||
+        ray_index >= warps_[warp_index]->rays.size()) {
+        return; // count mode: drop the stale event
+    }
+#endif
     RtWarp &warp = *warps_[warp_index];
     RayState &ray = warp.rays[ray_index];
+    // A completed ray must never be rescheduled.
+    LUMI_CHECK(Rt, !ray.done && !ray.machine->done(),
+               "sm%d advanced completed ray: warp %u ray %u (lane "
+               "%d)",
+               smId_, warp_index, ray_index, ray.lane);
+#if LUMI_CHECKS_ENABLED
+    if (ray.done || ray.machine->done())
+        return;
+#endif
     TraversalEvent event = ray.machine->advance();
+#if LUMI_CHECKS_ENABLED
+    // Traversal-stack bounds: while-while traversal pushes each node
+    // of the level being walked at most once, so the stacks can
+    // never outgrow the node arrays.
+    if (layout_ && layout_->accel) {
+        const AccelStructure &accel = *layout_->accel;
+        LUMI_CHECK(Rt,
+                   ray.machine->tlasStackDepth() <=
+                       accel.tlas().bvh.nodes.size(),
+                   "sm%d TLAS stack depth %zu exceeds %zu nodes",
+                   smId_, ray.machine->tlasStackDepth(),
+                   accel.tlas().bvh.nodes.size());
+        size_t max_blas_nodes = 0;
+        for (const BlasAccel &blas : accel.blases()) {
+            max_blas_nodes = std::max(max_blas_nodes,
+                                      blas.bvh.nodes.size());
+        }
+        LUMI_CHECK(Rt,
+                   ray.machine->blasStackDepth() <= max_blas_nodes,
+                   "sm%d BLAS stack depth %zu exceeds largest BLAS "
+                   "(%zu nodes)",
+                   smId_, ray.machine->blasStackDepth(),
+                   max_blas_nodes);
+    }
+#endif
 
     if (event.type == TraversalEvent::Type::Done) {
         ray.done = true;
@@ -145,6 +221,19 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
     }
     warp.nodeFetches++;
 
+    // Node-fetch containment: every traversal fetch must target a
+    // real allocation in the simulated address space — an address
+    // outside it means corrupt BVH links or instance offsets.
+    LUMI_CHECK(Rt,
+               event.bytes > 0 &&
+                   mem_.space().contains(event.address, event.bytes),
+               "sm%d BVH fetch outside address space: addr=0x%llx "
+               "bytes=%u limit=0x%llx (event type %d)",
+               smId_, static_cast<unsigned long long>(event.address),
+               event.bytes,
+               static_cast<unsigned long long>(mem_.space().limit()),
+               static_cast<int>(event.type));
+
     MemResult mem = mem_.read(smId_, now, event.address, event.bytes,
                               true);
     uint64_t ready = mem.readyCycle +
@@ -161,6 +250,15 @@ void
 RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
 {
     RtWarp &warp = *warps_[warp_index];
+    // A warp leaves only when its last ray finished, and the
+    // residency/ray counters must agree with that.
+    LUMI_CHECK(Rt, warp.remaining == 0,
+               "sm%d RT warp %u released with %d rays in flight",
+               smId_, warp.warpId, warp.remaining);
+    LUMI_CHECK(Rt, residentWarps_ > 0 && activeRays_ >= 0,
+               "sm%d RT residency drift: residentWarps=%d "
+               "activeRays=%d",
+               smId_, residentWarps_, activeRays_);
     // Hit-record writeback: one packed 32B payload per traced ray,
     // written as a single coalesced burst for the warp.
     if (!warp.rays.empty()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "trace/trace.hh"
 
 namespace lumi
@@ -35,6 +36,10 @@ SimtCore::assignWarp(WarpProgram &&program, uint32_t warp_id,
         slot.instrsIssued = 0;
         residentWarps_++;
         stats_.warpsLaunched++;
+        LUMI_CHECK(Simt, residentWarps_ <= config_.maxWarpsPerSm,
+                   "sm%d over-subscribed: %d resident warps with "
+                   "maxWarpsPerSm=%d",
+                   smId_, residentWarps_, config_.maxWarpsPerSm);
         if (tracer_ && tracer_->wants(TraceCategory::Sm)) {
             tracer_->instant(TraceCategory::Sm, "warp_launch",
                              static_cast<uint32_t>(smId_), now,
@@ -57,6 +62,11 @@ SimtCore::retire(WarpSlot &slot, uint64_t now)
                       slot.assignCycle, now, "warp", slot.warpId,
                       "instrs", slot.instrsIssued);
     }
+    LUMI_CHECK(Simt, slot.valid && residentWarps_ > 0,
+               "sm%d retired warp %u from an %s slot "
+               "(residentWarps=%d)",
+               smId_, slot.warpId,
+               slot.valid ? "occupied" : "empty", residentWarps_);
     slot.valid = false;
     slot.program.instrs.clear();
     residentWarps_--;
@@ -107,6 +117,51 @@ SimtCore::cycle(uint64_t now)
     }
     if (pick < 0)
         return;
+    // Scheduler legality: whatever the policy picked must actually
+    // be issuable this cycle.
+    LUMI_CHECK(Sched,
+               slots_[pick].valid && !slots_[pick].sleeping &&
+                   slots_[pick].readyCycle <= now,
+               "sm%d scheduler picked slot %d (valid=%d sleeping=%d "
+               "ready=%llu) at cycle %llu",
+               smId_, pick, slots_[pick].valid ? 1 : 0,
+               slots_[pick].sleeping ? 1 : 0,
+               static_cast<unsigned long long>(
+                   slots_[pick].readyCycle),
+               static_cast<unsigned long long>(now));
+#if LUMI_CHECKS_ENABLED
+    if (config_.scheduler == WarpSchedulerPolicy::Gto) {
+        // Greedy rule: leaving the last-issued warp is only legal
+        // when that warp cannot issue this cycle.
+        if (lastIssued_ >= 0 && pick != lastIssued_) {
+            const WarpSlot &last = slots_[lastIssued_];
+            LUMI_CHECK(Sched,
+                       !last.valid || last.sleeping ||
+                           last.readyCycle > now,
+                       "sm%d GTO abandoned ready warp in slot %d for "
+                       "slot %d at cycle %llu",
+                       smId_, lastIssued_, pick,
+                       static_cast<unsigned long long>(now));
+            // Oldest rule: the fallback pick must carry the minimal
+            // launch order among all issuable warps.
+            for (size_t i = 0; i < slots_.size(); i++) {
+                const WarpSlot &slot = slots_[i];
+                LUMI_CHECK(Sched,
+                           !slot.valid || slot.sleeping ||
+                               slot.readyCycle > now ||
+                               slots_[pick].order <= slot.order,
+                           "sm%d GTO skipped older ready warp: slot "
+                           "%zu order=%llu vs picked slot %d "
+                           "order=%llu",
+                           smId_, i,
+                           static_cast<unsigned long long>(slot.order),
+                           pick,
+                           static_cast<unsigned long long>(
+                               slots_[pick].order));
+            }
+        }
+    }
+#endif
     lastIssued_ = pick;
     issue(slots_[pick], pick, now);
     stats_.issueCycles++;
@@ -115,8 +170,22 @@ SimtCore::cycle(uint64_t now)
 void
 SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
 {
+    LUMI_CHECK(Simt, slot.pc < slot.program.instrs.size(),
+               "sm%d warp %u issued past program end: pc=%zu of %zu",
+               smId_, slot.warpId, slot.pc,
+               slot.program.instrs.size());
+#if LUMI_CHECKS_ENABLED
+    if (slot.pc >= slot.program.instrs.size())
+        return; // count mode: survive the corrupted pc
+#endif
     const WarpInstr &instr = slot.program.instrs[slot.pc];
     int lanes = instr.activeLanes();
+    // The divergence-stack discipline in WarpContext never emits an
+    // instruction with no active lanes.
+    LUMI_CHECK(Simt, lanes > 0,
+               "sm%d warp %u issued instruction %zu with empty "
+               "active mask",
+               smId_, slot.warpId, slot.pc);
     stats_.instructions++;
     stats_.threadInstructions += lanes;
     stats_.instrByOp[static_cast<int>(instr.op)]++;
@@ -211,7 +280,27 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
 void
 SimtCore::wakeWarp(int slot, uint64_t ready_cycle)
 {
+    LUMI_CHECK(Sched,
+               slot >= 0 && slot < static_cast<int>(slots_.size()),
+               "sm%d wake of out-of-range slot %d", smId_, slot);
+#if LUMI_CHECKS_ENABLED
+    if (slot < 0 || slot >= static_cast<int>(slots_.size()))
+        return; // count mode: survive the bad slot index
+#endif
     WarpSlot &warp = slots_[slot];
+    // Only a warp parked in the RT unit can be woken, and never
+    // before the cycle it went to sleep.
+    LUMI_CHECK(Sched, warp.valid && warp.sleeping,
+               "sm%d wake of slot %d that is %s", smId_, slot,
+               warp.valid ? "not sleeping" : "empty");
+    LUMI_CHECK(Sched,
+               slot >= static_cast<int>(sleepStart_.size()) ||
+                   ready_cycle >= sleepStart_[slot],
+               "sm%d slot %d wakes at %llu before its traceRay "
+               "issued at %llu",
+               smId_, slot,
+               static_cast<unsigned long long>(ready_cycle),
+               static_cast<unsigned long long>(sleepStart_[slot]));
     warp.sleeping = false;
     warp.readyCycle = ready_cycle;
     if (slot < static_cast<int>(sleepStart_.size())) {

@@ -119,6 +119,8 @@ registerCacheStats(StatRegistry &registry, const CacheStats &stats,
     registry.addCounter(prefix + ".write_misses", &s->writeMisses);
     registry.addFormula(prefix + ".miss_rate",
                         [s] { return s->readMissRate(); });
+    registry.addFormula(prefix + ".write_miss_rate",
+                        [s] { return s->writeMissRate(); });
 }
 
 void

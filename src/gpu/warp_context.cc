@@ -1,6 +1,6 @@
 #include "gpu/warp_context.hh"
 
-#include <cassert>
+#include "check/check.hh"
 
 namespace lumi
 {
@@ -17,6 +17,11 @@ WarpContext::WarpContext(const SceneGpuLayout *layout, uint32_t warp_id,
 WarpInstr &
 WarpContext::emit(WarpOp op)
 {
+    // Callers gate on anyActive(); an empty-mask instruction would
+    // be a divergence-stack bookkeeping bug upstream.
+    LUMI_CHECK(Simt, activeMask_ != 0,
+               "warp %u emitted op %d with empty active mask",
+               warpId_, static_cast<int>(op));
     WarpInstr instr;
     instr.op = op;
     instr.mask = activeMask_;
@@ -100,8 +105,12 @@ WarpContext::traceRay(const std::function<Ray(int)> &ray_fn,
 {
     if (!anyActive())
         return;
-    assert(layout_ && layout_->accel &&
-           "traceRay requires a scene layout");
+    LUMI_CHECK(Simt, layout_ && layout_->accel,
+               "warp %u traceRay without a scene layout", warpId_);
+#if LUMI_CHECKS_ENABLED
+    if (!layout_ || !layout_->accel)
+        return; // count mode: a layout-less traceRay cannot proceed
+#endif
 
     WarpInstr &instr = emit(WarpOp::TraceRay);
     instr.anyHitQuery = any_hit;
@@ -193,6 +202,18 @@ WarpContext::traceRay(const std::function<Ray(int)> &ray_fn,
 void
 WarpContext::pushMask(uint32_t mask)
 {
+    // Divergence discipline: a pushed side of a branch executes a
+    // non-empty, strict subset-or-equal of its parent's lanes.
+    LUMI_CHECK(Simt, mask != 0,
+               "warp %u pushed an empty divergence mask", warpId_);
+    LUMI_CHECK(Simt, (mask & ~activeMask_) == 0,
+               "warp %u divergence mask 0x%08x escapes parent mask "
+               "0x%08x",
+               warpId_, mask, activeMask_);
+    LUMI_CHECK(Simt, maskStack_.size() < maxDivergenceDepth,
+               "warp %u divergence stack depth %zu exceeds %zu "
+               "(runaway nesting)",
+               warpId_, maskStack_.size(), maxDivergenceDepth);
     maskStack_.push_back(activeMask_);
     activeMask_ = mask;
 }
@@ -200,6 +221,13 @@ WarpContext::pushMask(uint32_t mask)
 void
 WarpContext::popMask()
 {
+    // Reconvergence ordering: every pop must match a prior push.
+    LUMI_CHECK(Simt, !maskStack_.empty(),
+               "warp %u popped an empty divergence stack", warpId_);
+#if LUMI_CHECKS_ENABLED
+    if (maskStack_.empty())
+        return; // count mode: survive the unmatched pop
+#endif
     activeMask_ = maskStack_.back();
     maskStack_.pop_back();
 }
@@ -219,6 +247,14 @@ WarpContext::branch(const std::function<bool(int)> &cond,
             taken |= 1u << lane;
     }
     uint32_t not_taken = activeMask_ & ~taken;
+    // The two sides partition the parent mask exactly: no lane runs
+    // both paths, no active lane is dropped.
+    LUMI_CHECK(Simt,
+               (taken & not_taken) == 0 &&
+                   (taken | not_taken) == activeMask_,
+               "warp %u branch broke the lane partition: parent "
+               "0x%08x taken 0x%08x else 0x%08x",
+               warpId_, activeMask_, taken, not_taken);
     if (taken) {
         pushMask(taken);
         then_fn();
@@ -229,6 +265,16 @@ WarpContext::branch(const std::function<bool(int)> &cond,
         else_fn();
         popMask();
     }
+}
+
+WarpProgram
+WarpContext::take()
+{
+    LUMI_CHECK(Simt, maskStack_.empty(),
+               "warp %u program taken with %zu unreconverged "
+               "divergence frames",
+               warpId_, maskStack_.size());
+    return std::move(program_);
 }
 
 void

@@ -119,8 +119,11 @@ class WarpContext
 
     // --- Trace extraction -----------------------------------------
 
-    /** Finish and take the emitted program. */
-    WarpProgram take() { return std::move(program_); }
+    /**
+     * Finish and take the emitted program. Checks that every
+     * divergence push was matched by a pop (the warp reconverged).
+     */
+    WarpProgram take();
 
     /** Functional-side ray counts by kind (for workload metrics). */
     const uint64_t *rayCounts() const { return rayCounts_; }
@@ -128,9 +131,15 @@ class WarpContext
     uint64_t intersectionCount() const { return intersectionCount_; }
 
   private:
+    /** Divergence nesting beyond this is treated as runaway. */
+    static constexpr size_t maxDivergenceDepth = 1024;
+
     void pushMask(uint32_t mask);
     void popMask();
     WarpInstr &emit(WarpOp op);
+
+    /** Lets tests corrupt the divergence stack to prove checks fire. */
+    friend struct WarpContextTestPeer;
 
     const SceneGpuLayout *layout_;
     uint32_t warpId_;

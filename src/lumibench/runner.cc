@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <optional>
 
+#include "check/check.hh"
 #include "gpu/stat_bindings.hh"
 #include "rt/pipeline.hh"
 
@@ -69,6 +70,10 @@ dumpStats(const Gpu &gpu, const AccelStats *accel)
     registerGpu(registry, gpu);
     if (accel)
         registerAccelStats(registry, *accel);
+    // Invariant-violation counters (all zero unless a count-mode run
+    // hit a LUMI_CHECK); present in every dump so the stats schema
+    // is identical across check configurations.
+    registerCheckStats(registry);
     return registry.toJson();
 }
 

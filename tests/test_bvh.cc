@@ -111,8 +111,9 @@ TEST(BvhBuilder, StrictLeafSizeWhenMaxOne)
     BvhBuilder builder(config);
     Bvh bvh = builder.build(randomBoxes(64, 4));
     for (const BvhNode &node : bvh.nodes) {
-        if (node.isLeaf())
+        if (node.isLeaf()) {
             EXPECT_EQ(node.primCount, 1u);
+        }
     }
     BvhStats stats = bvh.computeStats();
     EXPECT_EQ(stats.leafCount, 64u);

@@ -216,8 +216,9 @@ TEST_P(RandomSceneFuzz, OcclusionConsistentWithClosest)
             accel, ray, true);
         // An occlusion query hits exactly when a closest query does.
         EXPECT_EQ(any.hit, closest.hit) << "seed " << GetParam();
-        if (closest.hit)
+        if (closest.hit) {
             EXPECT_GE(any.t, closest.t - 1e-4f);
+        }
     }
 }
 
@@ -245,8 +246,9 @@ TEST_P(RandomSceneFuzz, TMaxIsMonotone)
         EXPECT_NEAR(above.t, unlimited.t, 1e-3f);
         HitInfo below = TraversalStateMachine::traceFunctional(
             accel, ray, false, 1e-4f, unlimited.t * 0.5f);
-        if (below.hit)
+        if (below.hit) {
             EXPECT_LT(below.t, unlimited.t * 0.5f + 1e-4f);
+        }
     }
 }
 
@@ -282,8 +284,9 @@ TEST_P(RandomSceneFuzz, RefitAgreesWithRebuild)
         HitInfo fresh_hit = TraversalStateMachine::traceFunctional(
             fresh, ray, false);
         ASSERT_EQ(refit_hit.hit, fresh_hit.hit);
-        if (fresh_hit.hit)
+        if (fresh_hit.hit) {
             EXPECT_NEAR(refit_hit.t, fresh_hit.t, 1e-3f);
+        }
     }
 }
 

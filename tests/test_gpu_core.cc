@@ -243,8 +243,9 @@ TEST(Gpu, TraceRayRunsThroughRtUnit)
             hits);
         // REF is enclosed: every ray must hit.
         for (int lane = 0; lane < 32; lane++) {
-            if (ctx.laneActive(lane))
+            if (ctx.laneActive(lane)) {
                 EXPECT_TRUE(hits[lane].hit);
+            }
         }
     };
     gpu.run(launch);

@@ -195,10 +195,11 @@ TEST(MetricCsv, RoundTrip)
     EXPECT_EQ(rows[0].workload, "ROUND");
     ASSERT_EQ(rows[0].values.size(), a.values.size());
     for (size_t i = 0; i < a.values.size(); i++) {
-        if (std::isnan(a.values[i]))
+        if (std::isnan(a.values[i])) {
             EXPECT_TRUE(std::isnan(rows[0].values[i]));
-        else
+        } else {
             EXPECT_NEAR(rows[0].values[i], a.values[i], 1e-4);
+        }
     }
     std::remove(path.c_str());
 }

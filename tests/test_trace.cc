@@ -258,8 +258,9 @@ TEST(Runner, TracingHasNoObserverEffect)
     traced.traceMask = traceAllCategories;
     WorkloadResult on = runWorkload(workload, traced);
     ASSERT_NE(on.trace, nullptr);
-    if (Tracer::compiledIn())
+    if (Tracer::compiledIn()) {
         EXPECT_GT(on.trace->size(), 0u);
+    }
 
     EXPECT_EQ(off.stats.cycles, on.stats.cycles);
     EXPECT_EQ(off.stats.threadInstructions,
