@@ -29,18 +29,25 @@ main()
     lrr_options.config.scheduler = WarpSchedulerPolicy::Lrr;
     lrr_options.config.name = "mobile-lrr";
 
+    // One campaign covers both policies: job 2i is GTO, 2i+1 LRR.
+    std::vector<campaign::Job> jobs;
+    for (const Workload &workload : subset) {
+        jobs.push_back(campaign::Job::rayTracing(workload, options));
+        jobs.push_back(
+            campaign::Job::rayTracing(workload, lrr_options));
+    }
+    std::vector<WorkloadResult> results = runJobs(jobs);
+
     TextTable table({"workload", "gto_cycles", "lrr_cycles",
                      "lrr_slowdown"});
     double geo = 1.0;
-    for (const Workload &workload : subset) {
-        std::fprintf(stderr, "  running %-10s ...\n",
-                     workload.id().c_str());
-        WorkloadResult gto = runWorkload(workload, options);
-        WorkloadResult lrr = runWorkload(workload, lrr_options);
+    for (size_t i = 0; i < subset.size(); i++) {
+        const WorkloadResult &gto = results[2 * i];
+        const WorkloadResult &lrr = results[2 * i + 1];
         double slowdown = static_cast<double>(lrr.stats.cycles) /
                           std::max<uint64_t>(1, gto.stats.cycles);
         geo *= slowdown;
-        table.addRow({workload.id(),
+        table.addRow({subset[i].id(),
                       std::to_string(gto.stats.cycles),
                       std::to_string(lrr.stats.cycles),
                       TextTable::num(slowdown, 3)});

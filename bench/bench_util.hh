@@ -7,6 +7,12 @@
  * (LUMI_RES / LUMI_SPP / LUMI_DETAIL / LUMI_QUICK), so a smoke run
  * of the full harness is cheap while the defaults match the
  * characterization setup scaled per Sec. 4.3.
+ *
+ * Sweeps go through the campaign engine (src/campaign): LUMI_JOBS
+ * picks the worker count (default: all cores), LUMI_CACHE_DIR
+ * enables the result cache, LUMI_RETRIES bounds re-attempts. Results
+ * come back in workload order regardless of completion order, so
+ * bench output is identical at any parallelism.
  */
 
 #ifndef LUMI_BENCH_BENCH_UTIL_HH
@@ -14,9 +20,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
 #include "lumibench/report.hh"
 #include "lumibench/run_report.hh"
 #include "lumibench/runner.hh"
@@ -32,7 +40,7 @@ namespace bench
  * LUMI_REPORT_DIR is set, every simulated workload also drops a
  * machine-readable run report at $LUMI_REPORT_DIR/<id>.report.json,
  * so a bench sweep leaves analyzable artifacts behind without any
- * per-binary flag plumbing.
+ * per-binary flag plumbing. The directory is created if missing.
  */
 inline void
 maybeWriteReport(const WorkloadResult &result,
@@ -41,10 +49,49 @@ maybeWriteReport(const WorkloadResult &result,
     const char *dir = std::getenv("LUMI_REPORT_DIR");
     if (!dir || !*dir)
         return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "  cannot create report dir %s (%s)\n",
+                     dir, ec.message().c_str());
+        return;
+    }
     std::string path = std::string(dir) + "/" + result.id +
                        ".report.json";
     if (!writeRunReport(path, {result}, options))
         std::fprintf(stderr, "  failed to write %s\n", path.c_str());
+}
+
+/**
+ * Run a job list through the campaign engine and unwrap the results,
+ * in job order. Benches print figure rows, so a job that still fails
+ * after the engine's retries is fatal here: exit(1) beats rendering
+ * a table with silently missing series.
+ */
+inline std::vector<WorkloadResult>
+runJobs(const std::vector<campaign::Job> &jobs)
+{
+    campaign::CampaignOptions engine =
+        campaign::CampaignOptions::fromEnv();
+    engine.echoProgress = true;
+    campaign::CampaignResult done =
+        campaign::runCampaign(jobs, engine);
+    std::vector<WorkloadResult> results;
+    results.reserve(done.outcomes.size());
+    for (campaign::JobOutcome &outcome : done.outcomes) {
+        if (!outcome.succeeded()) {
+            std::fprintf(stderr,
+                         "bench: job %s %s after %d attempt(s): %s\n",
+                         outcome.id.c_str(),
+                         campaign::jobStatusName(outcome.status),
+                         outcome.attempts, outcome.error.c_str());
+            std::exit(1);
+        }
+        results.push_back(std::move(outcome.result));
+    }
+    for (size_t i = 0; i < results.size(); i++)
+        maybeWriteReport(results[i], jobs[i].options);
+    return results;
 }
 
 /** Run a list of workloads, echoing progress to stderr. */
@@ -52,29 +99,21 @@ inline std::vector<WorkloadResult>
 runAll(const std::vector<Workload> &workloads,
        const RunOptions &options)
 {
-    std::vector<WorkloadResult> results;
-    results.reserve(workloads.size());
-    for (const Workload &workload : workloads) {
-        std::fprintf(stderr, "  running %-10s ...\n",
-                     workload.id().c_str());
-        results.push_back(runWorkload(workload, options));
-        maybeWriteReport(results.back(), options);
-    }
-    return results;
+    std::vector<campaign::Job> jobs;
+    jobs.reserve(workloads.size());
+    for (const Workload &workload : workloads)
+        jobs.push_back(campaign::Job::rayTracing(workload, options));
+    return runJobs(jobs);
 }
 
 /** Run all 13 Rodinia-equivalent compute workloads. */
 inline std::vector<WorkloadResult>
 runAllCompute(const RunOptions &options)
 {
-    std::vector<WorkloadResult> results;
-    for (ComputeKernel kernel : allComputeKernels()) {
-        std::fprintf(stderr, "  running %-10s ...\n",
-                     computeKernelName(kernel));
-        results.push_back(runCompute(kernel, options));
-        maybeWriteReport(results.back(), options);
-    }
-    return results;
+    std::vector<campaign::Job> jobs;
+    for (ComputeKernel kernel : allComputeKernels())
+        jobs.push_back(campaign::Job::compute(kernel, options));
+    return runJobs(jobs);
 }
 
 /** Average of a per-result value over results of one shader type. */

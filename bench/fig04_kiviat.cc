@@ -22,13 +22,11 @@ main()
     RunOptions options = RunOptions::fromEnv();
     std::printf("%s", banner("Figure 4: Kiviat diagrams").c_str());
 
-    // GA selection needs the full workload population.
+    // GA selection needs the full workload population, plus the
+    // DUST2-like game map for the comparison chart.
     std::vector<Workload> workloads = allWorkloads();
+    workloads.push_back({SceneId::DUST2, ShaderKind::PathTracing});
     std::vector<WorkloadResult> results = runAll(workloads, options);
-    Workload dust2{SceneId::DUST2, ShaderKind::PathTracing};
-    std::fprintf(stderr, "  running %-10s ...\n",
-                 dust2.id().c_str());
-    results.push_back(runWorkload(dust2, options));
 
     std::vector<std::vector<double>> rows;
     std::vector<std::string> names;

@@ -79,23 +79,25 @@ main()
         {SceneId::BUNNY, ShaderKind::AmbientOcclusion},
         {SceneId::SHIP, ShaderKind::Shadow},
     };
-    for (const Workload &workload : picks) {
-        std::fprintf(stderr, "  running %-10s ...\n",
-                     workload.id().c_str());
-        WorkloadResult result = runWorkload(workload, options);
-        std::printf("--- %s (128x128) ---\n", result.id.c_str());
-        printTimeline(result, 14);
-        summarize(result, options.config.rtMaxWarps);
-    }
-
     // Resolution scaling: SHIP_SH at a higher resolution follows the
     // same trends with a somewhat higher L1D miss rate (Sec. 4.3).
     RunOptions hires = options;
     hires.params.width = 256;
     hires.params.height = 256;
-    std::fprintf(stderr, "  running SHIP_SH hi-res ...\n");
-    WorkloadResult lo = runWorkload(picks[2], options);
-    WorkloadResult hi = runWorkload(picks[2], hires);
+    std::vector<campaign::Job> jobs;
+    for (const Workload &workload : picks)
+        jobs.push_back(campaign::Job::rayTracing(workload, options));
+    jobs.push_back(campaign::Job::rayTracing(picks[2], hires));
+    std::vector<WorkloadResult> results = runJobs(jobs);
+
+    for (int i = 0; i < 3; i++) {
+        const WorkloadResult &result = results[i];
+        std::printf("--- %s (128x128) ---\n", result.id.c_str());
+        printTimeline(result, 14);
+        summarize(result, options.config.rtMaxWarps);
+    }
+    const WorkloadResult &lo = results[2];
+    const WorkloadResult &hi = results[3];
     std::printf("--- SHIP_SH resolution scaling ---\n");
     TextTable table({"resolution", "cycles", "ipc",
                      "l1d_miss_rate", "rt_occupancy"});

@@ -29,14 +29,16 @@ main()
         AccelStats stats;
         uint64_t ptCycles;
     };
+    std::vector<Workload> workloads;
+    for (SceneId id : lumiScenes())
+        workloads.push_back({id, ShaderKind::PathTracing});
+    std::vector<WorkloadResult> results = runAll(workloads, options);
+
     std::vector<Row> data;
-    for (SceneId id : lumiScenes()) {
-        Workload workload{id, ShaderKind::PathTracing};
-        std::fprintf(stderr, "  running %-10s ...\n",
-                     workload.id().c_str());
-        WorkloadResult result = runWorkload(workload, options);
-        data.push_back({sceneName(id), result.accelStats,
-                        result.stats.cycles});
+    for (size_t i = 0; i < workloads.size(); i++) {
+        data.push_back({sceneName(workloads[i].scene),
+                        results[i].accelStats,
+                        results[i].stats.cycles});
     }
     std::sort(data.begin(), data.end(), [](const Row &a,
                                            const Row &b) {

@@ -24,12 +24,13 @@ main()
     TextTable table({"scene", "cnt_alu", "cnt_sfu", "cnt_mem",
                      "cnt_rt", "lat_alu", "lat_sfu", "lat_mem",
                      "lat_rt"});
-    for (SceneId id : lumiScenes()) {
-        Workload workload{id, ShaderKind::PathTracing};
-        std::fprintf(stderr, "  running %-10s ...\n",
-                     workload.id().c_str());
-        WorkloadResult r = runWorkload(workload, options);
-        const GpuStats &s = r.stats;
+    std::vector<Workload> workloads;
+    for (SceneId id : lumiScenes())
+        workloads.push_back({id, ShaderKind::PathTracing});
+    std::vector<WorkloadResult> results = runAll(workloads, options);
+    for (size_t w = 0; w < workloads.size(); w++) {
+        SceneId id = workloads[w].scene;
+        const GpuStats &s = results[w].stats;
         double n = static_cast<double>(s.instructions);
         double lat = 0.0;
         for (int i = 0; i < numWarpOps; i++)

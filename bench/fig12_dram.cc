@@ -65,16 +65,22 @@ main()
     TextTable sweep({"bandwidth_scale", "cycles",
                      "slowdown_vs_full"});
     Workload party{SceneId::PARTY, ShaderKind::PathTracing};
-    uint64_t base_cycles = 0;
-    for (double scale : {4.0, 2.0, 1.0, 0.5}) {
+    const double scales[] = {4.0, 2.0, 1.0, 0.5};
+    std::vector<campaign::Job> bw_jobs;
+    for (double scale : scales) {
         RunOptions swept = options;
         swept.dramBandwidthScale = scale;
-        std::fprintf(stderr, "  running PARTY_PT x%.1f ...\n",
-                     scale);
-        WorkloadResult r = runWorkload(party, swept);
-        if (scale == 1.0)
-            base_cycles = r.stats.cycles;
-        sweep.addRow({TextTable::num(scale, 1),
+        bw_jobs.push_back(campaign::Job::rayTracing(party, swept));
+    }
+    std::vector<WorkloadResult> swept_results = runJobs(bw_jobs);
+    uint64_t base_cycles = 0;
+    for (size_t i = 0; i < bw_jobs.size(); i++) {
+        if (scales[i] == 1.0)
+            base_cycles = swept_results[i].stats.cycles;
+    }
+    for (size_t i = 0; i < bw_jobs.size(); i++) {
+        const WorkloadResult &r = swept_results[i];
+        sweep.addRow({TextTable::num(scales[i], 1),
                       std::to_string(r.stats.cycles),
                       base_cycles > 0
                           ? TextTable::num(

@@ -1,0 +1,384 @@
+#include "campaign/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "campaign/cache.hh"
+#include "trace/stat_registry.hh"
+#include "trace/trace.hh"
+
+namespace lumi
+{
+namespace campaign
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+/** Watchdog/cancellation state for one in-flight job. */
+struct JobSlot
+{
+    /** Wall deadline in microseconds from campaign start; -1 idle. */
+    std::atomic<int64_t> deadlineUs{-1};
+    std::atomic<bool> cancel{false};
+};
+
+WorkloadResult
+runJobOnce(const Job &job, const RunOptions &options)
+{
+    return job.kind == Job::Kind::Compute
+               ? runCompute(job.kernel, options)
+               : runWorkload(job.workload, options);
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::Timeout: return "timeout";
+      case JobStatus::Cached: return "cached";
+      default: return "unknown";
+    }
+}
+
+std::string
+Job::id() const
+{
+    return kind == Kind::Compute ? computeKernelName(kernel)
+                                 : workload.id();
+}
+
+Job
+Job::rayTracing(const Workload &workload, const RunOptions &options)
+{
+    Job job;
+    job.kind = Kind::RayTracing;
+    job.workload = workload;
+    job.options = options;
+    return job;
+}
+
+Job
+Job::compute(ComputeKernel kernel, const RunOptions &options)
+{
+    Job job;
+    job.kind = Kind::Compute;
+    job.kernel = kernel;
+    job.options = options;
+    return job;
+}
+
+CampaignOptions
+CampaignOptions::fromEnv()
+{
+    CampaignOptions options;
+    options.jobs = envutil::readInt("LUMI_JOBS", 0);
+    options.retries = envutil::readInt("LUMI_RETRIES", 1, 0);
+    if (const char *dir = std::getenv("LUMI_CACHE_DIR"); dir && *dir)
+        options.cacheDir = dir;
+    return options;
+}
+
+bool
+CampaignResult::allOk() const
+{
+    for (const JobOutcome &outcome : outcomes) {
+        if (!outcome.succeeded())
+            return false;
+    }
+    return true;
+}
+
+void
+CampaignResult::registerStats(StatRegistry &registry) const
+{
+    const CampaignStats *s = &stats;
+    registry.addCounter("campaign.jobs.total", &s->total,
+                        "jobs in the campaign");
+    registry.addCounter("campaign.jobs.ok", &s->ok,
+                        "jobs simulated to completion");
+    registry.addCounter("campaign.jobs.failed", &s->failed,
+                        "jobs that exhausted every attempt");
+    registry.addCounter("campaign.jobs.timeout", &s->timeout,
+                        "jobs cancelled on a cycle/wall budget");
+    registry.addCounter("campaign.jobs.cached", &s->cached,
+                        "jobs loaded from the result cache");
+    registry.addCounter("campaign.jobs.retries", &s->retries,
+                        "extra attempts beyond the first");
+    registry.addCounter("campaign.jobs.cache_writes",
+                        &s->cacheWrites,
+                        "results written into the cache");
+}
+
+int
+resolveWorkerCount(int requested, size_t job_count)
+{
+    int workers = requested > 0
+                      ? requested
+                      : static_cast<int>(
+                            std::thread::hardware_concurrency());
+    if (workers < 1)
+        workers = 1;
+    if (job_count > 0 &&
+        workers > static_cast<int>(job_count))
+        workers = static_cast<int>(job_count);
+    return workers;
+}
+
+CampaignResult
+runCampaign(const std::vector<Job> &jobs,
+            const CampaignOptions &options)
+{
+    Clock::time_point campaign_start = Clock::now();
+    CampaignResult campaign;
+    campaign.outcomes.resize(jobs.size());
+    campaign.workers = resolveWorkerCount(options.jobs,
+                                          jobs.size());
+
+    // The cache directory is created up front so the first finished
+    // job can write; a failure just disables the cache for the run.
+    std::string cache_dir = options.cacheDir;
+    if (!cache_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cache_dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "lumi: cannot create cache dir %s (%s); "
+                         "caching disabled\n",
+                         cache_dir.c_str(),
+                         ec.message().c_str());
+            cache_dir.clear();
+        }
+    }
+
+    std::deque<JobSlot> slots(jobs.size());
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::atomic<bool> pool_done{false};
+    std::mutex io;
+
+    auto echo = [&](const JobOutcome &outcome) {
+        if (!options.echoProgress)
+            return;
+        std::lock_guard<std::mutex> lock(io);
+        std::fprintf(stderr, "  [%zu/%zu] %-10s %s (%.2fs%s%s)\n",
+                     completed.load(), jobs.size(),
+                     outcome.id.c_str(),
+                     jobStatusName(outcome.status),
+                     outcome.wallSeconds,
+                     outcome.attempts > 1 ? ", retried" : "",
+                     outcome.error.empty() ? ""
+                                           : ": see manifest");
+    };
+
+    auto execute = [&](size_t index, int worker) {
+        const Job &job = jobs[index];
+        JobSlot &slot = slots[index];
+        JobOutcome &outcome = campaign.outcomes[index];
+        outcome.id = job.id();
+        outcome.worker = worker;
+        Clock::time_point job_start = Clock::now();
+        outcome.startSeconds = std::chrono::duration<double>(
+                                   job_start - campaign_start)
+                                   .count();
+
+        std::string cache_path;
+        if (!cache_dir.empty() && cacheable(job)) {
+            cache_path = cache_dir + "/" + cacheKey(job);
+            if (readCachedResult(cache_path, job,
+                                 outcome.result)) {
+                outcome.status = JobStatus::Cached;
+                outcome.fromCache = true;
+                outcome.wallSeconds = secondsSince(job_start);
+                completed.fetch_add(1);
+                echo(outcome);
+                return;
+            }
+        }
+
+        RunOptions effective = job.options;
+        if (options.jobCycleBudget != 0 && effective.maxCycles == 0)
+            effective.maxCycles = options.jobCycleBudget;
+        effective.cancelFlag = &slot.cancel;
+
+        for (int attempt = 1;; attempt++) {
+            outcome.attempts = attempt;
+            slot.cancel.store(false, std::memory_order_relaxed);
+            if (options.jobWallBudgetSeconds > 0.0) {
+                slot.deadlineUs.store(
+                    static_cast<int64_t>(
+                        (secondsSince(campaign_start) +
+                         options.jobWallBudgetSeconds) *
+                        1e6),
+                    std::memory_order_relaxed);
+            }
+            try {
+                outcome.result =
+                    options.runFn
+                        ? options.runFn(job, effective)
+                        : runJobOnce(job, effective);
+                slot.deadlineUs.store(-1,
+                                      std::memory_order_relaxed);
+                outcome.status = JobStatus::Ok;
+                if (!cache_path.empty() &&
+                    writeCachedResult(cache_path, job,
+                                      outcome.result))
+                    outcome.wroteCache = true;
+                break;
+            } catch (const SimulationAborted &aborted) {
+                // Budgets are deliberate limits, not transient
+                // faults: stop immediately, keep the campaign going.
+                slot.deadlineUs.store(-1,
+                                      std::memory_order_relaxed);
+                outcome.status = JobStatus::Timeout;
+                outcome.error = aborted.what();
+                break;
+            } catch (const std::exception &error) {
+                slot.deadlineUs.store(-1,
+                                      std::memory_order_relaxed);
+                outcome.error = error.what();
+                if (attempt <= options.retries) {
+                    double backoff =
+                        options.retryBackoffSeconds *
+                        static_cast<double>(1 << (attempt - 1));
+                    if (backoff > 0.0) {
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double>(
+                                backoff));
+                    }
+                    continue;
+                }
+                outcome.status = JobStatus::Failed;
+                break;
+            } catch (...) {
+                slot.deadlineUs.store(-1,
+                                      std::memory_order_relaxed);
+                outcome.status = JobStatus::Failed;
+                outcome.error = "unknown exception";
+                break;
+            }
+        }
+        outcome.wallSeconds = secondsSince(job_start);
+        completed.fetch_add(1);
+        echo(outcome);
+    };
+
+    // The wall-budget watchdog: scans in-flight deadlines and flips
+    // the cancel flag the simulator polls at cycle boundaries. The
+    // sim thread itself is wedged inside Gpu::run, so cancellation
+    // has to come from outside.
+    std::thread watchdog;
+    if (options.jobWallBudgetSeconds > 0.0) {
+        watchdog = std::thread([&] {
+            while (!pool_done.load(std::memory_order_relaxed)) {
+                int64_t now_us = static_cast<int64_t>(
+                    secondsSince(campaign_start) * 1e6);
+                for (JobSlot &slot : slots) {
+                    int64_t deadline = slot.deadlineUs.load(
+                        std::memory_order_relaxed);
+                    if (deadline >= 0 && now_us > deadline)
+                        slot.cancel.store(
+                            true, std::memory_order_relaxed);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+        });
+    }
+
+    if (campaign.workers == 1) {
+        // Serial fast path: same code path, no thread overhead.
+        for (size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1))
+            execute(i, 0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(campaign.workers);
+        for (int w = 0; w < campaign.workers; w++) {
+            pool.emplace_back([&, w] {
+                for (size_t i = next.fetch_add(1);
+                     i < jobs.size(); i = next.fetch_add(1))
+                    execute(i, w);
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+    pool_done.store(true, std::memory_order_relaxed);
+    if (watchdog.joinable())
+        watchdog.join();
+
+    // Aggregate in job order: the counters are deterministic
+    // functions of the outcomes, never racy increments.
+    campaign.stats.total = jobs.size();
+    for (const JobOutcome &outcome : campaign.outcomes) {
+        switch (outcome.status) {
+          case JobStatus::Ok: campaign.stats.ok++; break;
+          case JobStatus::Failed: campaign.stats.failed++; break;
+          case JobStatus::Timeout: campaign.stats.timeout++; break;
+          case JobStatus::Cached: campaign.stats.cached++; break;
+        }
+        if (outcome.attempts > 1) {
+            campaign.stats.retries +=
+                static_cast<uint64_t>(outcome.attempts - 1);
+        }
+        if (outcome.wroteCache)
+            campaign.stats.cacheWrites++;
+    }
+    campaign.wallSeconds = secondsSince(campaign_start);
+
+    // Per-job spans flow into the tracer after the pool drains, in
+    // job order: emission is single-threaded and deterministic given
+    // the outcomes. Timestamps are host microseconds.
+    if (options.tracer &&
+        options.tracer->wants(TraceCategory::Phase)) {
+        for (size_t i = 0; i < campaign.outcomes.size(); i++) {
+            const JobOutcome &outcome = campaign.outcomes[i];
+            const char *name = "job_ok";
+            switch (outcome.status) {
+              case JobStatus::Ok: name = "job_ok"; break;
+              case JobStatus::Failed: name = "job_failed"; break;
+              case JobStatus::Timeout:
+                name = "job_timeout";
+                break;
+              case JobStatus::Cached: name = "job_cached"; break;
+            }
+            uint64_t begin = static_cast<uint64_t>(
+                outcome.startSeconds * 1e6);
+            uint64_t end = static_cast<uint64_t>(
+                (outcome.startSeconds + outcome.wallSeconds) *
+                1e6);
+            options.tracer->span(
+                TraceCategory::Phase, name,
+                outcome.worker >= 0
+                    ? static_cast<uint32_t>(outcome.worker)
+                    : 0,
+                begin, end, "job_index",
+                static_cast<uint64_t>(i), "attempts",
+                static_cast<uint64_t>(outcome.attempts));
+        }
+    }
+    return campaign;
+}
+
+} // namespace campaign
+} // namespace lumi

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "trace/stat_registry.hh"
 
@@ -23,21 +24,29 @@ struct CheckState
     uint64_t total = 0;
     uint64_t printed[numCheckSubsystems] = {};
     std::string lastMessage;
+    /**
+     * Serializes the violation slow path: campaign workers simulate
+     * concurrently, and count-mode violations on two jobs at once
+     * must not corrupt the shared counters. The hot path (passing
+     * checks) never takes the lock.
+     */
+    std::mutex mutex;
 };
 
 CheckState &
 state()
 {
-    static CheckState s = [] {
-        CheckState init;
-        // Triage escape hatch: LUMI_CHECK_MODE=count turns a run
-        // that would abort into one that reports violation counts.
+    static CheckState s;
+    // Triage escape hatch: LUMI_CHECK_MODE=count turns a run that
+    // would abort into one that reports violation counts.
+    static bool init = [] {
         if (const char *mode = std::getenv("LUMI_CHECK_MODE");
             mode && std::strcmp(mode, "count") == 0) {
-            init.mode = CheckMode::Count;
+            s.mode = CheckMode::Count;
         }
-        return init;
+        return true;
     }();
+    (void)init;
     return s;
 }
 
@@ -121,6 +130,7 @@ checkFailed(CheckSubsys subsys, const char *file, int line,
             const char *fmt, ...)
 {
     CheckState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
     int index = static_cast<int>(subsys);
     s.violations[index]++;
     s.total++;

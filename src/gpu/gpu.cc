@@ -83,6 +83,15 @@ Gpu::run(const KernelLaunch &launch)
     fillSlots(launch, next_warp);
 
     for (;;) {
+        // Soft budget / cooperative cancellation: a runaway sim
+        // stops at a cycle boundary instead of wedging its worker.
+        if ((cycleBudget_ != 0 && now_ >= cycleBudget_) ||
+            (cancel_ &&
+             cancel_->load(std::memory_order_relaxed))) {
+            aborted_ = true;
+            break;
+        }
+
         bool busy = next_warp < launch.warpCount;
         for (auto &core : cores_)
             busy = busy || core->busy();

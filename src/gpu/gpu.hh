@@ -12,6 +12,7 @@
 #ifndef LUMI_GPU_GPU_HH
 #define LUMI_GPU_GPU_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -93,6 +94,32 @@ class Gpu
      */
     void run(const KernelLaunch &launch);
 
+    /**
+     * Soft cycle budget: run() stops (and aborted() turns true) once
+     * the clock reaches @p max_cycles. 0 disables the budget. The
+     * budget is absolute, so it spans back-to-back launches of one
+     * job. A budget that never fires cannot perturb simulated
+     * timing: the check only compares the clock.
+     */
+    void setCycleBudget(uint64_t max_cycles)
+    {
+        cycleBudget_ = max_cycles;
+    }
+
+    /**
+     * Cooperative cancellation: when @p flag (owned by the caller,
+     * e.g. a campaign watchdog enforcing a wall-clock budget) becomes
+     * true, run() stops at the next cycle boundary and aborted()
+     * turns true. Null disables the check.
+     */
+    void setCancelFlag(const std::atomic<bool> *flag)
+    {
+        cancel_ = flag;
+    }
+
+    /** True once a run stopped early on budget or cancellation. */
+    bool aborted() const { return aborted_; }
+
     /** Current simulated cycle. */
     uint64_t now() const { return now_; }
 
@@ -116,6 +143,9 @@ class Gpu
     std::vector<std::unique_ptr<SimtCore>> cores_;
     std::vector<LaunchSample> launchSamples_;
     uint64_t now_ = 0;
+    uint64_t cycleBudget_ = 0;
+    const std::atomic<bool> *cancel_ = nullptr;
+    bool aborted_ = false;
 };
 
 } // namespace lumi

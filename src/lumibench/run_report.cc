@@ -190,6 +190,14 @@ runReportJson(const std::vector<WorkloadResult> &results,
         json.value(result.analytical.mwp);
         json.key("cwp");
         json.value(result.analytical.cwp);
+        json.key("mem_latency");
+        json.value(result.analytical.memLatency);
+        json.key("comp_cycles_per_warp");
+        json.value(result.analytical.compCyclesPerWarp);
+        json.key("mem_instr_per_warp");
+        json.value(result.analytical.memInstrPerWarp);
+        json.key("reported_launch_cycles");
+        json.value(result.analytical.reportedLaunchCycles);
         json.key("predicted_cycles");
         json.value(result.analytical.predictedCycles);
         json.key("predicted_ipc");

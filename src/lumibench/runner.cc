@@ -13,16 +13,11 @@
 namespace lumi
 {
 
-namespace
+namespace envutil
 {
 
-/**
- * Strict env-int parse: the whole value must be a number and at
- * least @p min, otherwise warn once and use @p fallback. An unset or
- * empty variable silently falls back (not an error).
- */
 int
-envInt(const char *name, int fallback, int min = 1)
+readInt(const char *name, int fallback, int min)
 {
     const char *value = std::getenv(name);
     if (!value || !*value)
@@ -41,9 +36,8 @@ envInt(const char *name, int fallback, int min = 1)
     return static_cast<int>(parsed);
 }
 
-/** Strict env-double parse; must be finite and > 0. */
 double
-envDouble(const char *name, double fallback)
+readDouble(const char *name, double fallback)
 {
     const char *value = std::getenv(name);
     if (!value || !*value)
@@ -62,6 +56,11 @@ envDouble(const char *name, double fallback)
     return parsed;
 }
 
+} // namespace envutil
+
+namespace
+{
+
 /** Register everything a finished run exposes and dump it. */
 std::string
 dumpStats(const Gpu &gpu, const AccelStats *accel)
@@ -77,19 +76,43 @@ dumpStats(const Gpu &gpu, const AccelStats *accel)
     return registry.toJson();
 }
 
+/** Build and throw the SimulationAborted for an early-stopped run. */
+[[noreturn]] void
+throwAborted(const std::string &id, const Gpu &gpu,
+             const RunOptions &options)
+{
+    bool cancelled = options.cancelFlag &&
+                     options.cancelFlag->load(
+                         std::memory_order_relaxed);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: simulation aborted at cycle %llu (%s)",
+                  id.c_str(),
+                  static_cast<unsigned long long>(gpu.now()),
+                  cancelled ? "cancelled by watchdog"
+                            : "cycle budget exhausted");
+    throw SimulationAborted(buf, cancelled, gpu.now());
+}
+
 } // namespace
 
 RunOptions
 RunOptions::fromEnv()
 {
+    using envutil::readDouble;
+    using envutil::readInt;
     RunOptions options;
-    bool quick = envInt("LUMI_QUICK", 0, 0) != 0;
-    int res = envInt("LUMI_RES", quick ? 32 : 96);
+    bool quick = readInt("LUMI_QUICK", 0, 0) != 0;
+    int res = readInt("LUMI_RES", quick ? 32 : 96);
     options.params.width = res;
     options.params.height = res;
-    options.params.samplesPerPixel = envInt("LUMI_SPP", quick ? 1 : 2);
+    options.params.samplesPerPixel = readInt("LUMI_SPP",
+                                             quick ? 1 : 2);
     options.sceneDetail = static_cast<float>(
-        envDouble("LUMI_DETAIL", quick ? 0.25 : 2.0));
+        readDouble("LUMI_DETAIL", quick ? 0.25 : 2.0));
+    // 0 = auto (hardware_concurrency); like LUMI_RES/LUMI_SPP, a
+    // malformed value warns and falls back.
+    options.jobs = readInt("LUMI_JOBS", 0);
     if (const char *trace = std::getenv("LUMI_TRACE");
         trace && *trace) {
         options.traceMask = parseTraceCategories(trace);
@@ -109,6 +132,8 @@ runWorkload(const Workload &workload, const RunOptions &options)
     auto tracer = std::make_shared<Tracer>(options.traceCapacity);
     tracer->setMask(options.traceMask);
     Gpu gpu(options.config, options.timelineInterval, tracer.get());
+    gpu.setCycleBudget(options.maxCycles);
+    gpu.setCancelFlag(options.cancelFlag);
     if (options.dramBandwidthScale != 1.0) {
         gpu.memSystem().dram().setBandwidthScale(
             options.dramBandwidthScale);
@@ -125,6 +150,8 @@ runWorkload(const Workload &workload, const RunOptions &options)
         PhaseProfiler::Scoped phase(profiler, "simulate");
         pipeline->render(workload.shader);
     }
+    if (gpu.aborted())
+        throwAborted(workload.id(), gpu, options);
 
     WorkloadResult result;
     {
@@ -168,12 +195,16 @@ runCompute(ComputeKernel kernel, const RunOptions &options)
     auto tracer = std::make_shared<Tracer>(options.traceCapacity);
     tracer->setMask(options.traceMask);
     Gpu gpu(options.config, options.timelineInterval, tracer.get());
+    gpu.setCycleBudget(options.maxCycles);
+    gpu.setCancelFlag(options.cancelFlag);
     ComputeParams params;
     params.scale = 1;
     {
         PhaseProfiler::Scoped phase(profiler, "simulate");
         runComputeKernel(gpu, kernel, params);
     }
+    if (gpu.aborted())
+        throwAborted(computeKernelName(kernel), gpu, options);
 
     WorkloadResult result;
     {

@@ -7,7 +7,9 @@
 #ifndef LUMI_LUMIBENCH_RUNNER_HH
 #define LUMI_LUMIBENCH_RUNNER_HH
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,22 @@
 
 namespace lumi
 {
+
+namespace envutil
+{
+
+/**
+ * Strict env-int parse shared by RunOptions::fromEnv and the
+ * campaign engine: the whole value must be a number and at least
+ * @p min, otherwise warn on stderr and use @p fallback. An unset or
+ * empty variable silently falls back (not an error).
+ */
+int readInt(const char *name, int fallback, int min = 1);
+
+/** Strict env-double parse; must be finite and > 0. */
+double readDouble(const char *name, double fallback);
+
+} // namespace envutil
 
 /** Execution options shared by all benches. */
 struct RunOptions
@@ -41,15 +59,60 @@ struct RunOptions
     uint32_t traceMask = 0;
     /** Events retained per trace category (ring-buffer size). */
     size_t traceCapacity = 1 << 14;
+    /**
+     * Campaign worker count for sweeps going through bench::runAll
+     * or the campaign engine; 0 = hardware_concurrency. Ignored by
+     * single-workload runWorkload/runCompute calls.
+     */
+    int jobs = 0;
+    /**
+     * Soft simulated-cycle budget per run; 0 = unlimited. When the
+     * clock reaches it, runWorkload/runCompute throw
+     * SimulationAborted instead of returning a partial result.
+     */
+    uint64_t maxCycles = 0;
+    /**
+     * Optional cooperative cancellation flag (not owned); the sim
+     * stops at the next cycle boundary once it turns true. Used by
+     * the campaign engine's wall-clock watchdog.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
 
     /**
      * Bench defaults honoring the environment: LUMI_RES (image edge,
      * default 64), LUMI_SPP, LUMI_DETAIL, LUMI_QUICK=1 for smoke
-     * runs (32x32, low detail), and LUMI_TRACE (category list, e.g.
+     * runs (32x32, low detail), LUMI_JOBS (sweep worker count, 0 =
+     * hardware_concurrency), and LUMI_TRACE (category list, e.g.
      * "sm,rt" or "all") for the event tracer. Malformed values fall
      * back to the defaults with a warning on stderr.
      */
     static RunOptions fromEnv();
+};
+
+/**
+ * Thrown by runWorkload/runCompute when a simulation stops early on
+ * the RunOptions::maxCycles budget or the cancellation flag. The
+ * campaign engine maps this to per-job `timeout` status; a partial
+ * simulation never masquerades as a finished result.
+ */
+class SimulationAborted : public std::runtime_error
+{
+  public:
+    SimulationAborted(const std::string &what, bool cancelled,
+                      uint64_t cycles)
+        : std::runtime_error(what), cancelled_(cancelled),
+          cycles_(cycles)
+    {
+    }
+
+    /** True for watchdog cancellation, false for the cycle budget. */
+    bool cancelled() const { return cancelled_; }
+    /** Simulated cycle count at the stop. */
+    uint64_t cycles() const { return cycles_; }
+
+  private:
+    bool cancelled_;
+    uint64_t cycles_;
 };
 
 /** Everything collected from one workload simulation. */

@@ -95,6 +95,16 @@ class StatRegistry
      */
     double value(const std::string &name) const;
 
+    /**
+     * Write @p value back through a registered counter binding.
+     * This is the rehydration path: the campaign result cache
+     * registers a result's counter structs under the same names the
+     * dump used, then restores saved values through those bindings,
+     * so the name->field mapping can never drift from the forward
+     * registration. False if @p name is not a registered counter.
+     */
+    bool setCounter(const std::string &name, uint64_t value);
+
     /** All registered names, lexicographically sorted. */
     std::vector<std::string> names() const;
 

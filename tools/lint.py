@@ -22,6 +22,12 @@ ones:
                      assert(): checks must honor count-mode, feed the
                      violation counters, and compile out with
                      -DLUMI_CHECKS=OFF.
+  campaign-sweep     Bench binaries must not hand-roll workload loops
+                     with direct runWorkload()/runCompute() calls;
+                     sweeps go through the campaign engine
+                     (bench_util.hh runAll/runJobs) so every bench
+                     gets parallelism, retries, budgets and the
+                     result cache for free.
 
 Exit status is the number of rule classes that found violations
 (0 = clean). A line may opt out with a trailing
@@ -42,7 +48,7 @@ DEFAULT_ROOT = os.path.dirname(HERE)
 MODEL_DIRS = ("src/gpu", "src/rt", "src/bvh", "src/check")
 # Code that serializes output: reports, traces, stats, metrics.
 EMIT_DIRS = ("src/trace", "src/lumibench", "src/metrics",
-             "src/analysis")
+             "src/analysis", "src/campaign")
 EMIT_FILES = ("src/gpu/stat_bindings.cc",)
 
 NONDET_PATTERNS = [
@@ -267,11 +273,37 @@ def check_no_bare_assert(root, report):
     return ok
 
 
+def check_campaign_sweep(root, report):
+    """Bench binaries must sweep via the campaign engine."""
+    ok = True
+    pattern = re.compile(r"\brun(?:Workload|Compute)\s*\(")
+    bench_dir = os.path.join(root, "bench")
+    for name in sorted(os.listdir(bench_dir)):
+        if not name.endswith(".cc"):
+            continue
+        path = os.path.join(bench_dir, name)
+        raw_lines = open(path).read().splitlines()
+        clean = strip_comments("\n".join(raw_lines)).splitlines()
+        for lineno, line in enumerate(clean, 1):
+            if pattern.search(line):
+                if allowed(raw_lines[lineno - 1], "campaign-sweep"):
+                    continue
+                report(path, lineno, "campaign-sweep",
+                       "direct runWorkload()/runCompute() in a bench "
+                       "binary; route the sweep through bench_util "
+                       "runAll()/runJobs() (campaign engine) so it "
+                       "gets LUMI_JOBS parallelism, retries and the "
+                       "result cache")
+                ok = False
+    return ok
+
+
 RULES = [
     ("nondeterminism", check_nondeterminism),
     ("unordered-iter", check_unordered_iteration),
     ("stat-coverage", check_stat_coverage),
     ("no-bare-assert", check_no_bare_assert),
+    ("campaign-sweep", check_campaign_sweep),
 ]
 
 

@@ -14,22 +14,32 @@
  *       Summarize a metric table (the Fig. 14-style report).
  *   lumibench dendrogram --csv results.csv
  *       PCA + clustering over a metric table (the Fig. 3 figure).
+ *   lumibench campaign [--subset|--all|--compute|--workload ID]...
+ *                      [--config NAME]... [--jobs N] [--retries N]
+ *                      [--cache-dir DIR] [--manifest FILE]
+ *       Run a job matrix (workloads x configs) through the parallel
+ *       campaign engine; write an aggregated campaign.json manifest.
  *
  * Resolution/detail honor LUMI_RES / LUMI_SPP / LUMI_DETAIL /
- * LUMI_QUICK, like the bench binaries.
+ * LUMI_QUICK, like the bench binaries; the campaign command also
+ * honors LUMI_JOBS / LUMI_RETRIES / LUMI_CACHE_DIR.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "analysis/cluster.hh"
 #include "analysis/pca.hh"
+#include "campaign/campaign.hh"
 #include "lumibench/report.hh"
 #include "lumibench/run_report.hh"
 #include "lumibench/runner.hh"
 #include "rt/pipeline.hh"
+#include "trace/json.hh"
+#include "trace/stat_registry.hh"
 #include "trace/trace.hh"
 
 using namespace lumi;
@@ -41,8 +51,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: lumibench <list|run|results|dendrogram> "
-                 "[options]\n"
+                 "usage: lumibench "
+                 "<list|run|campaign|results|dendrogram> [options]\n"
                  "  run options: --subset | --all | --workload ID "
                  "(repeatable)\n"
                  "               --config mobile|desktop|alternate\n"
@@ -51,6 +61,14 @@ usage()
                  "               --trace FILE  "
                  "--trace-categories sm,rt,cache,dram\n"
                  "               --stats-json FILE  --report FILE\n"
+                 "  campaign options: --subset | --all | --compute | "
+                 "--workload ID (repeatable)\n"
+                 "               --config NAME (repeatable: job "
+                 "matrix = workloads x configs)\n"
+                 "               --jobs N  --retries N  "
+                 "--cache-dir DIR\n"
+                 "               --manifest FILE (default "
+                 "campaign.json)  --trace FILE\n"
                  "  results/dendrogram options: --csv FILE\n"
                  "  (observability flags imply 'run'; a %%w in FILE "
                  "expands to the workload id)\n");
@@ -280,6 +298,238 @@ cmdRun(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Strict non-negative integer flag value; exits on junk. */
+int
+parseIntFlag(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || value < 0) {
+        std::fprintf(stderr, "%s needs a non-negative integer "
+                             "(got '%s')\n",
+                     flag, text.c_str());
+        std::exit(2);
+    }
+    return static_cast<int>(value);
+}
+
+int
+cmdCampaign(const std::vector<std::string> &args)
+{
+    RunOptions base = RunOptions::fromEnv();
+    campaign::CampaignOptions engine =
+        campaign::CampaignOptions::fromEnv();
+    engine.echoProgress = true;
+
+    std::vector<Workload> workloads;
+    bool compute = false;
+    std::vector<std::string> configs;
+    std::string manifest_path = "campaign.json";
+    std::string trace_path;
+
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--subset") {
+            for (const Workload &w : representativeSubset())
+                workloads.push_back(w);
+        } else if (arg == "--all") {
+            for (const Workload &w : allWorkloads())
+                workloads.push_back(w);
+        } else if (arg == "--compute") {
+            compute = true;
+        } else if (arg == "--workload") {
+            std::string id = next("--workload");
+            bool ok = false;
+            Workload w = parseWorkload(id, ok);
+            if (!ok) {
+                std::fprintf(stderr,
+                             "unknown workload '%s' (see "
+                             "'lumibench list')\n",
+                             id.c_str());
+                return 2;
+            }
+            workloads.push_back(w);
+        } else if (arg == "--config") {
+            configs.push_back(next("--config"));
+        } else if (arg == "--jobs") {
+            engine.jobs = parseIntFlag("--jobs", next("--jobs"));
+        } else if (arg == "--retries") {
+            engine.retries = parseIntFlag("--retries",
+                                          next("--retries"));
+        } else if (arg == "--cache-dir") {
+            engine.cacheDir = next("--cache-dir");
+        } else if (arg == "--manifest") {
+            manifest_path = next("--manifest");
+        } else if (arg == "--trace") {
+            trace_path = next("--trace");
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (workloads.empty() && !compute) {
+        for (const Workload &w : representativeSubset())
+            workloads.push_back(w);
+    }
+    if (configs.empty())
+        configs.push_back("mobile");
+
+    // The job matrix: every selected workload/kernel under every
+    // selected config, config-major so one config's jobs are
+    // adjacent in the manifest.
+    std::vector<campaign::Job> jobs;
+    std::vector<std::string> job_configs;
+    for (const std::string &name : configs) {
+        RunOptions options = base;
+        if (name == "desktop")
+            options.config = GpuConfig::desktop();
+        else if (name == "alternate")
+            options.config = GpuConfig::alternate();
+        else if (name == "mobile")
+            options.config = GpuConfig::mobile();
+        else {
+            std::fprintf(stderr,
+                         "unknown config '%s' (mobile, desktop, "
+                         "alternate)\n",
+                         name.c_str());
+            return 2;
+        }
+        for (const Workload &w : workloads) {
+            jobs.push_back(campaign::Job::rayTracing(w, options));
+            job_configs.push_back(name);
+        }
+        if (compute) {
+            for (ComputeKernel kernel : allComputeKernels()) {
+                jobs.push_back(campaign::Job::compute(kernel,
+                                                      options));
+                job_configs.push_back(name);
+            }
+        }
+    }
+
+    Tracer tracer;
+    if (!trace_path.empty()) {
+        tracer.setMask(traceBit(TraceCategory::Phase));
+        engine.tracer = &tracer;
+    }
+
+    std::fprintf(stderr,
+                 "campaign: %zu jobs (%zu workloads%s x %zu "
+                 "configs), %d workers\n",
+                 jobs.size(), workloads.size(),
+                 compute ? " + compute" : "", configs.size(),
+                 campaign::resolveWorkerCount(engine.jobs,
+                                              jobs.size()));
+    campaign::CampaignResult done =
+        campaign::runCampaign(jobs, engine);
+
+    // The manifest: one machine-readable document for the whole
+    // sweep — per-job status, attempts, phase timings and the full
+    // stat dump, plus the aggregated campaign.jobs.* counters.
+    StatRegistry registry;
+    done.registerStats(registry);
+    JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("lumibench-campaign-v1");
+    json.key("workers");
+    json.value(done.workers);
+    json.key("wall_seconds");
+    json.value(done.wallSeconds);
+    json.key("jobs");
+    json.beginArray();
+    for (size_t i = 0; i < done.outcomes.size(); i++) {
+        const campaign::JobOutcome &outcome = done.outcomes[i];
+        json.beginObject();
+        json.key("id");
+        json.value(outcome.id);
+        json.key("kind");
+        json.value(jobs[i].kind == campaign::Job::Kind::Compute
+                       ? "compute"
+                       : "ray_tracing");
+        json.key("config");
+        json.value(job_configs[i]);
+        json.key("status");
+        json.value(campaign::jobStatusName(outcome.status));
+        json.key("attempts");
+        json.value(outcome.attempts);
+        json.key("from_cache");
+        json.value(outcome.fromCache);
+        json.key("worker");
+        json.value(outcome.worker);
+        json.key("wall_seconds");
+        json.value(outcome.wallSeconds);
+        if (!outcome.error.empty()) {
+            json.key("error");
+            json.value(outcome.error);
+        }
+        if (outcome.succeeded()) {
+            const WorkloadResult &result = outcome.result;
+            json.key("cycles");
+            json.value(result.stats.cycles);
+            json.key("phases");
+            json.beginArray();
+            for (const PhaseTiming &phase : result.phases) {
+                json.beginObject();
+                json.key("name");
+                json.value(phase.name);
+                json.key("seconds");
+                json.value(phase.seconds);
+                json.key("count");
+                json.value(phase.count);
+                json.endObject();
+            }
+            json.endArray();
+            if (!result.statsJson.empty()) {
+                json.key("stats");
+                json.raw(result.statsJson);
+            }
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.key("stats");
+    json.raw(registry.toJson());
+    json.endObject();
+
+    FILE *file = std::fopen(manifest_path.c_str(), "w");
+    bool wrote = file != nullptr;
+    if (wrote && std::fputs(json.str().c_str(), file) == EOF)
+        wrote = false;
+    if (file && std::fclose(file) != 0)
+        wrote = false;
+    if (!wrote) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     manifest_path.c_str());
+        return 1;
+    }
+    if (!trace_path.empty() &&
+        !tracer.writeChromeTrace(trace_path)) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
+
+    std::printf("campaign: %llu ok, %llu cached, %llu failed, "
+                "%llu timeout (%llu retries) in %.2fs on %d "
+                "workers; wrote %s\n",
+                static_cast<unsigned long long>(done.stats.ok),
+                static_cast<unsigned long long>(done.stats.cached),
+                static_cast<unsigned long long>(done.stats.failed),
+                static_cast<unsigned long long>(done.stats.timeout),
+                static_cast<unsigned long long>(done.stats.retries),
+                done.wallSeconds, done.workers,
+                manifest_path.c_str());
+    return done.allOk() ? 0 : 1;
+}
+
 std::string
 csvArg(const std::vector<std::string> &args)
 {
@@ -358,6 +608,8 @@ main(int argc, char **argv)
         return cmdList();
     if (command == "run")
         return cmdRun(args);
+    if (command == "campaign")
+        return cmdCampaign(args);
     if (command == "results")
         return cmdResults(args);
     if (command == "dendrogram")
