@@ -1,18 +1,38 @@
 /**
  * @file
- * Google-benchmark microbenchmarks for the memory-system substrate:
- * cache probe/fill throughput and DRAM model scheduling cost, the
- * hot loops of the timing simulation.
+ * Memory-system microbenchmarks and the MSHR backpressure sweep.
+ *
+ * Two halves share this binary:
+ *
+ *  - Google-benchmark microbenchmarks for the substrate hot loops
+ *    (cache probe/fill throughput, DRAM scheduling cost, MemSystem
+ *    issue path);
+ *  - a characterization sweep that renders BUNNY_AO on the Table 4
+ *    config while shrinking the L1 MSHR file (64/16/4/1), printing
+ *    IPC and mem.mshr_full_stalls per point. Finite MSHRs must cost
+ *    performance monotonically; CI asserts exactly that on this
+ *    output.
+ *
+ * Flags: --sweep-only runs just the sweep (what CI uses),
+ * --no-sweep runs just the microbenchmarks. Sweep points go through
+ * the campaign engine, so LUMI_JOBS / LUMI_CACHE_DIR / LUMI_RES
+ * apply as in every other bench.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
 #include "gpu/address_space.hh"
 #include "gpu/cache.hh"
 #include "gpu/config.hh"
 #include "gpu/dram.hh"
 #include "gpu/mem_system.hh"
 #include "math/rng.hh"
+#include "trace/json_read.hh"
 
 namespace
 {
@@ -66,9 +86,12 @@ BM_DramAccess(benchmark::State &state)
 BENCHMARK(BM_DramAccess)->Arg(1)->Arg(0);
 
 void
-BM_MemSystemRead(benchmark::State &state)
+BM_MemSystemIssue(benchmark::State &state)
 {
-    GpuConfig config;
+    // arg 0: unlimited resources (oracle-parity path);
+    // arg 1: Table 4 finite MSHRs/ports (gating + drain path).
+    GpuConfig config = state.range(0) != 0 ? GpuConfig::table4()
+                                           : GpuConfig();
     AddressSpace space;
     uint64_t base = space.allocate(DataKind::Compute, 64ull << 20,
                                    "buf");
@@ -76,15 +99,133 @@ BM_MemSystemRead(benchmark::State &state)
     Rng rng(3);
     uint64_t cycle = 0;
     for (auto _ : state) {
-        uint64_t addr = base + (rng.nextU32() % (1 << 18)) * 128ull;
-        MemResult result = mem.read(0, cycle, addr, 32, false);
+        MemRequest req;
+        req.sm = 0;
+        req.cycle = cycle;
+        req.addr = base + (rng.nextU32() % (1 << 18)) * 128ull;
+        req.bytes = 32;
+        req.rt = false;
+        MemIssue issue = mem.issueRead(req);
         cycle += 2;
-        benchmark::DoNotOptimize(result.readyCycle);
+        benchmark::DoNotOptimize(issue.readyCycle);
     }
+    mem.drainAll();
     state.SetItemsProcessed(state.iterations());
+    state.SetLabel(state.range(0) != 0 ? "table4" : "unlimited");
 }
-BENCHMARK(BM_MemSystemRead);
+BENCHMARK(BM_MemSystemIssue)->Arg(0)->Arg(1);
+
+/** mem.* counter out of a result's flat stat-registry dump. */
+uint64_t
+statCounter(const WorkloadResult &result, const std::string &name)
+{
+    JsonValue stats;
+    if (!parseJson(result.statsJson, stats, nullptr))
+        return 0;
+    const JsonValue *value = stats.find(name);
+    return value ? value->counter() : 0;
+}
+
+/**
+ * The MSHR sweep: BUNNY_AO on the Table 4 config with the L1 MSHR
+ * file at 64/16/4/1 entries, plus the unlimited oracle-parity
+ * baseline. The sweep points leave the interconnect and L1 ports
+ * unlimited so the MSHR file is the isolated bottleneck: under the
+ * full Table 4 interconnect, MSHR throttling *relieves* link
+ * congestion and the points stop ordering by MSHR count. One
+ * campaign job per point; the config fingerprint keys the result
+ * cache, so points never collide.
+ */
+int
+runMshrSweep()
+{
+    const int mshr_points[] = {64, 16, 4, 1};
+
+    const std::vector<Workload> workloads = allWorkloads();
+    const Workload *workload = nullptr;
+    for (const Workload &cand : workloads) {
+        if (cand.id() == "BUNNY_AO")
+            workload = &cand;
+    }
+    if (!workload) {
+        std::fprintf(stderr, "micro_memsys: BUNNY_AO not found\n");
+        return 1;
+    }
+
+    std::vector<campaign::Job> jobs;
+    {
+        RunOptions options = RunOptions::fromEnv();
+        options.config = GpuConfig::mobile();
+        jobs.push_back(campaign::Job::rayTracing(*workload, options));
+    }
+    for (int entries : mshr_points) {
+        RunOptions options = RunOptions::fromEnv();
+        options.config = GpuConfig::table4();
+        options.config.icntFlitsPerCycle = 0;
+        options.config.l1PortWidth = 0;
+        options.config.l1MshrEntries = entries;
+        jobs.push_back(campaign::Job::rayTracing(*workload, options));
+    }
+    std::vector<WorkloadResult> results = bench::runJobs(jobs);
+
+    std::printf("# MSHR backpressure sweep (BUNNY_AO, Table 4 "
+                "memory system)\n");
+    std::printf("%-10s %12s %8s %18s %18s\n", "l1_mshrs", "cycles",
+                "ipc", "mshr_full_stalls", "port_conflicts");
+    for (size_t i = 0; i < results.size(); i++) {
+        const WorkloadResult &result = results[i];
+        int entries = jobs[i].options.config.l1MshrEntries;
+        double ipc =
+            result.stats.cycles > 0
+                ? static_cast<double>(result.stats.instructions) /
+                      result.stats.cycles
+                : 0.0;
+        char label[16];
+        if (entries == 0)
+            std::snprintf(label, sizeof(label), "unlimited");
+        else
+            std::snprintf(label, sizeof(label), "%d", entries);
+        std::printf("%-10s %12llu %8.4f %18llu %18llu\n", label,
+                    static_cast<unsigned long long>(
+                        result.stats.cycles),
+                    ipc,
+                    static_cast<unsigned long long>(statCounter(
+                        result, "mem.mshr_full_stalls")),
+                    static_cast<unsigned long long>(statCounter(
+                        result, "mem.port_conflict_cycles")));
+    }
+    return 0;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool sweep_only = false;
+    bool no_sweep = false;
+    // Strip our flags before google-benchmark sees the arg vector.
+    int out = 1;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--sweep-only") == 0)
+            sweep_only = true;
+        else if (std::strcmp(argv[i], "--no-sweep") == 0)
+            no_sweep = true;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+
+    if (!no_sweep) {
+        int rc = runMshrSweep();
+        if (rc != 0 || sweep_only)
+            return rc;
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

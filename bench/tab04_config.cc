@@ -27,12 +27,14 @@ main()
 {
     std::printf("%s",
                 banner("Table 4: Vulkan-Sim configuration").c_str());
-    GpuConfig configs[3] = {GpuConfig::mobile(), GpuConfig::desktop(),
-                            GpuConfig::alternate()};
-    TextTable table({"parameter", "mobile", "desktop", "alternate"});
+    GpuConfig configs[4] = {GpuConfig::mobile(), GpuConfig::desktop(),
+                            GpuConfig::alternate(),
+                            GpuConfig::table4()};
+    TextTable table({"parameter", "mobile", "desktop", "alternate",
+                     "table4"});
     auto row = [&](const char *name, auto get) {
         table.addRow({name, get(configs[0]), get(configs[1]),
-                      get(configs[2])});
+                      get(configs[2]), get(configs[3])});
     };
     row("# SMs", [](const GpuConfig &c) {
         return std::to_string(c.numSms);
@@ -58,6 +60,32 @@ main()
     row("L2 unified", [](const GpuConfig &c) {
         return kb(c.l2SizeBytes) + ", " + std::to_string(c.l2Ways) +
                "-way, " + std::to_string(c.l2Latency) + " cyc";
+    });
+    row("L1 MSHRs / SM", [](const GpuConfig &c) {
+        return c.l1MshrEntries == 0
+                   ? std::string("unlimited")
+                   : std::to_string(c.l1MshrEntries);
+    });
+    row("L2 MSHRs", [](const GpuConfig &c) {
+        return c.l2MshrEntries == 0
+                   ? std::string("unlimited")
+                   : std::to_string(c.l2MshrEntries);
+    });
+    row("L1 port width", [](const GpuConfig &c) {
+        return c.l1PortWidth == 0
+                   ? std::string("unlimited")
+                   : std::to_string(c.l1PortWidth) + " lines/cyc";
+    });
+    row("SM<->L2 link", [](const GpuConfig &c) {
+        return c.icntFlitsPerCycle == 0
+                   ? std::string("unlimited")
+                   : std::to_string(c.icntFlitsPerCycle) + "x" +
+                         std::to_string(c.icntFlitBytes) + "B flits";
+    });
+    row("Write policy", [](const GpuConfig &c) {
+        return c.writePolicy == WritePolicy::WriteAllocate
+                   ? std::string("write-allocate")
+                   : std::string("no-write-allocate");
     });
     row("Core clock", [](const GpuConfig &c) {
         return std::to_string(c.coreClockMhz) + " MHz";

@@ -36,6 +36,32 @@ Cache::findLine(uint64_t line_addr)
     return &lines_[it->second];
 }
 
+const Cache::Line *
+Cache::findLine(uint64_t line_addr) const
+{
+    uint32_t set = setIndex(line_addr);
+    auto it = lookup_[set].find(line_addr);
+    if (it == lookup_[set].end())
+        return nullptr;
+    return &lines_[it->second];
+}
+
+CacheProbe
+Cache::peek(uint64_t line_addr, uint64_t cycle) const
+{
+    CacheProbe result;
+    const Line *line = findLine(line_addr);
+    if (!line)
+        return result; // Miss
+    if (line->validAt > cycle) {
+        result.outcome = CacheProbe::Outcome::PendingHit;
+        result.validAt = line->validAt;
+    } else {
+        result.outcome = CacheProbe::Outcome::Hit;
+    }
+    return result;
+}
+
 CacheProbe
 Cache::probe(uint64_t line_addr, uint64_t cycle)
 {

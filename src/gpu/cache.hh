@@ -85,10 +85,22 @@ class Cache
      */
     CacheProbe probe(uint64_t line_addr, uint64_t cycle);
 
+    /**
+     * Side-effect-free lookup: no stats, no LRU update. MemSystem
+     * uses it to test MSHR feasibility before committing to an
+     * access, so rejected requests leave no trace in the counters.
+     */
+    CacheProbe peek(uint64_t line_addr, uint64_t cycle) const;
+
     /** Insert @p line_addr with its data arriving at @p valid_at. */
     void fill(uint64_t line_addr, uint64_t cycle, uint64_t valid_at);
 
-    /** Probe-and-update for writes (no allocate on miss). */
+    /**
+     * Probe-and-update for writes. Never allocates by itself: on a
+     * miss it returns false and MemSystem applies the configured
+     * GpuConfig::writePolicy (fill() under write-allocate, bypass
+     * under no-write-allocate).
+     */
     bool writeProbe(uint64_t line_addr, uint64_t cycle);
 
     CacheStats stats;
@@ -104,6 +116,7 @@ class Cache
 
     uint32_t setIndex(uint64_t line_addr) const;
     Line *findLine(uint64_t line_addr);
+    const Line *findLine(uint64_t line_addr) const;
 
     uint32_t lineBytes_;
     uint32_t numSets_;

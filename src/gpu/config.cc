@@ -39,4 +39,17 @@ GpuConfig::alternate()
     return config;
 }
 
+GpuConfig
+GpuConfig::table4()
+{
+    GpuConfig config;
+    config.name = "table4";
+    config.l1MshrEntries = 16;
+    config.l2MshrEntries = 64;
+    config.l1PortWidth = 4;
+    config.icntFlitsPerCycle = 8;
+    config.icntFlitBytes = 32;
+    return config;
+}
+
 } // namespace lumi

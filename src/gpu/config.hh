@@ -24,6 +24,16 @@ enum class WarpSchedulerPolicy
     Lrr, ///< loose round-robin
 };
 
+/** Store-miss handling in the cache hierarchy. */
+enum class WritePolicy
+{
+    /** Store misses install the line at both levels (default). */
+    WriteAllocate,
+    /** Store misses bypass the caches; every store line goes to
+     *  DRAM and later loads must fetch it back. */
+    NoWriteAllocate,
+};
+
 /** Complete simulator configuration. */
 struct GpuConfig
 {
@@ -53,6 +63,24 @@ struct GpuConfig
     uint32_t l2LineBytes = 128;
     uint32_t l2Ways = 16;
     int l2Latency = 160;
+
+    // --- Memory-system resources (0 = unlimited) ---
+    //
+    // The defaults leave every resource unlimited, which makes the
+    // clocked request model reproduce the original latency-oracle
+    // timing exactly; table4() turns the finite Table 4 limits on.
+    /** In-flight miss entries per L1 (per SM). */
+    uint32_t l1MshrEntries = 0;
+    /** In-flight miss entries in the shared L2. */
+    uint32_t l2MshrEntries = 0;
+    /** Line-sized access slots each SM's L1 accepts per cycle. */
+    uint32_t l1PortWidth = 0;
+    /** SM<->L2 interconnect bandwidth in flits per cycle (shared). */
+    uint32_t icntFlitsPerCycle = 0;
+    /** Payload bytes per interconnect flit. */
+    uint32_t icntFlitBytes = 32;
+    /** Store-miss allocation policy at both cache levels. */
+    WritePolicy writePolicy = WritePolicy::WriteAllocate;
 
     // --- DRAM ---
     int dramChannels = 2;
@@ -91,6 +119,14 @@ struct GpuConfig
      * intersection latencies and RT warps.
      */
     static GpuConfig alternate();
+
+    /**
+     * The mobile configuration with Table 4's finite memory-system
+     * resources enabled: bounded MSHR files, L1 ports and SM<->L2
+     * interconnect bandwidth. Timing diverges from mobile() exactly
+     * where contention arises.
+     */
+    static GpuConfig table4();
 };
 
 } // namespace lumi

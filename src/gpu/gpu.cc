@@ -111,6 +111,9 @@ Gpu::run(const KernelLaunch &launch)
             next = std::min(next, core->nextEventCycle(now_));
         for (auto &rt : rtUnits_)
             next = std::min(next, rt->nextEventCycle(now_));
+        // Fill completions wake stalled requesters under finite
+        // memory-system resources (no events when unlimited).
+        next = std::min(next, mem_->nextEventCycle(now_));
         if (next == UINT64_MAX) {
             // Work may have completed inside this very cycle.
             bool still_busy = next_warp < launch.warpCount;
@@ -171,6 +174,10 @@ Gpu::run(const KernelLaunch &launch)
         now_ = next;
         timeline_.record(now_, snapshot());
     }
+
+    // Retire every in-flight fill so the MSHR conservation checks
+    // and occupancy histograms cover the whole run.
+    mem_->drainAll();
 
     stats_.cycles = now_;
     timeline_.record(now_, snapshot());

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The unified memory transaction types every requester issues into
+ * the hierarchy, and the memory-system-wide contention counters.
+ *
+ * A requester (SIMT core load/store unit or RT unit) builds a
+ * MemRequest and offers it to MemSystem::issueRead / issueWrite. The
+ * memory system either accepts it -- reserving an L1 port slot and,
+ * on a miss, an MSHR entry, and returning the cycle the data lands --
+ * or rejects it with the resource that was exhausted. A rejected
+ * request was not observed by any cache: the requester holds it and
+ * replays on a later cycle.
+ */
+
+#ifndef LUMI_GPU_MEM_REQUEST_HH
+#define LUMI_GPU_MEM_REQUEST_HH
+
+#include <cstdint>
+
+namespace lumi
+{
+
+/** One access offered to the memory system. */
+struct MemRequest
+{
+    /** Issuing SM (selects the L1 and its port). */
+    int sm = 0;
+    /** Cycle the access is offered. */
+    uint64_t cycle = 0;
+    /** First byte touched; may span multiple cache lines. */
+    uint64_t addr = 0;
+    /** Bytes touched starting at addr. */
+    uint32_t bytes = 0;
+    /** True when the RT unit (traceRay) is the requester. */
+    bool rt = false;
+};
+
+/** Resource that bounced a request (None when accepted). */
+enum class MemReject : uint8_t
+{
+    None, ///< accepted
+    Port, ///< the SM's L1 port has no free slot this cycle
+    Mshr, ///< the L1 MSHR file cannot track another miss
+};
+
+/** Outcome of an issue attempt. */
+struct MemIssue
+{
+    bool accepted = false;
+    MemReject reject = MemReject::None;
+    /** Valid when accepted: cycle the data is in the requester. */
+    uint64_t readyCycle = 0;
+    /** Every touched line hit the L1. */
+    bool l1Hit = false;
+    /** At least one line went all the way to DRAM. */
+    bool reachedDram = false;
+};
+
+/** Occupancy-histogram buckets (last bucket absorbs the tail). */
+constexpr int memOccupancyBuckets = 16;
+
+/** Contention counters for the clocked request/port model. */
+struct MemSystemStats
+{
+    /** Read accesses accepted into an L1 port. */
+    uint64_t readRequests = 0;
+    /** Write accesses accepted into an L1 port. */
+    uint64_t writeRequests = 0;
+    /** Issue attempts bounced off a full L1 port. */
+    uint64_t portRejects = 0;
+    /** Cycles in which at least one port rejection happened. */
+    uint64_t portConflictCycles = 0;
+    /** Issue attempts bounced off a full L1 MSHR file. */
+    uint64_t mshrFullStalls = 0;
+    /** L2 misses that had to wait for a free L2 MSHR entry. */
+    uint64_t l2MshrFullStalls = 0;
+    /** Total cycles those L2 misses spent queued for an entry. */
+    uint64_t l2MshrWaitCycles = 0;
+    /** MSHR entries allocated across both levels. */
+    uint64_t mshrAllocs = 0;
+    /** MSHR entries released by fill responses. */
+    uint64_t mshrFrees = 0;
+    /** Accesses merged into an already-outstanding fill. */
+    uint64_t mshrMerges = 0;
+    /** High-water mark of simultaneously live MSHR entries. */
+    uint64_t mshrLivePeak = 0;
+    /** SM<->L2 interconnect flits transferred. */
+    uint64_t icntFlits = 0;
+    /** Cycles requests/fills waited for interconnect bandwidth. */
+    uint64_t icntWaitCycles = 0;
+    /** Cycles spent with N in-flight fills (N clamps to the last
+     *  bucket); inflight_cycles[0] is idle time. */
+    uint64_t inflightCycles[memOccupancyBuckets] = {};
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_MEM_REQUEST_HH

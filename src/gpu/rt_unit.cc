@@ -103,8 +103,25 @@ RtUnit::admit(const PendingWarp &pending, uint64_t now)
 }
 
 void
+RtUnit::flushWritebacks(uint64_t now)
+{
+    while (!writebacks_.empty()) {
+        MemRequest req;
+        req.sm = smId_;
+        req.cycle = now;
+        req.addr = writebacks_.front().addr;
+        req.bytes = writebacks_.front().bytes;
+        req.rt = true;
+        if (!mem_.issueWrite(req).accepted)
+            return; // port busy: retry next cycle
+        writebacks_.pop_front();
+    }
+}
+
+void
 RtUnit::cycle(uint64_t now)
 {
+    flushWritebacks(now);
     int issued = 0;
     while (!events_.empty() && events_.top().ready <= now &&
            issued < config_.rtIssueWidth) {
@@ -133,15 +150,20 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
     RtWarp &warp = *warps_[warp_index];
     RayState &ray = warp.rays[ray_index];
     // A completed ray must never be rescheduled.
-    LUMI_CHECK(Rt, !ray.done && !ray.machine->done(),
+    LUMI_CHECK(Rt, !ray.done && (ray.replaying ||
+                                 !ray.machine->done()),
                "sm%d advanced completed ray: warp %u ray %u (lane "
                "%d)",
                smId_, warp_index, ray_index, ray.lane);
 #if LUMI_CHECKS_ENABLED
-    if (ray.done || ray.machine->done())
+    if (ray.done || (!ray.replaying && ray.machine->done()))
         return;
 #endif
-    TraversalEvent event = ray.machine->advance();
+    // A fetch the memory system rejected is replayed as-is; the
+    // traversal state machine only advances once per fetch.
+    TraversalEvent event = ray.replaying ? ray.pendingFetch
+                                         : ray.machine->advance();
+    ray.replaying = false;
 #if LUMI_CHECKS_ENABLED
     // Traversal-stack bounds: while-while traversal pushes each node
     // of the level being walked at most once, so the stacks can
@@ -234,8 +256,20 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
                static_cast<unsigned long long>(mem_.space().limit()),
                static_cast<int>(event.type));
 
-    MemResult mem = mem_.read(smId_, now, event.address, event.bytes,
-                              true);
+    MemRequest req;
+    req.sm = smId_;
+    req.cycle = now;
+    req.addr = event.address;
+    req.bytes = event.bytes;
+    req.rt = true;
+    MemIssue mem = mem_.issueRead(req);
+    if (!mem.accepted) {
+        // Hold the fetch and retry next cycle.
+        ray.replaying = true;
+        ray.pendingFetch = event;
+        events_.push({now + 1, warp_index, ray_index});
+        return;
+    }
     uint64_t ready = mem.readyCycle +
                      static_cast<uint64_t>(event.boxTests) *
                          config_.rtBoxTestLatency +
@@ -266,10 +300,12 @@ RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
             warp.rays.front().lane);
         uint64_t base = layout_->hitRecordAddress(
             warp.warpId * 32u + first_lane);
-        mem_.write(smId_, now, base,
-                   static_cast<uint32_t>(warp.rays.size()) *
-                       SceneGpuLayout::hitRecordStride,
-                   true);
+        // The store may bounce off a busy L1 port; it queues and
+        // flushes from cycle() without delaying the warp wake-up.
+        writebacks_.push_back(
+            {base, static_cast<uint32_t>(warp.rays.size()) *
+                       SceneGpuLayout::hitRecordStride});
+        flushWritebacks(now);
         stats_.rtResultWrites += warp.rays.size();
     }
     if (tracer_ && tracer_->wants(TraceCategory::Rt)) {
@@ -311,6 +347,8 @@ RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
 uint64_t
 RtUnit::nextEventCycle(uint64_t now) const
 {
+    if (!writebacks_.empty())
+        return now + 1; // a queued store retries every cycle
     if (events_.empty())
         return UINT64_MAX;
     return std::max(events_.top().ready, now + 1);

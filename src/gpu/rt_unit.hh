@@ -71,7 +71,8 @@ class RtUnit
     bool
     idle() const
     {
-        return residentWarps_ == 0 && pending_.empty();
+        return residentWarps_ == 0 && pending_.empty() &&
+               writebacks_.empty();
     }
 
   private:
@@ -80,6 +81,17 @@ class RtUnit
         std::unique_ptr<TraversalStateMachine> machine;
         int lane = 0;
         bool done = false;
+        /** True when the memory system rejected the fetch for
+         *  pendingFetch: replay it instead of advancing again. */
+        bool replaying = false;
+        TraversalEvent pendingFetch;
+    };
+
+    /** A hit-record store the memory system has not yet accepted. */
+    struct Writeback
+    {
+        uint64_t addr = 0;
+        uint32_t bytes = 0;
     };
 
     struct RtWarp
@@ -118,6 +130,8 @@ class RtUnit
     void advanceRay(uint32_t warp_index, uint32_t ray_index,
                     uint64_t now);
     void completeWarp(uint32_t warp_index, uint64_t now);
+    /** Issue queued hit-record stores until one is rejected. */
+    void flushWritebacks(uint64_t now);
 
     int smId_;
     const GpuConfig &config_;
@@ -127,6 +141,7 @@ class RtUnit
     const SceneGpuLayout *layout_ = nullptr;
 
     std::deque<PendingWarp> pending_;
+    std::deque<Writeback> writebacks_;
     /** Sparse slots; completed warps leave empty entries reused. */
     std::vector<std::unique_ptr<RtWarp>> warps_;
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>

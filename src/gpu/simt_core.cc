@@ -34,6 +34,7 @@ SimtCore::assignWarp(WarpProgram &&program, uint32_t warp_id,
         slot.warpId = warp_id;
         slot.assignCycle = now;
         slot.instrsIssued = 0;
+        slot.memReplay.clear();
         residentWarps_++;
         stats_.warpsLaunched++;
         LUMI_CHECK(Simt, residentWarps_ <= config_.maxWarpsPerSm,
@@ -163,8 +164,51 @@ SimtCore::cycle(uint64_t now)
     }
 #endif
     lastIssued_ = pick;
-    issue(slots_[pick], pick, now);
+    // A warp holding rejected line segments replays them instead of
+    // fetching a new instruction (the LSU occupies the issue slot).
+    if (!slots_[pick].memReplay.empty())
+        replayMem(slots_[pick], now);
+    else
+        issue(slots_[pick], pick, now);
     stats_.issueCycles++;
+}
+
+void
+SimtCore::replayMem(WarpSlot &slot, uint64_t now)
+{
+    while (!slot.memReplay.empty()) {
+        MemRequest req;
+        req.sm = smId_;
+        req.cycle = now;
+        req.addr = slot.memReplay.back();
+        req.bytes = config_.l1LineBytes;
+        req.rt = false;
+        MemIssue mem = slot.memIsStore ? mem_.issueWrite(req)
+                                       : mem_.issueRead(req);
+        if (!mem.accepted) {
+            // Hold the remaining segments; the warp stays
+            // schedulable and retries on its next issue slot.
+            slot.readyCycle = now + 1;
+            return;
+        }
+        slot.memReplay.pop_back();
+        if (!slot.memIsStore) {
+            slot.memReady = std::max(slot.memReady, mem.readyCycle);
+            stats_.coalescedSegments++;
+        }
+    }
+    if (slot.memIsStore) {
+        stats_.latencyByOp[static_cast<int>(WarpOp::MemStore)] += 1;
+        slot.readyCycle = now + 1;
+    } else {
+        stats_.latencyByOp[static_cast<int>(WarpOp::MemLoad)] +=
+            slot.memReady - slot.memIssueCycle;
+        slot.readyCycle = slot.memReady;
+    }
+    if (slot.pc >= slot.program.instrs.size() &&
+        slot.repeatLeft == 0) {
+        retire(slot, slot.readyCycle);
+    }
 }
 
 void
@@ -205,41 +249,16 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
             slot.pc++;
         break;
       }
-      case WarpOp::MemLoad: {
-        stats_.memInstructions++;
-        // Coalesce per-lane addresses into unique cache-line
-        // segments; the warp resumes when the slowest returns.
-        uint64_t line_bytes = config_.l1LineBytes;
-        uint64_t ready = now + config_.l1Latency;
-        uint64_t prev_lines[2] = {UINT64_MAX, UINT64_MAX};
-        for (uint64_t addr : instr.addrs) {
-            uint64_t first = addr / line_bytes;
-            uint64_t last = (addr + instr.bytesPerLane - 1) /
-                            line_bytes;
-            for (uint64_t line = first; line <= last; line++) {
-                if (line == prev_lines[0] || line == prev_lines[1])
-                    continue;
-                prev_lines[1] = prev_lines[0];
-                prev_lines[0] = line;
-                MemResult r = mem_.read(smId_, now,
-                                        line * line_bytes,
-                                        static_cast<uint32_t>(
-                                            line_bytes),
-                                        false);
-                ready = std::max(ready, r.readyCycle);
-                stats_.coalescedSegments++;
-            }
-        }
-        stats_.latencyByOp[static_cast<int>(WarpOp::MemLoad)] +=
-            ready - now;
-        slot.readyCycle = ready;
-        slot.pc++;
-        break;
-      }
+      case WarpOp::MemLoad:
       case WarpOp::MemStore: {
         stats_.memInstructions++;
+        // Coalesce per-lane addresses into unique cache-line
+        // segments and offer them to the memory system; a load warp
+        // resumes when the slowest accepted segment returns
+        // (stall-on-use), a store is fire-and-forget once accepted.
         uint64_t line_bytes = config_.l1LineBytes;
         uint64_t prev_lines[2] = {UINT64_MAX, UINT64_MAX};
+        slot.memReplay.clear();
         for (uint64_t addr : instr.addrs) {
             uint64_t first = addr / line_bytes;
             uint64_t last = (addr + instr.bytesPerLane - 1) /
@@ -249,14 +268,18 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
                     continue;
                 prev_lines[1] = prev_lines[0];
                 prev_lines[0] = line;
-                mem_.write(smId_, now, line * line_bytes,
-                           static_cast<uint32_t>(line_bytes), false);
+                slot.memReplay.push_back(line * line_bytes);
             }
         }
-        stats_.latencyByOp[static_cast<int>(WarpOp::MemStore)] += 1;
-        slot.readyCycle = now + 1;
+        // Segments issue from the back of the list; reverse so the
+        // memory system sees them in coalescing order.
+        std::reverse(slot.memReplay.begin(), slot.memReplay.end());
+        slot.memIsStore = instr.op == WarpOp::MemStore;
+        slot.memIssueCycle = now;
+        slot.memReady = now + config_.l1Latency;
         slot.pc++;
-        break;
+        replayMem(slot, now);
+        return; // replayMem retires the warp when appropriate
       }
       case WarpOp::TraceRay: {
         slot.sleeping = true;

@@ -75,10 +75,25 @@ class SimtCore
         uint32_t warpId = 0;
         uint64_t assignCycle = 0; ///< residency span start (trace)
         uint32_t instrsIssued = 0;
+        /** Coalesced line segments still waiting for the memory
+         *  system to accept them (stack: issued from the back).
+         *  Non-empty means the warp is held at its current access
+         *  and replays instead of fetching a new instruction. */
+        std::vector<uint64_t> memReplay;
+        bool memIsStore = false;
+        uint64_t memIssueCycle = 0; ///< first issue of the access
+        uint64_t memReady = 0;      ///< slowest accepted segment
     };
 
     /** Execute the warp's next instruction; updates readyCycle. */
     void issue(WarpSlot &slot, int slot_index, uint64_t now);
+    /**
+     * Offer the warp's outstanding line segments to the memory
+     * system; on rejection the warp keeps the rest and retries next
+     * cycle, on completion it resumes at the slowest segment's
+     * ready cycle (stall-on-use).
+     */
+    void replayMem(WarpSlot &slot, uint64_t now);
     void retire(WarpSlot &slot, uint64_t now);
 
     int smId_;

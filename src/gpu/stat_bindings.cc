@@ -138,6 +138,40 @@ registerRequesterStats(StatRegistry &registry,
 }
 
 void
+registerMemSystemStats(StatRegistry &registry,
+                       const MemSystemStats &stats,
+                       const std::string &prefix)
+{
+    const MemSystemStats *s = &stats;
+    registry.addCounter(prefix + ".read_requests",
+                        &s->readRequests);
+    registry.addCounter(prefix + ".write_requests",
+                        &s->writeRequests);
+    registry.addCounter(prefix + ".port_rejects", &s->portRejects);
+    registry.addCounter(prefix + ".port_conflict_cycles",
+                        &s->portConflictCycles);
+    registry.addCounter(prefix + ".mshr_full_stalls",
+                        &s->mshrFullStalls);
+    registry.addCounter(prefix + ".l2_mshr_full_stalls",
+                        &s->l2MshrFullStalls);
+    registry.addCounter(prefix + ".l2_mshr_wait_cycles",
+                        &s->l2MshrWaitCycles);
+    registry.addCounter(prefix + ".mshr_allocs", &s->mshrAllocs);
+    registry.addCounter(prefix + ".mshr_frees", &s->mshrFrees);
+    registry.addCounter(prefix + ".mshr_merges", &s->mshrMerges);
+    registry.addCounter(prefix + ".mshr_live_peak",
+                        &s->mshrLivePeak);
+    registry.addCounter(prefix + ".icnt_flits", &s->icntFlits);
+    registry.addCounter(prefix + ".icnt_wait_cycles",
+                        &s->icntWaitCycles);
+    for (int b = 0; b < memOccupancyBuckets; b++) {
+        registry.addCounter(prefix + ".inflight_cycles." +
+                                std::to_string(b),
+                            &s->inflightCycles[b]);
+    }
+}
+
+void
 registerDramStats(StatRegistry &registry, const DramStats &stats,
                   const std::string &prefix)
 {
@@ -205,6 +239,11 @@ registerGpu(StatRegistry &registry, const Gpu &gpu)
         char prefix[32];
         std::snprintf(prefix, sizeof(prefix), "sm%02d.l1d", sm);
         registerCacheStats(registry, mem.l1(sm).stats, prefix);
+        std::snprintf(prefix, sizeof(prefix), "sm%02d.l1.rt", sm);
+        registerRequesterStats(registry, mem.l1Rt(sm), prefix);
+        std::snprintf(prefix, sizeof(prefix), "sm%02d.l1.shader",
+                      sm);
+        registerRequesterStats(registry, mem.l1Shader(sm), prefix);
     }
     registerCacheStats(registry, mem.l2().stats, "l2");
     registerRequesterStats(registry, mem.l1Rt(), "l1.rt");
@@ -218,6 +257,7 @@ registerGpu(StatRegistry &registry, const Gpu &gpu)
         registry.addCounter("l1.kind." + name + ".misses",
                             &mem.kindMisses()[k]);
     }
+    registerMemSystemStats(registry, mem.memStats());
     registerDramStats(registry, mem.dram().stats());
 }
 

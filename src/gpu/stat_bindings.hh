@@ -12,8 +12,12 @@
  *   sm<NN>.l1d.*     per-SM L1 data cache counters (+ miss_rate)
  *   l2.*             shared L2 counters
  *   l1.rt.* / l1.shader.* / l2.rt.* / l2.shader.*
- *                    requester-split hierarchy counters
+ *                    requester-split hierarchy counters (aggregate)
+ *   sm<NN>.l1.rt.* / sm<NN>.l1.shader.*
+ *                    the per-SM summands of the L1 aggregates
  *   l1.kind.<kind>.* per-DataKind L1 reads/misses
+ *   mem.*            request/port contention counters (MSHR stalls,
+ *                    port conflicts, in-flight occupancy histogram)
  *   dram.*           DRAM counters (+ row_locality, avg_latency, ...)
  *   accel.*          acceleration-structure structural stats
  *
@@ -57,6 +61,11 @@ void registerCacheStats(StatRegistry &registry,
 void registerRequesterStats(StatRegistry &registry,
                             const RequesterStats &stats,
                             const std::string &prefix);
+
+/** MemSystemStats under @p prefix ("mem"). */
+void registerMemSystemStats(StatRegistry &registry,
+                            const MemSystemStats &stats,
+                            const std::string &prefix = "mem");
 
 /** DramStats under @p prefix ("dram"). */
 void registerDramStats(StatRegistry &registry, const DramStats &stats,

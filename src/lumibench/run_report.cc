@@ -62,6 +62,12 @@ configFingerprint(const GpuConfig &config)
     fp.mix(config.l2LineBytes);
     fp.mix(config.l2Ways);
     fp.mix(config.l2Latency);
+    fp.mix(config.l1MshrEntries);
+    fp.mix(config.l2MshrEntries);
+    fp.mix(config.l1PortWidth);
+    fp.mix(config.icntFlitsPerCycle);
+    fp.mix(config.icntFlitBytes);
+    fp.mix(static_cast<int>(config.writePolicy));
     fp.mix(config.dramChannels);
     fp.mix(config.dramBanksPerChannel);
     fp.mix(config.dramRowHitLatency);

@@ -17,6 +17,7 @@ traceCategoryName(TraceCategory category)
       case TraceCategory::Cache: return "cache";
       case TraceCategory::Dram: return "dram";
       case TraceCategory::Phase: return "phase";
+      case TraceCategory::Mem: return "mem";
       default: return "unknown";
     }
 }
@@ -48,7 +49,7 @@ parseTraceCategories(const std::string &spec)
         if (!known) {
             std::fprintf(stderr,
                          "lumi: unknown trace category '%s' "
-                         "(known: sm,rt,cache,dram,phase,all)\n",
+                         "(known: sm,rt,cache,dram,phase,mem,all)\n",
                          token.c_str());
         }
     }

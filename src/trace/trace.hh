@@ -42,6 +42,7 @@ enum class TraceCategory : uint32_t
     Cache, ///< L1/L2 misses and MSHR-style merges
     Dram,  ///< row activate/precharge and data bursts
     Phase, ///< host-side phases (scene build, simulate, ...)
+    Mem,   ///< in-flight request lifetimes (MSHR alloc -> fill)
     NumCategories,
 };
 

@@ -2,7 +2,10 @@
  * @file
  * Tests for the memory hierarchy: caches (LRU, MSHR-style pending
  * hits, associativity), DRAM (row buffer, queueing, bandwidth knob),
- * the address space and the combined MemSystem.
+ * the address space and the clocked request/port MemSystem --
+ * including backpressure (MSHR exhaustion, port conflicts), fill/free
+ * conservation, the write-policy knob and the infinite-resources
+ * golden timings that anchor the characterization figures.
  */
 
 #include <gtest/gtest.h>
@@ -12,11 +15,39 @@
 #include "gpu/config.hh"
 #include "gpu/dram.hh"
 #include "gpu/mem_system.hh"
+#include "lumibench/runner.hh"
+#include "lumibench/workload.hh"
 
 namespace lumi
 {
 namespace
 {
+
+MemIssue
+read(MemSystem &mem, int sm, uint64_t cycle, uint64_t addr,
+     uint32_t bytes, bool rt)
+{
+    MemRequest req;
+    req.sm = sm;
+    req.cycle = cycle;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.rt = rt;
+    return mem.issueRead(req);
+}
+
+MemIssue
+write(MemSystem &mem, int sm, uint64_t cycle, uint64_t addr,
+      uint32_t bytes, bool rt)
+{
+    MemRequest req;
+    req.sm = sm;
+    req.cycle = cycle;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.rt = rt;
+    return mem.issueWrite(req);
+}
 
 TEST(Cache, HitAfterFill)
 {
@@ -40,6 +71,22 @@ TEST(Cache, PendingHitBeforeFillLands)
     // After the fill lands it is a plain hit.
     EXPECT_EQ(cache.probe(0, 200).outcome,
               CacheProbe::Outcome::Hit);
+}
+
+TEST(Cache, PeekHasNoSideEffects)
+{
+    Cache cache(1024, 128, 2, 10);
+    cache.fill(0, 0, 50);
+    CacheStats before = cache.stats;
+    EXPECT_EQ(cache.peek(0, 10).outcome,
+              CacheProbe::Outcome::PendingHit);
+    EXPECT_EQ(cache.peek(0, 60).outcome, CacheProbe::Outcome::Hit);
+    EXPECT_EQ(cache.peek(128, 60).outcome,
+              CacheProbe::Outcome::Miss);
+    // No stat moved and no LRU state was touched.
+    EXPECT_EQ(cache.stats.reads, before.reads);
+    EXPECT_EQ(cache.stats.readHits, before.readHits);
+    EXPECT_EQ(cache.stats.readMisses, before.readMisses);
 }
 
 TEST(Cache, LruEviction)
@@ -88,7 +135,8 @@ TEST(Cache, WriteProbeNoAllocate)
     Cache cache(1024, 128, 2, 10);
     EXPECT_FALSE(cache.writeProbe(0, 0));
     EXPECT_EQ(cache.stats.writeMisses, 1u);
-    // Write miss does not install the line.
+    // Write miss does not install the line by itself; the owning
+    // MemSystem decides per GpuConfig::writePolicy.
     EXPECT_EQ(cache.probe(0, 1).outcome, CacheProbe::Outcome::Miss);
     cache.fill(0, 2, 2);
     EXPECT_TRUE(cache.writeProbe(0, 10));
@@ -196,12 +244,13 @@ TEST(MemSystem, HitLatencyOrdering)
     uint64_t addr = space.allocate(DataKind::Compute, 1 << 20, "buf");
     MemSystem mem(config, space);
 
-    MemResult cold = mem.read(0, 0, addr, 4, false);
+    MemIssue cold = read(mem, 0, 0, addr, 4, false);
+    EXPECT_TRUE(cold.accepted);
     EXPECT_FALSE(cold.l1Hit);
     EXPECT_TRUE(cold.reachedDram);
     // Warm L1 hit is much faster.
     uint64_t warm_start = cold.readyCycle + 10;
-    MemResult warm = mem.read(0, warm_start, addr, 4, false);
+    MemIssue warm = read(mem, 0, warm_start, addr, 4, false);
     EXPECT_TRUE(warm.l1Hit);
     EXPECT_EQ(warm.readyCycle, warm_start + config.l1Latency);
     EXPECT_LT(warm.readyCycle - warm_start,
@@ -214,10 +263,10 @@ TEST(MemSystem, L2SharedAcrossSms)
     AddressSpace space;
     uint64_t addr = space.allocate(DataKind::Compute, 4096, "buf");
     MemSystem mem(config, space);
-    MemResult first = mem.read(0, 0, addr, 4, false);
+    MemIssue first = read(mem, 0, 0, addr, 4, false);
     // SM 1 misses its own L1 but hits the shared L2.
-    MemResult second = mem.read(1, first.readyCycle + 10, addr, 4,
-                                false);
+    MemIssue second = read(mem, 1, first.readyCycle + 10, addr, 4,
+                           false);
     EXPECT_FALSE(second.l1Hit);
     EXPECT_FALSE(second.reachedDram);
 }
@@ -228,12 +277,12 @@ TEST(MemSystem, ColdMissClassification)
     AddressSpace space;
     uint64_t addr = space.allocate(DataKind::Compute, 1 << 20, "buf");
     MemSystem mem(config, space);
-    mem.read(0, 0, addr, 4, false);
-    mem.read(0, 0, addr + 4096, 4, false);
+    read(mem, 0, 0, addr, 4, false);
+    read(mem, 0, 0, addr + 4096, 4, false);
     EXPECT_EQ(mem.l1Shader().coldMisses, 2u);
     // Evict-free re-read is not cold even if it misses later; touch
     // the same line from another SM: miss but not cold.
-    mem.read(1, 100, addr, 4, false);
+    read(mem, 1, 100, addr, 4, false);
     EXPECT_EQ(mem.l1Shader().coldMisses, 2u);
     EXPECT_EQ(mem.l1Shader().misses, 3u);
 }
@@ -244,8 +293,8 @@ TEST(MemSystem, RtAndShaderCountersSeparate)
     AddressSpace space;
     uint64_t addr = space.allocate(DataKind::BlasNode, 4096, "blas");
     MemSystem mem(config, space);
-    mem.read(0, 0, addr, 32, true);
-    mem.read(0, 0, addr + 2048, 32, false);
+    read(mem, 0, 0, addr, 32, true);
+    read(mem, 0, 0, addr + 2048, 32, false);
     EXPECT_EQ(mem.l1Rt().reads, 1u);
     EXPECT_EQ(mem.l1Shader().reads, 1u);
     EXPECT_EQ(mem.kindReads()[static_cast<int>(DataKind::BlasNode)],
@@ -259,8 +308,31 @@ TEST(MemSystem, MultiLineAccessCountsSegments)
     uint64_t addr = space.allocate(DataKind::Compute, 4096, "buf");
     MemSystem mem(config, space);
     // 256B spanning two lines -> two L1 accesses.
-    mem.read(0, 0, addr, 256, false);
+    read(mem, 0, 0, addr, 256, false);
     EXPECT_EQ(mem.l1Shader().reads, 2u);
+}
+
+TEST(MemSystem, PerSmCountersSumToAggregate)
+{
+    GpuConfig config;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 1 << 20, "buf");
+    MemSystem mem(config, space);
+    read(mem, 0, 0, addr, 4, false);
+    read(mem, 1, 0, addr + 4096, 4, false);
+    read(mem, 1, 50, addr + 4096, 4, false);
+    read(mem, 2, 0, addr + 8192, 4, true);
+    EXPECT_EQ(mem.l1Shader(0).reads, 1u);
+    EXPECT_EQ(mem.l1Shader(1).reads, 2u);
+    EXPECT_EQ(mem.l1Rt(2).reads, 1u);
+    uint64_t shader_sum = 0, rt_sum = 0;
+    for (int sm = 0; sm < config.numSms; sm++) {
+        shader_sum += mem.l1Shader(sm).reads;
+        rt_sum += mem.l1Rt(sm).reads;
+    }
+    EXPECT_EQ(shader_sum, mem.l1Shader().reads);
+    EXPECT_EQ(rt_sum, mem.l1Rt().reads);
+    mem.drainAll(); // runs the per-SM == aggregate invariant too
 }
 
 TEST(MemSystem, WriteAllocatesInBothLevels)
@@ -269,19 +341,220 @@ TEST(MemSystem, WriteAllocatesInBothLevels)
     AddressSpace space;
     uint64_t addr = space.allocate(DataKind::Local, 4096, "local");
     MemSystem mem(config, space);
-    mem.write(0, 0, addr, 32, false);
+    write(mem, 0, 0, addr, 32, false);
     uint64_t first_dram_writes = mem.dram().stats().writeBytes;
     EXPECT_GT(first_dram_writes, 0u);
     // Second write to the same line coalesces in the caches.
-    mem.write(0, 1000, addr, 32, false);
+    write(mem, 0, 1000, addr, 32, false);
     EXPECT_EQ(mem.dram().stats().writeBytes, first_dram_writes);
     // The writing SM reads its own store back from the L1.
-    MemResult read = mem.read(0, 2000, addr, 4, false);
-    EXPECT_TRUE(read.l1Hit);
+    MemIssue rd = read(mem, 0, 2000, addr, 4, false);
+    EXPECT_TRUE(rd.l1Hit);
     // Another SM misses its L1 but hits the shared L2.
-    MemResult other = mem.read(1, 3000, addr, 4, false);
+    MemIssue other = read(mem, 1, 3000, addr, 4, false);
     EXPECT_FALSE(other.l1Hit);
     EXPECT_FALSE(other.reachedDram);
+}
+
+TEST(MemSystem, NoWriteAllocateBypassesCaches)
+{
+    GpuConfig config;
+    config.writePolicy = WritePolicy::NoWriteAllocate;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Local, 4096, "local");
+    MemSystem mem(config, space);
+    write(mem, 0, 0, addr, 32, false);
+    uint64_t first_dram_writes = mem.dram().stats().writeBytes;
+    EXPECT_GT(first_dram_writes, 0u);
+    // The store did not install the line anywhere: a repeated store
+    // misses again and pays another DRAM trip.
+    write(mem, 0, 1000, addr, 32, false);
+    EXPECT_GT(mem.dram().stats().writeBytes, first_dram_writes);
+    // And a load from the writing SM must fetch from DRAM.
+    MemIssue rd = read(mem, 0, 2000, addr, 4, false);
+    EXPECT_FALSE(rd.l1Hit);
+    EXPECT_TRUE(rd.reachedDram);
+}
+
+TEST(MemSystem, MshrExhaustionSerializes)
+{
+    GpuConfig config;
+    config.l1MshrEntries = 4;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 1 << 20, "buf");
+    MemSystem mem(config, space);
+
+    // N distinct-line misses fill the MSHR file...
+    uint64_t first_ready = UINT64_MAX;
+    for (uint32_t i = 0; i < 4; i++) {
+        MemIssue issue = read(mem, 0, 0, addr + i * 4096ull, 4,
+                              false);
+        ASSERT_TRUE(issue.accepted) << "miss " << i;
+        first_ready = std::min(first_ready, issue.readyCycle);
+    }
+    // ...and the (N+1)-th distinct-line miss must bounce.
+    MemIssue overflow = read(mem, 0, 0, addr + 4 * 4096ull, 4,
+                             false);
+    EXPECT_FALSE(overflow.accepted);
+    EXPECT_EQ(overflow.reject, MemReject::Mshr);
+    EXPECT_GE(mem.memStats().mshrFullStalls, 1u);
+    // A rejected access left no trace in the requester counters.
+    EXPECT_EQ(mem.l1Shader().reads, 4u);
+    EXPECT_EQ(mem.l1Shader().misses, 4u);
+
+    // An L1 hit needs no MSHR entry and is admitted even when the
+    // file is full.
+    MemIssue merge = read(mem, 0, 1, addr, 4, false);
+    EXPECT_TRUE(merge.accepted);
+
+    // Once the earliest fill returns and frees its entry, the
+    // overflow access serializes in behind it.
+    MemIssue retry = read(mem, 0, first_ready, addr + 4 * 4096ull, 4,
+                          false);
+    EXPECT_TRUE(retry.accepted);
+    EXPECT_GT(retry.readyCycle, first_ready);
+}
+
+TEST(MemSystem, PortConflictSerializes)
+{
+    GpuConfig config;
+    config.l1PortWidth = 2;
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 1 << 20, "buf");
+    MemSystem mem(config, space);
+
+    EXPECT_TRUE(read(mem, 0, 0, addr, 4, false).accepted);
+    EXPECT_TRUE(read(mem, 0, 0, addr + 4096, 4, false).accepted);
+    // Third line-segment in the same cycle exceeds the port width.
+    MemIssue third = read(mem, 0, 0, addr + 8192, 4, false);
+    EXPECT_FALSE(third.accepted);
+    EXPECT_EQ(third.reject, MemReject::Port);
+    EXPECT_EQ(mem.memStats().portRejects, 1u);
+    EXPECT_EQ(mem.memStats().portConflictCycles, 1u);
+    // Ports are per SM: another SM issues freely the same cycle.
+    EXPECT_TRUE(read(mem, 1, 0, addr + 8192, 4, false).accepted);
+    // And the port frees next cycle.
+    EXPECT_TRUE(read(mem, 0, 1, addr + 8192, 4, false).accepted);
+}
+
+TEST(MemSystem, FillFreeConservation)
+{
+    GpuConfig config = GpuConfig::table4();
+    AddressSpace space;
+    uint64_t addr = space.allocate(DataKind::Compute, 4 << 20, "buf");
+    MemSystem mem(config, space);
+
+    uint64_t cycle = 0;
+    for (int i = 0; i < 200; i++) {
+        MemIssue issue = read(mem, i % config.numSms, cycle,
+                              addr + static_cast<uint64_t>(i) * 4096,
+                              4, false);
+        if (issue.accepted)
+            cycle += 3;
+        else
+            cycle += 50; // back off and replay later
+    }
+    mem.drainAll();
+    const MemSystemStats &stats = mem.memStats();
+    EXPECT_GT(stats.mshrAllocs, 0u);
+    EXPECT_EQ(stats.mshrAllocs, stats.mshrFrees);
+    EXPECT_EQ(mem.inflight(), 0);
+    EXPECT_GT(stats.mshrLivePeak, 0u);
+    // The occupancy histogram covered some non-idle time.
+    uint64_t busy = 0;
+    for (int b = 1; b < memOccupancyBuckets; b++)
+        busy += stats.inflightCycles[b];
+    EXPECT_GT(busy, 0u);
+}
+
+TEST(MemSystem, InfiniteResourcesMatchOracleGolden)
+{
+    // The clocked request/port model with every resource unlimited
+    // must reproduce the pre-refactor latency oracle cycle for
+    // cycle. These numbers were captured from the oracle model on
+    // the default mobile config at 16x16; any drift here means the
+    // characterization figures moved.
+    struct Golden
+    {
+        const char *id;
+        uint64_t cycles, instructions;
+        uint64_t l1ShaderReads, l1ShaderHits, l1ShaderMisses;
+        uint64_t l1RtReads, l1RtHits, l1RtMisses, l1RtPendingHits;
+        uint64_t l2RtMisses, dramAccesses;
+    };
+    const Golden goldens[] = {
+        {"BUNNY_AO", 27330, 832, 564, 330, 205, 24204, 19159, 1467,
+         3578, 933, 1153},
+        {"SPNZA_AO", 19888, 832, 592, 398, 169, 31695, 26190, 1259,
+         4246, 673, 877},
+        {"WKND_PT", 15994, 3874, 1500, 1395, 79, 9668, 8077, 229,
+         1362, 100, 222},
+    };
+    RunOptions options;
+    options.params.width = 16;
+    options.params.height = 16;
+    const std::vector<Workload> workloads = allWorkloads();
+    for (const Golden &golden : goldens) {
+        const Workload *workload = nullptr;
+        for (const Workload &cand : workloads) {
+            if (cand.id() == golden.id)
+                workload = &cand;
+        }
+        ASSERT_NE(workload, nullptr) << golden.id;
+        WorkloadResult result = runWorkload(*workload, options);
+        EXPECT_EQ(result.stats.cycles, golden.cycles) << golden.id;
+        EXPECT_EQ(result.stats.instructions, golden.instructions)
+            << golden.id;
+        EXPECT_EQ(result.l1Shader.reads, golden.l1ShaderReads)
+            << golden.id;
+        EXPECT_EQ(result.l1Shader.hits, golden.l1ShaderHits)
+            << golden.id;
+        EXPECT_EQ(result.l1Shader.misses, golden.l1ShaderMisses)
+            << golden.id;
+        EXPECT_EQ(result.l1Rt.reads, golden.l1RtReads) << golden.id;
+        EXPECT_EQ(result.l1Rt.hits, golden.l1RtHits) << golden.id;
+        EXPECT_EQ(result.l1Rt.misses, golden.l1RtMisses)
+            << golden.id;
+        EXPECT_EQ(result.l1Rt.pendingHits, golden.l1RtPendingHits)
+            << golden.id;
+        EXPECT_EQ(result.l2Rt.misses, golden.l2RtMisses)
+            << golden.id;
+        EXPECT_EQ(result.dram.accesses, golden.dramAccesses)
+            << golden.id;
+    }
+}
+
+TEST(MemSystem, FiniteResourcesStallAndSlowDown)
+{
+    // Under the finite Table 4 memory system a cache-stressing
+    // workload must record MSHR stalls, and shrinking the MSHR file
+    // can only slow the run down.
+    const std::vector<Workload> workloads = allWorkloads();
+    const Workload *workload = nullptr;
+    for (const Workload &cand : workloads) {
+        if (cand.id() == "BUNNY_AO")
+            workload = &cand;
+    }
+    ASSERT_NE(workload, nullptr);
+    RunOptions options;
+    options.params.width = 16;
+    options.params.height = 16;
+
+    options.config = GpuConfig::table4();
+    WorkloadResult finite = runWorkload(*workload, options);
+
+    options.config = GpuConfig::table4();
+    options.config.l1MshrEntries = 1;
+    WorkloadResult strangled = runWorkload(*workload, options);
+
+    RunOptions unlimited_options;
+    unlimited_options.params.width = 16;
+    unlimited_options.params.height = 16;
+    WorkloadResult unlimited = runWorkload(*workload,
+                                           unlimited_options);
+
+    EXPECT_GE(finite.stats.cycles, unlimited.stats.cycles);
+    EXPECT_GT(strangled.stats.cycles, finite.stats.cycles);
 }
 
 } // namespace

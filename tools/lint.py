@@ -28,6 +28,14 @@ ones:
                      (bench_util.hh runAll/runJobs) so every bench
                      gets parallelism, retries, budgets and the
                      result cache for free.
+  cache-access       Outside the MemSystem implementation, no src/
+                     code may call Cache::probe/writeProbe/peek/fill
+                     directly. Every access must flow through the
+                     issueRead/issueWrite ports so MSHR accounting,
+                     port arbitration and the request stats stay
+                     conserved (unit tests and microbenches of Cache
+                     itself live in tests/ and bench/, which the
+                     rule does not scan).
 
 Exit status is the number of rule classes that found violations
 (0 = clean). A line may opt out with a trailing
@@ -75,6 +83,8 @@ STAT_STRUCTS = [
     ("src/gpu/dram.hh", "DramStats", "registerDramStats"),
     ("src/gpu/mem_system.hh", "RequesterStats",
      "registerRequesterStats"),
+    ("src/gpu/mem_request.hh", "MemSystemStats",
+     "registerMemSystemStats"),
 ]
 
 FIELD_RE = re.compile(
@@ -298,12 +308,43 @@ def check_campaign_sweep(root, report):
     return ok
 
 
+def check_cache_access(root, report):
+    """src/ code accesses caches only through the MemSystem ports."""
+    ok = True
+    # Method calls only (`.` or `->` receiver): free fill()/probe()
+    # functions and std::fill never match.
+    pattern = re.compile(
+        r"(?:\.|->)\s*(probe|writeProbe|peek|fill)\s*\(")
+    allowed_files = ("src/gpu/mem_system.cc", "src/gpu/cache.cc",
+                     "src/gpu/cache.hh")
+    for path in source_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        if rel in allowed_files:
+            continue
+        raw_lines = open(path).read().splitlines()
+        clean = strip_comments("\n".join(raw_lines)).splitlines()
+        for lineno, line in enumerate(clean, 1):
+            match = pattern.search(line)
+            if not match:
+                continue
+            if allowed(raw_lines[lineno - 1], "cache-access"):
+                continue
+            report(path, lineno, "cache-access",
+                   "direct Cache::%s() outside src/gpu/"
+                   "mem_system.cc; go through MemSystem::issueRead/"
+                   "issueWrite so MSHR and port accounting stay "
+                   "conserved" % match.group(1))
+            ok = False
+    return ok
+
+
 RULES = [
     ("nondeterminism", check_nondeterminism),
     ("unordered-iter", check_unordered_iteration),
     ("stat-coverage", check_stat_coverage),
     ("no-bare-assert", check_no_bare_assert),
     ("campaign-sweep", check_campaign_sweep),
+    ("cache-access", check_cache_access),
 ]
 
 
