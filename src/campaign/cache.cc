@@ -8,6 +8,7 @@
 #include "gpu/data_kind.hh"
 #include "gpu/stat_bindings.hh"
 #include "lumibench/run_report.hh"
+#include "trace/interval.hh"
 #include "trace/json_read.hh"
 #include "trace/stat_registry.hh"
 
@@ -160,6 +161,7 @@ cacheKey(const Job &job)
     hash.mix(options.sceneDetail);
     hash.mix(options.dramBandwidthScale);
     hash.mix(options.timelineInterval);
+    hash.mix(options.intervalStats);
     return job.id() + "-" + configFingerprint(options.config) +
            "-p" + hash.hex() + ".report.json";
 }
@@ -168,8 +170,10 @@ bool
 cacheable(const Job &job)
 {
     // Traced runs bypass the cache: the event trace is not part of
-    // the serialized report, so a hit would silently drop it.
-    return job.options.traceMask == 0;
+    // the serialized report, so a hit would silently drop it. Self-
+    // profiled runs bypass it too — a host profile is a measurement
+    // of *this* machine and run, never something to replay.
+    return job.options.traceMask == 0 && !job.options.selfProfile;
 }
 
 bool
@@ -202,7 +206,9 @@ readCachedResult(const std::string &path, const Job &job,
         !sameValue(opts->num("scene_detail"),
                    options.sceneDetail) ||
         !sameValue(opts->num("dram_bandwidth_scale"),
-                   options.dramBandwidthScale))
+                   options.dramBandwidthScale) ||
+        opts->num("interval_stats") !=
+            static_cast<double>(options.intervalStats))
         return false;
 
     const JsonValue *workloads = doc.find("workloads");
@@ -254,6 +260,16 @@ readCachedResult(const std::string &path, const Job &job,
                 value ? value->number(std::nan(""))
                       : std::nan(""));
         }
+    }
+
+    // Interval time series: the typed form is exact (counters are
+    // JSON integers and toJson() is canonical), so a warm report
+    // re-serializes byte-identically to the cold one.
+    if (const JsonValue *interval = entry.find("interval_stats");
+        interval && interval->isObject()) {
+        if (!IntervalSeries::fromJson(*interval,
+                                      result.intervalSeries))
+            return false;
     }
 
     if (const JsonValue *timeline = entry.find("timeline");

@@ -6,10 +6,12 @@
 #include <cstdlib>
 #include <deque>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "campaign/cache.hh"
+#include "campaign/telemetry.hh"
 #include "trace/stat_registry.hh"
 #include "trace/trace.hh"
 
@@ -95,6 +97,10 @@ CampaignOptions::fromEnv()
     options.retries = envutil::readInt("LUMI_RETRIES", 1, 0);
     if (const char *dir = std::getenv("LUMI_CACHE_DIR"); dir && *dir)
         options.cacheDir = dir;
+    if (const char *log = std::getenv("LUMI_EVENT_LOG"); log && *log)
+        options.eventLogPath = log;
+    options.heartbeatSeconds =
+        envutil::readDouble("LUMI_HEARTBEAT", 0.0);
     return options;
 }
 
@@ -176,6 +182,14 @@ runCampaign(const std::vector<Job> &jobs,
     std::atomic<bool> pool_done{false};
     std::mutex io;
 
+    // Lifecycle telemetry: every emit checks isOpen(), so a missing
+    // or unopenable log path degrades to no-ops.
+    CampaignEventLog events;
+    if (!options.eventLogPath.empty())
+        events.open(options.eventLogPath);
+    events.campaignStarted(secondsSince(campaign_start),
+                           jobs.size(), campaign.workers);
+
     auto echo = [&](const JobOutcome &outcome) {
         if (!options.echoProgress)
             return;
@@ -200,6 +214,8 @@ runCampaign(const std::vector<Job> &jobs,
         outcome.startSeconds = std::chrono::duration<double>(
                                    job_start - campaign_start)
                                    .count();
+        events.jobStarted(outcome.startSeconds, index, outcome.id,
+                          worker, 1);
 
         std::string cache_path;
         if (!cache_dir.empty() && cacheable(job)) {
@@ -210,6 +226,9 @@ runCampaign(const std::vector<Job> &jobs,
                 outcome.fromCache = true;
                 outcome.wallSeconds = secondsSince(job_start);
                 completed.fetch_add(1);
+                events.jobCacheHit(secondsSince(campaign_start),
+                                   index, outcome.id,
+                                   outcome.wallSeconds);
                 echo(outcome);
                 return;
             }
@@ -257,6 +276,9 @@ runCampaign(const std::vector<Job> &jobs,
                                       std::memory_order_relaxed);
                 outcome.error = error.what();
                 if (attempt <= options.retries) {
+                    events.jobRetried(secondsSince(campaign_start),
+                                      index, outcome.id,
+                                      attempt + 1, outcome.error);
                     double backoff =
                         options.retryBackoffSeconds *
                         static_cast<double>(1 << (attempt - 1));
@@ -279,6 +301,12 @@ runCampaign(const std::vector<Job> &jobs,
         }
         outcome.wallSeconds = secondsSince(job_start);
         completed.fetch_add(1);
+        events.jobFinished(secondsSince(campaign_start), index,
+                           outcome.id, jobStatusName(outcome.status),
+                           outcome.attempts, outcome.wallSeconds,
+                           outcome.succeeded()
+                               ? outcome.result.stats.cycles
+                               : 0);
         echo(outcome);
     };
 
@@ -305,6 +333,34 @@ runCampaign(const std::vector<Job> &jobs,
         });
     }
 
+    // The heartbeat observes only the `completed` atomic and the
+    // clock; it cannot perturb job results.
+    std::unique_ptr<Heartbeat> heartbeat;
+    if (options.heartbeatSeconds > 0.0) {
+        size_t total = jobs.size();
+        heartbeat = std::make_unique<Heartbeat>(
+            options.heartbeatSeconds, [&, total] {
+                size_t done = completed.load();
+                double elapsed = secondsSince(campaign_start);
+                std::lock_guard<std::mutex> lock(io);
+                if (done > 0 && done < total) {
+                    double eta =
+                        elapsed *
+                        static_cast<double>(total - done) /
+                        static_cast<double>(done);
+                    std::fprintf(stderr,
+                                 "lumi: %zu/%zu jobs done, %.1fs "
+                                 "elapsed, eta %.1fs\n",
+                                 done, total, elapsed, eta);
+                } else {
+                    std::fprintf(stderr,
+                                 "lumi: %zu/%zu jobs done, %.1fs "
+                                 "elapsed\n",
+                                 done, total, elapsed);
+                }
+            });
+    }
+
     if (campaign.workers == 1) {
         // Serial fast path: same code path, no thread overhead.
         for (size_t i = next.fetch_add(1); i < jobs.size();
@@ -324,6 +380,8 @@ runCampaign(const std::vector<Job> &jobs,
             thread.join();
     }
     pool_done.store(true, std::memory_order_relaxed);
+    if (heartbeat)
+        heartbeat->stop();
     if (watchdog.joinable())
         watchdog.join();
 
@@ -345,6 +403,11 @@ runCampaign(const std::vector<Job> &jobs,
             campaign.stats.cacheWrites++;
     }
     campaign.wallSeconds = secondsSince(campaign_start);
+    events.campaignFinished(
+        campaign.wallSeconds, campaign.stats.ok,
+        campaign.stats.failed, campaign.stats.timeout,
+        campaign.stats.cached, campaign.stats.retries,
+        campaign.wallSeconds);
 
     // Per-job spans flow into the tracer after the pool drains, in
     // job order: emission is single-threaded and deterministic given

@@ -145,6 +145,19 @@ struct CampaignOptions
     /** Echo per-job progress lines to stderr. */
     bool echoProgress = false;
     /**
+     * JSON-lines lifecycle event log (campaign/telemetry.hh): one
+     * flushed line per job start/retry/cache-hit/finish, so a live
+     * or crashed campaign is observable without the manifest. Empty
+     * disables.
+     */
+    std::string eventLogPath;
+    /**
+     * Progress heartbeat period in seconds: a background ticker
+     * prints "done/total, elapsed, eta" to stderr while the pool
+     * runs. 0 disables.
+     */
+    double heartbeatSeconds = 0.0;
+    /**
      * Optional host-side tracer (not owned): the engine emits one
      * Phase-category span per job (job_ok/job_failed/job_timeout/
      * job_cached, microsecond timestamps, one track per worker)
@@ -161,7 +174,8 @@ struct CampaignOptions
 
     /**
      * Environment defaults: LUMI_JOBS (workers, 0 = auto),
-     * LUMI_RETRIES, LUMI_CACHE_DIR. Malformed integers warn and fall
+     * LUMI_RETRIES, LUMI_CACHE_DIR, LUMI_EVENT_LOG (JSONL path) and
+     * LUMI_HEARTBEAT (seconds). Malformed integers warn and fall
      * back, like RunOptions::fromEnv.
      */
     static CampaignOptions fromEnv();

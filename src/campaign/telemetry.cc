@@ -1,0 +1,231 @@
+#include "campaign/telemetry.hh"
+
+#include <chrono>
+
+#include "trace/json.hh"
+
+namespace lumi
+{
+namespace campaign
+{
+
+CampaignEventLog::~CampaignEventLog()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+CampaignEventLog::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    file_ = std::fopen(path.c_str(), "w");
+    if (!file_) {
+        std::fprintf(stderr,
+                     "lumi: cannot open event log %s; telemetry "
+                     "disabled\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+CampaignEventLog::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    // Flush per line: the log's whole point is being observable
+    // while (and after) the campaign runs or crashes.
+    std::fflush(file_);
+}
+
+namespace
+{
+
+/** Start an event line with the shared "event"/"t" fields. */
+JsonWriter
+eventHead(const char *event, double t)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("event");
+    json.value(event);
+    json.key("t");
+    json.value(t);
+    return json;
+}
+
+} // namespace
+
+void
+CampaignEventLog::campaignStarted(double t, size_t jobs, int workers)
+{
+    if (!isOpen())
+        return;
+    JsonWriter json = eventHead("campaign_started", t);
+    json.key("jobs");
+    json.value(static_cast<uint64_t>(jobs));
+    json.key("workers");
+    json.value(workers);
+    json.endObject();
+    writeLine(json.str());
+}
+
+void
+CampaignEventLog::jobStarted(double t, size_t job,
+                             const std::string &id, int worker,
+                             int attempt)
+{
+    if (!isOpen())
+        return;
+    JsonWriter json = eventHead("job_started", t);
+    json.key("job");
+    json.value(static_cast<uint64_t>(job));
+    json.key("id");
+    json.value(id);
+    json.key("worker");
+    json.value(worker);
+    json.key("attempt");
+    json.value(attempt);
+    json.endObject();
+    writeLine(json.str());
+}
+
+void
+CampaignEventLog::jobCacheHit(double t, size_t job,
+                              const std::string &id,
+                              double wall_seconds)
+{
+    if (!isOpen())
+        return;
+    JsonWriter json = eventHead("job_cache_hit", t);
+    json.key("job");
+    json.value(static_cast<uint64_t>(job));
+    json.key("id");
+    json.value(id);
+    json.key("wall_seconds");
+    json.value(wall_seconds);
+    json.endObject();
+    writeLine(json.str());
+}
+
+void
+CampaignEventLog::jobRetried(double t, size_t job,
+                             const std::string &id, int attempt,
+                             const std::string &error)
+{
+    if (!isOpen())
+        return;
+    JsonWriter json = eventHead("job_retried", t);
+    json.key("job");
+    json.value(static_cast<uint64_t>(job));
+    json.key("id");
+    json.value(id);
+    json.key("attempt");
+    json.value(attempt);
+    json.key("error");
+    json.value(error);
+    json.endObject();
+    writeLine(json.str());
+}
+
+void
+CampaignEventLog::jobFinished(double t, size_t job,
+                              const std::string &id,
+                              const char *status, int attempts,
+                              double wall_seconds, uint64_t cycles)
+{
+    if (!isOpen())
+        return;
+    JsonWriter json = eventHead("job_finished", t);
+    json.key("job");
+    json.value(static_cast<uint64_t>(job));
+    json.key("id");
+    json.value(id);
+    json.key("status");
+    json.value(status);
+    json.key("attempts");
+    json.value(attempts);
+    json.key("wall_seconds");
+    json.value(wall_seconds);
+    json.key("cycles");
+    json.value(cycles);
+    json.endObject();
+    writeLine(json.str());
+}
+
+void
+CampaignEventLog::campaignFinished(double t, uint64_t ok,
+                                   uint64_t failed, uint64_t timeout,
+                                   uint64_t cached, uint64_t retries,
+                                   double wall_seconds)
+{
+    if (!isOpen())
+        return;
+    JsonWriter json = eventHead("campaign_finished", t);
+    json.key("ok");
+    json.value(ok);
+    json.key("failed");
+    json.value(failed);
+    json.key("timeout");
+    json.value(timeout);
+    json.key("cached");
+    json.value(cached);
+    json.key("retries");
+    json.value(retries);
+    json.key("wall_seconds");
+    json.value(wall_seconds);
+    json.endObject();
+    writeLine(json.str());
+}
+
+Heartbeat::Heartbeat(double period_seconds,
+                     std::function<void()> tick)
+{
+    double period = period_seconds > 0.0 ? period_seconds : 1.0;
+    thread_ = std::thread([this, period, tick = std::move(tick)] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (cv_.wait_for(
+                    lock, std::chrono::duration<double>(period),
+                    [this] { return stop_; }))
+                return;
+            lock.unlock();
+            tick();
+            lock.lock();
+        }
+    });
+}
+
+Heartbeat::~Heartbeat()
+{
+    stop();
+}
+
+void
+Heartbeat::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) {
+            if (thread_.joinable())
+                thread_.join();
+            return;
+        }
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+} // namespace campaign
+} // namespace lumi

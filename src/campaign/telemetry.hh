@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Campaign telemetry: a structured JSON-lines event log and a live
+ * progress heartbeat for long sweeps.
+ *
+ * The manifest (campaign.json) is a *post-mortem* artifact — it only
+ * exists once the whole campaign has drained. The event log is the
+ * live counterpart: one self-contained JSON object per line, written
+ * and flushed as each lifecycle event happens, so `tail -f` (or a
+ * crashed campaign's partial log) shows exactly which jobs started,
+ * retried, hit the cache, or finished, with wall time and simulated
+ * cycles. Events from concurrent workers interleave in completion
+ * order — each line is written atomically under a mutex, but line
+ * *order* across workers is scheduling-dependent by nature; consumers
+ * key on the "job" index, not on position.
+ *
+ * Event vocabulary (field "event"):
+ *   campaign_started   {jobs, workers}
+ *   job_started        {job, id, worker, attempt}
+ *   job_cache_hit      {job, id, wall_seconds}
+ *   job_retried        {job, id, attempt, error}
+ *   job_finished       {job, id, status, attempts, wall_seconds,
+ *                       cycles}
+ *   campaign_finished  {ok, failed, timeout, cached, retries,
+ *                       wall_seconds}
+ * Every line also carries "t": seconds since campaign start.
+ *
+ * The heartbeat is a detached ticker thread that invokes a callback
+ * every period until stopped (the engine uses it to print a
+ * completed/total + ETA line to stderr). It observes only atomics
+ * published by the engine; it never touches job state.
+ */
+
+#ifndef LUMI_CAMPAIGN_TELEMETRY_HH
+#define LUMI_CAMPAIGN_TELEMETRY_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace lumi
+{
+namespace campaign
+{
+
+/** Append-only JSONL writer for campaign lifecycle events. */
+class CampaignEventLog
+{
+  public:
+    CampaignEventLog() = default;
+    ~CampaignEventLog();
+
+    CampaignEventLog(const CampaignEventLog &) = delete;
+    CampaignEventLog &operator=(const CampaignEventLog &) = delete;
+
+    /** Open (truncate) @p path; false + stderr warning on failure. */
+    bool open(const std::string &path);
+    bool isOpen() const { return file_ != nullptr; }
+
+    void campaignStarted(double t, size_t jobs, int workers);
+    void jobStarted(double t, size_t job, const std::string &id,
+                    int worker, int attempt);
+    void jobCacheHit(double t, size_t job, const std::string &id,
+                     double wall_seconds);
+    void jobRetried(double t, size_t job, const std::string &id,
+                    int attempt, const std::string &error);
+    void jobFinished(double t, size_t job, const std::string &id,
+                     const char *status, int attempts,
+                     double wall_seconds, uint64_t cycles);
+    void campaignFinished(double t, uint64_t ok, uint64_t failed,
+                          uint64_t timeout, uint64_t cached,
+                          uint64_t retries, double wall_seconds);
+
+  private:
+    /** Write one line + flush, atomically w.r.t. other writers. */
+    void writeLine(const std::string &line);
+
+    std::mutex mutex_;
+    FILE *file_ = nullptr;
+};
+
+/**
+ * Periodic ticker on a background thread. The callback runs every
+ * @p period seconds from construction until stop()/destruction;
+ * stopping wakes the thread immediately (no trailing sleep).
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(double period_seconds, std::function<void()> tick);
+    ~Heartbeat();
+
+    Heartbeat(const Heartbeat &) = delete;
+    Heartbeat &operator=(const Heartbeat &) = delete;
+
+    void stop();
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace campaign
+} // namespace lumi
+
+#endif // LUMI_CAMPAIGN_TELEMETRY_HH

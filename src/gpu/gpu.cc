@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "gpu/host_profile.hh"
+#include "trace/interval.hh"
+
 namespace lumi
 {
 
@@ -80,6 +83,10 @@ Gpu::run(const KernelLaunch &launch)
     uint64_t dram_acc_before = mem_->dram().stats().accesses;
 
     uint32_t next_warp = 0;
+    // Baseline sample before the launch fills any slots: the first
+    // interval then covers the launch itself, like every later one.
+    if (sampler_)
+        sampler_->maybeSample(now_);
     fillSlots(launch, next_warp);
 
     for (;;) {
@@ -100,11 +107,22 @@ Gpu::run(const KernelLaunch &launch)
         if (!busy)
             break;
 
+        // Self-profiling is sampled: most iterations only bump a
+        // counter; a timed one reads the clock at each component
+        // boundary. Either way no simulator state is touched.
+        bool timed = profiler_ && profiler_->beginIteration();
+
         for (auto &core : cores_)
             core->cycle(now_);
+        if (timed)
+            profiler_->mark(HostProfiler::SimtCores);
         for (auto &rt : rtUnits_)
             rt->cycle(now_);
+        if (timed)
+            profiler_->mark(HostProfiler::RtUnits);
         fillSlots(launch, next_warp);
+        if (timed)
+            profiler_->mark(HostProfiler::FillSlots);
 
         uint64_t next = UINT64_MAX;
         for (auto &core : cores_)
@@ -139,6 +157,8 @@ Gpu::run(const KernelLaunch &launch)
             }
             std::abort();
         }
+        if (timed)
+            profiler_->mark(HostProfiler::MemEvents);
 
         // Accumulate state-weighted statistics over (now, next]: no
         // component changes state in the skipped span.
@@ -172,7 +192,15 @@ Gpu::run(const KernelLaunch &launch)
                                      rt_active_units) *
                                  dt;
         now_ = next;
+        // Keep the registered gpu.cycles counter current so interval
+        // samples read the live clock. Unconditional: the write must
+        // happen identically whether or not a sampler is attached.
+        stats_.cycles = now_;
         timeline_.record(now_, snapshot());
+        if (sampler_)
+            sampler_->maybeSample(now_);
+        if (timed)
+            profiler_->mark(HostProfiler::Observe);
     }
 
     // Retire every in-flight fill so the MSHR conservation checks
@@ -181,6 +209,10 @@ Gpu::run(const KernelLaunch &launch)
 
     stats_.cycles = now_;
     timeline_.record(now_, snapshot());
+    // Closing sample after drainAll: the final row of every series
+    // equals the end-of-run counter values in the stats dump.
+    if (sampler_)
+        sampler_->sampleFinal(now_);
 
     LaunchSample sample;
     sample.cycles = now_ - before.cycles;

@@ -30,6 +30,8 @@
 namespace lumi
 {
 
+class HostProfiler;
+class IntervalSampler;
 class Tracer;
 
 /** One kernel grid to execute. */
@@ -117,6 +119,29 @@ class Gpu
         cancel_ = flag;
     }
 
+    /**
+     * Attach an interval sampler (owned by the caller): run() calls
+     * maybeSample() whenever the clock crosses a sampling grid point
+     * and sampleFinal() at launch end. The sampler only *reads*
+     * registered counters, so attaching one cannot change simulated
+     * cycle counts or stats (observer-effect-zero; CI compares the
+     * bytes). Null detaches.
+     */
+    void setIntervalSampler(IntervalSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    /**
+     * Attach a host self-profiler (owned by the caller): run()
+     * attributes wall time to loop components on sampled iterations.
+     * Pure observer — simulated timing is unaffected. Null detaches.
+     */
+    void setHostProfiler(HostProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
     /** True once a run stopped early on budget or cancellation. */
     bool aborted() const { return aborted_; }
 
@@ -145,6 +170,8 @@ class Gpu
     uint64_t now_ = 0;
     uint64_t cycleBudget_ = 0;
     const std::atomic<bool> *cancel_ = nullptr;
+    IntervalSampler *sampler_ = nullptr;
+    HostProfiler *profiler_ = nullptr;
     bool aborted_ = false;
 };
 

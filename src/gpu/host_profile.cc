@@ -1,0 +1,65 @@
+#include "gpu/host_profile.hh"
+
+#include <chrono> // lint:allow(gpu-chrono)
+
+namespace lumi
+{
+
+const char *
+HostProfiler::componentName(int component)
+{
+    switch (component) {
+      case SimtCores: return "simt_cores";
+      case RtUnits: return "rt_units";
+      case FillSlots: return "fill_slots";
+      case MemEvents: return "mem_events";
+      case Observe: return "observe";
+      default: return "unknown";
+    }
+}
+
+HostProfiler::HostProfiler(uint64_t stride)
+    : stride_(stride > 0 ? stride : 1)
+{
+}
+
+uint64_t
+HostProfiler::nowNs()
+{
+    // The sanctioned clock read: attribution only, never timing.
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>( // lint:allow(gpu-chrono)
+            std::chrono::steady_clock::now() // lint:allow(nondeterminism)
+                .time_since_epoch())
+            .count());
+}
+
+HostProfile
+HostProfiler::profile() const
+{
+    HostProfile out;
+    out.totalIterations = total_;
+    out.sampledIterations = sampled_;
+    if (sampled_ == 0)
+        return out;
+    double scale = static_cast<double>(total_) /
+                   static_cast<double>(sampled_);
+    uint64_t sampled_ns = 0;
+    for (int c = 0; c < NumComponents; c++)
+        sampled_ns += ns_[c];
+    for (int c = 0; c < NumComponents; c++) {
+        HostProfileComponent component;
+        component.name = componentName(c);
+        component.seconds = static_cast<double>(ns_[c]) * 1e-9 *
+                            scale;
+        component.share = sampled_ns > 0
+                              ? static_cast<double>(ns_[c]) /
+                                    static_cast<double>(sampled_ns)
+                              : 0.0;
+        out.components.push_back(std::move(component));
+    }
+    out.loopSeconds = static_cast<double>(sampled_ns) * 1e-9 * scale;
+    return out;
+}
+
+} // namespace lumi

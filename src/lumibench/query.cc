@@ -1,0 +1,305 @@
+#include "lumibench/query.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "trace/interval.hh"
+#include "trace/json_read.hh"
+
+namespace lumi
+{
+namespace query
+{
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    out.clear();
+    char buf[1 << 14];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        out.append(buf, got);
+    bool ok = !std::ferror(file);
+    std::fclose(file);
+    return ok;
+}
+
+/** Parse a report file into its DOM; false on any mismatch. */
+bool
+loadReport(const std::string &path, std::string &text,
+           JsonValue &doc)
+{
+    if (!readFile(path, text))
+        return false;
+    if (!parseJson(text, doc) || !doc.isObject())
+        return false;
+    return doc.str("schema") == "lumibench-run-report-v1";
+}
+
+bool
+sameNumber(const std::string &text, double value)
+{
+    char *end = nullptr;
+    double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || (end && *end != '\0'))
+        return false;
+    return parsed == value;
+}
+
+} // namespace
+
+ReportIndex
+ReportIndex::scan(const std::string &dir)
+{
+    ReportIndex index;
+    index.dir = dir;
+
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string name = entry.path().filename().string();
+        if (name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".json") != 0)
+            continue;
+        files.push_back(name);
+    }
+    // Directory iteration order is filesystem-dependent; sort so
+    // index (and therefore query) order is deterministic.
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &name : files) {
+        std::string path = dir + "/" + name;
+        std::string text;
+        JsonValue doc;
+        if (!loadReport(path, text, doc))
+            continue;
+
+        ReportRef ref;
+        ref.path = path;
+        ref.file = name;
+        if (const JsonValue *config = doc.find("config")) {
+            ref.configName = config->str("name");
+            ref.fingerprint = config->str("fingerprint");
+        }
+        if (const JsonValue *opts = doc.find("options")) {
+            ref.width = static_cast<int>(opts->num("width"));
+            ref.height = static_cast<int>(opts->num("height"));
+            ref.samplesPerPixel = static_cast<int>(
+                opts->num("samples_per_pixel"));
+            ref.sceneDetail = opts->num("scene_detail");
+            if (const JsonValue *iv = opts->find("interval_stats"))
+                ref.intervalStats = iv->counter();
+        }
+        if (const JsonValue *workloads = doc.find("workloads");
+            workloads && workloads->isArray()) {
+            for (const JsonValue &entry : workloads->items)
+                ref.workloads.push_back(entry.str("id"));
+        }
+        index.reports.push_back(std::move(ref));
+    }
+    return index;
+}
+
+bool
+QueryFilter::add(const std::string &term)
+{
+    size_t eq = term.find('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq + 1 >= term.size())
+        return false;
+    std::string key = term.substr(0, eq);
+    std::string value = term.substr(eq + 1);
+    static const char *known[] = {
+        "workload", "config",  "fingerprint", "width",
+        "height",   "spp",     "detail",      "interval",
+    };
+    bool ok = false;
+    for (const char *k : known)
+        ok = ok || key == k;
+    if (!ok)
+        return false;
+    terms.emplace_back(std::move(key), std::move(value));
+    return true;
+}
+
+bool
+QueryFilter::matchesReport(const ReportRef &ref) const
+{
+    for (const auto &[key, value] : terms) {
+        if (key == "workload")
+            continue; // entry-level, checked in matches()
+        if (key == "config") {
+            if (ref.configName != value)
+                return false;
+        } else if (key == "fingerprint") {
+            if (ref.fingerprint.compare(0, value.size(), value) !=
+                0)
+                return false;
+        } else if (key == "width") {
+            if (!sameNumber(value, ref.width))
+                return false;
+        } else if (key == "height") {
+            if (!sameNumber(value, ref.height))
+                return false;
+        } else if (key == "spp") {
+            if (!sameNumber(value, ref.samplesPerPixel))
+                return false;
+        } else if (key == "detail") {
+            if (!sameNumber(value, ref.sceneDetail))
+                return false;
+        } else if (key == "interval") {
+            if (!sameNumber(value,
+                            static_cast<double>(
+                                ref.intervalStats)))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+QueryFilter::matches(const ReportRef &ref,
+                     const std::string &workload) const
+{
+    if (!matchesReport(ref))
+        return false;
+    for (const auto &[key, value] : terms) {
+        if (key == "workload" && workload != value)
+            return false;
+    }
+    return true;
+}
+
+std::vector<StatRow>
+queryStat(const ReportIndex &index, const std::string &stat,
+          const QueryFilter &filter)
+{
+    std::vector<StatRow> rows;
+    for (const ReportRef &ref : index.reports) {
+        if (!filter.matchesReport(ref))
+            continue;
+        std::string text;
+        JsonValue doc;
+        if (!loadReport(ref.path, text, doc))
+            continue;
+        const JsonValue *workloads = doc.find("workloads");
+        if (!workloads || !workloads->isArray())
+            continue;
+        for (const JsonValue &entry : workloads->items) {
+            std::string id = entry.str("id");
+            if (!filter.matches(ref, id))
+                continue;
+            const JsonValue *value = nullptr;
+            if (const JsonValue *stats = entry.find("stats"))
+                value = stats->find(stat);
+            if (!value) {
+                if (const JsonValue *metrics =
+                        entry.find("metrics"))
+                    value = metrics->find(stat);
+            }
+            if (!value || !value->isNumber())
+                continue;
+            StatRow row;
+            row.file = ref.file;
+            row.workload = id;
+            row.value = value->number();
+            row.token = value->token;
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<SeriesResult>
+querySeries(const ReportIndex &index, const std::string &stat,
+            const QueryFilter &filter)
+{
+    std::vector<SeriesResult> results;
+    for (const ReportRef &ref : index.reports) {
+        if (!filter.matchesReport(ref))
+            continue;
+        std::string text;
+        JsonValue doc;
+        if (!loadReport(ref.path, text, doc))
+            continue;
+        const JsonValue *workloads = doc.find("workloads");
+        if (!workloads || !workloads->isArray())
+            continue;
+        for (const JsonValue &entry : workloads->items) {
+            std::string id = entry.str("id");
+            if (!filter.matches(ref, id))
+                continue;
+            const JsonValue *interval =
+                entry.find("interval_stats");
+            if (!interval || !interval->isObject())
+                continue;
+            IntervalSeries series;
+            if (!IntervalSeries::fromJson(*interval, series))
+                continue;
+            int s = series.seriesIndex(stat);
+            if (s < 0)
+                continue;
+            SeriesResult result;
+            result.file = ref.file;
+            result.workload = id;
+            result.interval = series.interval;
+            result.cycles = series.cycles;
+            result.values.reserve(series.sampleCount());
+            result.deltas.reserve(series.sampleCount());
+            for (size_t i = 0; i < series.sampleCount(); i++) {
+                result.values.push_back(
+                    series.at(static_cast<size_t>(s), i));
+                result.deltas.push_back(
+                    series.delta(static_cast<size_t>(s), i));
+            }
+            results.push_back(std::move(result));
+        }
+    }
+    return results;
+}
+
+std::vector<std::string>
+listStats(const ReportIndex &index, const QueryFilter &filter)
+{
+    std::vector<std::string> names;
+    for (const ReportRef &ref : index.reports) {
+        if (!filter.matchesReport(ref))
+            continue;
+        std::string text;
+        JsonValue doc;
+        if (!loadReport(ref.path, text, doc))
+            continue;
+        const JsonValue *workloads = doc.find("workloads");
+        if (!workloads || !workloads->isArray())
+            continue;
+        for (const JsonValue &entry : workloads->items) {
+            if (!filter.matches(ref, entry.str("id")))
+                continue;
+            if (const JsonValue *stats = entry.find("stats")) {
+                for (const auto &[name, value] : stats->members)
+                    names.push_back(name);
+            }
+            if (const JsonValue *metrics =
+                    entry.find("metrics")) {
+                for (const auto &[name, value] : metrics->members)
+                    names.push_back(name);
+            }
+            return names; // first matching entry only
+        }
+    }
+    return names;
+}
+
+} // namespace query
+} // namespace lumi

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Query layer over saved run reports: the read side of the
+ * observability stack (Daisen-style "collect once, inspect later").
+ *
+ * Campaigns populate a cache directory (LUMI_CACHE_DIR) with
+ * self-contained run-report JSON files; figure benches write the
+ * same schema under LUMI_REPORT_DIR. This module indexes such a
+ * directory by config fingerprint, workload id and render knobs, and
+ * answers two query shapes against it without re-simulating:
+ *
+ *  - scalar stat queries: the value of one stat/metric (e.g.
+ *    "mem.mshr_full_stalls" or "ipc") per matching workload entry;
+ *  - time-series queries: the per-interval cumulative and delta
+ *    column of one counter from the interval_stats section
+ *    (trace/interval.hh).
+ *
+ * Filters are conjunctive key=value terms (workload/config/
+ * fingerprint/width/height/spp/detail/interval). Scan order is the
+ * sorted file name list, so query output is deterministic across
+ * filesystems. `lumibench query` is the CLI front end and
+ * lumibench/serve.hh exposes the same answers over HTTP.
+ */
+
+#ifndef LUMI_LUMIBENCH_QUERY_HH
+#define LUMI_LUMIBENCH_QUERY_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lumi
+{
+namespace query
+{
+
+/** Index entry for one run-report file. */
+struct ReportRef
+{
+    /** Full path to the report file. */
+    std::string path;
+    /** File name only (stable handle for /report?file=...). */
+    std::string file;
+    std::string configName;
+    std::string fingerprint;
+    int width = 0;
+    int height = 0;
+    int samplesPerPixel = 0;
+    double sceneDetail = 0.0;
+    uint64_t intervalStats = 0;
+    /** Workload/kernel ids in the report, in file order. */
+    std::vector<std::string> workloads;
+};
+
+/** A scanned report directory. */
+struct ReportIndex
+{
+    std::string dir;
+    std::vector<ReportRef> reports;
+
+    bool empty() const { return reports.empty(); }
+
+    /**
+     * Index every parseable lumibench-run-report-v1 *.json under
+     * @p dir (non-recursive), in sorted file-name order. Unreadable
+     * or foreign JSON files are skipped silently; a missing
+     * directory yields an empty index.
+     */
+    static ReportIndex scan(const std::string &dir);
+};
+
+/** Conjunction of key=value terms. */
+struct QueryFilter
+{
+    std::vector<std::pair<std::string, std::string>> terms;
+
+    /**
+     * Parse one "key=value" term. Keys: workload, config,
+     * fingerprint (prefix match), width, height, spp, detail,
+     * interval. False on malformed input or an unknown key.
+     */
+    bool add(const std::string &term);
+
+    /** Report-level terms (everything except workload). */
+    bool matchesReport(const ReportRef &ref) const;
+
+    /** All terms, against one workload entry of @p ref. */
+    bool matches(const ReportRef &ref,
+                 const std::string &workload) const;
+};
+
+/** One scalar answer: stat value for one workload in one report. */
+struct StatRow
+{
+    std::string file;
+    std::string workload;
+    double value = 0.0;
+    /** Raw source token (exact for integer counters). */
+    std::string token;
+};
+
+/** One time-series answer: a counter column from one workload. */
+struct SeriesResult
+{
+    std::string file;
+    std::string workload;
+    uint64_t interval = 0;
+    std::vector<uint64_t> cycles;
+    /** Cumulative counter value per sample. */
+    std::vector<uint64_t> values;
+    /** Per-interval delta (delta[0] == values[0]). */
+    std::vector<uint64_t> deltas;
+};
+
+/**
+ * Look up @p stat for every workload entry matching @p filter. The
+ * name is resolved against the flat "stats" object first, then the
+ * derived "metrics" object. Rows come back in index order; entries
+ * without the stat are omitted.
+ */
+std::vector<StatRow> queryStat(const ReportIndex &index,
+                               const std::string &stat,
+                               const QueryFilter &filter);
+
+/**
+ * Extract the interval time series of counter @p stat from every
+ * matching workload entry. Entries without an interval_stats
+ * section or without the series are omitted.
+ */
+std::vector<SeriesResult> querySeries(const ReportIndex &index,
+                                      const std::string &stat,
+                                      const QueryFilter &filter);
+
+/** All stat names (stats + metrics) in the first matching entry. */
+std::vector<std::string> listStats(const ReportIndex &index,
+                                   const QueryFilter &filter);
+
+} // namespace query
+} // namespace lumi
+
+#endif // LUMI_LUMIBENCH_QUERY_HH

@@ -129,6 +129,10 @@ runReportJson(const std::vector<WorkloadResult> &results,
     json.value(options.dramBandwidthScale);
     json.key("trace_mask");
     json.value(static_cast<uint64_t>(options.traceMask));
+    json.key("interval_stats");
+    json.value(options.intervalStats);
+    json.key("self_profile");
+    json.value(options.selfProfile);
     json.endObject();
 
     json.key("workloads");
@@ -189,6 +193,40 @@ runReportJson(const std::vector<WorkloadResult> &results,
             json.endObject();
         }
         json.endArray();
+
+        // Counter time series (cumulative; canonical integer form,
+        // so a cache round trip reproduces the bytes exactly).
+        if (!result.intervalSeries.empty()) {
+            json.key("interval_stats");
+            json.raw(result.intervalSeries.toJson());
+        }
+
+        if (!result.hostProfile.empty()) {
+            const HostProfile &profile = result.hostProfile;
+            json.key("host_profile");
+            json.beginObject();
+            json.key("total_iterations");
+            json.value(profile.totalIterations);
+            json.key("sampled_iterations");
+            json.value(profile.sampledIterations);
+            json.key("loop_seconds");
+            json.value(profile.loopSeconds);
+            json.key("components");
+            json.beginArray();
+            for (const HostProfileComponent &component :
+                 profile.components) {
+                json.beginObject();
+                json.key("name");
+                json.value(component.name);
+                json.key("seconds");
+                json.value(component.seconds);
+                json.key("share");
+                json.value(component.share);
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+        }
 
         json.key("analytical");
         json.beginObject();

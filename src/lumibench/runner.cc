@@ -63,7 +63,8 @@ namespace
 
 /** Register everything a finished run exposes and dump it. */
 std::string
-dumpStats(const Gpu &gpu, const AccelStats *accel)
+dumpStats(const Gpu &gpu, const AccelStats *accel,
+          const Tracer *tracer)
 {
     StatRegistry registry;
     registerGpu(registry, gpu);
@@ -73,8 +74,42 @@ dumpStats(const Gpu &gpu, const AccelStats *accel)
     // hit a LUMI_CHECK); present in every dump so the stats schema
     // is identical across check configurations.
     registerCheckStats(registry);
+    // Ring-buffer emit/drop counts (all zero when untraced); present
+    // in every dump for the same schema-stability reason, and so a
+    // silently truncated trace is detectable from its run report.
+    registerTraceStats(registry, tracer);
     return registry.toJson();
 }
+
+/** Attach interval sampling / self-profiling per @p options. */
+struct Observers
+{
+    std::unique_ptr<IntervalSampler> sampler;
+    std::unique_ptr<HostProfiler> profiler;
+
+    Observers(Gpu &gpu, const RunOptions &options)
+    {
+        if (options.intervalStats > 0) {
+            sampler = std::make_unique<IntervalSampler>(
+                options.intervalStats);
+            registerGpu(sampler->registry(), gpu);
+            gpu.setIntervalSampler(sampler.get());
+        }
+        if (options.selfProfile) {
+            profiler = std::make_unique<HostProfiler>();
+            gpu.setHostProfiler(profiler.get());
+        }
+    }
+
+    void
+    collect(WorkloadResult &result) const
+    {
+        if (sampler)
+            result.intervalSeries = sampler->series();
+        if (profiler)
+            result.hostProfile = profiler->profile();
+    }
+};
 
 /** Build and throw the SimulationAborted for an early-stopped run. */
 [[noreturn]] void
@@ -117,7 +152,57 @@ RunOptions::fromEnv()
         trace && *trace) {
         options.traceMask = parseTraceCategories(trace);
     }
+    options.intervalStats = static_cast<uint64_t>(
+        readInt("LUMI_INTERVAL_STATS", 0, 0));
+    options.selfProfile = readInt("LUMI_SELF_PROFILE", 0, 0) != 0;
     return options;
+}
+
+bool
+applyRunFlag(RunOptions &options, const std::string &flag,
+             const std::string &value)
+{
+    auto intValue = [&](long min) {
+        char *end = nullptr;
+        long parsed = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || parsed < min) {
+            std::fprintf(stderr,
+                         "%s needs an integer >= %ld (got '%s')\n",
+                         flag.c_str(), min, value.c_str());
+            std::exit(2);
+        }
+        return parsed;
+    };
+    if (flag == "--res") {
+        int res = static_cast<int>(intValue(1));
+        options.params.width = res;
+        options.params.height = res;
+        return true;
+    }
+    if (flag == "--spp") {
+        options.params.samplesPerPixel =
+            static_cast<int>(intValue(1));
+        return true;
+    }
+    if (flag == "--detail") {
+        char *end = nullptr;
+        double parsed = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' ||
+            !(parsed > 0.0)) {
+            std::fprintf(stderr,
+                         "--detail needs a number > 0 (got '%s')\n",
+                         value.c_str());
+            std::exit(2);
+        }
+        options.sceneDetail = static_cast<float>(parsed);
+        return true;
+    }
+    if (flag == "--interval-stats") {
+        options.intervalStats =
+            static_cast<uint64_t>(intValue(0));
+        return true;
+    }
+    return false;
 }
 
 WorkloadResult
@@ -138,6 +223,7 @@ runWorkload(const Workload &workload, const RunOptions &options)
         gpu.memSystem().dram().setBandwidthScale(
             options.dramBandwidthScale);
     }
+    Observers observers(gpu, options);
 
     // The pipeline constructor builds the BLASes/TLAS and lays the
     // scene out in GPU memory; time it as the BVH-build phase.
@@ -180,7 +266,9 @@ runWorkload(const Workload &workload, const RunOptions &options)
         result.metrics.workload = result.id;
         result.timeline = gpu.timeline().windows(result.rtUnits);
         result.analytical = evaluateHongKim(gpu);
-        result.statsJson = dumpStats(gpu, &result.accelStats);
+        result.statsJson = dumpStats(gpu, &result.accelStats,
+                                     tracer.get());
+        observers.collect(result);
     }
     if (options.traceMask != 0)
         result.trace = tracer;
@@ -197,6 +285,7 @@ runCompute(ComputeKernel kernel, const RunOptions &options)
     Gpu gpu(options.config, options.timelineInterval, tracer.get());
     gpu.setCycleBudget(options.maxCycles);
     gpu.setCancelFlag(options.cancelFlag);
+    Observers observers(gpu, options);
     ComputeParams params;
     params.scale = 1;
     {
@@ -226,7 +315,8 @@ runCompute(ComputeKernel kernel, const RunOptions &options)
         result.metrics.workload = result.id;
         result.timeline = gpu.timeline().windows(result.rtUnits);
         result.analytical = evaluateHongKim(gpu);
-        result.statsJson = dumpStats(gpu, nullptr);
+        result.statsJson = dumpStats(gpu, nullptr, tracer.get());
+        observers.collect(result);
     }
     if (options.traceMask != 0)
         result.trace = tracer;

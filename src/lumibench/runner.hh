@@ -17,8 +17,10 @@
 #include "bvh/accel.hh"
 #include "compute/rodinia.hh"
 #include "gpu/gpu.hh"
+#include "gpu/host_profile.hh"
 #include "lumibench/workload.hh"
 #include "metrics/metrics.hh"
+#include "trace/interval.hh"
 #include "trace/phase.hh"
 #include "trace/trace.hh"
 
@@ -60,6 +62,22 @@ struct RunOptions
     /** Events retained per trace category (ring-buffer size). */
     size_t traceCapacity = 1 << 14;
     /**
+     * Sampling period, in simulated cycles, for the interval-stats
+     * time series (counter snapshots from the Gpu::run loop); 0 (the
+     * default) disables sampling. Any period produces byte-identical
+     * simulated cycle counts and stats versus 0 — sampling is a pure
+     * observer.
+     */
+    uint64_t intervalStats = 0;
+    /**
+     * Host-side self-profiling: attribute wall time to cycle-loop
+     * components (SIMT, RT, memory events, observability) via
+     * sampled timers. Pure observer of simulated timing; costs a few
+     * percent of wall time. Profiled runs bypass the result cache so
+     * the numbers are always measured, never replayed.
+     */
+    bool selfProfile = false;
+    /**
      * Campaign worker count for sweeps going through bench::runAll
      * or the campaign engine; 0 = hardware_concurrency. Ignored by
      * single-workload runWorkload/runCompute calls.
@@ -83,11 +101,26 @@ struct RunOptions
      * default 64), LUMI_SPP, LUMI_DETAIL, LUMI_QUICK=1 for smoke
      * runs (32x32, low detail), LUMI_JOBS (sweep worker count, 0 =
      * hardware_concurrency), and LUMI_TRACE (category list, e.g.
-     * "sm,rt" or "all") for the event tracer. Malformed values fall
-     * back to the defaults with a warning on stderr.
+     * "sm,rt" or "all") for the event tracer, plus
+     * LUMI_INTERVAL_STATS (sampling period, cycles) and
+     * LUMI_SELF_PROFILE=1. Malformed values fall back to the
+     * defaults with a warning on stderr.
      */
     static RunOptions fromEnv();
 };
+
+/**
+ * Apply one CLI observability flag to @p options: --res, --spp,
+ * --detail, --interval-stats. Returns false when @p flag is not one
+ * of these (the caller keeps parsing); a malformed @p value exits 2.
+ *
+ * Precedence contract: fromEnv() reads the LUMI_* environment first,
+ * then the CLI applies explicit flags on top through this helper —
+ * so a CLI flag always wins over its environment variable
+ * (tests/test_query.cc pins the order).
+ */
+bool applyRunFlag(RunOptions &options, const std::string &flag,
+                  const std::string &value);
 
 /**
  * Thrown by runWorkload/runCompute when a simulation stops early on
@@ -134,6 +167,13 @@ struct WorkloadResult
     int rtUnits = 8;
     /** Stat-registry dump (one flat JSON object, names sorted). */
     std::string statsJson;
+    /**
+     * Counter time series sampled every RunOptions::intervalStats
+     * cycles; empty when sampling was disabled.
+     */
+    IntervalSeries intervalSeries;
+    /** Host self-profile; empty unless RunOptions::selfProfile. */
+    HostProfile hostProfile;
     /** Wall-clock host phases (scene_build, simulate, ...). */
     std::vector<PhaseTiming> phases;
     /** Event trace; non-null only when RunOptions::traceMask != 0. */

@@ -1,0 +1,398 @@
+#include "lumibench/serve.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "lumibench/query.hh"
+#include "trace/json.hh"
+
+namespace lumi
+{
+namespace query
+{
+
+namespace
+{
+
+/** Decode %XX and '+' in a URL query component. */
+std::string
+urlDecode(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size(); i++) {
+        char c = text[i];
+        if (c == '+') {
+            out += ' ';
+        } else if (c == '%' && i + 2 < text.size()) {
+            auto hex = [](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F')
+                    return h - 'A' + 10;
+                return -1;
+            };
+            int hi = hex(text[i + 1]);
+            int lo = hex(text[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+            } else {
+                out += c;
+            }
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+/** Split "k1=v1&k2=v2" into decoded pairs. */
+Params
+parseQuery(const std::string &query)
+{
+    Params params;
+    size_t pos = 0;
+    while (pos <= query.size()) {
+        size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        std::string term = query.substr(pos, amp - pos);
+        if (!term.empty()) {
+            size_t eq = term.find('=');
+            if (eq != std::string::npos) {
+                params.emplace_back(
+                    urlDecode(term.substr(0, eq)),
+                    urlDecode(term.substr(eq + 1)));
+            }
+        }
+        pos = amp + 1;
+    }
+    return params;
+}
+
+std::string
+paramValue(const Params &params, const std::string &key)
+{
+    for (const auto &[k, v] : params) {
+        if (k == key)
+            return v;
+    }
+    return "";
+}
+
+/**
+ * Build a filter from the non-reserved params; false when a term
+ * uses an unknown key (routed to a 400).
+ */
+bool
+buildFilter(const Params &params, QueryFilter &filter)
+{
+    for (const auto &[key, value] : params) {
+        if (key == "name" || key == "file")
+            continue;
+        if (!filter.add(key + "=" + value))
+            return false;
+    }
+    return true;
+}
+
+ReportServer::Response
+errorResponse(int status, const std::string &message)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("error");
+    json.value(message);
+    json.endObject();
+    return {status, "application/json", json.str()};
+}
+
+bool
+readFileVerbatim(const std::string &path, std::string &out)
+{
+    FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    char buf[1 << 14];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        out.append(buf, got);
+    bool ok = !std::ferror(file);
+    std::fclose(file);
+    return ok;
+}
+
+void
+writeIndexJson(JsonWriter &json, const ReportIndex &index)
+{
+    json.beginArray();
+    for (const ReportRef &ref : index.reports) {
+        json.beginObject();
+        json.key("file");
+        json.value(ref.file);
+        json.key("config");
+        json.value(ref.configName);
+        json.key("fingerprint");
+        json.value(ref.fingerprint);
+        json.key("width");
+        json.value(ref.width);
+        json.key("height");
+        json.value(ref.height);
+        json.key("spp");
+        json.value(ref.samplesPerPixel);
+        json.key("detail");
+        json.value(ref.sceneDetail);
+        json.key("interval");
+        json.value(ref.intervalStats);
+        json.key("workloads");
+        json.beginArray();
+        for (const std::string &id : ref.workloads)
+            json.value(id);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+}
+
+} // namespace
+
+ReportServer::~ReportServer()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+ReportServer::Response
+ReportServer::handle(const std::string &target) const
+{
+    size_t qmark = target.find('?');
+    std::string path = target.substr(0, qmark);
+    Params params = qmark == std::string::npos
+                        ? Params{}
+                        : parseQuery(target.substr(qmark + 1));
+
+    if (path == "/healthz") {
+        ReportIndex index = ReportIndex::scan(dir_);
+        JsonWriter json;
+        json.beginObject();
+        json.key("status");
+        json.value("ok");
+        json.key("reports");
+        json.value(static_cast<uint64_t>(index.reports.size()));
+        json.endObject();
+        return {200, "application/json", json.str()};
+    }
+
+    if (path == "/index") {
+        ReportIndex index = ReportIndex::scan(dir_);
+        JsonWriter json;
+        writeIndexJson(json, index);
+        return {200, "application/json", json.str()};
+    }
+
+    if (path == "/stats") {
+        QueryFilter filter;
+        if (!buildFilter(params, filter))
+            return errorResponse(400, "unknown filter key");
+        ReportIndex index = ReportIndex::scan(dir_);
+        std::vector<std::string> names =
+            listStats(index, filter);
+        JsonWriter json;
+        json.beginArray();
+        for (const std::string &name : names)
+            json.value(name);
+        json.endArray();
+        return {200, "application/json", json.str()};
+    }
+
+    if (path == "/stat") {
+        std::string name = paramValue(params, "name");
+        if (name.empty())
+            return errorResponse(400, "missing name parameter");
+        QueryFilter filter;
+        if (!buildFilter(params, filter))
+            return errorResponse(400, "unknown filter key");
+        ReportIndex index = ReportIndex::scan(dir_);
+        std::vector<StatRow> rows =
+            queryStat(index, name, filter);
+        JsonWriter json;
+        json.beginArray();
+        for (const StatRow &row : rows) {
+            json.beginObject();
+            json.key("file");
+            json.value(row.file);
+            json.key("workload");
+            json.value(row.workload);
+            json.key("value");
+            // The raw source token keeps integer counters exact.
+            json.raw(row.token);
+            json.endObject();
+        }
+        json.endArray();
+        return {200, "application/json", json.str()};
+    }
+
+    if (path == "/series") {
+        std::string name = paramValue(params, "name");
+        if (name.empty())
+            return errorResponse(400, "missing name parameter");
+        QueryFilter filter;
+        if (!buildFilter(params, filter))
+            return errorResponse(400, "unknown filter key");
+        ReportIndex index = ReportIndex::scan(dir_);
+        std::vector<SeriesResult> results =
+            querySeries(index, name, filter);
+        JsonWriter json;
+        json.beginArray();
+        for (const SeriesResult &result : results) {
+            json.beginObject();
+            json.key("file");
+            json.value(result.file);
+            json.key("workload");
+            json.value(result.workload);
+            json.key("interval");
+            json.value(result.interval);
+            json.key("cycles");
+            json.beginArray();
+            for (uint64_t cycle : result.cycles)
+                json.value(cycle);
+            json.endArray();
+            json.key("values");
+            json.beginArray();
+            for (uint64_t value : result.values)
+                json.value(value);
+            json.endArray();
+            json.key("deltas");
+            json.beginArray();
+            for (uint64_t delta : result.deltas)
+                json.value(delta);
+            json.endArray();
+            json.endObject();
+        }
+        json.endArray();
+        return {200, "application/json", json.str()};
+    }
+
+    if (path == "/report") {
+        std::string file = paramValue(params, "file");
+        // A bare file name only: no traversal out of the directory.
+        if (file.empty() ||
+            file.find('/') != std::string::npos ||
+            file.find('\\') != std::string::npos ||
+            file.find("..") != std::string::npos)
+            return errorResponse(400, "bad file parameter");
+        std::string body;
+        if (!readFileVerbatim(dir_ + "/" + file, body))
+            return errorResponse(404, "no such report");
+        return {200, "application/json", std::move(body)};
+    }
+
+    return errorResponse(404, "no such route");
+}
+
+bool
+ReportServer::bind(int port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        std::perror("lumi: socket");
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd_, 16) != 0) {
+        std::perror("lumi: bind");
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+    else
+        port_ = port;
+    return true;
+}
+
+int
+ReportServer::serve(int max_requests)
+{
+    if (fd_ < 0)
+        return -1;
+    int served = 0;
+    while (max_requests == 0 || served < max_requests) {
+        int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+
+        // Read until the end of the request head (or a sane cap);
+        // only the request line matters to the router.
+        std::string request;
+        char buf[4096];
+        while (request.find("\r\n\r\n") == std::string::npos &&
+               request.size() < (1u << 16)) {
+            ssize_t got = ::recv(client, buf, sizeof(buf), 0);
+            if (got <= 0)
+                break;
+            request.append(buf, static_cast<size_t>(got));
+        }
+
+        Response response;
+        size_t sp1 = request.find(' ');
+        size_t sp2 = sp1 == std::string::npos
+                         ? std::string::npos
+                         : request.find(' ', sp1 + 1);
+        if (sp2 == std::string::npos ||
+            request.compare(0, 4, "GET ") != 0) {
+            response = errorResponse(400, "bad request");
+        } else {
+            response = handle(
+                request.substr(sp1 + 1, sp2 - sp1 - 1));
+        }
+
+        const char *reason = response.status == 200   ? "OK"
+                             : response.status == 400 ? "Bad Request"
+                                                      : "Not Found";
+        char head[256];
+        int head_len = std::snprintf(
+            head, sizeof(head),
+            "HTTP/1.0 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %zu\r\n"
+            "Connection: close\r\n\r\n",
+            response.status, reason, response.contentType.c_str(),
+            response.body.size());
+        // MSG_NOSIGNAL: a client that hangs up mid-response must not
+        // SIGPIPE the whole simulator.
+        ::send(client, head, static_cast<size_t>(head_len),
+               MSG_NOSIGNAL);
+        ::send(client, response.body.data(), response.body.size(),
+               MSG_NOSIGNAL);
+        ::close(client);
+        served++;
+    }
+    return served;
+}
+
+} // namespace query
+} // namespace lumi

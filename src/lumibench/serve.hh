@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal embedded HTTP endpoint over a report directory: the
+ * "serve" half of the query layer (lumibench/query.hh), in the
+ * spirit of Daisen/Vis4Mesh trace servers.
+ *
+ * The server answers GET requests with JSON produced by the query
+ * layer; it holds no state beyond the directory path, and every
+ * request re-scans the directory so a still-running campaign is
+ * visible live. Routing is factored into handle(), a pure function
+ * of the request target, so tests exercise every route without
+ * opening sockets; bind()/serve() add a deliberately small
+ * HTTP/1.0-style loop on top (one request per connection, GET only).
+ *
+ * Routes:
+ *   /healthz                     {"status":"ok","reports":N}
+ *   /index                       index of reports (ReportRef fields)
+ *   /stats?workload=...          stat names of first matching entry
+ *   /stat?name=S&workload=...    scalar rows (queryStat)
+ *   /series?name=S&workload=...  interval time series (querySeries)
+ *   /report?file=F               raw report JSON, verbatim
+ * Filter terms (workload/config/fingerprint/width/height/spp/
+ * detail/interval) apply to /stats, /stat and /series.
+ */
+
+#ifndef LUMI_LUMIBENCH_SERVE_HH
+#define LUMI_LUMIBENCH_SERVE_HH
+
+#include <string>
+
+namespace lumi
+{
+namespace query
+{
+
+/** HTTP endpoint over one report directory. */
+class ReportServer
+{
+  public:
+    /** A routed response, before HTTP framing. */
+    struct Response
+    {
+        int status = 200;
+        std::string contentType = "application/json";
+        std::string body;
+    };
+
+    explicit ReportServer(std::string dir) : dir_(std::move(dir)) {}
+    ~ReportServer();
+
+    ReportServer(const ReportServer &) = delete;
+    ReportServer &operator=(const ReportServer &) = delete;
+
+    /**
+     * Route one request target (path + optional query string, e.g.
+     * "/stat?name=gpu.cycles"). Unknown paths return 404, bad
+     * parameters 400; every body is JSON.
+     */
+    Response handle(const std::string &target) const;
+
+    /**
+     * Bind a listening IPv4 socket on 127.0.0.1:@p port (0 picks an
+     * ephemeral port). False + stderr warning on failure.
+     */
+    bool bind(int port);
+
+    /** Bound port (valid after bind() succeeded). */
+    int port() const { return port_; }
+
+    /**
+     * Accept loop: serve until @p max_requests requests have been
+     * answered (0 = until the process dies). Returns the number of
+     * requests served, or -1 if bind() had not succeeded.
+     */
+    int serve(int max_requests);
+
+  private:
+    std::string dir_;
+    int fd_ = -1;
+    int port_ = 0;
+};
+
+} // namespace query
+} // namespace lumi
+
+#endif // LUMI_LUMIBENCH_SERVE_HH

@@ -1,0 +1,152 @@
+#include "trace/interval.hh"
+
+#include <algorithm>
+
+#include "trace/json.hh"
+#include "trace/json_read.hh"
+
+namespace lumi
+{
+
+int
+IntervalSeries::seriesIndex(const std::string &name) const
+{
+    auto it = std::lower_bound(names.begin(), names.end(), name);
+    if (it == names.end() || *it != name)
+        return -1;
+    return static_cast<int>(it - names.begin());
+}
+
+std::string
+IntervalSeries::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("interval");
+    json.value(interval);
+    json.key("cycles");
+    json.beginArray();
+    for (uint64_t cycle : cycles)
+        json.value(cycle);
+    json.endArray();
+
+    auto constant = [&](size_t s) {
+        for (uint64_t v : values[s]) {
+            if (v != values[s][0])
+                return false;
+        }
+        return true;
+    };
+
+    json.key("series");
+    json.beginObject();
+    for (size_t s = 0; s < names.size(); s++) {
+        if (constant(s))
+            continue;
+        json.key(names[s]);
+        json.beginArray();
+        for (uint64_t v : values[s])
+            json.value(v);
+        json.endArray();
+    }
+    json.endObject();
+
+    json.key("constant");
+    json.beginObject();
+    for (size_t s = 0; s < names.size(); s++) {
+        if (!constant(s))
+            continue;
+        json.key(names[s]);
+        json.value(values[s].empty() ? 0 : values[s][0]);
+    }
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+bool
+IntervalSeries::fromJson(const JsonValue &doc, IntervalSeries &out)
+{
+    if (!doc.isObject())
+        return false;
+    IntervalSeries series;
+    series.interval = static_cast<uint64_t>(doc.num("interval"));
+
+    const JsonValue *cycles = doc.find("cycles");
+    if (!cycles || !cycles->isArray())
+        return false;
+    for (const JsonValue &cycle : cycles->items)
+        series.cycles.push_back(cycle.counter());
+
+    const JsonValue *varying = doc.find("series");
+    const JsonValue *constant = doc.find("constant");
+    if (!varying || !varying->isObject())
+        return false;
+
+    // Merge the varying matrix and the compacted constants back into
+    // one sorted name list; both sections are written sorted, so a
+    // two-way merge restores the canonical order.
+    size_t v = 0, c = 0;
+    size_t nv = varying->members.size();
+    size_t nc = constant && constant->isObject()
+                    ? constant->members.size()
+                    : 0;
+    while (v < nv || c < nc) {
+        bool take_varying =
+            v < nv && (c >= nc || varying->members[v].first <
+                                      constant->members[c].first);
+        if (take_varying) {
+            const auto &[name, value] = varying->members[v++];
+            if (!value.isArray() ||
+                value.items.size() != series.cycles.size())
+                return false;
+            series.names.push_back(name);
+            std::vector<uint64_t> column;
+            column.reserve(value.items.size());
+            for (const JsonValue &item : value.items)
+                column.push_back(item.counter());
+            series.values.push_back(std::move(column));
+        } else {
+            const auto &[name, value] = constant->members[c++];
+            series.names.push_back(name);
+            series.values.emplace_back(series.cycles.size(),
+                                       value.counter());
+        }
+    }
+    out = std::move(series);
+    return true;
+}
+
+IntervalSampler::IntervalSampler(uint64_t interval)
+    : interval_(interval > 0 ? interval : 1)
+{
+    series_.interval = interval_;
+}
+
+void
+IntervalSampler::sampleFinal(uint64_t cycle)
+{
+    capture(cycle);
+}
+
+void
+IntervalSampler::capture(uint64_t cycle)
+{
+    // Idempotent per cycle: a final sample at a grid point (or two
+    // back-to-back launches ending on the same cycle) records once.
+    if (!series_.cycles.empty() && series_.cycles.back() == cycle) {
+        next_ = (cycle / interval_ + 1) * interval_;
+        return;
+    }
+    if (series_.names.empty()) {
+        series_.names = registry_.counterNames();
+        series_.values.resize(series_.names.size());
+    }
+    series_.cycles.push_back(cycle);
+    for (size_t s = 0; s < series_.names.size(); s++)
+        series_.values[s].push_back(
+            registry_.counterValue(series_.names[s]));
+    next_ = (cycle / interval_ + 1) * interval_;
+}
+
+} // namespace lumi

@@ -113,6 +113,31 @@ StatRegistry::names() const
     return out;
 }
 
+std::vector<std::string>
+StatRegistry::counterNames() const
+{
+    std::vector<std::string> out;
+    for (const Entry &entry : entries_) {
+        if (entry.kind == Kind::Counter && entry.counter)
+            out.push_back(entry.name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+uint64_t
+StatRegistry::counterValue(const std::string &name,
+                           uint64_t fallback) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        return fallback;
+    const Entry &entry = entries_[it->second];
+    if (entry.kind != Kind::Counter || !entry.counter)
+        return fallback;
+    return *entry.counter;
+}
+
 std::string
 StatRegistry::toJson() const
 {

@@ -109,6 +109,22 @@ class StatRegistry
     std::vector<std::string> names() const;
 
     /**
+     * Names of Counter-kind entries only, lexicographically sorted.
+     * This is the time-series surface: counters are exact integers
+     * that difference cleanly between snapshots, while formulas are
+     * derived (recomputable from the counters) and distributions are
+     * not time-decomposable.
+     */
+    std::vector<std::string> counterNames() const;
+
+    /**
+     * Raw reading of a registered counter, without the double detour
+     * of value(). @p fallback when @p name is not a counter.
+     */
+    uint64_t counterValue(const std::string &name,
+                          uint64_t fallback = 0) const;
+
+    /**
      * Serialize as one flat JSON object: counters as integers,
      * formulas as numbers, distributions as
      * {"count","sum","min","max","mean"} sub-objects. Keys sorted.

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "trace/json.hh"
+#include "trace/stat_registry.hh"
 
 namespace lumi
 {
@@ -213,6 +214,31 @@ Tracer::toJson() const
     json.endArray();
     json.endObject();
     return json.str();
+}
+
+void
+registerTraceStats(StatRegistry &registry, const Tracer *tracer)
+{
+    for (int c = 0; c < numTraceCategories; c++) {
+        TraceCategory category = static_cast<TraceCategory>(c);
+        std::string name = traceCategoryName(category);
+        registry.addFormula(
+            "trace.emitted." + name,
+            [tracer, category] {
+                return tracer ? static_cast<double>(
+                                    tracer->emitted(category))
+                              : 0.0;
+            },
+            "events ever emitted into the category ring");
+        registry.addFormula(
+            "trace.dropped." + name,
+            [tracer, category] {
+                return tracer ? static_cast<double>(
+                                    tracer->dropped(category))
+                              : 0.0;
+            },
+            "events overwritten by ring wraparound");
+    }
 }
 
 bool

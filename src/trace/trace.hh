@@ -34,6 +34,8 @@
 namespace lumi
 {
 
+class StatRegistry;
+
 /** Event categories; one ring buffer and one mask bit each. */
 enum class TraceCategory : uint32_t
 {
@@ -209,6 +211,17 @@ class Tracer
     uint32_t mask_ = 0;
     Ring rings_[numTraceCategories];
 };
+
+/**
+ * Register trace.emitted.<cat> / trace.dropped.<cat> for every
+ * category, so silently ring-wrapped (truncated) traces are
+ * detectable from any stats dump or run report. A null @p tracer
+ * registers all-zero entries: the stats schema stays identical
+ * whether or not a run was traced. @p tracer must outlive
+ * @p registry (the entries are formulas reading the live rings).
+ */
+void registerTraceStats(StatRegistry &registry,
+                        const Tracer *tracer);
 
 } // namespace lumi
 

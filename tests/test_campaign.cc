@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -328,6 +329,79 @@ TEST(Campaign, FromEnvParsesJobsWithFallback)
     EXPECT_EQ(CampaignOptions::fromEnv().cacheDir,
               "/tmp/some_cache");
     ::unsetenv("LUMI_CACHE_DIR");
+}
+
+TEST(Campaign, EventLogRecordsLifecycle)
+{
+    std::vector<Job> jobs = quickJobs();
+    std::string dir = freshDir("events");
+    std::filesystem::create_directories(dir);
+    std::string log_path = dir + "/events.jsonl";
+
+    std::atomic<int> wknd_failures{0};
+    CampaignOptions engine;
+    engine.jobs = 2;
+    engine.retries = 1;
+    engine.retryBackoffSeconds = 0.0;
+    engine.eventLogPath = log_path;
+    engine.runFn = [&](const Job &job, const RunOptions &options) {
+        if (job.id() == "WKND_SH" &&
+            wknd_failures.fetch_add(1) == 0)
+            throw std::runtime_error("injected transient fault");
+        return job.kind == Job::Kind::Compute
+                   ? runCompute(job.kernel, options)
+                   : runWorkload(job.workload, options);
+    };
+    CampaignResult done = runCampaign(jobs, engine);
+    EXPECT_TRUE(done.allOk());
+
+    std::ifstream log(log_path);
+    ASSERT_TRUE(log.good());
+    std::vector<std::string> lines;
+    size_t started = 0, finished = 0, retried = 0;
+    for (std::string line; std::getline(log, line);) {
+        // Every line is one self-contained JSON event with a
+        // timestamp.
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"event\":\""), std::string::npos);
+        EXPECT_NE(line.find("\"t\":"), std::string::npos);
+        lines.push_back(line);
+        if (line.find("\"event\":\"job_started\"") !=
+            std::string::npos)
+            started++;
+        if (line.find("\"event\":\"job_finished\"") !=
+            std::string::npos)
+            finished++;
+        if (line.find("\"event\":\"job_retried\"") !=
+            std::string::npos)
+            retried++;
+    }
+    ASSERT_FALSE(lines.empty());
+    EXPECT_NE(lines.front().find("\"event\":\"campaign_started\""),
+              std::string::npos);
+    EXPECT_NE(
+        lines.back().find("\"event\":\"campaign_finished\""),
+        std::string::npos);
+    EXPECT_EQ(started, jobs.size());
+    EXPECT_EQ(finished, jobs.size());
+    EXPECT_EQ(retried, 1u);
+    EXPECT_NE(lines.back().find("\"ok\":4"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, FromEnvReadsTelemetryKnobs)
+{
+    ::setenv("LUMI_EVENT_LOG", "/tmp/ev.jsonl", 1);
+    ::setenv("LUMI_HEARTBEAT", "2.5", 1);
+    CampaignOptions options = CampaignOptions::fromEnv();
+    EXPECT_EQ(options.eventLogPath, "/tmp/ev.jsonl");
+    EXPECT_DOUBLE_EQ(options.heartbeatSeconds, 2.5);
+    ::unsetenv("LUMI_EVENT_LOG");
+    ::unsetenv("LUMI_HEARTBEAT");
+    CampaignOptions defaults = CampaignOptions::fromEnv();
+    EXPECT_TRUE(defaults.eventLogPath.empty());
+    EXPECT_DOUBLE_EQ(defaults.heartbeatSeconds, 0.0);
 }
 
 TEST(Campaign, MaybeWriteReportCreatesMissingDir)

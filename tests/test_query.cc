@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Query/serve layer tests: CLI-over-environment precedence for run
+ * flags (the contract lumibench's flag parsing relies on), filter
+ * parsing, report indexing and stat/series queries over real run
+ * reports, and the HTTP router both as a pure function and over a
+ * real loopback socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "lumibench/query.hh"
+#include "lumibench/run_report.hh"
+#include "lumibench/runner.hh"
+#include "lumibench/serve.hh"
+#include "lumibench/workload.hh"
+
+using namespace lumi;
+
+namespace
+{
+
+RunOptions
+quickOptions()
+{
+    RunOptions options;
+    options.params.width = 16;
+    options.params.height = 16;
+    options.sceneDetail = 0.15f;
+    return options;
+}
+
+/** Unique fresh temp directory under the system temp root. */
+std::string
+freshDir(const char *tag)
+{
+    static std::atomic<int> counter{0};
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         (std::string("lumi_query_") + tag + "_" +
+          std::to_string(::getpid()) + "_" +
+          std::to_string(counter.fetch_add(1))))
+            .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    return path;
+}
+
+/** Populate @p dir with two sampled single-workload reports. */
+void
+writeSampleReports(const std::string &dir, WorkloadResult &bunny,
+                   RunOptions &options)
+{
+    options = quickOptions();
+    options.intervalStats = 500;
+    bunny = runWorkload(
+        {SceneId::BUNNY, ShaderKind::AmbientOcclusion}, options);
+    WorkloadResult ref =
+        runWorkload({SceneId::REF, ShaderKind::Shadow}, options);
+    ASSERT_TRUE(
+        writeRunReport(dir + "/b_bunny.json", {bunny}, options));
+    ASSERT_TRUE(
+        writeRunReport(dir + "/a_ref.json", {ref}, options));
+    // A foreign JSON file must be skipped, not break the scan.
+    FILE *junk = std::fopen((dir + "/junk.json").c_str(), "w");
+    ASSERT_NE(junk, nullptr);
+    std::fputs("{\"schema\":\"other\"}", junk);
+    std::fclose(junk);
+}
+
+} // namespace
+
+TEST(RunFlags, CliFlagsWinOverEnvironment)
+{
+    // fromEnv picks up the environment defaults...
+    ::setenv("LUMI_RES", "64", 1);
+    ::setenv("LUMI_SPP", "3", 1);
+    ::setenv("LUMI_INTERVAL_STATS", "123", 1);
+    ::setenv("LUMI_SELF_PROFILE", "1", 1);
+    RunOptions options = RunOptions::fromEnv();
+    EXPECT_EQ(options.params.width, 64);
+    EXPECT_EQ(options.params.samplesPerPixel, 3);
+    EXPECT_EQ(options.intervalStats, 123u);
+    EXPECT_TRUE(options.selfProfile);
+
+    // ...and a CLI flag applied on top always wins. The CLI calls
+    // fromEnv() first and applyRunFlag() per flag, so this ordering
+    // IS the precedence contract.
+    EXPECT_TRUE(applyRunFlag(options, "--res", "32"));
+    EXPECT_EQ(options.params.width, 32);
+    EXPECT_EQ(options.params.height, 32);
+    EXPECT_TRUE(applyRunFlag(options, "--spp", "1"));
+    EXPECT_EQ(options.params.samplesPerPixel, 1);
+    EXPECT_TRUE(applyRunFlag(options, "--interval-stats", "250"));
+    EXPECT_EQ(options.intervalStats, 250u);
+    EXPECT_TRUE(applyRunFlag(options, "--detail", "0.5"));
+    EXPECT_FLOAT_EQ(options.sceneDetail, 0.5f);
+
+    // Unknown flags are not applyRunFlag's to consume.
+    EXPECT_FALSE(applyRunFlag(options, "--bogus", "1"));
+
+    ::unsetenv("LUMI_RES");
+    ::unsetenv("LUMI_SPP");
+    ::unsetenv("LUMI_INTERVAL_STATS");
+    ::unsetenv("LUMI_SELF_PROFILE");
+}
+
+TEST(QueryFilter, ParsesKnownTermsOnly)
+{
+    query::QueryFilter filter;
+    EXPECT_TRUE(filter.add("workload=BUNNY_AO"));
+    EXPECT_TRUE(filter.add("config=mobile"));
+    EXPECT_TRUE(filter.add("width=16"));
+    EXPECT_FALSE(filter.add("bogus=1"));
+    EXPECT_FALSE(filter.add("noequals"));
+    EXPECT_FALSE(filter.add("=value"));
+    EXPECT_FALSE(filter.add("workload="));
+    EXPECT_EQ(filter.terms.size(), 3u);
+}
+
+TEST(Query, IndexAndStatLookup)
+{
+    std::string dir = freshDir("stat");
+    WorkloadResult bunny;
+    RunOptions options;
+    writeSampleReports(dir, bunny, options);
+
+    query::ReportIndex index = query::ReportIndex::scan(dir);
+    ASSERT_EQ(index.reports.size(), 2u);
+    // Sorted file-name order, foreign JSON skipped.
+    EXPECT_EQ(index.reports[0].file, "a_ref.json");
+    EXPECT_EQ(index.reports[1].file, "b_bunny.json");
+    EXPECT_EQ(index.reports[0].width, 16);
+    EXPECT_EQ(index.reports[0].intervalStats, 500u);
+    EXPECT_EQ(index.reports[1].workloads,
+              std::vector<std::string>{"BUNNY_AO"});
+
+    query::QueryFilter filter;
+    ASSERT_TRUE(filter.add("workload=BUNNY_AO"));
+    std::vector<query::StatRow> rows =
+        query::queryStat(index, "gpu.cycles", filter);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].workload, "BUNNY_AO");
+    // Integer counters come back with the exact source token.
+    EXPECT_EQ(rows[0].token,
+              std::to_string(bunny.stats.cycles));
+
+    // Derived metrics resolve through the metrics object.
+    std::vector<query::StatRow> metric_rows =
+        query::queryStat(index, "ipc_thread", filter);
+    ASSERT_EQ(metric_rows.size(), 1u);
+    EXPECT_GT(metric_rows[0].value, 0.0);
+
+    // An unfiltered query sees both reports.
+    EXPECT_EQ(query::queryStat(index, "gpu.cycles", {}).size(),
+              2u);
+    EXPECT_TRUE(
+        query::queryStat(index, "no.such.stat", {}).empty());
+
+    // listStats covers both namespaces.
+    std::vector<std::string> names =
+        query::listStats(index, filter);
+    EXPECT_NE(std::find(names.begin(), names.end(), "gpu.cycles"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "ipc_thread"),
+              names.end());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Query, SeriesDeltasSumToFinalValue)
+{
+    std::string dir = freshDir("series");
+    WorkloadResult bunny;
+    RunOptions options;
+    writeSampleReports(dir, bunny, options);
+
+    query::ReportIndex index = query::ReportIndex::scan(dir);
+    query::QueryFilter filter;
+    ASSERT_TRUE(filter.add("workload=BUNNY_AO"));
+    std::vector<query::SeriesResult> results =
+        query::querySeries(index, "rt.rays_traced", filter);
+    ASSERT_EQ(results.size(), 1u);
+    const query::SeriesResult &series = results[0];
+    EXPECT_EQ(series.interval, 500u);
+    ASSERT_FALSE(series.cycles.empty());
+    ASSERT_EQ(series.values.size(), series.cycles.size());
+    ASSERT_EQ(series.deltas.size(), series.cycles.size());
+
+    uint64_t sum = 0;
+    for (uint64_t delta : series.deltas)
+        sum += delta;
+    EXPECT_EQ(sum, series.values.back());
+    EXPECT_EQ(series.values.back(), bunny.stats.raysTraced);
+    EXPECT_EQ(series.cycles.back(), bunny.stats.cycles);
+
+    EXPECT_TRUE(
+        query::querySeries(index, "no.such.stat", filter).empty());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, RoutesRequestsWithoutSockets)
+{
+    std::string dir = freshDir("routes");
+    WorkloadResult bunny;
+    RunOptions options;
+    writeSampleReports(dir, bunny, options);
+
+    query::ReportServer server(dir);
+    query::ReportServer::Response health =
+        server.handle("/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"reports\":2"),
+              std::string::npos);
+
+    query::ReportServer::Response idx = server.handle("/index");
+    EXPECT_EQ(idx.status, 200);
+    EXPECT_NE(idx.body.find("b_bunny.json"), std::string::npos);
+
+    query::ReportServer::Response stat = server.handle(
+        "/stat?name=gpu.cycles&workload=BUNNY_AO");
+    EXPECT_EQ(stat.status, 200);
+    EXPECT_NE(
+        stat.body.find(std::to_string(bunny.stats.cycles)),
+        std::string::npos);
+
+    query::ReportServer::Response series = server.handle(
+        "/series?name=rt.rays_traced&workload=BUNNY_AO");
+    EXPECT_EQ(series.status, 200);
+    EXPECT_NE(series.body.find("\"deltas\":["),
+              std::string::npos);
+
+    query::ReportServer::Response stats =
+        server.handle("/stats?workload=BUNNY_AO");
+    EXPECT_EQ(stats.status, 200);
+    EXPECT_NE(stats.body.find("\"gpu.cycles\""),
+              std::string::npos);
+
+    // Error paths: missing name, traversal attempts, bad keys,
+    // unknown routes.
+    EXPECT_EQ(server.handle("/stat").status, 400);
+    EXPECT_EQ(server.handle("/stat?name=x&bogus=1").status, 400);
+    EXPECT_EQ(server.handle("/report?file=../etc/passwd").status,
+              400);
+    EXPECT_EQ(server.handle("/report?file=missing.json").status,
+              404);
+    EXPECT_EQ(server.handle("/nope").status, 404);
+
+    // /report returns the stored bytes verbatim.
+    query::ReportServer::Response report =
+        server.handle("/report?file=b_bunny.json");
+    EXPECT_EQ(report.status, 200);
+    EXPECT_EQ(report.body, runReportJson({bunny}, options));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, AnswersOverLoopbackSocket)
+{
+    std::string dir = freshDir("socket");
+    WorkloadResult bunny;
+    RunOptions options;
+    writeSampleReports(dir, bunny, options);
+
+    query::ReportServer server(dir);
+    if (!server.bind(0))
+        GTEST_SKIP() << "cannot bind a loopback socket here";
+    ASSERT_GT(server.port(), 0);
+    std::thread pump([&] { server.serve(1); });
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char request[] = "GET /healthz HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::send(fd, request, sizeof(request) - 1, 0),
+              static_cast<ssize_t>(sizeof(request) - 1));
+    std::string response;
+    char buf[4096];
+    ssize_t got;
+    while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<size_t>(got));
+    ::close(fd);
+    pump.join();
+
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("\"status\":\"ok\""),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}

@@ -36,6 +36,14 @@ ones:
                      conserved (unit tests and microbenches of Cache
                      itself live in tests/ and bench/, which the
                      rule does not scan).
+  gpu-chrono         src/gpu must not touch wall-clock facilities
+                     (std::chrono, <chrono>, clock_gettime,
+                     gettimeofday) except through the sanctioned
+                     self-profiling helper src/gpu/host_profile.cc.
+                     Host timing anywhere else in the model invites
+                     observer effects and nondeterministic behavior
+                     that the interval/timeline samplers are designed
+                     to avoid.
 
 Exit status is the number of rule classes that found violations
 (0 = clean). A line may opt out with a trailing
@@ -338,6 +346,31 @@ def check_cache_access(root, report):
     return ok
 
 
+def check_gpu_chrono(root, report):
+    """src/gpu uses host clocks only via the profiling helper."""
+    ok = True
+    pattern = re.compile(r"std::chrono\b|#\s*include\s*<chrono>"
+                         r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(")
+    # The one sanctioned clock user: the sampled host profiler.
+    exempt = ("src/gpu/host_profile.hh", "src/gpu/host_profile.cc")
+    for path in source_files(root, ("src/gpu",)):
+        rel = os.path.relpath(path, root)
+        if rel in exempt:
+            continue
+        raw_lines = open(path).read().splitlines()
+        clean = strip_comments("\n".join(raw_lines)).splitlines()
+        for lineno, line in enumerate(clean, 1):
+            if pattern.search(line):
+                if allowed(raw_lines[lineno - 1], "gpu-chrono"):
+                    continue
+                report(path, lineno, "gpu-chrono",
+                       "host clock in src/gpu outside the sanctioned "
+                       "profiling helper (src/gpu/host_profile.cc); "
+                       "wall time must never leak into model state")
+                ok = False
+    return ok
+
+
 RULES = [
     ("nondeterminism", check_nondeterminism),
     ("unordered-iter", check_unordered_iteration),
@@ -345,6 +378,7 @@ RULES = [
     ("no-bare-assert", check_no_bare_assert),
     ("campaign-sweep", check_campaign_sweep),
     ("cache-access", check_cache_access),
+    ("gpu-chrono", check_gpu_chrono),
 ]
 
 

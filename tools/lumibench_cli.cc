@@ -17,12 +17,20 @@
  *   lumibench campaign [--subset|--all|--compute|--workload ID]...
  *                      [--config NAME]... [--jobs N] [--retries N]
  *                      [--cache-dir DIR] [--manifest FILE]
+ *                      [--event-log FILE] [--heartbeat SECONDS]
  *       Run a job matrix (workloads x configs) through the parallel
  *       campaign engine; write an aggregated campaign.json manifest.
+ *   lumibench query --cache-dir DIR --stat NAME [--series]
+ *                   [--where KEY=VALUE]... [--list-stats] [--json]
+ *       Answer stat/time-series queries over cached run reports.
+ *   lumibench serve --cache-dir DIR [--port N] [--max-requests N]
+ *       Serve the same queries over an embedded HTTP endpoint.
  *
  * Resolution/detail honor LUMI_RES / LUMI_SPP / LUMI_DETAIL /
  * LUMI_QUICK, like the bench binaries; the campaign command also
- * honors LUMI_JOBS / LUMI_RETRIES / LUMI_CACHE_DIR.
+ * honors LUMI_JOBS / LUMI_RETRIES / LUMI_CACHE_DIR / LUMI_EVENT_LOG /
+ * LUMI_HEARTBEAT. CLI flags always win over environment defaults
+ * (tests/test_query.cc pins that precedence).
  */
 
 #include <cstdio>
@@ -34,9 +42,11 @@
 #include "analysis/cluster.hh"
 #include "analysis/pca.hh"
 #include "campaign/campaign.hh"
+#include "lumibench/query.hh"
 #include "lumibench/report.hh"
 #include "lumibench/run_report.hh"
 #include "lumibench/runner.hh"
+#include "lumibench/serve.hh"
 #include "rt/pipeline.hh"
 #include "trace/json.hh"
 #include "trace/stat_registry.hh"
@@ -52,10 +62,13 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: lumibench "
-                 "<list|run|campaign|results|dendrogram> [options]\n"
+                 "<list|run|campaign|query|serve|results|dendrogram> "
+                 "[options]\n"
                  "  run options: --subset | --all | --workload ID "
                  "(repeatable)\n"
                  "               --config mobile|desktop|alternate\n"
+                 "               --res N  --spp N  --detail X  "
+                 "--interval-stats CYCLES  --self-profile\n"
                  "               --csv FILE  --ppm-dir DIR  "
                  "--timeline-dir DIR\n"
                  "               --trace FILE  "
@@ -65,10 +78,20 @@ usage()
                  "--workload ID (repeatable)\n"
                  "               --config NAME (repeatable: job "
                  "matrix = workloads x configs)\n"
+                 "               --res N  --spp N  --detail X  "
+                 "--interval-stats CYCLES\n"
                  "               --jobs N  --retries N  "
                  "--cache-dir DIR\n"
                  "               --manifest FILE (default "
                  "campaign.json)  --trace FILE\n"
+                 "               --event-log FILE (JSONL)  "
+                 "--heartbeat SECONDS\n"
+                 "  query options: --cache-dir DIR  --stat NAME  "
+                 "--series\n"
+                 "               --where KEY=VALUE (repeatable)  "
+                 "--list-stats  --json\n"
+                 "  serve options: --cache-dir DIR  --port N  "
+                 "--max-requests N\n"
                  "  results/dendrogram options: --csv FILE\n"
                  "  (observability flags imply 'run'; a %%w in FILE "
                  "expands to the workload id)\n");
@@ -141,7 +164,7 @@ cmdRun(const std::vector<std::string> &args)
     std::string ppm_dir;
     std::string timeline_dir;
     std::string trace_path;
-    std::string trace_categories = "all";
+    std::string trace_categories;
     std::string stats_path;
     std::string report_path;
 
@@ -194,6 +217,12 @@ cmdRun(const std::vector<std::string> &args)
             stats_path = next("--stats-json");
         } else if (arg == "--report") {
             report_path = next("--report");
+        } else if (arg == "--self-profile") {
+            options.selfProfile = true;
+        } else if (arg == "--res" || arg == "--spp" ||
+                   arg == "--detail" ||
+                   arg == "--interval-stats") {
+            applyRunFlag(options, arg, next(arg.c_str()));
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 2;
@@ -204,7 +233,14 @@ cmdRun(const std::vector<std::string> &args)
             workloads.push_back(w);
     }
     if (!trace_path.empty()) {
-        options.traceMask = parseTraceCategories(trace_categories);
+        // Precedence: an explicit --trace-categories always wins; a
+        // LUMI_TRACE selection from fromEnv() is honored otherwise;
+        // the default is everything.
+        if (!trace_categories.empty())
+            options.traceMask =
+                parseTraceCategories(trace_categories);
+        else if (options.traceMask == 0)
+            options.traceMask = parseTraceCategories("all");
         if (options.traceMask == 0) {
             std::fprintf(stderr,
                          "--trace-categories '%s' selects nothing\n",
@@ -369,6 +405,27 @@ cmdCampaign(const std::vector<std::string> &args)
             manifest_path = next("--manifest");
         } else if (arg == "--trace") {
             trace_path = next("--trace");
+        } else if (arg == "--event-log") {
+            engine.eventLogPath = next("--event-log");
+        } else if (arg == "--heartbeat") {
+            std::string text = next("--heartbeat");
+            char *end = nullptr;
+            double parsed = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' ||
+                parsed < 0.0) {
+                std::fprintf(stderr,
+                             "--heartbeat needs seconds >= 0 "
+                             "(got '%s')\n",
+                             text.c_str());
+                return 2;
+            }
+            engine.heartbeatSeconds = parsed;
+        } else if (arg == "--self-profile") {
+            base.selfProfile = true;
+        } else if (arg == "--res" || arg == "--spp" ||
+                   arg == "--detail" ||
+                   arg == "--interval-stats") {
+            applyRunFlag(base, arg, next(arg.c_str()));
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 2;
@@ -530,6 +587,228 @@ cmdCampaign(const std::vector<std::string> &args)
     return done.allOk() ? 0 : 1;
 }
 
+/** Report directory: flag value, else LUMI_CACHE_DIR. */
+std::string
+reportDir(const std::string &flag_value)
+{
+    if (!flag_value.empty())
+        return flag_value;
+    if (const char *dir = std::getenv("LUMI_CACHE_DIR");
+        dir && *dir)
+        return dir;
+    return "";
+}
+
+int
+cmdQuery(const std::vector<std::string> &args)
+{
+    std::string dir;
+    std::string stat;
+    bool series = false;
+    bool list_stats = false;
+    bool as_json = false;
+    query::QueryFilter filter;
+
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--cache-dir" || arg == "--dir") {
+            dir = next(arg.c_str());
+        } else if (arg == "--stat") {
+            stat = next("--stat");
+        } else if (arg == "--series") {
+            series = true;
+        } else if (arg == "--list-stats") {
+            list_stats = true;
+        } else if (arg == "--json") {
+            as_json = true;
+        } else if (arg == "--where") {
+            std::string term = next("--where");
+            if (!filter.add(term)) {
+                std::fprintf(stderr,
+                             "--where needs KEY=VALUE with a known "
+                             "key (got '%s')\n",
+                             term.c_str());
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    dir = reportDir(dir);
+    if (dir.empty()) {
+        std::fprintf(stderr, "query needs --cache-dir DIR (or "
+                             "LUMI_CACHE_DIR)\n");
+        return 2;
+    }
+    query::ReportIndex index = query::ReportIndex::scan(dir);
+    if (index.empty()) {
+        std::fprintf(stderr, "no run reports under %s\n",
+                     dir.c_str());
+        return 1;
+    }
+
+    if (list_stats) {
+        for (const std::string &name :
+             query::listStats(index, filter))
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (stat.empty()) {
+        std::fprintf(stderr,
+                     "query needs --stat NAME (or --list-stats)\n");
+        return 2;
+    }
+
+    if (series) {
+        std::vector<query::SeriesResult> results =
+            query::querySeries(index, stat, filter);
+        if (results.empty()) {
+            std::fprintf(stderr,
+                         "no interval series for '%s' (was the run "
+                         "sampled with --interval-stats?)\n",
+                         stat.c_str());
+            return 1;
+        }
+        if (as_json) {
+            JsonWriter json;
+            json.beginArray();
+            for (const query::SeriesResult &result : results) {
+                json.beginObject();
+                json.key("file");
+                json.value(result.file);
+                json.key("workload");
+                json.value(result.workload);
+                json.key("interval");
+                json.value(result.interval);
+                json.key("cycles");
+                json.beginArray();
+                for (uint64_t cycle : result.cycles)
+                    json.value(cycle);
+                json.endArray();
+                json.key("values");
+                json.beginArray();
+                for (uint64_t value : result.values)
+                    json.value(value);
+                json.endArray();
+                json.key("deltas");
+                json.beginArray();
+                for (uint64_t delta : result.deltas)
+                    json.value(delta);
+                json.endArray();
+                json.endObject();
+            }
+            json.endArray();
+            std::printf("%s\n", json.str().c_str());
+            return 0;
+        }
+        for (const query::SeriesResult &result : results) {
+            std::printf("%s  %s  (interval %llu, %zu samples, "
+                        "%s)\n",
+                        result.workload.c_str(), stat.c_str(),
+                        static_cast<unsigned long long>(
+                            result.interval),
+                        result.cycles.size(),
+                        result.file.c_str());
+            std::printf("  %12s %16s %16s\n", "cycle",
+                        "cumulative", "delta");
+            for (size_t i = 0; i < result.cycles.size(); i++) {
+                std::printf("  %12llu %16llu %16llu\n",
+                            static_cast<unsigned long long>(
+                                result.cycles[i]),
+                            static_cast<unsigned long long>(
+                                result.values[i]),
+                            static_cast<unsigned long long>(
+                                result.deltas[i]));
+            }
+        }
+        return 0;
+    }
+
+    std::vector<query::StatRow> rows =
+        query::queryStat(index, stat, filter);
+    if (rows.empty()) {
+        std::fprintf(stderr, "no values for '%s'\n", stat.c_str());
+        return 1;
+    }
+    if (as_json) {
+        JsonWriter json;
+        json.beginArray();
+        for (const query::StatRow &row : rows) {
+            json.beginObject();
+            json.key("file");
+            json.value(row.file);
+            json.key("workload");
+            json.value(row.workload);
+            json.key("value");
+            json.raw(row.token);
+            json.endObject();
+        }
+        json.endArray();
+        std::printf("%s\n", json.str().c_str());
+        return 0;
+    }
+    TextTable table({"workload", stat, "file"});
+    for (const query::StatRow &row : rows)
+        table.addRow({row.workload, row.token, row.file});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    std::string dir;
+    int port = 8090;
+    int max_requests = 0;
+
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--cache-dir" || arg == "--dir") {
+            dir = next(arg.c_str());
+        } else if (arg == "--port") {
+            port = parseIntFlag("--port", next("--port"));
+        } else if (arg == "--max-requests") {
+            max_requests = parseIntFlag("--max-requests",
+                                        next("--max-requests"));
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    dir = reportDir(dir);
+    if (dir.empty()) {
+        std::fprintf(stderr, "serve needs --cache-dir DIR (or "
+                             "LUMI_CACHE_DIR)\n");
+        return 2;
+    }
+    query::ReportServer server(dir);
+    if (!server.bind(port))
+        return 1;
+    std::fprintf(stderr,
+                 "serving %s on http://127.0.0.1:%d/ (routes: "
+                 "/healthz /index /stats /stat /series /report)\n",
+                 dir.c_str(), server.port());
+    server.serve(max_requests);
+    return 0;
+}
+
 std::string
 csvArg(const std::vector<std::string> &args)
 {
@@ -610,6 +889,10 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (command == "campaign")
         return cmdCampaign(args);
+    if (command == "query")
+        return cmdQuery(args);
+    if (command == "serve")
+        return cmdServe(args);
     if (command == "results")
         return cmdResults(args);
     if (command == "dendrogram")
