@@ -1,5 +1,6 @@
 #include "campaign/cache.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -314,12 +315,19 @@ bool
 writeCachedResult(const std::string &path, const Job &job,
                   const WorkloadResult &result)
 {
-    // Thread-unique temp name: one campaign may run duplicate jobs
-    // concurrently, and a torn entry must never be visible.
-    char suffix[48];
-    std::snprintf(suffix, sizeof(suffix), ".tmp.%zx",
+    // Writer-unique temp name: one campaign may run duplicate jobs
+    // concurrently, and a torn entry must never be visible. The
+    // thread-id hash alone could collide across threads, so a
+    // process-wide sequence number disambiguates; publication stays
+    // a single atomic rename either way.
+    static std::atomic<uint64_t> write_seq{0};
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%zx.%llu",
                   std::hash<std::thread::id>{}(
-                      std::this_thread::get_id()));
+                      std::this_thread::get_id()),
+                  static_cast<unsigned long long>(
+                      write_seq.fetch_add(
+                          1, std::memory_order_relaxed)));
     std::string tmp = path + suffix;
     if (!writeRunReport(tmp, {result}, job.options))
         return false;

@@ -12,6 +12,7 @@
 
 #include "campaign/cache.hh"
 #include "campaign/telemetry.hh"
+#include "check/thread_annotations.hh"
 #include "trace/stat_registry.hh"
 #include "trace/trace.hh"
 
@@ -38,6 +39,31 @@ struct JobSlot
     /** Wall deadline in microseconds from campaign start; -1 idle. */
     std::atomic<int64_t> deadlineUs{-1};
     std::atomic<bool> cancel{false};
+};
+
+/**
+ * Unwind safety net: joins the worker pool and the watchdog on every
+ * exit path. The normal path joins explicitly before aggregating, so
+ * the destructor usually finds nothing joinable; on exception unwind
+ * it stops the watchdog and drains the workers instead of letting a
+ * joinable std::thread reach its destructor (std::terminate).
+ */
+struct JoinGuard
+{
+    std::vector<std::thread> &pool;
+    std::thread &watchdog;
+    std::atomic<bool> &poolDone;
+
+    ~JoinGuard()
+    {
+        poolDone.store(true, std::memory_order_relaxed);
+        for (std::thread &thread : pool) {
+            if (thread.joinable())
+                thread.join();
+        }
+        if (watchdog.joinable())
+            watchdog.join();
+    }
 };
 
 WorkloadResult
@@ -180,7 +206,15 @@ runCampaign(const std::vector<Job> &jobs,
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
     std::atomic<bool> pool_done{false};
-    std::mutex io;
+    // Serializes progress lines from workers and the heartbeat. The
+    // line counter rides under the same mutex so every echoed line
+    // gets a strictly increasing index even when two workers finish
+    // back to back (reading `completed` after both increments would
+    // print the same index twice).
+    struct IoState {
+        Mutex mutex;
+        size_t linesEchoed LUMI_GUARDED_BY(mutex) = 0;
+    } io;
 
     // Lifecycle telemetry: every emit checks isOpen(), so a missing
     // or unopenable log path degrades to no-ops.
@@ -193,9 +227,10 @@ runCampaign(const std::vector<Job> &jobs,
     auto echo = [&](const JobOutcome &outcome) {
         if (!options.echoProgress)
             return;
-        std::lock_guard<std::mutex> lock(io);
+        MutexLock lock(io.mutex);
+        io.linesEchoed++;
         std::fprintf(stderr, "  [%zu/%zu] %-10s %s (%.2fs%s%s)\n",
-                     completed.load(), jobs.size(),
+                     io.linesEchoed, jobs.size(),
                      outcome.id.c_str(),
                      jobStatusName(outcome.status),
                      outcome.wallSeconds,
@@ -310,11 +345,17 @@ runCampaign(const std::vector<Job> &jobs,
         echo(outcome);
     };
 
+    // The worker pool and the wall-budget watchdog are joined on
+    // every exit path: explicitly below on the normal path, by the
+    // guard if anything between here and those joins unwinds.
+    std::vector<std::thread> pool;
+    std::thread watchdog;
+    JoinGuard join_guard{pool, watchdog, pool_done};
+
     // The wall-budget watchdog: scans in-flight deadlines and flips
     // the cancel flag the simulator polls at cycle boundaries. The
     // sim thread itself is wedged inside Gpu::run, so cancellation
     // has to come from outside.
-    std::thread watchdog;
     if (options.jobWallBudgetSeconds > 0.0) {
         watchdog = std::thread([&] {
             while (!pool_done.load(std::memory_order_relaxed)) {
@@ -334,7 +375,8 @@ runCampaign(const std::vector<Job> &jobs,
     }
 
     // The heartbeat observes only the `completed` atomic and the
-    // clock; it cannot perturb job results.
+    // clock; it cannot perturb job results. Declared after the join
+    // guard so unwind stops the ticker before draining the workers.
     std::unique_ptr<Heartbeat> heartbeat;
     if (options.heartbeatSeconds > 0.0) {
         size_t total = jobs.size();
@@ -342,7 +384,7 @@ runCampaign(const std::vector<Job> &jobs,
             options.heartbeatSeconds, [&, total] {
                 size_t done = completed.load();
                 double elapsed = secondsSince(campaign_start);
-                std::lock_guard<std::mutex> lock(io);
+                MutexLock lock(io.mutex);
                 if (done > 0 && done < total) {
                     double eta =
                         elapsed *
@@ -367,7 +409,6 @@ runCampaign(const std::vector<Job> &jobs,
              i = next.fetch_add(1))
             execute(i, 0);
     } else {
-        std::vector<std::thread> pool;
         pool.reserve(campaign.workers);
         for (int w = 0; w < campaign.workers; w++) {
             pool.emplace_back([&, w] {

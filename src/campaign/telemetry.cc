@@ -11,6 +11,7 @@ namespace campaign
 
 CampaignEventLog::~CampaignEventLog()
 {
+    MutexLock lock(mutex_);
     if (file_)
         std::fclose(file_);
 }
@@ -18,7 +19,7 @@ CampaignEventLog::~CampaignEventLog()
 bool
 CampaignEventLog::open(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (file_) {
         std::fclose(file_);
         file_ = nullptr;
@@ -37,7 +38,7 @@ CampaignEventLog::open(const std::string &path)
 void
 CampaignEventLog::writeLine(const std::string &line)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!file_)
         return;
     std::fwrite(line.data(), 1, line.size(), file_);
@@ -190,18 +191,31 @@ CampaignEventLog::campaignFinished(double t, uint64_t ok,
 Heartbeat::Heartbeat(double period_seconds,
                      std::function<void()> tick)
 {
+    using Duration = std::chrono::duration<double>;
     double period = period_seconds > 0.0 ? period_seconds : 1.0;
+    // The ticker holds mutex_ except while invoking the callback, so
+    // stop_ is only ever touched under the lock. A spurious wakeup
+    // re-checks stop_ and goes back to waiting out the same period
+    // (no early tick); condition_variable_any waits on the annotated
+    // Mutex directly.
     thread_ = std::thread([this, period, tick = std::move(tick)] {
-        std::unique_lock<std::mutex> lock(mutex_);
-        for (;;) {
-            if (cv_.wait_for(
-                    lock, std::chrono::duration<double>(period),
-                    [this] { return stop_; }))
-                return;
-            lock.unlock();
-            tick();
-            lock.lock();
+        mutex_.lock();
+        auto next = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        Duration(period));
+        while (!stop_) {
+            if (cv_.wait_until(mutex_, next) ==
+                std::cv_status::timeout) {
+                mutex_.unlock();
+                tick();
+                mutex_.lock();
+                next += std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    Duration(period));
+            }
         }
+        mutex_.unlock();
     });
 }
 
@@ -214,17 +228,18 @@ void
 Heartbeat::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stop_) {
-            if (thread_.joinable())
-                thread_.join();
-            return;
-        }
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
-    if (thread_.joinable())
-        thread_.join();
+    // Exactly one caller joins; the others block inside call_once
+    // until the join is done, so every stop() returns only after the
+    // ticker thread has exited. mutex_ is never held here, so the
+    // ticker can always make progress to its exit.
+    std::call_once(join_once_, [this] {
+        if (thread_.joinable())
+            thread_.join();
+    });
 }
 
 } // namespace campaign

@@ -25,10 +25,19 @@
  *                       wall_seconds}
  * Every line also carries "t": seconds since campaign start.
  *
- * The heartbeat is a detached ticker thread that invokes a callback
- * every period until stopped (the engine uses it to print a
+ * The heartbeat is a ticker thread that invokes a callback every
+ * period until stopped (the engine uses it to print a
  * completed/total + ETA line to stderr). It observes only atomics
- * published by the engine; it never touches job state.
+ * published by the engine; it never touches job state. The thread is
+ * joined on every exit path: stop() is idempotent and safe to call
+ * concurrently, and the destructor stops, so a Heartbeat destroyed
+ * during exception unwind never leaks a running thread.
+ *
+ * Both classes carry clang thread-safety annotations
+ * (check/thread_annotations.hh): every mutex-protected field is
+ * LUMI_GUARDED_BY its mutex, and a clang -Wthread-safety build (or
+ * the tools/lint.py lock-discipline rule under GCC) rejects an
+ * unlocked access at compile/lint time.
  */
 
 #ifndef LUMI_CAMPAIGN_TELEMETRY_HH
@@ -41,6 +50,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+
+#include "check/thread_annotations.hh"
 
 namespace lumi
 {
@@ -58,8 +69,14 @@ class CampaignEventLog
     CampaignEventLog &operator=(const CampaignEventLog &) = delete;
 
     /** Open (truncate) @p path; false + stderr warning on failure. */
-    bool open(const std::string &path);
-    bool isOpen() const { return file_ != nullptr; }
+    bool open(const std::string &path) LUMI_EXCLUDES(mutex_);
+
+    bool
+    isOpen() const LUMI_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return file_ != nullptr;
+    }
 
     void campaignStarted(double t, size_t jobs, int workers);
     void jobStarted(double t, size_t job, const std::string &id,
@@ -77,16 +94,17 @@ class CampaignEventLog
 
   private:
     /** Write one line + flush, atomically w.r.t. other writers. */
-    void writeLine(const std::string &line);
+    void writeLine(const std::string &line) LUMI_EXCLUDES(mutex_);
 
-    std::mutex mutex_;
-    FILE *file_ = nullptr;
+    mutable Mutex mutex_;
+    FILE *file_ LUMI_GUARDED_BY(mutex_) = nullptr;
 };
 
 /**
  * Periodic ticker on a background thread. The callback runs every
  * @p period seconds from construction until stop()/destruction;
- * stopping wakes the thread immediately (no trailing sleep).
+ * stopping wakes the thread immediately (no trailing sleep) and
+ * joins it before returning.
  */
 class Heartbeat
 {
@@ -97,12 +115,20 @@ class Heartbeat
     Heartbeat(const Heartbeat &) = delete;
     Heartbeat &operator=(const Heartbeat &) = delete;
 
-    void stop();
+    /**
+     * Stop the ticker and join its thread. Idempotent, and safe to
+     * call from several threads at once: the join happens exactly
+     * once, and every caller returns only after the ticker thread
+     * has exited.
+     */
+    void stop() LUMI_EXCLUDES(mutex_);
 
   private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mutex_;
+    std::condition_variable_any cv_;
+    bool stop_ LUMI_GUARDED_BY(mutex_) = false;
+    /** Serializes the join itself; never held with mutex_. */
+    std::once_flag join_once_;
     std::thread thread_;
 };
 

@@ -1,11 +1,12 @@
 #include "check/check.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
+#include "check/thread_annotations.hh"
 #include "trace/stat_registry.hh"
 
 namespace lumi
@@ -19,18 +20,26 @@ constexpr uint64_t maxPrintedPerSubsys = 8;
 
 struct CheckState
 {
-    CheckMode mode = CheckMode::FailFast;
-    uint64_t violations[numCheckSubsystems] = {};
-    uint64_t total = 0;
-    uint64_t printed[numCheckSubsystems] = {};
-    std::string lastMessage;
+    /**
+     * The mode is read on the (passing-check-free) slow path and by
+     * tests without the lock; it is an atomic, not a guarded field,
+     * because setMode() happens-before the threads whose checks it
+     * governs and a torn read must still be impossible.
+     */
+    std::atomic<CheckMode> mode{CheckMode::FailFast};
     /**
      * Serializes the violation slow path: campaign workers simulate
      * concurrently, and count-mode violations on two jobs at once
      * must not corrupt the shared counters. The hot path (passing
      * checks) never takes the lock.
      */
-    std::mutex mutex;
+    Mutex mutex;
+    uint64_t violations[numCheckSubsystems]
+        LUMI_GUARDED_BY(mutex) = {};
+    uint64_t total LUMI_GUARDED_BY(mutex) = 0;
+    uint64_t printed[numCheckSubsystems]
+        LUMI_GUARDED_BY(mutex) = {};
+    std::string lastMessage LUMI_GUARDED_BY(mutex);
 };
 
 CheckState &
@@ -72,19 +81,20 @@ namespace checks
 void
 setMode(CheckMode mode)
 {
-    state().mode = mode;
+    state().mode.store(mode, std::memory_order_relaxed);
 }
 
 CheckMode
 mode()
 {
-    return state().mode;
+    return state().mode.load(std::memory_order_relaxed);
 }
 
 void
 reset()
 {
     CheckState &s = state();
+    MutexLock lock(s.mutex);
     for (int i = 0; i < numCheckSubsystems; i++) {
         s.violations[i] = 0;
         s.printed[i] = 0;
@@ -96,19 +106,25 @@ reset()
 uint64_t
 violations(CheckSubsys subsys)
 {
-    return state().violations[static_cast<int>(subsys)];
+    CheckState &s = state();
+    MutexLock lock(s.mutex);
+    return s.violations[static_cast<int>(subsys)];
 }
 
 uint64_t
 total()
 {
-    return state().total;
+    CheckState &s = state();
+    MutexLock lock(s.mutex);
+    return s.total;
 }
 
-const std::string &
+std::string
 lastMessage()
 {
-    return state().lastMessage;
+    CheckState &s = state();
+    MutexLock lock(s.mutex);
+    return s.lastMessage;
 }
 
 ScopedCountMode::ScopedCountMode() : saved_(mode())
@@ -130,7 +146,7 @@ checkFailed(CheckSubsys subsys, const char *file, int line,
             const char *fmt, ...)
 {
     CheckState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     int index = static_cast<int>(subsys);
     s.violations[index]++;
     s.total++;
@@ -142,7 +158,9 @@ checkFailed(CheckSubsys subsys, const char *file, int line,
     va_end(args);
     s.lastMessage = message;
 
-    bool fail_fast = s.mode == CheckMode::FailFast;
+    bool fail_fast =
+        s.mode.load(std::memory_order_relaxed) ==
+        CheckMode::FailFast;
     if (fail_fast || s.printed[index] < maxPrintedPerSubsys) {
         s.printed[index]++;
         std::fprintf(stderr,
@@ -166,7 +184,11 @@ checkFailed(CheckSubsys subsys, const char *file, int line,
 void
 registerCheckStats(StatRegistry &registry)
 {
-    const CheckState &s = state();
+    // Registration stores the counters' addresses; the registry
+    // dereferences them only in post-run, single-threaded dumps, so
+    // the lock is needed just for the registration itself.
+    CheckState &s = state();
+    MutexLock lock(s.mutex);
     for (int i = 0; i < numCheckSubsystems; i++) {
         registry.addCounter(
             std::string("check.violations.") +

@@ -77,8 +77,9 @@ void reset();
 uint64_t violations(CheckSubsys subsys);
 uint64_t total();
 
-/** Last formatted violation message (for tests). */
-const std::string &lastMessage();
+/** Last formatted violation message, copied under the lock (for
+ *  tests). */
+std::string lastMessage();
 
 /**
  * RAII guard: switch to count-and-continue and reset counters, for

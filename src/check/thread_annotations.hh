@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Clang thread-safety annotations for the concurrent subsystems
+ * (campaign engine, telemetry, check slow path, report server).
+ *
+ * The macros wrap clang's capability analysis attributes
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so that a
+ * clang build with -Wthread-safety turns a lock-discipline mistake —
+ * touching a LUMI_GUARDED_BY field without holding its mutex,
+ * returning with a capability still held, double-acquiring — into a
+ * compile error (-DLUMI_THREAD_SAFETY=ON adds -Werror=thread-safety).
+ * Under GCC, which has no such analysis, every macro expands to
+ * nothing and the token-level `lock-discipline` rule in
+ * tools/analyze/ cross-checks the same annotations instead, so both
+ * toolchains enforce the same contract.
+ *
+ * std::mutex carries no capability attributes under libstdc++, so
+ * annotated code locks through the lumi::Mutex / lumi::MutexLock
+ * wrappers below (zero-cost: they forward straight to std::mutex).
+ * Condition waits use std::condition_variable_any over the annotated
+ * Mutex; from the analysis' point of view the capability stays held
+ * across the wait, which matches the caller-visible contract.
+ */
+
+#ifndef LUMI_CHECK_THREAD_ANNOTATIONS_HH
+#define LUMI_CHECK_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LUMI_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LUMI_THREAD_ANNOTATION
+#define LUMI_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex" in diagnostics). */
+#define LUMI_CAPABILITY(name) LUMI_THREAD_ANNOTATION(capability(name))
+
+/** Marks an RAII type that acquires on construction, releases on
+ *  destruction (scoped_lockable in clang's vocabulary). */
+#define LUMI_SCOPED_CAPABILITY LUMI_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field may only be read or written while holding @p x. */
+#define LUMI_GUARDED_BY(x) LUMI_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be accessed while holding @p x. */
+#define LUMI_PT_GUARDED_BY(x) LUMI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the named capabilities to call the function. */
+#define LUMI_REQUIRES(...) \
+    LUMI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the named capabilities and does not release. */
+#define LUMI_ACQUIRE(...) \
+    LUMI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the named capabilities. */
+#define LUMI_RELEASE(...) \
+    LUMI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p result. */
+#define LUMI_TRY_ACQUIRE(result, ...) \
+    LUMI_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/** Caller must NOT hold the named capabilities (deadlock guard). */
+#define LUMI_EXCLUDES(...) \
+    LUMI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define LUMI_RETURN_CAPABILITY(x) \
+    LUMI_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function. */
+#define LUMI_NO_THREAD_SAFETY_ANALYSIS \
+    LUMI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace lumi
+{
+
+/**
+ * std::mutex with the capability attribute, so LUMI_GUARDED_BY
+ * fields and LUMI_REQUIRES functions can name it. Also a
+ * BasicLockable, so std::condition_variable_any can wait on it
+ * directly.
+ */
+class LUMI_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() LUMI_ACQUIRE()
+    {
+        mutex_.lock();
+    }
+
+    void
+    unlock() LUMI_RELEASE()
+    {
+        mutex_.unlock();
+    }
+
+    bool
+    try_lock() LUMI_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** Scoped lock over lumi::Mutex (std::lock_guard, annotated). */
+class LUMI_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) LUMI_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() LUMI_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_CHECK_THREAD_ANNOTATIONS_HH

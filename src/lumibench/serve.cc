@@ -169,8 +169,21 @@ writeIndexJson(JsonWriter &json, const ReportIndex &index)
 
 ReportServer::~ReportServer()
 {
+    MutexLock lock(mutex_);
     if (fd_ >= 0)
         ::close(fd_);
+}
+
+void
+ReportServer::requestStop()
+{
+    stop_.store(true, std::memory_order_release);
+    // Shut the listening socket down (keep the fd: serve() may still
+    // be blocked on it) so accept() returns and the loop observes
+    // the flag.
+    MutexLock lock(mutex_);
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
 }
 
 ReportServer::Response
@@ -304,6 +317,7 @@ ReportServer::handle(const std::string &target) const
 bool
 ReportServer::bind(int port)
 {
+    MutexLock lock(mutex_);
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
         std::perror("lumi: socket");
@@ -337,13 +351,26 @@ ReportServer::bind(int port)
 int
 ReportServer::serve(int max_requests)
 {
-    if (fd_ < 0)
+    // Snapshot the fd once: bind() happens-before serve(), and
+    // teardown keeps the fd alive (requestStop() only shuts it
+    // down), so accept() never races a close().
+    int fd;
+    {
+        MutexLock lock(mutex_);
+        fd = fd_;
+    }
+    if (fd < 0)
         return -1;
     int served = 0;
     while (max_requests == 0 || served < max_requests) {
-        int client = ::accept(fd_, nullptr, nullptr);
-        if (client < 0)
+        if (stop_.load(std::memory_order_acquire))
+            break;
+        int client = ::accept(fd, nullptr, nullptr);
+        if (client < 0) {
+            if (stop_.load(std::memory_order_acquire))
+                break;
             continue;
+        }
 
         // Read until the end of the request head (or a sane cap);
         // only the request line matters to the router.

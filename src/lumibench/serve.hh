@@ -26,7 +26,10 @@
 #ifndef LUMI_LUMIBENCH_SERVE_HH
 #define LUMI_LUMIBENCH_SERVE_HH
 
+#include <atomic>
 #include <string>
+
+#include "check/thread_annotations.hh"
 
 namespace lumi
 {
@@ -62,22 +65,39 @@ class ReportServer
      * Bind a listening IPv4 socket on 127.0.0.1:@p port (0 picks an
      * ephemeral port). False + stderr warning on failure.
      */
-    bool bind(int port);
+    bool bind(int port) LUMI_EXCLUDES(mutex_);
 
     /** Bound port (valid after bind() succeeded). */
-    int port() const { return port_; }
+    int
+    port() const LUMI_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return port_;
+    }
 
     /**
      * Accept loop: serve until @p max_requests requests have been
-     * answered (0 = until the process dies). Returns the number of
+     * answered (0 = until requestStop()). Returns the number of
      * requests served, or -1 if bind() had not succeeded.
      */
-    int serve(int max_requests);
+    int serve(int max_requests) LUMI_EXCLUDES(mutex_);
+
+    /**
+     * Ask a serve() loop running on another thread to exit: sets the
+     * stop flag and shuts the listening socket down so a blocked
+     * accept() returns. serve() unwinds at the next loop check;
+     * in-flight responses finish first.
+     */
+    void requestStop() LUMI_EXCLUDES(mutex_);
 
   private:
     std::string dir_;
-    int fd_ = -1;
-    int port_ = 0;
+    /** Guards the socket lifecycle (bind/teardown vs. observers). */
+    mutable Mutex mutex_;
+    int fd_ LUMI_GUARDED_BY(mutex_) = -1;
+    int port_ LUMI_GUARDED_BY(mutex_) = 0;
+    /** Lock-free so serve() polls it without touching mutex_. */
+    std::atomic<bool> stop_{false};
 };
 
 } // namespace query

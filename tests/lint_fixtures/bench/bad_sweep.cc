@@ -1,0 +1,10 @@
+// Fixture: campaign-sweep rule -- a bench binary hand-rolling its
+// own workload loop instead of going through bench_util
+// runAll()/runJobs(). Never compiled.
+int main() {
+    long total = 0;
+    for (int i = 0; i < 8; ++i) {
+        total += runWorkload(i);  // expect(campaign-sweep)
+    }
+    return total == 0 ? 0 : 1;
+}

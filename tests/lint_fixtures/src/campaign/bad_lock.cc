@@ -1,0 +1,45 @@
+// Fixture: lock-discipline rule -- one guarded field, touched three
+// legal ways (RAII guard, manual lock window, LUMI_REQUIRES) and one
+// illegal way.
+#include "check/thread_annotations.hh"
+
+class Counter {
+  public:
+    void bump() {
+        lumi::MutexLock lock(mutex_);
+        hits_ += 1;
+    }
+
+    void manualBump() {
+        mutex_.lock();
+        hits_ += 1;
+        mutex_.unlock();
+    }
+
+    void racyBump() {
+        hits_ += 1;  // expect(lock-discipline)
+    }
+
+    uint64_t read() LUMI_REQUIRES(mutex_) {
+        return hits_;
+    }
+
+  private:
+    lumi::Mutex mutex_;
+    uint64_t hits_ LUMI_GUARDED_BY(mutex_) = 0;
+};
+
+// A function-local guarded struct (campaign.cc's IoState shape):
+// the member declaration is not an access, the locked touch is
+// fine, the unlocked touch is not.
+void localState() {
+    struct IoState {
+        lumi::Mutex mutex;
+        uint64_t lines LUMI_GUARDED_BY(mutex) = 0;
+    } io;
+    {
+        lumi::MutexLock lock(io.mutex);
+        io.lines++;
+    }
+    io.lines++;  // expect(lock-discipline)
+}

@@ -1,0 +1,7 @@
+// Fixture: no-bare-assert rule.
+#include <cassert>
+
+void checkInvariant(int x) {
+    assert(x >= 0);  // expect(no-bare-assert)
+    static_assert(sizeof(int) == 4, "ILP32/LP64 only");
+}

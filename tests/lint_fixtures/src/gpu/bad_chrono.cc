@@ -1,0 +1,5 @@
+// Fixture: gpu-chrono rule -- host clock in the model outside the
+// sanctioned host_profile helper.
+#include <chrono>  // expect(gpu-chrono)
+
+double hostSeconds();

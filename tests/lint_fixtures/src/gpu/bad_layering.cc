@@ -1,0 +1,7 @@
+// Fixture: layering rule -- the timing model reaching up into the
+// campaign engine. gpu -> math is inside the matrix; gpu -> campaign
+// is the inversion the rule exists to catch.
+#include "campaign/campaign.hh"  // expect(layering)
+#include "math/vec.hh"
+
+void modelStep();

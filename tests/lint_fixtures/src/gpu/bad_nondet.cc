@@ -1,0 +1,29 @@
+// Fixture: nondeterminism rule + regressions for the two bugs the
+// old strip_comments scanner had (char literals holding a quote,
+// raw strings scanned as ordinary strings).
+#include "gpu/gpu.hh"
+
+static int entropy() {
+    return rand();  // expect(nondeterminism)
+}
+
+// Regression 1: a banned call inside a raw string must not fire --
+// the tokenizer blanks literal contents. The old scanner tore the
+// literal open at the inner `)"` and matched the contents.
+static const char *kDoc = R"(seed it yourself, never rand())";
+
+// Regression 2: a char literal holding a quote must not open a
+// phantom string; the banned call after it must still fire. The old
+// scanner treated the `"` inside '"' as a string opener and
+// swallowed the rest of the file.
+static int quoteThenRand(char c) {
+    if (c == '"') return rand();  // expect(nondeterminism)
+    return 0;
+}
+
+// Suppression: an allow comment silences exactly this line. If the
+// framework-level suppression broke, this would surface as an
+// unexpected finding.
+static int sanctioned() {
+    return rand();  // lint:allow(nondeterminism)
+}

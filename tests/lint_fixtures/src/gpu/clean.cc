@@ -1,0 +1,26 @@
+// Fixture: known-clean file packing the tokenizer's historical
+// trouble spots -- no rule may fire anywhere in here.
+#include "gpu/gpu.hh"
+#include <algorithm>
+#include <cstdint>
+
+// "rand()" in a comment must not fire, nor may any banned token in
+// the literals below. std::chrono and time(NULL) appear only inside
+// a raw string; the quote-bearing char literals were the old
+// scanner's phantom-string trigger.
+static const char *kUsage = "do not call rand() here";
+static const char *kRaw = R"raw(std::chrono and time(NULL) "quoted")raw";
+static const char kQuote = '"';
+static const char kEscaped = '\'';
+static const char32_t kWide = U'"';
+
+uint64_t population(uint64_t *begin, uint64_t *end) {
+    // std::fill is a free function, not Cache::fill: no receiver dot
+    // or arrow, so cache-access must stay quiet.
+    std::fill(begin, end, uint64_t{1'000'000});
+    uint64_t sum = 0;
+    for (uint64_t *it = begin; it != end; ++it) {
+        sum += *it;
+    }
+    return sum;
+}

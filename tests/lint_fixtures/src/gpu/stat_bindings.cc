@@ -1,0 +1,12 @@
+// Fixture: stat-coverage rule -- registers cycles and stalls but
+// forgets orphan_counter, so the rule must flag GpuStats.
+#include "gpu/stats.hh"
+
+struct Registry {
+    void add(const char *name, uint64_t *counter);
+};
+
+void registerGpuStats(Registry &registry, GpuStats *s) {
+    registry.add("cycles", &s->cycles);
+    registry.add("stalls", &s->stalls);
+}

@@ -1,0 +1,15 @@
+// expect(stat-coverage)  -- orphan_counter below is never registered
+// in stat_bindings.cc; the rule reports against line 1 of the header.
+#pragma once
+#include <cstdint>
+
+struct GpuStats {
+    uint64_t cycles = 0;
+    uint64_t stalls = 0;
+    uint64_t orphan_counter = 0;
+
+    uint64_t busy() const {
+        uint64_t live = cycles - stalls;  // local, not a counter
+        return live;
+    }
+};

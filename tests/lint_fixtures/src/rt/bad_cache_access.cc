@@ -1,0 +1,9 @@
+// Fixture: cache-access rule -- a direct probe bypassing the
+// MemSystem issue ports.
+struct Cache {
+    bool probe(long addr);
+};
+
+bool snoop(Cache *cache, long addr) {
+    return cache->probe(addr);  // expect(cache-access)
+}

@@ -1,0 +1,19 @@
+// Fixture: unordered-iter rule -- hash-order iteration while
+// emitting output.
+#include <cstdio>
+#include <unordered_map>
+
+static std::unordered_map<int, int> table;
+
+void dumpTable() {
+    for (const auto &kv : table) {  // expect(unordered-iter)
+        std::printf("%d %d\n", kv.first, kv.second);
+    }
+}
+
+void dumpRange(const int *begin, const int *end) {
+    // Ordered iteration is fine.
+    for (const int *it = begin; it != end; ++it) {
+        std::printf("%d\n", *it);
+    }
+}

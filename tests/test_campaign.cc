@@ -15,11 +15,13 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
 #include "campaign/cache.hh"
 #include "campaign/campaign.hh"
+#include "campaign/telemetry.hh"
 #include "lumibench/runner.hh"
 #include "lumibench/workload.hh"
 #include "trace/stat_registry.hh"
@@ -402,6 +404,50 @@ TEST(Campaign, FromEnvReadsTelemetryKnobs)
     CampaignOptions defaults = CampaignOptions::fromEnv();
     EXPECT_TRUE(defaults.eventLogPath.empty());
     EXPECT_DOUBLE_EQ(defaults.heartbeatSeconds, 0.0);
+}
+
+TEST(Campaign, HeartbeatStandaloneLifecycle)
+{
+    // A heartbeat constructed and destroyed without any campaign
+    // around it must start and shut down cleanly -- including when
+    // the period is far longer than the object's lifetime, so the
+    // destructor has to interrupt a ticker that never fired.
+    std::atomic<int> ticks{0};
+    {
+        Heartbeat heartbeat(3600.0, [&] { ticks.fetch_add(1); });
+    }
+    EXPECT_EQ(ticks.load(), 0);
+
+    // A short period must actually tick.
+    {
+        Heartbeat heartbeat(0.005, [&] { ticks.fetch_add(1); });
+        while (ticks.load() == 0)
+            std::this_thread::yield();
+    }
+    EXPECT_GE(ticks.load(), 1);
+}
+
+TEST(Campaign, HeartbeatStopIsIdempotentAndConcurrent)
+{
+    // stop() is documented as idempotent and callable from several
+    // threads at once: the join happens exactly once and every
+    // caller returns only after the ticker has exited. A regression
+    // here deadlocked the second caller (it joined while holding
+    // the mutex the ticker needed to observe the stop flag).
+    std::atomic<int> ticks{0};
+    Heartbeat heartbeat(0.001, [&] { ticks.fetch_add(1); });
+    while (ticks.load() == 0)
+        std::this_thread::yield();
+
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i)
+        stoppers.emplace_back([&] { heartbeat.stop(); });
+    for (std::thread &stopper : stoppers)
+        stopper.join();
+
+    int after = ticks.load();
+    heartbeat.stop(); // and once more, single-threaded
+    EXPECT_EQ(ticks.load(), after);
 }
 
 TEST(Campaign, MaybeWriteReportCreatesMissingDir)

@@ -1,0 +1,20 @@
+"""Token-level static analysis for the LumiBench tree.
+
+The package behind tools/lint.py:
+
+  tokens.py   A C++ tokenizer that understands //, /* */, string,
+              char and raw-string literals, digit separators and
+              #include targets, plus code_view() -- a comment- and
+              literal-blanked rendition of the source that preserves
+              byte offsets and line structure for regex rules.
+  engine.py   The rule framework: per-file and whole-program rules,
+              finding collection, `// lint:allow(<rule>)`
+              suppression, text / --json / SARIF output.
+  rules.py    The simulator-specific rules themselves: the seven
+              determinism/accounting rules plus the whole-program
+              `layering` and `lock-discipline` rules.
+"""
+
+from .engine import Analyzer, Finding, RULES
+
+__all__ = ["Analyzer", "Finding", "RULES"]

@@ -1,0 +1,215 @@
+"""Rule framework for the LumiBench static analyzer.
+
+An Analyzer walks the tree once, tokenizes each source file once
+(tokens.py), and hands a shared AnalysisContext to every rule. Rules
+report Findings; a finding on a line whose raw text carries
+`// lint:allow(<rule>)` is suppressed at the framework level, so no
+rule re-implements suppression.
+
+Output formats: human text (path:line: [rule] message), --json (a
+findings array plus a per-rule summary), and SARIF 2.1.0 for CI
+annotation/artifact upload. The exit status stays what it always
+was: the number of rule classes with at least one finding.
+"""
+
+import json
+import os
+import re
+
+from . import tokens as tok
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+
+#: (name, register_order) -> rule function. Populated by @rule.
+RULES = []
+
+
+def rule(name, doc):
+    """Decorator registering a rule. The function receives
+    (ctx, report) where report(path, line, message) files a finding
+    attributed to the rule."""
+
+    def wrap(fn):
+        RULES.append((name, doc, fn))
+        return fn
+
+    return wrap
+
+
+class Finding:
+    __slots__ = ("path", "rel", "line", "rule", "message")
+
+    def __init__(self, path, rel, line, rule_name, message):
+        self.path = path
+        self.rel = rel
+        self.line = line
+        self.rule = rule_name
+        self.message = message
+
+    def text(self):
+        return "%s:%d: [%s] %s" % (self.rel, self.line, self.rule,
+                                   self.message)
+
+    def as_dict(self):
+        return {
+            "file": self.rel,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One tokenized file: raw lines for suppression comments and
+    messages, clean lines (comments/literals blanked, byte-aligned)
+    for regex rules, the token stream for token rules."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.tokens = tok.tokenize(text)
+        self.clean = tok.code_view(text, self.tokens)
+        self.clean_lines = self.clean.splitlines()
+
+    def allowed(self, lineno, rule_name):
+        if 1 <= lineno <= len(self.raw_lines):
+            match = ALLOW_RE.search(self.raw_lines[lineno - 1])
+            return (match is not None and
+                    match.group(1) == rule_name)
+        return False
+
+
+class AnalysisContext:
+    """Shared per-run state: the root plus a tokenized-file cache."""
+
+    def __init__(self, root):
+        self.root = root
+        self._cache = {}
+
+    def file(self, path):
+        entry = self._cache.get(path)
+        if entry is None:
+            with open(path, encoding="utf-8",
+                      errors="replace") as handle:
+                entry = SourceFile(path, handle.read())
+            self._cache[path] = entry
+        return entry
+
+    def exists(self, rel):
+        return os.path.exists(os.path.join(self.root, rel))
+
+    def source_files(self, subdirs, extra_files=(), exts=(".cc",
+                                                          ".hh")):
+        """Sorted .cc/.hh paths under @p subdirs (missing directories
+        contribute nothing, so fixture trees and partial checkouts
+        analyze cleanly)."""
+        found = []
+        for sub in subdirs:
+            base = os.path.join(self.root, sub)
+            for dirpath, _, names in os.walk(base):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        found.append(os.path.join(dirpath, name))
+        for rel in extra_files:
+            path = os.path.join(self.root, rel)
+            if os.path.exists(path):
+                found.append(path)
+        return sorted(found)
+
+
+class Analyzer:
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+        self.ctx = AnalysisContext(self.root)
+        self.findings = []
+        self.failed_rules = []
+
+    def run(self, only=None):
+        """Run every rule (or the @p only subset). Returns the exit
+        status: the number of rule classes with findings."""
+        # Rules are imported lazily so `import analyze` stays cheap.
+        from . import rules as _rules  # noqa: F401  (registers RULES)
+
+        for name, _doc, fn in RULES:
+            if only and name not in only:
+                continue
+            before = len(self.findings)
+
+            def report(path, lineno, message, _name=name):
+                rel = os.path.relpath(path, self.root)
+                try:
+                    if self.ctx.file(path).allowed(lineno, _name):
+                        return
+                except OSError:
+                    pass
+                self.findings.append(
+                    Finding(path, rel, lineno, _name, message))
+
+            fn(self.ctx, report)
+            if len(self.findings) > before:
+                self.failed_rules.append(name)
+        return len(self.failed_rules)
+
+    def summary(self):
+        counts = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self):
+        return {
+            "root": self.root,
+            "findings": [f.as_dict() for f in self.findings],
+            "summary": self.summary(),
+            "failed_rules": list(self.failed_rules),
+        }
+
+    def to_sarif(self):
+        """Minimal SARIF 2.1.0 document for CI artifact upload."""
+        rule_meta = [{
+            "id": name,
+            "shortDescription": {"text": doc.strip().split("\n")[0]},
+            "fullDescription": {"text": doc.strip()},
+            "defaultConfiguration": {"level": "error"},
+        } for name, doc, _fn in RULES]
+        results = [{
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.rel.replace(os.sep, "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": finding.line},
+                },
+            }],
+        } for finding in self.findings]
+        return {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-"
+                        "2.1.0.json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "lumibench-lint",
+                        "informationUri":
+                            "https://example.invalid/lumibench",
+                        "rules": rule_meta,
+                    },
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///" +
+                                self.root.strip("/") + "/"},
+                },
+                "results": results,
+            }],
+        }
+
+    def write_sarif(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_sarif(), handle, indent=2)
+            handle.write("\n")

@@ -1,0 +1,272 @@
+"""A small C++ tokenizer for the lint rules.
+
+The regex lint engine this replaces blanked comments and strings
+with a hand-rolled scanner that had two real bugs: a char literal
+holding a quote (`'"'`) opened a phantom string that swallowed the
+rest of the file, and raw string literals (`R"(...)"`) were scanned
+as ordinary strings, so a `)"` inside them tore the literal open and
+rule patterns matched string *contents*. Tokenizing properly fixes
+both for every rule at once (tests/lint_fixtures pins regressions
+for each).
+
+Tokens carry their byte span in the original text, so rules can work
+on the token stream (layering, lock-discipline) or on code_view() --
+the original text with comment bodies and literal contents blanked,
+byte-for-byte aligned with the source so line/column arithmetic and
+the existing regex rules keep working.
+
+Token kinds:
+  id        identifiers and keywords
+  num       numeric literals (incl. 0x1F, 1'000'000, 1.5e-3)
+  str       string literals, encoding prefixes and raw strings
+            included ("...", u8"...", R"(...)", LR"x(...)x")
+  char      character literals ('a', '\\'', '"')
+  include   the target of an #include directive, text includes the
+            delimiters ("gpu/gpu.hh" or <chrono>)
+  pp        a preprocessor directive head (#define, #pragma, ...)
+  punct     every other operator/punctuator character
+"""
+
+import bisect
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "col", "start", "end")
+
+    def __init__(self, kind, text, line, col, start, end):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+        self.start = start
+        self.end = end
+
+    def __repr__(self):
+        return "Token(%s, %r, line=%d)" % (self.kind, self.text,
+                                           self.line)
+
+
+_RAW_PREFIXES = ("R", "u8R", "uR", "UR", "LR")
+_STR_PREFIXES = ("u8", "u", "U", "L")
+
+_ID_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_NUM_CONT = _ID_CONT | frozenset(".'")
+
+
+def _line_starts(text):
+    starts = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def tokenize(text):
+    """Token stream of @p text; comments vanish, literals are one
+    token each. Unterminated constructs consume to end of file
+    rather than raising: lint must degrade, not crash."""
+    tokens = []
+    starts = _line_starts(text)
+
+    def loc(i):
+        line = bisect.bisect_right(starts, i)
+        return line, i - starts[line - 1] + 1
+
+    n = len(text)
+    i = 0
+    line_begin = True  # only whitespace seen since the line start
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line_begin = True
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            # A backslash-newline continues a // comment.
+            j = i + 2
+            while j < n:
+                if text[j] == "\n":
+                    back = j - 1
+                    while back > i and text[back] == "\r":
+                        back -= 1
+                    if text[back] == "\\":
+                        j += 1
+                        continue
+                    break
+                j += 1
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            i = n if j < 0 else j + 2
+            continue
+
+        start = i
+        ln, col = loc(i)
+
+        # Preprocessor directives: capture #include targets so the
+        # layering rule sees them (code_view blanks string bodies).
+        if c == "#" and line_begin:
+            j = i + 1
+            while j < n and text[j] in " \t":
+                j += 1
+            d = j
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            directive = text[d:j]
+            tokens.append(Token("pp", "#" + directive, ln, col,
+                                start, j))
+            if directive == "include":
+                while j < n and text[j] in " \t":
+                    j += 1
+                if j < n and text[j] in "<\"":
+                    close = ">" if text[j] == "<" else '"'
+                    nl = text.find("\n", j)
+                    if nl < 0:
+                        nl = n
+                    k = text.find(close, j + 1, nl)
+                    if k >= 0:
+                        tln, tcol = loc(j)
+                        tokens.append(Token("include",
+                                            text[j:k + 1], tln,
+                                            tcol, j, k + 1))
+                        j = k + 1
+            i = j
+            line_begin = False
+            continue
+        line_begin = False
+
+        # Identifiers -- and the raw/encoded string literals whose
+        # prefix parses as one.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            word = text[i:j]
+            if j < n and text[j] == '"' and word in _RAW_PREFIXES:
+                # Raw string: R"delim( ... )delim"
+                k = j + 1
+                while k < n and text[k] not in "(\n":
+                    k += 1
+                if k < n and text[k] == "(":
+                    delim = text[j + 1:k]
+                    close = ")" + delim + '"'
+                    e = text.find(close, k + 1)
+                    e = n if e < 0 else e + len(close)
+                else:
+                    e = k
+                tokens.append(Token("str", text[i:e], ln, col,
+                                    start, e))
+                i = e
+                continue
+            if j < n and text[j] == '"' and word in _STR_PREFIXES:
+                e = _scan_quoted(text, j, '"')
+                tokens.append(Token("str", text[i:e], ln, col,
+                                    start, e))
+                i = e
+                continue
+            if j < n and text[j] == "'" and word in _STR_PREFIXES:
+                e = _scan_quoted(text, j, "'")
+                tokens.append(Token("char", text[i:e], ln, col,
+                                    start, e))
+                i = e
+                continue
+            tokens.append(Token("id", word, ln, col, start, j))
+            i = j
+            continue
+
+        # Numbers (digit separators use ' -- consume them here so
+        # they are never mistaken for char literals).
+        if c in _DIGITS or (c == "." and i + 1 < n and
+                            text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n:
+                ch = text[j]
+                if ch in _NUM_CONT:
+                    if ch == "'" and not (j + 1 < n and
+                                          text[j + 1] in _ID_CONT):
+                        break
+                    j += 1
+                elif ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            tokens.append(Token("num", text[i:j], ln, col,
+                                start, j))
+            i = j
+            continue
+
+        if c == '"':
+            e = _scan_quoted(text, i, '"')
+            tokens.append(Token("str", text[i:e], ln, col,
+                                start, e))
+            i = e
+            continue
+
+        if c == "'":
+            e = _scan_quoted(text, i, "'")
+            tokens.append(Token("char", text[i:e], ln, col,
+                                start, e))
+            i = e
+            continue
+
+        tokens.append(Token("punct", c, ln, col, start, i + 1))
+        i += 1
+
+    return tokens
+
+
+def _scan_quoted(text, i, quote):
+    """End offset (past the close quote) of the literal at @p i."""
+    n = len(text)
+    j = i + 1
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote or c == "\n":
+            # An unterminated literal stops at the newline so one
+            # bad line cannot swallow the rest of the file.
+            return j + 1 if c == quote else j
+        j += 1
+    return n
+
+
+def code_view(text, tokens=None):
+    """@p text with comment bodies and literal contents blanked.
+
+    Byte-aligned with the original: newlines survive, every other
+    blanked byte becomes a space, literal delimiters are kept (a
+    string shows as `""`, a char literal as `''`), #include targets
+    are kept verbatim so directive-matching regexes still work.
+    Rules that grep for banned calls can never match inside a
+    comment, string, char or raw-string literal.
+    """
+    if tokens is None:
+        tokens = tokenize(text)
+    out = [c if c == "\n" else " " for c in text]
+    for token in tokens:
+        if token.kind in ("str", "char"):
+            out[token.start] = text[token.start]
+            out[token.end - 1] = text[token.end - 1]
+            # Keep a quote as the first visible delimiter even for
+            # prefixed literals (u8"...": keep the `"`, blank `u8`).
+            quote = '"' if token.kind == "str" else "'"
+            qpos = text.find(quote, token.start, token.end)
+            if qpos >= 0:
+                out[qpos] = quote
+        else:
+            for k in range(token.start, token.end):
+                if text[k] != "\n":
+                    out[k] = text[k]
+    return "".join(out)

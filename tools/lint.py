@@ -1,414 +1,83 @@
 #!/usr/bin/env python3
-"""Simulator-specific lint rules for the LumiBench model.
+"""Determinism & concurrency lint for the LumiBench tree.
 
-Off-the-shelf linters do not know the invariants a cycle-level
-simulator lives by, so this script enforces the project-specific
-ones:
+Thin entry point over tools/analyze/ -- the token-level analyzer
+package (tokenizer, rule engine, rules). Run from anywhere:
 
-  nondeterminism     No wall-clock or libc/std randomness inside the
-                     timing model (src/gpu, src/rt, src/bvh). Cycle
-                     counts must be bit-identical run to run; any
-                     entropy has to come from a seeded lumi::Rng.
-  unordered-iter     No range-for iteration over unordered containers
-                     in code that emits reports, traces, or stats.
-                     Hash-order iteration makes output byte-unstable
-                     across libstdc++ versions and ASLR.
-  stat-coverage      Every uint64_t counter field declared in the
-                     stats structs (GpuStats, CacheStats, DramStats,
-                     RequesterStats) must be registered by address in
-                     src/gpu/stat_bindings.cc, so run reports can
-                     never silently drop a counter.
-  no-bare-assert     src/gpu and src/check use LUMI_CHECK instead of
-                     assert(): checks must honor count-mode, feed the
-                     violation counters, and compile out with
-                     -DLUMI_CHECKS=OFF.
-  campaign-sweep     Bench binaries must not hand-roll workload loops
-                     with direct runWorkload()/runCompute() calls;
-                     sweeps go through the campaign engine
-                     (bench_util.hh runAll/runJobs) so every bench
-                     gets parallelism, retries, budgets and the
-                     result cache for free.
-  cache-access       Outside the MemSystem implementation, no src/
-                     code may call Cache::probe/writeProbe/peek/fill
-                     directly. Every access must flow through the
-                     issueRead/issueWrite ports so MSHR accounting,
-                     port arbitration and the request stats stay
-                     conserved (unit tests and microbenches of Cache
-                     itself live in tests/ and bench/, which the
-                     rule does not scan).
-  gpu-chrono         src/gpu must not touch wall-clock facilities
-                     (std::chrono, <chrono>, clock_gettime,
-                     gettimeofday) except through the sanctioned
-                     self-profiling helper src/gpu/host_profile.cc.
-                     Host timing anywhere else in the model invites
-                     observer effects and nondeterministic behavior
-                     that the interval/timeline samplers are designed
-                     to avoid.
+    tools/lint.py [--root DIR] [--list-rules] [--rule NAME]...
+                  [--json] [--sarif PATH]
 
-Exit status is the number of rule classes that found violations
-(0 = clean). A line may opt out with a trailing
-`// lint:allow(<rule>)` comment.
-
-Usage: tools/lint.py [--root DIR] [--list-rules]
+Exit status is the number of rule classes with at least one finding
+(0 = clean). Suppress a single line with `// lint:allow(<rule>)`.
 """
 
 import argparse
+import json
 import os
-import re
 import sys
 
-HERE = os.path.dirname(os.path.abspath(__file__))
-DEFAULT_ROOT = os.path.dirname(HERE)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# Directories making up the deterministic timing model.
-MODEL_DIRS = ("src/gpu", "src/rt", "src/bvh", "src/check")
-# Code that serializes output: reports, traces, stats, metrics.
-EMIT_DIRS = ("src/trace", "src/lumibench", "src/metrics",
-             "src/analysis", "src/campaign")
-EMIT_FILES = ("src/gpu/stat_bindings.cc",)
-
-NONDET_PATTERNS = [
-    (re.compile(r"\b(?:std::)?s?rand(?:_r)?\s*\("), "rand()"),
-    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
-    (re.compile(r"\bstd::(?:mt19937|minstd_rand|default_random_engine)"
-                r"(?:_64)?\b"),
-     "unseeded-by-convention std random engine"),
-    (re.compile(r"(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0|&)"),
-     "time()"),
-    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
-    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
-    (re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)"
-                r"_clock\b"),
-     "std::chrono clock"),
-]
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
-
-STAT_STRUCTS = [
-    # (header, struct name, registration function in stat_bindings.cc)
-    ("src/gpu/stats.hh", "GpuStats", "registerGpuStats"),
-    ("src/gpu/cache.hh", "CacheStats", "registerCacheStats"),
-    ("src/gpu/dram.hh", "DramStats", "registerDramStats"),
-    ("src/gpu/mem_system.hh", "RequesterStats",
-     "registerRequesterStats"),
-    ("src/gpu/mem_request.hh", "MemSystemStats",
-     "registerMemSystemStats"),
-]
-
-FIELD_RE = re.compile(
-    r"^\s*uint64_t\s+(\w+)\s*(?:\[[^\]]*\])?\s*=\s*(?:0|\{\})\s*;")
-
-UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set)\s*<[^;{}]*?>>?\s+(\w+)\s*[;={]")
+from analyze import Analyzer, RULES  # noqa: E402
+from analyze import rules as _rules  # noqa: E402,F401  (registers RULES)
 
 
-def strip_comments(text):
-    """Blank out // and /* */ comments, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == '"' and (i == 0 or text[i - 1] != "\\"):
-            # Skip string literal so banned tokens in messages don't
-            # trip the patterns.
-            out.append(c)
-            i += 1
-            while i < n and text[i] != '"':
-                if text[i] == "\\":
-                    out.append(" ")
-                    i += 1
-                out.append(" " if text[i] != "\n" else "\n")
-                i += 1
-            if i < n:
-                out.append('"')
-                i += 1
-        elif text.startswith("//", i):
-            while i < n and text[i] != "\n":
-                out.append(" ")
-                i += 1
-        elif text.startswith("/*", i):
-            while i < n and not text.startswith("*/", i):
-                out.append(" " if text[i] != "\n" else "\n")
-                i += 1
-            if i < n:
-                out.append("  ")
-                i += 2
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="LumiBench determinism & concurrency lint")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to analyze (default: this checkout)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the rules and exit")
+    parser.add_argument(
+        "--rule", action="append", metavar="NAME",
+        help="run only this rule (repeatable)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON instead of text")
+    parser.add_argument(
+        "--sarif", metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH")
+    args = parser.parse_args(argv)
 
-
-def source_files(root, subdirs, extra_files=()):
-    found = []
-    for sub in subdirs:
-        base = os.path.join(root, sub)
-        for dirpath, _, names in os.walk(base):
-            for name in sorted(names):
-                if name.endswith((".cc", ".hh")):
-                    found.append(os.path.join(dirpath, name))
-    for rel in extra_files:
-        path = os.path.join(root, rel)
-        if os.path.exists(path):
-            found.append(path)
-    return sorted(found)
-
-
-def allowed(raw_line, rule):
-    match = ALLOW_RE.search(raw_line)
-    return match is not None and match.group(1) == rule
-
-
-def check_nondeterminism(root, report):
-    ok = True
-    for path in source_files(root, MODEL_DIRS):
-        raw_lines = open(path).read().splitlines()
-        clean = strip_comments("\n".join(raw_lines)).splitlines()
-        for lineno, line in enumerate(clean, 1):
-            for pattern, what in NONDET_PATTERNS:
-                if pattern.search(line):
-                    if allowed(raw_lines[lineno - 1],
-                               "nondeterminism"):
-                        continue
-                    report(path, lineno, "nondeterminism",
-                           "%s in the timing model; cycle counts "
-                           "must be deterministic (use a seeded "
-                           "lumi::Rng)" % what)
-                    ok = False
-    return ok
-
-
-def check_unordered_iteration(root, report):
-    # Pass 1: collect every identifier declared anywhere in src/ with
-    # an unordered container type.
-    names = set()
-    for path in source_files(root, ("src",)):
-        for match in UNORDERED_DECL_RE.finditer(
-                strip_comments(open(path).read())):
-            names.add(match.group(1))
-    # Pass 2: flag range-for over those identifiers (or over an
-    # expression that is textually unordered) in emitting code.
-    range_for = re.compile(r"for\s*\([^;()]*?:\s*([^)]*)\)")
-    ok = True
-    for path in source_files(root, EMIT_DIRS, EMIT_FILES):
-        raw_lines = open(path).read().splitlines()
-        clean = strip_comments("\n".join(raw_lines)).splitlines()
-        for lineno, line in enumerate(clean, 1):
-            match = range_for.search(line)
-            if not match:
-                continue
-            expr = match.group(1)
-            ident = re.findall(r"(\w+)\s*(?:\(\s*\))?\s*$", expr)
-            hash_ordered = "unordered" in expr or (
-                ident and ident[0] in names)
-            if hash_ordered and not allowed(raw_lines[lineno - 1],
-                                            "unordered-iter"):
-                report(path, lineno, "unordered-iter",
-                       "iterating '%s' (hash order) while emitting "
-                       "output; order must be deterministic" %
-                       expr.strip())
-                ok = False
-    return ok
-
-
-def struct_fields(header_path, struct_name):
-    """uint64_t counter fields of @p struct_name (zero-initialized)."""
-    text = open(header_path).read()
-    match = re.search(r"struct\s+%s\b" % struct_name, text)
-    if not match:
-        return None
-    depth = 0
-    fields = []
-    body_start = text.index("{", match.end())
-    i = body_start
-    while i < len(text):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                break
-        i += 1
-    body = text[body_start:i]
-    # Only top-level members: strip nested function bodies so locals
-    # like `uint64_t denom = ...` are not mistaken for counters.
-    top = []
-    depth = 0
-    for ch in body[1:]:
-        if ch == "{":
-            depth += 1
-        elif ch == "}":
-            depth -= 1
-        elif depth == 0:
-            top.append(ch)
-    for line in "".join(top).splitlines():
-        m = FIELD_RE.match(line)
-        if m:
-            fields.append(m.group(1))
-    return fields
-
-
-def check_stat_coverage(root, report):
-    bindings_path = os.path.join(root, "src/gpu/stat_bindings.cc")
-    bindings = strip_comments(open(bindings_path).read())
-    registered = set(re.findall(r"&s->(\w+)", bindings))
-    ok = True
-    for rel, struct, func in STAT_STRUCTS:
-        header = os.path.join(root, rel)
-        fields = struct_fields(header, struct)
-        if fields is None:
-            report(header, 1, "stat-coverage",
-                   "struct %s not found" % struct)
-            ok = False
-            continue
-        for field in fields:
-            if field not in registered:
-                report(header, 1, "stat-coverage",
-                       "%s::%s is never registered in %s() "
-                       "(src/gpu/stat_bindings.cc); run reports "
-                       "would silently drop it" %
-                       (struct, field, func))
-                ok = False
-    return ok
-
-
-def check_no_bare_assert(root, report):
-    ok = True
-    pattern = re.compile(r"(?<![\w.])assert\s*\(")
-    for path in source_files(root, ("src/gpu", "src/check")):
-        raw_lines = open(path).read().splitlines()
-        clean = strip_comments("\n".join(raw_lines)).splitlines()
-        for lineno, line in enumerate(clean, 1):
-            if pattern.search(line) and "static_assert" not in line:
-                if allowed(raw_lines[lineno - 1], "no-bare-assert"):
-                    continue
-                report(path, lineno, "no-bare-assert",
-                       "use LUMI_CHECK instead of assert() in the "
-                       "model: it honors count mode, feeds the "
-                       "violation stats, and compiles out with "
-                       "-DLUMI_CHECKS=OFF")
-                ok = False
-    return ok
-
-
-def check_campaign_sweep(root, report):
-    """Bench binaries must sweep via the campaign engine."""
-    ok = True
-    pattern = re.compile(r"\brun(?:Workload|Compute)\s*\(")
-    bench_dir = os.path.join(root, "bench")
-    for name in sorted(os.listdir(bench_dir)):
-        if not name.endswith(".cc"):
-            continue
-        path = os.path.join(bench_dir, name)
-        raw_lines = open(path).read().splitlines()
-        clean = strip_comments("\n".join(raw_lines)).splitlines()
-        for lineno, line in enumerate(clean, 1):
-            if pattern.search(line):
-                if allowed(raw_lines[lineno - 1], "campaign-sweep"):
-                    continue
-                report(path, lineno, "campaign-sweep",
-                       "direct runWorkload()/runCompute() in a bench "
-                       "binary; route the sweep through bench_util "
-                       "runAll()/runJobs() (campaign engine) so it "
-                       "gets LUMI_JOBS parallelism, retries and the "
-                       "result cache")
-                ok = False
-    return ok
-
-
-def check_cache_access(root, report):
-    """src/ code accesses caches only through the MemSystem ports."""
-    ok = True
-    # Method calls only (`.` or `->` receiver): free fill()/probe()
-    # functions and std::fill never match.
-    pattern = re.compile(
-        r"(?:\.|->)\s*(probe|writeProbe|peek|fill)\s*\(")
-    allowed_files = ("src/gpu/mem_system.cc", "src/gpu/cache.cc",
-                     "src/gpu/cache.hh")
-    for path in source_files(root, ("src",)):
-        rel = os.path.relpath(path, root)
-        if rel in allowed_files:
-            continue
-        raw_lines = open(path).read().splitlines()
-        clean = strip_comments("\n".join(raw_lines)).splitlines()
-        for lineno, line in enumerate(clean, 1):
-            match = pattern.search(line)
-            if not match:
-                continue
-            if allowed(raw_lines[lineno - 1], "cache-access"):
-                continue
-            report(path, lineno, "cache-access",
-                   "direct Cache::%s() outside src/gpu/"
-                   "mem_system.cc; go through MemSystem::issueRead/"
-                   "issueWrite so MSHR and port accounting stay "
-                   "conserved" % match.group(1))
-            ok = False
-    return ok
-
-
-def check_gpu_chrono(root, report):
-    """src/gpu uses host clocks only via the profiling helper."""
-    ok = True
-    pattern = re.compile(r"std::chrono\b|#\s*include\s*<chrono>"
-                         r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(")
-    # The one sanctioned clock user: the sampled host profiler.
-    exempt = ("src/gpu/host_profile.hh", "src/gpu/host_profile.cc")
-    for path in source_files(root, ("src/gpu",)):
-        rel = os.path.relpath(path, root)
-        if rel in exempt:
-            continue
-        raw_lines = open(path).read().splitlines()
-        clean = strip_comments("\n".join(raw_lines)).splitlines()
-        for lineno, line in enumerate(clean, 1):
-            if pattern.search(line):
-                if allowed(raw_lines[lineno - 1], "gpu-chrono"):
-                    continue
-                report(path, lineno, "gpu-chrono",
-                       "host clock in src/gpu outside the sanctioned "
-                       "profiling helper (src/gpu/host_profile.cc); "
-                       "wall time must never leak into model state")
-                ok = False
-    return ok
-
-
-RULES = [
-    ("nondeterminism", check_nondeterminism),
-    ("unordered-iter", check_unordered_iteration),
-    ("stat-coverage", check_stat_coverage),
-    ("no-bare-assert", check_no_bare_assert),
-    ("campaign-sweep", check_campaign_sweep),
-    ("cache-access", check_cache_access),
-    ("gpu-chrono", check_gpu_chrono),
-]
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=DEFAULT_ROOT,
-                        help="repository root (default: %(default)s)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule names and exit")
-    args = parser.parse_args()
     if args.list_rules:
-        for name, _ in RULES:
-            print(name)
+        for name, doc, _fn in RULES:
+            print("%-16s %s" % (name, " ".join(doc.split())))
         return 0
 
-    failures = 0
+    known = {name for name, _doc, _fn in RULES}
+    if args.rule:
+        unknown = sorted(set(args.rule) - known)
+        if unknown:
+            parser.error("unknown rule(s): %s" % ", ".join(unknown))
 
-    def report(path, lineno, rule, message):
-        rel = os.path.relpath(path, args.root)
-        print("%s:%d: [%s] %s" % (rel, lineno, rule, message))
+    analyzer = Analyzer(args.root)
+    status = analyzer.run(only=args.rule)
 
-    for name, fn in RULES:
-        if not fn(args.root, report):
-            failures += 1
-    if failures:
-        print("lint.py: %d rule(s) failed" % failures,
-              file=sys.stderr)
+    if args.sarif:
+        analyzer.write_sarif(args.sarif)
+
+    if args.as_json:
+        json.dump(analyzer.to_json(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
     else:
-        print("lint.py: all %d rules clean" % len(RULES))
-    return failures
+        for finding in analyzer.findings:
+            print(finding.text())
+        if analyzer.findings:
+            print()
+            for rule_name, count in sorted(
+                    analyzer.summary().items()):
+                print("%-16s %d finding%s" %
+                      (rule_name, count, "s" if count != 1 else ""))
+            print("lint: %d rule class%s failed" %
+                  (status, "es" if status != 1 else ""))
+        else:
+            print("lint: clean (%d rules)" % len(RULES))
+    return status
 
 
 if __name__ == "__main__":
