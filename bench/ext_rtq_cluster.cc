@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Extension: where does the RT-cores-as-compute query family land in
+ * the workload-similarity space?
+ *
+ * Re-runs the Fig. 3 dendrogram/PCA analysis with the RTQ workloads
+ * (AMR_PC, PTS_PC, PTS_KNN) included next to the representative
+ * graphics subset and the Rodinia-equivalent compute kernels, then
+ * reports the cluster assignment of each RTQ workload and its nearest
+ * neighbors in PCA space. Whether RTQ clusters apart from graphics
+ * and from Rodinia is the measured result, not an assumption: the
+ * query kernels exercise RT units and BVH data like graphics but
+ * have compute-style ray statistics (no shading, no bounces).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/cluster.hh"
+#include "analysis/pca.hh"
+#include "bench_util.hh"
+#include "metrics/metrics.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+namespace
+{
+
+/** Workload family, by position in the merged row list. */
+enum class Family
+{
+    Graphics,
+    Rtq,
+    Rodinia,
+};
+
+const char *
+familyName(Family family)
+{
+    switch (family) {
+      case Family::Graphics: return "graphics";
+      case Family::Rtq: return "rtq";
+      case Family::Rodinia: return "rodinia";
+    }
+    return "?";
+}
+
+void
+gather(const std::vector<WorkloadResult> &results, Family family,
+       std::vector<std::vector<double>> &rows,
+       std::vector<std::string> &names,
+       std::vector<Family> &families)
+{
+    for (const WorkloadResult &result : results) {
+        rows.push_back(result.metrics.values);
+        names.push_back(result.id);
+        families.push_back(family);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Extension: RTQ query family vs graphics vs "
+                       "Rodinia")
+                    .c_str());
+
+    std::vector<WorkloadResult> graphics =
+        runAll(representativeSubset(), options);
+    std::vector<WorkloadResult> rtq =
+        runAll(rtqWorkloads(), options);
+    std::vector<WorkloadResult> compute = runAllCompute(options);
+
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> names;
+    std::vector<Family> families;
+    gather(graphics, Family::Graphics, rows, names, families);
+    gather(rtq, Family::Rtq, rows, names, families);
+    gather(compute, Family::Rodinia, rows, names, families);
+
+    std::vector<int> kept;
+    auto dense = denseColumns(rows, kept);
+    PcaResult reduced = pca(dense, 0.9);
+    std::printf("\nPCA: %d components cover %.1f%% of variance "
+                "(%zu shared metrics)\n\n",
+                reduced.kept, 100.0 * reduced.coveredVariance,
+                kept.size());
+
+    Dendrogram tree = agglomerate(reduced.scores);
+    std::printf("%s\n", renderDendrogram(tree, names).c_str());
+
+    // Cluster membership at the Fig. 3 8-cluster cut.
+    std::vector<int> labels = cutTree(tree, 8);
+    TextTable table({"cluster", "workloads"});
+    for (int cluster = 0; cluster < 8; cluster++) {
+        std::string members;
+        for (size_t i = 0; i < names.size(); i++) {
+            if (labels[i] == cluster) {
+                if (!members.empty())
+                    members += " ";
+                members += names[i];
+            }
+        }
+        table.addRow({std::to_string(cluster), members});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Per-RTQ-workload verdict: cluster assignment, whether that
+    // cluster mixes families, and the nearest neighbor in PCA space.
+    TextTable verdict({"workload", "cluster", "shares_with",
+                       "nearest", "distance"});
+    int pure = 0;
+    for (size_t i = 0; i < names.size(); i++) {
+        if (families[i] != Family::Rtq)
+            continue;
+        bool with_graphics = false;
+        bool with_rodinia = false;
+        for (size_t j = 0; j < names.size(); j++) {
+            if (j == i || labels[j] != labels[i])
+                continue;
+            with_graphics |= families[j] == Family::Graphics;
+            with_rodinia |= families[j] == Family::Rodinia;
+        }
+        double best = 1e300;
+        size_t best_j = i;
+        for (size_t j = 0; j < names.size(); j++) {
+            if (j == i)
+                continue;
+            double d = euclidean(reduced.scores[i],
+                                 reduced.scores[j]);
+            if (d < best) {
+                best = d;
+                best_j = j;
+            }
+        }
+        std::string shares = "none";
+        if (with_graphics && with_rodinia)
+            shares = "graphics+rodinia";
+        else if (with_graphics)
+            shares = "graphics";
+        else if (with_rodinia)
+            shares = "rodinia";
+        if (!with_graphics && !with_rodinia)
+            pure++;
+        verdict.addRow({names[i], std::to_string(labels[i]), shares,
+                        names[best_j] + " (" +
+                            familyName(families[best_j]) + ")",
+                        TextTable::num(best, 2)});
+    }
+    std::printf("%s\n", verdict.render().c_str());
+    std::printf("result: %d/%zu RTQ workloads occupy clusters with "
+                "no graphics or Rodinia members at the 8-cluster "
+                "cut\n",
+                pure, rtq.size());
+    std::printf("(apart-or-not is the measured answer; either way "
+                "the suite now spans the RT-as-compute corner)\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * RTQ characterization sweeps: how the query workloads load the
+ * machine as the scene and the query batch change shape.
+ *
+ *  - Refinement sweep: AMR_PC at octree depths 3..6 (via the scene
+ *    detail knob). Deeper refinement means longer traversals and a
+ *    bigger cell soup; cycles and memory backpressure should grow.
+ *  - Coherence sweep: PTS_KNN with the query-batch jitter
+ *    (aoRadiusScale) from tightly packed warps to fully scattered
+ *    ones. Scattered batches diverge in the escalation loop and lose
+ *    L1 locality -- the mem.* counters quantify the cost.
+ *
+ * Each point is one campaign job on the Table 4 memory system, so
+ * LUMI_JOBS / LUMI_CACHE_DIR parallelize and cache the sweep like
+ * every other bench. Output: one row per point with cycles, IPC and
+ * the mem.* backpressure counters.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "trace/json_read.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+namespace
+{
+
+/** mem.* counter out of a result's flat stat-registry dump. */
+uint64_t
+statCounter(const WorkloadResult &result, const std::string &name)
+{
+    JsonValue stats;
+    if (!parseJson(result.statsJson, stats, nullptr))
+        return 0;
+    const JsonValue *value = stats.find(name);
+    return value ? value->counter() : 0;
+}
+
+void
+printRow(const std::string &label, const WorkloadResult &result)
+{
+    double ipc =
+        result.stats.cycles > 0
+            ? static_cast<double>(result.stats.instructions) /
+                  result.stats.cycles
+            : 0.0;
+    std::printf("%-16s %12llu %8.4f %10llu %18llu %18llu\n",
+                label.c_str(),
+                static_cast<unsigned long long>(result.stats.cycles),
+                ipc,
+                static_cast<unsigned long long>(
+                    result.stats.raysTraced),
+                static_cast<unsigned long long>(
+                    statCounter(result, "mem.mshr_full_stalls")),
+                static_cast<unsigned long long>(statCounter(
+                    result, "mem.port_conflict_cycles")));
+}
+
+void
+printHeader(const char *title)
+{
+    std::printf("\n# %s\n", title);
+    std::printf("%-16s %12s %8s %10s %18s %18s\n", "point", "cycles",
+                "ipc", "rays", "mshr_full_stalls", "port_conflicts");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s",
+                banner("RTQ sweeps: refinement depth and query-batch "
+                       "coherence")
+                    .c_str());
+
+    // Depth sweep: the detail knob maps to octree max_depth
+    // 3 + floor(detail * 1.5), clamped to [3, 6].
+    const float depth_details[] = {0.25f, 1.0f, 1.4f, 2.0f};
+    Workload amr_pc{SceneId::AMR, ShaderKind::PointContainment};
+    std::vector<campaign::Job> depth_jobs;
+    for (float detail : depth_details) {
+        RunOptions options = RunOptions::fromEnv();
+        options.config = GpuConfig::table4();
+        options.sceneDetail = detail;
+        depth_jobs.push_back(
+            campaign::Job::rayTracing(amr_pc, options));
+    }
+
+    // Coherence sweep: per-lane jitter as a fraction of the domain
+    // extent; 0.02 keeps a warp's queries in one neighborhood, 2.0
+    // scatters them across the whole cloud (clamped to the domain).
+    const float jitters[] = {0.02f, 0.1f, 0.5f, 2.0f};
+    Workload pts_knn{SceneId::PTS, ShaderKind::Knn};
+    std::vector<campaign::Job> jitter_jobs;
+    for (float jitter : jitters) {
+        RunOptions options = RunOptions::fromEnv();
+        options.config = GpuConfig::table4();
+        options.params.aoRadiusScale = jitter;
+        jitter_jobs.push_back(
+            campaign::Job::rayTracing(pts_knn, options));
+    }
+
+    std::vector<campaign::Job> jobs = depth_jobs;
+    jobs.insert(jobs.end(), jitter_jobs.begin(), jitter_jobs.end());
+    std::vector<WorkloadResult> results = runJobs(jobs);
+
+    size_t depth_count = depth_jobs.size();
+    printHeader("AMR_PC refinement-depth sweep (Table 4 config)");
+    for (size_t i = 0; i < depth_count; i++) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "detail=%.2f",
+                      depth_details[i]);
+        printRow(label, results[i]);
+    }
+
+    printHeader("PTS_KNN query-batch coherence sweep (Table 4 "
+                "config)");
+    for (size_t i = 0; i < jitter_jobs.size(); i++) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "jitter=%.2f",
+                      jitters[i]);
+        printRow(label, results[depth_count + i]);
+    }
+    return 0;
+}

@@ -19,6 +19,9 @@ AccelStructure::build(const Scene &scene, const BuilderConfig &config)
         if (geom.kind == Geometry::Kind::Triangles) {
             for (size_t t = 0; t < geom.mesh.triangleCount(); t++)
                 bounds.push_back(geom.mesh.triangleBounds(t));
+        } else if (geom.kind == Geometry::Kind::Boxes) {
+            for (size_t b = 0; b < geom.boxes.count(); b++)
+                bounds.push_back(geom.boxes.boxBounds(b));
         } else {
             for (size_t s = 0; s < geom.spheres.count(); s++)
                 bounds.push_back(geom.spheres.sphereBounds(s));
@@ -26,11 +29,13 @@ AccelStructure::build(const Scene &scene, const BuilderConfig &config)
         BlasAccel blas;
         blas.geometryId = static_cast<int>(g);
         blas.bvh = builder.build(bounds);
-        // Triangles fetch 3 vertices + indices; procedural prims
-        // fetch a (center, radius) record.
+        // Triangles fetch 3 vertices + indices; procedural spheres
+        // fetch a (center, radius) record; boxes fetch (lo, hi).
         blas.primStride = geom.kind == Geometry::Kind::Triangles
                               ? 48
-                              : 16;
+                              : (geom.kind == Geometry::Kind::Boxes
+                                     ? 32
+                                     : 16);
         blases_.push_back(std::move(blas));
     }
 
@@ -102,7 +107,7 @@ AccelStructure::computeStats() const
         if (geom.kind == Geometry::Kind::Triangles)
             stats.uniqueTriangles += geom.mesh.triangleCount();
         else
-            stats.uniqueProceduralPrims += geom.spheres.count();
+            stats.uniqueProceduralPrims += geom.primitiveCount();
         BvhStats tree = blas.bvh.computeStats();
         stats.blasNodes += tree.nodeCount;
         stats.maxBlasDepth = std::max(stats.maxBlasDepth,

@@ -30,6 +30,12 @@ TraversalStateMachine::TraversalStateMachine(const AccelStructure &accel,
       worldDir_(ray.dir), origin_(ray.origin), dir_(ray.dir),
       invDir_(safeInvDir(ray.dir)), anyHit_(any_hit), tMin_(t_min)
 {
+    // Zero-length query rays (t_max == 0) are the point-containment
+    // idiom: the only representable hit is at t == 0, so the usual
+    // epsilon t_min would reject every candidate. Snap it to zero --
+    // graphics rays are unaffected (their t_max is always positive).
+    if (t_max == 0.0f)
+        tMin_ = 0.0f;
     hit_.t = t_max;
     const Bvh &tlas = accel_.tlas().bvh;
     if (tlas.empty()) {
@@ -285,8 +291,13 @@ TraversalStateMachine::fetchPrims()
                                  static_cast<uint64_t>(prim) *
                                      blas_->primStride;
             float t;
-            record.hit = geom.spheres.intersect(prim, origin_, dir_,
-                                                tMin_, hit_.t, t);
+            record.hit = geom.kind == Geometry::Kind::Boxes
+                             ? geom.boxes.intersect(prim, origin_,
+                                                    dir_, tMin_,
+                                                    hit_.t, t)
+                             : geom.spheres.intersect(prim, origin_,
+                                                      dir_, tMin_,
+                                                      hit_.t, t);
             intersectionQueue_.push_back(record);
             if (!record.hit)
                 continue;

@@ -1,0 +1,297 @@
+#include "compute/rtq/rtq_pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "check/check.hh"
+#include "math/rng.hh"
+
+namespace lumi
+{
+namespace rtq
+{
+
+namespace
+{
+constexpr int warpSize = WarpContext::warpSize;
+constexpr float infinity = std::numeric_limits<float>::max();
+/** Nonzero direction for zero-length rays (keeps invDir exact). */
+constexpr Vec3 queryDir{1.0f, 0.0f, 0.0f};
+} // namespace
+
+RtqPipeline::RtqPipeline(Gpu &gpu, const Scene &scene,
+                         const RenderParams &params)
+    : gpu_(gpu), scene_(scene), params_(params)
+{
+    accel_.build(scene_);
+    layout_ = SceneGpuLayout::create(gpu_.addressSpace(), accel_,
+                                     params_.pixels(),
+                                     params_.totalSamples());
+    levels_ = std::max(1, static_cast<int>(scene_.instances.size()));
+    // Query domain: the level-0 instance's world bounds.
+    if (!scene_.instances.empty()) {
+        const Instance &inst = scene_.instances[0];
+        domain_ = scene_.geometries[inst.geometryId].bounds()
+                      .transformed(inst.transform);
+    }
+    if (domain_.empty()) {
+        domain_.lo = Vec3(-1.0f);
+        domain_.hi = Vec3(1.0f);
+    }
+}
+
+float
+RtqPipeline::sample01(uint32_t thread, uint32_t salt) const
+{
+    uint32_t h = hashCombine(hashCombine(params_.seed, thread), salt);
+    return static_cast<float>(h >> 8) * (1.0f / 16777216.0f);
+}
+
+Vec3
+RtqPipeline::levelOffset(int level) const
+{
+    if (level <= 0 ||
+        level >= static_cast<int>(scene_.instances.size()))
+        return Vec3(0.0f);
+    const Mat4 &xf = scene_.instances[level].transform;
+    return xf.transformPoint(Vec3(0.0f));
+}
+
+bool
+RtqPipeline::candidateContains(const IntersectionRecord &rec,
+                               const Vec3 &point) const
+{
+    const Geometry &geom = scene_.geometries[rec.geometryId];
+    if (geom.kind == Geometry::Kind::Boxes)
+        return geom.boxes.contains(rec.primIndex, point);
+    if (geom.kind == Geometry::Kind::Procedural) {
+        const Vec4 &s = geom.spheres.spheres[rec.primIndex];
+        return lengthSquared(point - Vec3(s.x, s.y, s.z)) <=
+               s.w * s.w;
+    }
+    return false;
+}
+
+void
+RtqPipeline::queryGeneration(WarpContext &ctx, Vec3 *origins,
+                             int *queries)
+{
+    // Query-id arithmetic, cluster-center hash, jitter scaling.
+    ctx.alu(12);
+    ctx.sfu(2);
+    Vec3 extent = domain_.extent();
+    float jitter = params_.aoRadiusScale;
+    for (int lane = 0; lane < warpSize; lane++) {
+        if (!ctx.laneActive(lane))
+            continue;
+        uint32_t tid = ctx.threadIndex(lane);
+        queries[lane] = static_cast<int>(tid);
+        if (hashCombine(tid, 0x0dd) % 8 == 0) {
+            // Out-of-domain probe: guaranteed miss straight off the
+            // TLAS root bounds.
+            origins[lane] = domain_.hi + extent;
+            continue;
+        }
+        // Mass-coherent origins: all lanes of a warp share one
+        // cluster center; aoRadiusScale sets the per-lane spread
+        // (the batch-coherence knob micro_rtq sweeps).
+        uint32_t wid = ctx.warpId();
+        Vec3 center{
+            domain_.lo.x +
+                extent.x * sample01(wid, 0xc1) * 0.9f + 0.05f *
+                    extent.x,
+            domain_.lo.y +
+                extent.y * sample01(wid, 0xc2) * 0.9f + 0.05f *
+                    extent.y,
+            domain_.lo.z +
+                extent.z * sample01(wid, 0xc3) * 0.9f + 0.05f *
+                    extent.z};
+        Vec3 offset{(sample01(tid, 0x11) - 0.5f) * jitter * extent.x,
+                    (sample01(tid, 0x12) - 0.5f) * jitter * extent.y,
+                    (sample01(tid, 0x13) - 0.5f) * jitter *
+                        extent.z};
+        Vec3 p = center + offset;
+        origins[lane] = Vec3::min(Vec3::max(p, domain_.lo),
+                                  domain_.hi);
+    }
+    for (int lane = 0; lane < warpSize; lane++) {
+        if (ctx.laneActive(lane))
+            origins_[queries[lane]] = origins[lane];
+    }
+}
+
+void
+RtqPipeline::run(ShaderKind kind)
+{
+    LUMI_CHECK(Rt, isQueryShader(kind),
+               "RtqPipeline launched with non-query shader %s",
+               shaderName(kind));
+    int total = params_.totalSamples();
+    containment_.assign(total, 0);
+    origins_.assign(total, Vec3(0.0f));
+    if (kind == ShaderKind::Knn) {
+        knnDistance_.assign(total, infinity);
+        knnRounds_.assign(total, 0);
+    }
+
+    KernelLaunch launch;
+    launch.name = shaderName(kind);
+    launch.warpCount = (total + warpSize - 1) / warpSize;
+    int tail = total % warpSize;
+    launch.lanesInLastWarp = tail == 0 ? warpSize : tail;
+    launch.layout = &layout_;
+    launch.program = [this, kind](WarpContext &ctx) {
+        if (kind == ShaderKind::Knn)
+            knnWarp(ctx);
+        else
+            pcWarp(ctx);
+    };
+    gpu_.run(launch);
+}
+
+// --------------------------------------------------------------------
+// PC: point containment. One zero-length ray per query; candidates
+// resolved by the deferred intersection-shader path; the result is
+// the number of primitives containing the point (for AMR leaves,
+// 0 or 1 -- the octree cells are disjoint).
+// --------------------------------------------------------------------
+
+void
+RtqPipeline::pcWarp(WarpContext &ctx)
+{
+    Vec3 origins[warpSize];
+    int queries[warpSize];
+    HitInfo hits[warpSize];
+    std::vector<IntersectionRecord> cands[warpSize];
+
+    queryGeneration(ctx, origins, queries);
+    ctx.traceRay(
+        [&](int lane) {
+            return Ray{origins[lane], queryDir};
+        },
+        [](int) { return 0.0f; }, false, RayKind::Query, hits,
+        cands);
+
+    // Reduce the candidate list to a containment count.
+    ctx.alu(4);
+    for (int lane = 0; lane < warpSize; lane++) {
+        if (!ctx.laneActive(lane))
+            continue;
+        uint32_t count = 0;
+        for (const IntersectionRecord &rec : cands[lane]) {
+            if (candidateContains(rec, origins[lane]))
+                count++;
+        }
+        containment_[queries[lane]] = count;
+    }
+
+    // Result writeback, one slot per query point.
+    ctx.store(SceneGpuLayout::pixelStride, [&](int lane) {
+        return layout_.pixelAddress(
+            static_cast<uint32_t>(queries[lane]) /
+            params_.samplesPerPixel);
+    });
+}
+
+// --------------------------------------------------------------------
+// KNN: iterative sphere queries. Round j traces a zero-length ray
+// into the level-j instance (point cloud inflated to r0 * 2^j); a
+// candidate is a cloud point within r_j of the query. Lanes with
+// >= k candidates retire; the rest relaunch against the next level.
+// --------------------------------------------------------------------
+
+void
+RtqPipeline::knnWarp(WarpContext &ctx)
+{
+    Vec3 origins[warpSize];
+    int queries[warpSize];
+    HitInfo hits[warpSize];
+    std::vector<IntersectionRecord> cands[warpSize];
+    int level[warpSize] = {};
+    int found[warpSize] = {};
+    float kth[warpSize];
+
+    queryGeneration(ctx, origins, queries);
+    for (int lane = 0; lane < warpSize; lane++)
+        kth[lane] = infinity;
+
+    int k = std::max(1, params_.aoRays);
+    int rounds = std::min(levels_, std::max(1, params_.maxDepth));
+
+    ctx.loopWhile(
+        [&](int lane) {
+            return found[lane] < k && level[lane] < rounds;
+        },
+        [&] {
+            // Radius/level arithmetic + per-round ray setup.
+            ctx.alu(6);
+            ctx.sfu(1);
+            ctx.traceRay(
+                [&](int lane) {
+                    return Ray{origins[lane] +
+                                   levelOffset(level[lane]),
+                               queryDir};
+                },
+                [](int) { return 0.0f; }, false, RayKind::Query,
+                hits, cands);
+
+            // k-best maintenance over this round's candidates.
+            ctx.alu(8);
+            for (int lane = 0; lane < warpSize; lane++) {
+                if (!ctx.laneActive(lane))
+                    continue;
+                std::vector<float> dists;
+                dists.reserve(cands[lane].size());
+                for (const IntersectionRecord &rec : cands[lane]) {
+                    const Geometry &geom =
+                        scene_.geometries[rec.geometryId];
+                    if (geom.kind != Geometry::Kind::Procedural)
+                        continue;
+                    const Vec4 &s =
+                        geom.spheres.spheres[rec.primIndex];
+                    float d = length(origins[lane] -
+                                     Vec3(s.x, s.y, s.z));
+                    // A candidate is a cloud point within this
+                    // level's search radius (the inflated sphere
+                    // radius). The effective radius shrinks once k
+                    // are found: those lanes retire instead of
+                    // relaunching.
+                    if (d <= s.w)
+                        dists.push_back(d);
+                }
+                std::sort(dists.begin(), dists.end());
+                found[lane] = static_cast<int>(dists.size());
+                if (found[lane] >= k)
+                    kth[lane] = dists[k - 1];
+                else if (found[lane] > 0)
+                    kth[lane] = dists.back();
+                level[lane]++;
+            }
+
+            // Per-round k-best spill to the thread's local slot.
+            ctx.store(16, [&](int lane) {
+                return layout_.localAddress(ctx.threadIndex(lane),
+                                            0);
+            });
+        });
+
+    // Retire: record distance + rounds, write the result slot.
+    ctx.alu(4);
+    for (int lane = 0; lane < warpSize; lane++) {
+        if (!ctx.laneActive(lane))
+            continue;
+        int q = queries[lane];
+        knnDistance_[q] = found[lane] >= k ? kth[lane] : infinity;
+        knnRounds_[q] = static_cast<uint8_t>(level[lane]);
+        containment_[q] = static_cast<uint32_t>(found[lane]);
+    }
+    ctx.store(SceneGpuLayout::pixelStride, [&](int lane) {
+        return layout_.pixelAddress(
+            static_cast<uint32_t>(queries[lane]) /
+            params_.samplesPerPixel);
+    });
+}
+
+} // namespace rtq
+} // namespace lumi

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * RTQ query pipeline: drives point-containment and kNN spatial
+ * queries through the simulated GPU's ray tracing path.
+ *
+ * The structure mirrors RayTracingPipeline -- build the acceleration
+ * structure, lay the scene out in GPU memory, launch warp kernels --
+ * but the kernels issue *query* rays instead of camera rays:
+ *
+ * - PC (point containment): one zero-length ray (tMax == 0) per
+ *   query point. BVH traversal visits exactly the leaves whose
+ *   bounds contain the point; the procedural intersection-shader
+ *   path confirms which primitives actually contain it.
+ * - KNN (k nearest neighbors): iterative sphere queries. The PTS
+ *   scene holds the point cloud pre-inflated at radius r0 * 2^level,
+ *   one instance per level; each round traces a zero-length ray into
+ *   the current level and lanes that have not yet seen k candidates
+ *   relaunch against the next level (RTNN-style escalation). The
+ *   divergence of the escalation loop is the workload's signature.
+ *
+ * Queries reuse RenderParams fields (see shader.hh): query count =
+ * width*height*spp, k = aoRays, round cap = maxDepth, batch
+ * coherence = aoRadiusScale.
+ */
+
+#ifndef LUMI_COMPUTE_RTQ_RTQ_PIPELINE_HH
+#define LUMI_COMPUTE_RTQ_RTQ_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/accel.hh"
+#include "gpu/gpu.hh"
+#include "rt/shader.hh"
+#include "scene/scene.hh"
+
+namespace lumi
+{
+namespace rtq
+{
+
+/** Runs spatial-query kernels on a simulated GPU. */
+class RtqPipeline
+{
+  public:
+    /**
+     * Builds the BLAS/TLAS for @p scene (an RTQ scene from
+     * buildRtqScene) and lays it out in @p gpu's address space.
+     * Both must outlive the pipeline.
+     */
+    RtqPipeline(Gpu &gpu, const Scene &scene,
+                const RenderParams &params);
+
+    /**
+     * Run one query kernel; @p kind must be PointContainment or
+     * Knn. Timing lands in gpu().stats() like a render.
+     */
+    void run(ShaderKind kind);
+
+    const AccelStructure &accel() const { return accel_; }
+    const SceneGpuLayout &layout() const { return layout_; }
+    const RenderParams &params() const { return params_; }
+    Gpu &gpu() { return gpu_; }
+
+    /**
+     * PC results: number of primitives containing each query point
+     * (indexed by query id). Out-of-domain probe queries are 0.
+     */
+    const std::vector<uint32_t> &containment() const
+    {
+        return containment_;
+    }
+
+    /**
+     * KNN results: distance to the k-th nearest neighbor per query
+     * (max float when fewer than k neighbors were found within the
+     * largest search radius), and the number of escalation rounds
+     * each query used.
+     */
+    const std::vector<float> &knnDistance() const
+    {
+        return knnDistance_;
+    }
+    const std::vector<uint8_t> &knnRounds() const
+    {
+        return knnRounds_;
+    }
+
+    /** The query domain (level-0 instance bounds, world space). */
+    const Aabb &domain() const { return domain_; }
+
+    /**
+     * The generated query points (indexed by query id), recorded by
+     * the last run(). Lets tests brute-force the expected PC / kNN
+     * answers against the exact origins the kernel traced.
+     */
+    const std::vector<Vec3> &queryOrigins() const
+    {
+        return origins_;
+    }
+
+  private:
+    void pcWarp(WarpContext &ctx);
+    void knnWarp(WarpContext &ctx);
+
+    /**
+     * Emit the query setup and fill per-lane origins/query ids.
+     * Origins are mass-coherent: one cluster center per warp,
+     * per-lane jitter scaled by aoRadiusScale; every 8th thread
+     * probes outside the domain (guaranteed miss).
+     */
+    void queryGeneration(WarpContext &ctx, Vec3 *origins,
+                         int *queries);
+
+    /** Per-lane deterministic sample in [0,1). */
+    float sample01(uint32_t thread, uint32_t salt) const;
+
+    /** Translation offset of instance @p level (PTS levels). */
+    Vec3 levelOffset(int level) const;
+
+    /** True when candidate @p rec's primitive contains @p point. */
+    bool candidateContains(const IntersectionRecord &rec,
+                           const Vec3 &point) const;
+
+    Gpu &gpu_;
+    const Scene &scene_;
+    RenderParams params_;
+    AccelStructure accel_;
+    SceneGpuLayout layout_;
+    Aabb domain_;
+    int levels_ = 1;
+
+    std::vector<uint32_t> containment_;
+    std::vector<float> knnDistance_;
+    std::vector<uint8_t> knnRounds_;
+    std::vector<Vec3> origins_;
+};
+
+} // namespace rtq
+} // namespace lumi
+
+#endif // LUMI_COMPUTE_RTQ_RTQ_PIPELINE_HH

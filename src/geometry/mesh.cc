@@ -198,6 +198,15 @@ ProceduralSpheres::intersect(size_t i, const Vec3 &origin, const Vec3 &dir,
     float a = dot(dir, dir);
     float half_b = dot(oc, dir);
     float c = dot(oc, oc) - s.w * s.w;
+    if (a == 0.0f) {
+        // Zero-direction probe: the quadratic degenerates and the
+        // general path below would divide by zero. Treat it as a
+        // point-containment test at the origin.
+        if (c > 0.0f)
+            return false;
+        t = t_min;
+        return true;
+    }
     float disc = half_b * half_b - a * c;
     if (disc < 0.0f)
         return false;
@@ -217,6 +226,89 @@ ProceduralSpheres::normalAt(size_t i, const Vec3 &p) const
 {
     const Vec4 &s = spheres[i];
     return normalize(p - Vec3(s.x, s.y, s.z));
+}
+
+Aabb
+ProceduralBoxes::bounds() const
+{
+    Aabb box;
+    for (const Aabb &b : boxes)
+        box.extend(b);
+    return box;
+}
+
+bool
+ProceduralBoxes::intersect(size_t i, const Vec3 &origin, const Vec3 &dir,
+                           float t_min, float t_max, float &t) const
+{
+    const Aabb &box = boxes[i];
+    float t0 = t_min;
+    float t1 = t_max;
+    for (int axis = 0; axis < 3; axis++) {
+        float o = origin[axis];
+        float d = dir[axis];
+        float lo = box.lo[axis];
+        float hi = box.hi[axis];
+        if (d == 0.0f) {
+            // Parallel to the slab: reject iff the origin is outside.
+            // Exact comparisons keep degenerate rays deterministic.
+            if (o < lo || o > hi)
+                return false;
+            continue;
+        }
+        float inv = 1.0f / d;
+        float near = (lo - o) * inv;
+        float far = (hi - o) * inv;
+        if (near > far) {
+            float tmp = near;
+            near = far;
+            far = tmp;
+        }
+        if (near > t0)
+            t0 = near;
+        if (far < t1)
+            t1 = far;
+        if (t0 > t1)
+            return false;
+    }
+    // A fully-degenerate direction never tightens the interval, so an
+    // inverted input window (t_min > t_max) must still reject.
+    if (t0 > t1)
+        return false;
+    t = t0;
+    return true;
+}
+
+Vec3
+ProceduralBoxes::normalAt(size_t i, const Vec3 &p) const
+{
+    const Aabb &box = boxes[i];
+    Vec3 center = box.center();
+    Vec3 half = box.extent() * 0.5f;
+    Vec3 rel = p - center;
+    // Pick the face whose relative offset is largest; degenerate
+    // boxes fall back to +Y.
+    float best = -1.0f;
+    Vec3 n{0.0f, 1.0f, 0.0f};
+    for (int axis = 0; axis < 3; axis++) {
+        float extent = half[axis] > 0.0f ? half[axis] : 1.0f;
+        float d = std::fabs(rel[axis]) / extent;
+        if (d > best) {
+            best = d;
+            float sign = rel[axis] >= 0.0f ? 1.0f : -1.0f;
+            n = Vec3(axis == 0 ? sign : 0.0f, axis == 1 ? sign : 0.0f,
+                     axis == 2 ? sign : 0.0f);
+        }
+    }
+    return n;
+}
+
+bool
+ProceduralBoxes::contains(size_t i, const Vec3 &p) const
+{
+    const Aabb &box = boxes[i];
+    return p.x >= box.lo.x && p.x <= box.hi.x && p.y >= box.lo.y &&
+           p.y <= box.hi.y && p.z >= box.lo.z && p.z <= box.hi.z;
 }
 
 } // namespace lumi

@@ -122,6 +122,45 @@ class ProceduralSpheres
     Vec3 normalAt(size_t i, const Vec3 &p) const;
 };
 
+/**
+ * Analytic axis-aligned boxes: the procedural geometry kind used by
+ * the RT-cores-as-compute query workloads (AMR cell soups). Each box
+ * is its own AABB; like spheres, the BVH stores the bound and the hit
+ * is confirmed by the intersection shader. Unlike the triangle test,
+ * the slab test accepts on the *closed* interval [t_min, t_max] so a
+ * zero-length ray (t_min == t_max == 0) hits exactly when its origin
+ * lies inside the box -- the point-containment contract.
+ */
+class ProceduralBoxes
+{
+  public:
+    std::vector<Aabb> boxes;
+    int materialId = 0;
+
+    size_t count() const { return boxes.size(); }
+
+    /** Bounding box of box @p i (the box itself). */
+    Aabb boxBounds(size_t i) const { return boxes[i]; }
+
+    /** Bounding box of all boxes. */
+    Aabb bounds() const;
+
+    /**
+     * Slab test on the closed interval [t_min, t_max]. Handles
+     * zero-direction components exactly (origin inside the slab =>
+     * the slab never rejects), so degenerate query rays are
+     * deterministic and NaN-free.
+     */
+    bool intersect(size_t i, const Vec3 &origin, const Vec3 &dir,
+                   float t_min, float t_max, float &t) const;
+
+    /** Outward normal at point @p p on box @p i (largest-axis face). */
+    Vec3 normalAt(size_t i, const Vec3 &p) const;
+
+    /** True if point @p p lies inside (or on) box @p i. */
+    bool contains(size_t i, const Vec3 &p) const;
+};
+
 } // namespace lumi
 
 #endif // LUMI_GEOMETRY_MESH_HH

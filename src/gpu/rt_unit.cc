@@ -202,6 +202,16 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
         stats_.rtBoxTests += ts.boxTests;
         stats_.rtTriangleTests += ts.triangleTests;
         stats_.rtProceduralTests += ts.proceduralTests;
+        // Every procedural candidate test queues exactly one deferred
+        // intersection-shader invocation (Sec. 3.1.4); the two
+        // counters must agree per ray, including leaf-batch re-tests.
+        LUMI_CHECK(Rt,
+                   ts.proceduralTests ==
+                       ray.machine->intersectionQueue().size(),
+                   "sm%d ray finished with %u procedural tests but "
+                   "%zu intersection-shader invocations",
+                   smId_, ts.proceduralTests,
+                   ray.machine->intersectionQueue().size());
         stats_.anyHitInvocations += ray.machine->anyHitQueue().size();
         stats_.intersectionInvocations +=
             ray.machine->intersectionQueue().size();

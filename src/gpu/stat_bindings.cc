@@ -29,6 +29,7 @@ rayKindName(RayKind kind)
       case RayKind::Secondary: return "secondary";
       case RayKind::Shadow: return "shadow";
       case RayKind::AmbientOcclusion: return "ao";
+      case RayKind::Query: return "query";
       default: return "unknown";
     }
 }

@@ -24,6 +24,7 @@ enum class RayKind : uint8_t
     Secondary, ///< path tracing bounces / reflections
     Shadow,
     AmbientOcclusion,
+    Query, ///< RTQ zero-length / sphere-query rays (non-graphics)
     NumKinds,
 };
 

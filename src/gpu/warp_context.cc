@@ -101,7 +101,8 @@ WarpContext::store(uint32_t bytes,
 void
 WarpContext::traceRay(const std::function<Ray(int)> &ray_fn,
                       const std::function<float(int)> &tmax_fn,
-                      bool any_hit, RayKind kind, HitInfo *out_hits)
+                      bool any_hit, RayKind kind, HitInfo *out_hits,
+                      std::vector<IntersectionRecord> *out_candidates)
 {
     if (!anyActive())
         return;
@@ -146,6 +147,8 @@ WarpContext::traceRay(const std::function<Ray(int)> &ray_fn,
         isect_records[lane] = machine.intersectionQueue();
         anyHitCount_ += anyhit_counts[lane];
         intersectionCount_ += isect_counts[lane];
+        if (out_candidates)
+            out_candidates[lane] = isect_records[lane];
     }
 
     // The shader reads back the hit record the RT unit wrote for its

@@ -92,10 +92,17 @@ class WarpContext
      * @param any_hit occlusion query (terminate on first hit)
      * @param kind ray category for the workload statistics
      * @param out_hits per-lane results (array of >= 32)
+     * @param out_candidates optional per-lane copies of the
+     *        intersection-shader candidate queues (array of >= 32
+     *        vectors); the RTQ query kernels read their results from
+     *        these instead of the closest-hit record. Purely
+     *        functional -- filling them emits no instructions.
      */
     void traceRay(const std::function<Ray(int)> &ray_fn,
                   const std::function<float(int)> &tmax_fn,
-                  bool any_hit, RayKind kind, HitInfo *out_hits);
+                  bool any_hit, RayKind kind, HitInfo *out_hits,
+                  std::vector<IntersectionRecord> *out_candidates =
+                      nullptr);
 
     // --- Control flow ---------------------------------------------
 

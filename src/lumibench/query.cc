@@ -54,6 +54,38 @@ sameNumber(const std::string &text, double value)
     return parsed == value;
 }
 
+/**
+ * Glob match: '*' matches any (possibly empty) run of characters;
+ * every other character matches itself. No escapes, no '?'.
+ */
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    size_t p = 0;
+    size_t t = 0;
+    size_t star = std::string::npos;
+    size_t mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() && pattern[p] != '*' &&
+            pattern[p] == text[t]) {
+            p++;
+            t++;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            // Backtrack: let the last '*' swallow one more char.
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        p++;
+    return p == pattern.size();
+}
+
 } // namespace
 
 ReportIndex
@@ -175,8 +207,18 @@ QueryFilter::matches(const ReportRef &ref,
     if (!matchesReport(ref))
         return false;
     for (const auto &[key, value] : terms) {
-        if (key == "workload" && workload != value)
+        if (key != "workload")
+            continue;
+        // A value containing '*' is a glob (workload=RTQ matches
+        // nothing, workload=PTS_* matches PTS_PC and PTS_KNN);
+        // anything else stays an exact compare, so a literal id
+        // never accidentally widens.
+        if (value.find('*') != std::string::npos) {
+            if (!globMatch(value, workload))
+                return false;
+        } else if (workload != value) {
             return false;
+        }
     }
     return true;
 }

@@ -76,9 +76,11 @@ struct QueryFilter
     std::vector<std::pair<std::string, std::string>> terms;
 
     /**
-     * Parse one "key=value" term. Keys: workload, config,
-     * fingerprint (prefix match), width, height, spp, detail,
-     * interval. False on malformed input or an unknown key.
+     * Parse one "key=value" term. Keys: workload (exact, or a glob
+     * when the value contains '*' -- e.g. workload=PTS_* or
+     * workload=*_AO), config, fingerprint (prefix match), width,
+     * height, spp, detail, interval. False on malformed input or an
+     * unknown key.
      */
     bool add(const std::string &term);
 

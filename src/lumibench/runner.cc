@@ -7,6 +7,8 @@
 #include <optional>
 
 #include "check/check.hh"
+#include "compute/rtq/rtq_pipeline.hh"
+#include "compute/rtq/rtq_scene.hh"
 #include "gpu/stat_bindings.hh"
 #include "rt/pipeline.hh"
 
@@ -209,9 +211,16 @@ WorkloadResult
 runWorkload(const Workload &workload, const RunOptions &options)
 {
     PhaseProfiler profiler;
+    // RTQ query workloads use the compute-layer scene generators and
+    // pipeline; everything downstream (stats, metrics, reports) is
+    // identical.
+    const bool query = isQueryShader(workload.shader);
     Scene scene = [&] {
         PhaseProfiler::Scoped phase(profiler, "scene_build");
-        return buildScene(workload.scene, options.sceneDetail);
+        return query ? rtq::buildRtqScene(workload.scene,
+                                          options.sceneDetail)
+                     : buildScene(workload.scene,
+                                  options.sceneDetail);
     }();
 
     auto tracer = std::make_shared<Tracer>(options.traceCapacity);
@@ -228,13 +237,20 @@ runWorkload(const Workload &workload, const RunOptions &options)
     // The pipeline constructor builds the BLASes/TLAS and lays the
     // scene out in GPU memory; time it as the BVH-build phase.
     std::optional<RayTracingPipeline> pipeline;
+    std::optional<rtq::RtqPipeline> rtqPipeline;
     {
         PhaseProfiler::Scoped phase(profiler, "bvh_build");
-        pipeline.emplace(gpu, scene, options.params);
+        if (query)
+            rtqPipeline.emplace(gpu, scene, options.params);
+        else
+            pipeline.emplace(gpu, scene, options.params);
     }
     {
         PhaseProfiler::Scoped phase(profiler, "simulate");
-        pipeline->render(workload.shader);
+        if (query)
+            rtqPipeline->run(workload.shader);
+        else
+            pipeline->render(workload.shader);
     }
     if (gpu.aborted())
         throwAborted(workload.id(), gpu, options);
@@ -253,7 +269,9 @@ runWorkload(const Workload &workload, const RunOptions &options)
             result.kindReads[k] = gpu.memSystem().kindReads()[k];
             result.kindMisses[k] = gpu.memSystem().kindMisses()[k];
         }
-        result.accelStats = pipeline->accel().computeStats();
+        result.accelStats = query
+                                ? rtqPipeline->accel().computeStats()
+                                : pipeline->accel().computeStats();
         result.rtUnits = options.config.numSms *
                          options.config.rtUnitsPerSm;
 

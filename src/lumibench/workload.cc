@@ -6,6 +6,14 @@ namespace lumi
 bool
 sceneSupportsShader(SceneId scene, ShaderKind shader)
 {
+    // RTQ query scenes answer only spatial queries; AMR cells have
+    // no kNN interpretation, so the octree takes PC alone.
+    if (scene == SceneId::AMR)
+        return shader == ShaderKind::PointContainment;
+    if (scene == SceneId::PTS)
+        return isQueryShader(shader);
+    if (isQueryShader(shader))
+        return false;
     if (scene == SceneId::CHSNT)
         return shader == ShaderKind::PathTracing;
     return true;
@@ -55,6 +63,16 @@ gameWorkloads()
             workloads.push_back({scene, shader});
     }
     return workloads;
+}
+
+std::vector<Workload>
+rtqWorkloads()
+{
+    return {
+        {SceneId::AMR, ShaderKind::PointContainment},
+        {SceneId::PTS, ShaderKind::PointContainment},
+        {SceneId::PTS, ShaderKind::Knn},
+    };
 }
 
 } // namespace lumi

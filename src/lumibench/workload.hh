@@ -33,7 +33,11 @@ struct Workload
     }
 };
 
-/** True when @p scene supports @p shader (CHSNT is PT-only). */
+/**
+ * True when @p scene supports @p shader (CHSNT is PT-only; the RTQ
+ * query scenes take only query shaders and graphics scenes never
+ * do).
+ */
 bool sceneSupportsShader(SceneId scene, ShaderKind shader);
 
 /** All 46 LumiBench workloads. */
@@ -44,6 +48,14 @@ std::vector<Workload> representativeSubset();
 
 /** CS:GO-like comparison workloads (not part of the suite). */
 std::vector<Workload> gameWorkloads();
+
+/**
+ * The RT-cores-as-compute query family (src/compute/rtq): AMR_PC,
+ * PTS_PC, PTS_KNN. Tracked alongside gameWorkloads() -- runnable
+ * through the standard runner and campaign engine, not part of the
+ * paper's 46.
+ */
+std::vector<Workload> rtqWorkloads();
 
 } // namespace lumi
 

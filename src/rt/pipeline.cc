@@ -95,6 +95,10 @@ RayTracingPipeline::render(ShaderKind kind)
           case ShaderKind::AmbientOcclusion:
             aoWarp(ctx);
             break;
+          case ShaderKind::PointContainment:
+          case ShaderKind::Knn:
+            // Query kernels run through rtq::RtqPipeline, never here.
+            break;
         }
     };
     gpu_.run(launch);

@@ -11,15 +11,21 @@
 namespace lumi
 {
 
-/** The three LumiBench effects (Sec. 3.3). */
+/**
+ * The three LumiBench effects (Sec. 3.3) plus the RT-cores-as-compute
+ * query kernels (src/compute/rtq), which reuse the same workload
+ * plumbing but run spatial queries instead of rendering.
+ */
 enum class ShaderKind
 {
     PathTracing,      ///< PT: recursive bounces + reflections
     Shadow,           ///< SH: occlusion rays toward each light
     AmbientOcclusion, ///< AO: short random occlusion rays
+    PointContainment, ///< PC: zero-length-ray cell location queries
+    Knn,              ///< KNN: iterative sphere-query k-NN search
 };
 
-/** Short name as used in workload ids ("PT", "SH", "AO"). */
+/** Short name as used in workload ids ("PT", "SH", "AO", ...). */
 inline const char *
 shaderName(ShaderKind kind)
 {
@@ -27,11 +33,29 @@ shaderName(ShaderKind kind)
       case ShaderKind::PathTracing: return "PT";
       case ShaderKind::Shadow: return "SH";
       case ShaderKind::AmbientOcclusion: return "AO";
+      case ShaderKind::PointContainment: return "PC";
+      case ShaderKind::Knn: return "KNN";
     }
     return "??";
 }
 
-/** Knobs of a render (Sec. 4.2: resolution, samples, depth). */
+/** True for the RTQ query kernels (handled by rtq::RtqPipeline). */
+inline bool
+isQueryShader(ShaderKind kind)
+{
+    return kind == ShaderKind::PointContainment ||
+           kind == ShaderKind::Knn;
+}
+
+/**
+ * Knobs of a render (Sec. 4.2: resolution, samples, depth).
+ *
+ * The RTQ query kernels reuse these fields rather than widening the
+ * struct (keeps result-cache keys and config fingerprints stable):
+ * width*height*spp = query count, maxDepth = KNN round cap,
+ * aoRays = KNN neighbor count k, aoRadiusScale = query-batch
+ * coherence (jitter radius fraction).
+ */
 struct RenderParams
 {
     int width = 64;

@@ -18,6 +18,13 @@ computeSurface(const Scene &scene, const HitInfo &hit, const Ray &ray)
                                                 hit.v);
         surface.uv = geom.mesh.uvAt(hit.primIndex, hit.u, hit.v);
         surface.materialId = geom.mesh.materialId;
+    } else if (geom.kind == Geometry::Kind::Boxes) {
+        Vec3 object_point =
+            inst.invTransform.transformPoint(surface.position);
+        object_normal = geom.boxes.normalAt(hit.primIndex,
+                                            object_point);
+        surface.uv = {0.0f, 0.0f};
+        surface.materialId = geom.boxes.materialId;
     } else {
         Vec3 object_point =
             inst.invTransform.transformPoint(surface.position);

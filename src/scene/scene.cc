@@ -24,6 +24,16 @@ Scene::addGeometry(ProceduralSpheres spheres)
 }
 
 int
+Scene::addGeometry(ProceduralBoxes boxes)
+{
+    Geometry geom;
+    geom.kind = Geometry::Kind::Boxes;
+    geom.boxes = std::move(boxes);
+    geometries.push_back(std::move(geom));
+    return static_cast<int>(geometries.size()) - 1;
+}
+
+int
 Scene::addMaterial(const Material &material)
 {
     materials.push_back(material);
@@ -87,7 +97,7 @@ Scene::proceduralGeometryCount() const
 {
     size_t count = 0;
     for (const Geometry &g : geometries) {
-        if (g.kind == Geometry::Kind::Procedural)
+        if (g.isProcedural())
             count++;
     }
     return count;

@@ -37,26 +37,49 @@ struct Light
     Vec3 intensity{1.0f, 1.0f, 1.0f};
 };
 
-/** One BLAS-able geometry: either triangles or procedural spheres. */
+/**
+ * One BLAS-able geometry: triangles, procedural spheres, or
+ * procedural boxes. The two procedural kinds share the
+ * intersection-shader path; only the analytic test differs.
+ */
 struct Geometry
 {
-    enum class Kind { Triangles, Procedural };
+    enum class Kind { Triangles, Procedural, Boxes };
 
     Kind kind = Kind::Triangles;
     TriangleMesh mesh;
     ProceduralSpheres spheres;
+    ProceduralBoxes boxes;
+
+    /** True for any non-triangle (intersection-shader) geometry. */
+    bool isProcedural() const { return kind != Kind::Triangles; }
 
     size_t
     primitiveCount() const
     {
-        return kind == Kind::Triangles ? mesh.triangleCount()
-                                       : spheres.count();
+        switch (kind) {
+        case Kind::Triangles:
+            return mesh.triangleCount();
+        case Kind::Procedural:
+            return spheres.count();
+        case Kind::Boxes:
+            return boxes.count();
+        }
+        return 0;
     }
 
     Aabb
     bounds() const
     {
-        return kind == Kind::Triangles ? mesh.bounds() : spheres.bounds();
+        switch (kind) {
+        case Kind::Triangles:
+            return mesh.bounds();
+        case Kind::Procedural:
+            return spheres.bounds();
+        case Kind::Boxes:
+            return boxes.bounds();
+        }
+        return {};
     }
 };
 
@@ -94,6 +117,9 @@ class Scene
 
     /** Add a procedural-sphere geometry; returns its geometry id. */
     int addGeometry(ProceduralSpheres spheres);
+
+    /** Add a procedural-box geometry; returns its geometry id. */
+    int addGeometry(ProceduralBoxes boxes);
 
     /** Add a material; returns its material id. */
     int addMaterial(const Material &material);

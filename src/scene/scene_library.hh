@@ -43,6 +43,8 @@ enum class SceneId
     DUST2,   ///< CS:GO-like desert map (comparison only)
     MIRAGE,  ///< CS:GO-like town map (comparison only)
     INFERNO, ///< CS:GO-like village map (comparison only)
+    AMR,     ///< RTQ octree cell soup (procedural AABB leaves)
+    PTS,     ///< RTQ point cloud (procedural spheres, kNN levels)
 };
 
 /** Short uppercase name as used in the paper. */

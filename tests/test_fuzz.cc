@@ -7,6 +7,7 @@
  * over adversarial random inputs rather than the curated library.
  */
 
+#include <cmath>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -35,7 +36,7 @@ randomScene(uint64_t seed)
 
     int geoms = 2 + static_cast<int>(rng.nextBelow(4));
     for (int g = 0; g < geoms; g++) {
-        switch (rng.nextBelow(4)) {
+        switch (rng.nextBelow(5)) {
           case 0: {
             TriangleMesh mesh = shapes::uvSphere(
                 rng.nextInBox({-3, -3, -3}, {3, 3, 3}),
@@ -67,7 +68,7 @@ randomScene(uint64_t seed)
             scene.addGeometry(std::move(mesh));
             break;
           }
-          default: {
+          case 3: {
             ProceduralSpheres spheres;
             spheres.materialId = m;
             int count = 1 + static_cast<int>(rng.nextBelow(30));
@@ -77,6 +78,22 @@ randomScene(uint64_t seed)
                          rng.nextRange(0.05f, 0.8f)));
             }
             scene.addGeometry(std::move(spheres));
+            break;
+          }
+          default: {
+            ProceduralBoxes boxes;
+            boxes.materialId = m;
+            int count = 1 + static_cast<int>(rng.nextBelow(24));
+            for (int b = 0; b < count; b++) {
+                Aabb box;
+                box.lo = rng.nextInBox({-4, -4, -4},
+                                       {3.5f, 3.5f, 3.5f});
+                box.hi = box.lo + rng.nextInBox(
+                                      {0.05f, 0.05f, 0.05f},
+                                      {1.5f, 1.5f, 1.5f});
+                boxes.boxes.push_back(box);
+            }
+            scene.addGeometry(std::move(boxes));
             break;
           }
         }
@@ -98,7 +115,8 @@ randomScene(uint64_t seed)
 
 /** Reference closest-hit by exhaustive search. */
 HitInfo
-bruteForce(const Scene &scene, const Ray &ray, float t_max)
+bruteForce(const Scene &scene, const Ray &ray, float t_max,
+           float t_min = 1e-4f)
 {
     HitInfo best;
     best.t = t_max;
@@ -111,17 +129,27 @@ bruteForce(const Scene &scene, const Ray &ray, float t_max)
         if (geom.kind == Geometry::Kind::Triangles) {
             for (size_t t = 0; t < geom.mesh.triangleCount(); t++) {
                 TriangleHit hit;
-                if (geom.mesh.intersect(t, o, d, 1e-4f, best.t,
+                if (geom.mesh.intersect(t, o, d, t_min, best.t,
                                         hit)) {
                     best.hit = true;
                     best.t = hit.t;
                     best.instanceIndex = static_cast<int>(inst);
                 }
             }
+        } else if (geom.kind == Geometry::Kind::Boxes) {
+            for (size_t b = 0; b < geom.boxes.count(); b++) {
+                float t;
+                if (geom.boxes.intersect(b, o, d, t_min, best.t,
+                                         t)) {
+                    best.hit = true;
+                    best.t = t;
+                    best.instanceIndex = static_cast<int>(inst);
+                }
+            }
         } else {
             for (size_t s = 0; s < geom.spheres.count(); s++) {
                 float t;
-                if (geom.spheres.intersect(s, o, d, 1e-4f, best.t,
+                if (geom.spheres.intersect(s, o, d, t_min, best.t,
                                            t)) {
                     best.hit = true;
                     best.t = t;
@@ -164,6 +192,12 @@ TEST_P(RandomSceneFuzz, TraversalMatchesBruteForce)
                 local = geom.mesh.positions[rng.nextBelow(
                     static_cast<uint32_t>(
                         geom.mesh.positions.size()))];
+            } else if (geom.kind == Geometry::Kind::Boxes) {
+                local = geom.boxes
+                            .boxBounds(rng.nextBelow(
+                                static_cast<uint32_t>(
+                                    geom.boxes.count())))
+                            .center();
             } else {
                 const Vec4 &s = geom.spheres.spheres[rng.nextBelow(
                     static_cast<uint32_t>(geom.spheres.count()))];
@@ -287,6 +321,48 @@ TEST_P(RandomSceneFuzz, RefitAgreesWithRebuild)
         if (fresh_hit.hit) {
             EXPECT_NEAR(refit_hit.t, fresh_hit.t, 1e-3f);
         }
+    }
+}
+
+TEST_P(RandomSceneFuzz, DegenerateRaysAreDeterministicAndNaNFree)
+{
+    Scene scene = randomScene(GetParam());
+    AccelStructure accel;
+    accel.build(scene);
+    accel.assignAddresses(0x10000);
+    Rng rng(GetParam() * 6151 + 3);
+    for (int i = 0; i < 120; i++) {
+        Vec3 p = rng.nextInBox({-8, -8, -8}, {8, 8, 8});
+
+        // Zero-length ray (tMin == tMax == 0): the RTQ containment
+        // probe. Must agree with brute force over the same window
+        // and never produce NaN.
+        Ray query{p, Vec3(1.0f, 0.0f, 0.0f)};
+        HitInfo got = TraversalStateMachine::traceFunctional(
+            accel, query, false, 1e-4f, 0.0f);
+        HitInfo again = TraversalStateMachine::traceFunctional(
+            accel, query, false, 1e-4f, 0.0f);
+        ASSERT_FALSE(std::isnan(got.t)) << "seed " << GetParam();
+        ASSERT_EQ(got.hit, again.hit);
+        ASSERT_EQ(got.t, again.t);
+        HitInfo expect = bruteForce(scene, query, 0.0f, 0.0f);
+        EXPECT_EQ(got.hit, expect.hit)
+            << "seed " << GetParam() << " point " << i;
+
+        // Zero-direction ray: every slab/quadratic degenerates; the
+        // traversal must still terminate with a deterministic,
+        // NaN-free answer that matches brute force.
+        Ray still{p, Vec3(0.0f)};
+        HitInfo zero = TraversalStateMachine::traceFunctional(
+            accel, still, false);
+        HitInfo zero2 = TraversalStateMachine::traceFunctional(
+            accel, still, false);
+        ASSERT_FALSE(std::isnan(zero.t)) << "seed " << GetParam();
+        ASSERT_EQ(zero.hit, zero2.hit);
+        ASSERT_EQ(zero.t, zero2.t);
+        HitInfo zexpect = bruteForce(scene, still, infinity);
+        EXPECT_EQ(zero.hit, zexpect.hit)
+            << "seed " << GetParam() << " point " << i;
     }
 }
 

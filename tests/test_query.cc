@@ -133,6 +133,37 @@ TEST(QueryFilter, ParsesKnownTermsOnly)
     EXPECT_EQ(filter.terms.size(), 3u);
 }
 
+TEST(QueryFilter, WorkloadGlobsMatchFamilies)
+{
+    query::ReportRef ref;
+    auto matched = [&](const char *term, const char *id) {
+        query::QueryFilter filter;
+        EXPECT_TRUE(filter.add(term));
+        return filter.matches(ref, id);
+    };
+    // Precedence: a value without '*' stays an exact compare -- a
+    // literal id never widens into a prefix match.
+    EXPECT_TRUE(matched("workload=PTS_KNN", "PTS_KNN"));
+    EXPECT_FALSE(matched("workload=PTS", "PTS_KNN"));
+    EXPECT_FALSE(matched("workload=PTS_KN", "PTS_KNN"));
+    // A '*' opts into glob matching: prefix, suffix, infix, multi.
+    EXPECT_TRUE(matched("workload=PTS_*", "PTS_KNN"));
+    EXPECT_TRUE(matched("workload=PTS_*", "PTS_PC"));
+    EXPECT_FALSE(matched("workload=PTS_*", "AMR_PC"));
+    EXPECT_TRUE(matched("workload=*_PC", "AMR_PC"));
+    EXPECT_TRUE(matched("workload=*", "ANYTHING"));
+    EXPECT_TRUE(matched("workload=A*_P*", "AMR_PC"));
+    EXPECT_FALSE(matched("workload=A*_K*", "AMR_PC"));
+    EXPECT_TRUE(matched("workload=*KNN", "PTS_KNN"));
+    EXPECT_FALSE(matched("workload=*KNN*X", "PTS_KNN"));
+    // Conjunction: every term must match.
+    query::QueryFilter both;
+    EXPECT_TRUE(both.add("workload=PTS_*"));
+    EXPECT_TRUE(both.add("workload=*_PC"));
+    EXPECT_TRUE(both.matches(ref, "PTS_PC"));
+    EXPECT_FALSE(both.matches(ref, "PTS_KNN"));
+}
+
 TEST(Query, IndexAndStatLookup)
 {
     std::string dir = freshDir("stat");
@@ -169,6 +200,18 @@ TEST(Query, IndexAndStatLookup)
     // An unfiltered query sees both reports.
     EXPECT_EQ(query::queryStat(index, "gpu.cycles", {}).size(),
               2u);
+
+    // Glob filters select workload families over real reports.
+    query::QueryFilter glob;
+    ASSERT_TRUE(glob.add("workload=*_AO"));
+    std::vector<query::StatRow> glob_rows =
+        query::queryStat(index, "gpu.cycles", glob);
+    ASSERT_EQ(glob_rows.size(), 1u);
+    EXPECT_EQ(glob_rows[0].workload, "BUNNY_AO");
+    query::QueryFilter bare;
+    ASSERT_TRUE(bare.add("workload=BUNNY"));
+    EXPECT_TRUE(
+        query::queryStat(index, "gpu.cycles", bare).empty());
     EXPECT_TRUE(
         query::queryStat(index, "no.such.stat", {}).empty());
 

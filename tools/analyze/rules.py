@@ -279,7 +279,8 @@ def check_gpu_chrono(ctx, report):
 #:   math < geometry < scene < bvh            (geometry stack)
 #:   trace < check                            (observability stack)
 #:   ... < gpu < rt < metrics < analysis      (model + analysis)
-#:   compute sits beside rt (SIMT kernels on the gpu core)
+#:   compute sits just above rt (SIMT kernels on the gpu core; the
+#:   rtq family reuses rt's shader/pipeline vocabulary)
 #:   lumibench (runner/report/query) sees everything below it;
 #:   campaign (the engine) sits on top and may also use lumibench.
 #: Key guarantee: the timing model (gpu/rt) can never reach up into
@@ -296,7 +297,7 @@ LAYER_DEPS = {
     "rt": {"math", "geometry", "scene", "bvh", "trace", "check",
            "gpu"},
     "compute": {"math", "geometry", "scene", "bvh", "trace",
-                "check", "gpu"},
+                "check", "gpu", "rt"},
     "metrics": {"math", "geometry", "scene", "bvh", "trace",
                 "check", "gpu", "rt"},
     "analysis": {"math", "geometry", "scene", "bvh", "trace",

@@ -126,6 +126,12 @@ parseWorkload(const std::string &id, bool &ok)
             return w;
         }
     }
+    for (const Workload &w : rtqWorkloads()) {
+        if (w.id() == id) {
+            ok = true;
+            return w;
+        }
+    }
     return {SceneId::BUNNY, ShaderKind::AmbientOcclusion};
 }
 
@@ -150,6 +156,9 @@ cmdList()
     }
     std::printf("\n\nrepresentative subset (Table 2): ");
     for (const Workload &w : representativeSubset())
+        std::printf("%s ", w.id().c_str());
+    std::printf("\n\nRT-cores-as-compute query family: ");
+    for (const Workload &w : rtqWorkloads())
         std::printf("%s ", w.id().c_str());
     std::printf("\n");
     return 0;
@@ -264,7 +273,10 @@ cmdRun(const std::vector<std::string> &args)
     for (const Workload &workload : workloads) {
         std::fprintf(stderr, "running %-10s ...\n",
                      workload.id().c_str());
-        if (!ppm_dir.empty() || !timeline_dir.empty()) {
+        if ((!ppm_dir.empty() || !timeline_dir.empty()) &&
+            !isQueryShader(workload.shader)) {
+            // Query workloads have no image to write; the RTQ
+            // pipeline runs inside runWorkload() below.
             // Render via the pipeline directly to keep the image
             // and the AerialVision-style time series.
             Scene scene = buildScene(workload.scene,
