@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Suite-wide top-down cycle account: for every workload — the 46
+ * graphics workloads, the RTQ query family, and the 13 Rodinia-
+ * equivalent compute kernels — print where every SM issue slot and
+ * every RT-unit cycle went, as normalized stacked percentages over
+ * the profile.* buckets (gpu/profile.hh). This is the table the
+ * paper's efficiency discussion (Fig. 9, Sec. 6) could only gesture
+ * at: the conservation invariant guarantees each row sums to 100%,
+ * so a bucket can shrink only by another growing.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "gpu/profile.hh"
+
+using namespace lumi;
+using namespace lumi::bench;
+
+namespace
+{
+
+/** One row of stacked percentages (shares of a conserved total). */
+template <typename Buckets>
+std::vector<std::string>
+shareRow(const std::string &id, const Buckets &buckets, int n)
+{
+    std::vector<std::string> cells = {id};
+    uint64_t total = buckets.sum();
+    for (int b = 0; b < n; b++) {
+        double share =
+            total > 0 ? 100.0 * static_cast<double>(
+                                    buckets.cycles[b]) /
+                            static_cast<double>(total)
+                      : 0.0;
+        cells.push_back(TextTable::num(share, 1));
+    }
+    return cells;
+}
+
+void
+printTables(const std::vector<WorkloadResult> &results)
+{
+    std::vector<std::string> sm_heads = {"workload"};
+    for (int b = 0; b < numSmCycleBuckets; b++)
+        sm_heads.push_back(
+            smCycleBucketName(static_cast<SmCycleBucket>(b)));
+    TextTable sm_table(sm_heads);
+    SmCycleBuckets sm_total;
+    for (const WorkloadResult &r : results) {
+        sm_table.addRow(
+            shareRow(r.id, r.profileSm, numSmCycleBuckets));
+        for (int b = 0; b < numSmCycleBuckets; b++)
+            sm_total.cycles[b] += r.profileSm.cycles[b];
+    }
+    sm_table.addRow(shareRow("(all)", sm_total, numSmCycleBuckets));
+    std::printf("SM issue slots (%% of cycles)\n%s\n",
+                sm_table.render().c_str());
+
+    std::vector<std::string> rt_heads = {"workload"};
+    for (int b = 0; b < numRtCycleBuckets; b++)
+        rt_heads.push_back(
+            rtCycleBucketName(static_cast<RtCycleBucket>(b)));
+    TextTable rt_table(rt_heads);
+    RtCycleBuckets rt_total;
+    for (const WorkloadResult &r : results) {
+        rt_table.addRow(
+            shareRow(r.id, r.profileRt, numRtCycleBuckets));
+        for (int b = 0; b < numRtCycleBuckets; b++)
+            rt_total.cycles[b] += r.profileRt.cycles[b];
+    }
+    rt_table.addRow(shareRow("(all)", rt_total, numRtCycleBuckets));
+    std::printf("RT units (%% of cycles)\n%s\n",
+                rt_table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    RunOptions options = RunOptions::fromEnv();
+    std::printf("%s",
+                banner("Breakdown: where did the cycles go")
+                    .c_str());
+
+    std::vector<campaign::Job> jobs;
+    for (const Workload &workload : allWorkloads())
+        jobs.push_back(campaign::Job::rayTracing(workload, options));
+    for (const Workload &workload : rtqWorkloads())
+        jobs.push_back(campaign::Job::rayTracing(workload, options));
+    for (ComputeKernel kernel : allComputeKernels())
+        jobs.push_back(campaign::Job::compute(kernel, options));
+    printTables(runJobs(jobs));
+
+    std::printf("reading: graphics workloads park warps in traceRay "
+                "(rt_wait) while RT units wait on node fetches; "
+                "compute kernels split between issued and "
+                "mem_pending with RT units idle; each row is a "
+                "conserved account, pinned by LUMI_CHECK to sum to "
+                "the run's cycle count\n");
+    return 0;
+}

@@ -101,6 +101,9 @@ rehydrateCounters(WorkloadResult &result, const JsonValue &stats)
 {
     StatRegistry registry;
     registerGpuStats(registry, result.stats);
+    registerCycleBuckets(registry, result.profileSm,
+                         result.profileRt, "profile.sm",
+                         "profile.rt");
     registerRequesterStats(registry, result.l1Rt, "l1.rt");
     registerRequesterStats(registry, result.l1Shader, "l1.shader");
     registerRequesterStats(registry, result.l2Rt, "l2.rt");
@@ -187,7 +190,7 @@ readCachedResult(const std::string &path, const Job &job,
     JsonValue doc;
     if (!parseJson(text, doc) || !doc.isObject())
         return false;
-    if (doc.str("schema") != "lumibench-run-report-v1")
+    if (doc.str("schema") != kRunReportSchema)
         return false;
 
     // Validate the simulation point against the job, not the

@@ -71,6 +71,7 @@ checkSubsysName(CheckSubsys subsys)
       case CheckSubsys::Dram: return "dram";
       case CheckSubsys::Rt: return "rt";
       case CheckSubsys::Mem: return "mem";
+      case CheckSubsys::Profile: return "profile";
       default: return "unknown";
     }
 }

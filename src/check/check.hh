@@ -49,6 +49,7 @@ enum class CheckSubsys : uint8_t
     Dram,  ///< bank state machine, bus/row-buffer bookkeeping
     Rt,    ///< RT unit residency, traversal stacks, fetch containment
     Mem,   ///< address-space layout, hierarchy-level conservation
+    Profile, ///< cycle-accounting conservation (gpu/profile.hh)
     NumSubsys,
 };
 
@@ -122,8 +123,9 @@ void checkFailed(CheckSubsys subsys, const char *file, int line,
 
 /**
  * Assert a model invariant. @p subsys is a bare CheckSubsys
- * enumerator (Simt, Sched, Cache, Dram, Rt, Mem); @p cond must be
- * side-effect free -- it is not evaluated in checks-disabled builds.
+ * enumerator (Simt, Sched, Cache, Dram, Rt, Mem, Profile); @p cond
+ * must be side-effect free -- it is not evaluated in checks-disabled
+ * builds.
  */
 #define LUMI_CHECK(subsys, cond, ...)                                 \
     do {                                                              \

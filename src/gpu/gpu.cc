@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/check.hh"
 #include "gpu/host_profile.hh"
 #include "trace/interval.hh"
 
@@ -22,6 +23,9 @@ Gpu::Gpu(const GpuConfig &config, uint64_t timeline_interval,
                                                     *rtUnits_[sm],
                                                     stats_, tracer_));
     }
+    profile_.init(config_.numSms);
+    smHadWork_.assign(static_cast<size_t>(config_.numSms), 0);
+    drainTail_.assign(static_cast<size_t>(config_.numSms), 0);
 }
 
 TimelineSample
@@ -43,10 +47,11 @@ Gpu::fillSlots(const KernelLaunch &launch, uint32_t &next_warp)
     bool assigned = true;
     while (assigned && next_warp < launch.warpCount) {
         assigned = false;
-        for (auto &core : cores_) {
+        for (size_t i = 0; i < cores_.size(); i++) {
+            SimtCore &core = *cores_[i];
             if (next_warp >= launch.warpCount)
                 break;
-            if (!core->hasFreeSlot())
+            if (!core.hasFreeSlot())
                 continue;
             int lanes = (next_warp + 1 == launch.warpCount)
                             ? launch.lanesInLastWarp
@@ -55,7 +60,8 @@ Gpu::fillSlots(const KernelLaunch &launch, uint32_t &next_warp)
             launch.program(ctx);
             for (int k = 0; k < numRayKinds; k++)
                 stats_.raysByKind[k] += ctx.rayCounts()[k];
-            core->assignWarp(ctx.take(), next_warp, now_);
+            core.assignWarp(ctx.take(), next_warp, now_);
+            smHadWork_[i] = 1;
             next_warp++;
             assigned = true;
         }
@@ -67,6 +73,22 @@ Gpu::run(const KernelLaunch &launch)
 {
     for (auto &rt : rtUnits_)
         rt->setLayout(launch.layout);
+
+#if LUMI_PROFILE_ENABLED
+    // A new kernel behind the previous one turns that kernel's drain
+    // tail into a sync wait: those SMs were done early and stalled at
+    // the implicit end-of-grid barrier. The final kernel's tail stays
+    // drain, and never-filled SMs stay empty.
+    for (size_t sm = 0; sm < drainTail_.size(); sm++) {
+        if (drainTail_[sm] > 0) {
+            profile_.moveSm(static_cast<int>(sm),
+                            SmCycleBucket::Drain,
+                            SmCycleBucket::Sync, drainTail_[sm]);
+            drainTail_[sm] = 0;
+        }
+        smHadWork_[sm] = 0;
+    }
+#endif
 
     // Snapshot for the per-launch delta (analytical modeling).
     LaunchSample before;
@@ -163,6 +185,55 @@ Gpu::run(const KernelLaunch &launch)
         // Accumulate state-weighted statistics over (now, next]: no
         // component changes state in the skipped span.
         uint64_t dt = next - now_;
+
+#if LUMI_PROFILE_ENABLED
+        // Top-down cycle accounting over [now, next): cycle now gets
+        // the issue outcome; the remaining dt-1 cycles (in which, by
+        // construction of next, no warp can issue) get the stall
+        // classification from post-issue warp state. Pure accounting:
+        // nothing here feeds back into simulated timing.
+        for (size_t i = 0; i < cores_.size(); i++) {
+            uint64_t rest = dt;
+            IssueOutcome outcome = cores_[i]->lastOutcome();
+            if (outcome == IssueOutcome::Issued) {
+                profile_.addSm(static_cast<int>(i),
+                               SmCycleBucket::Issued, 1);
+                rest--;
+            } else if (outcome == IssueOutcome::MemReplay) {
+                profile_.addSm(static_cast<int>(i),
+                               SmCycleBucket::MemPending, 1);
+                rest--;
+            }
+            if (rest > 0) {
+                switch (cores_[i]->stallKind()) {
+                  case SmStall::MemPending:
+                    profile_.addSm(static_cast<int>(i),
+                                   SmCycleBucket::MemPending, rest);
+                    break;
+                  case SmStall::RtWait:
+                    profile_.addSm(static_cast<int>(i),
+                                   SmCycleBucket::RtWait, rest);
+                    break;
+                  case SmStall::NoReadyWarp:
+                    profile_.addSm(static_cast<int>(i),
+                                   SmCycleBucket::NoReadyWarp, rest);
+                    break;
+                  case SmStall::NoWarps:
+                    if (smHadWork_[i]) {
+                        profile_.addSm(static_cast<int>(i),
+                                       SmCycleBucket::Drain, rest);
+                        drainTail_[i] += rest;
+                    } else {
+                        profile_.addSm(static_cast<int>(i),
+                                       SmCycleBucket::Empty, rest);
+                    }
+                    break;
+                }
+            }
+            rtUnits_[i]->profileSpan(now_, next, profile_);
+        }
+#endif
+
         int resident = 0;
         for (auto &core : cores_)
             resident += core->residentWarps();
@@ -206,6 +277,46 @@ Gpu::run(const KernelLaunch &launch)
     // Retire every in-flight fill so the MSHR conservation checks
     // and occupancy histograms cover the whole run.
     mem_->drainAll();
+
+#if LUMI_PROFILE_ENABLED
+    // Conservation: the bucket taxonomy must account for every cycle
+    // of every unit, per-SM and in aggregate. A leak here means a
+    // state transition the classifier does not know about.
+    for (int sm = 0; sm < config_.numSms; sm++) {
+        LUMI_CHECK(Profile, profile_.sm(sm).sum() == now_,
+                   "sm%d issue-slot buckets leak cycles: sum=%llu "
+                   "cycles=%llu",
+                   sm,
+                   static_cast<unsigned long long>(
+                       profile_.sm(sm).sum()),
+                   static_cast<unsigned long long>(now_));
+        LUMI_CHECK(Profile, profile_.rt(sm).sum() == now_,
+                   "sm%d RT-unit buckets leak cycles: sum=%llu "
+                   "cycles=%llu",
+                   sm,
+                   static_cast<unsigned long long>(
+                       profile_.rt(sm).sum()),
+                   static_cast<unsigned long long>(now_));
+    }
+    LUMI_CHECK(Profile,
+               profile_.smTotal().sum() ==
+                   now_ * static_cast<uint64_t>(config_.numSms),
+               "aggregate issue-slot buckets leak cycles: sum=%llu "
+               "cycles*sms=%llu",
+               static_cast<unsigned long long>(
+                   profile_.smTotal().sum()),
+               static_cast<unsigned long long>(
+                   now_ * static_cast<uint64_t>(config_.numSms)));
+    LUMI_CHECK(Profile,
+               profile_.rtTotal().sum() ==
+                   now_ * static_cast<uint64_t>(config_.numSms),
+               "aggregate RT-unit buckets leak cycles: sum=%llu "
+               "cycles*units=%llu",
+               static_cast<unsigned long long>(
+                   profile_.rtTotal().sum()),
+               static_cast<unsigned long long>(
+                   now_ * static_cast<uint64_t>(config_.numSms)));
+#endif
 
     stats_.cycles = now_;
     timeline_.record(now_, snapshot());

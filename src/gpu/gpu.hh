@@ -21,6 +21,7 @@
 #include "gpu/address_space.hh"
 #include "gpu/config.hh"
 #include "gpu/mem_system.hh"
+#include "gpu/profile.hh"
 #include "gpu/rt_unit.hh"
 #include "gpu/simt_core.hh"
 #include "gpu/stats.hh"
@@ -89,6 +90,14 @@ class Gpu
     const GpuStats &stats() const { return stats_; }
     const Timeline &timeline() const { return timeline_; }
     Tracer *tracer() const { return tracer_; }
+
+    /**
+     * The top-down cycle account (gpu/profile.hh). All-zero when the
+     * build compiled attribution out (-DLUMI_PROFILE=OFF); otherwise
+     * Sigma(sm buckets) == Sigma(rt buckets) == now() per unit, checked
+     * at the end of every run().
+     */
+    const CycleProfile &profile() const { return profile_; }
 
     /**
      * Execute @p launch to completion. Statistics accumulate across
@@ -166,6 +175,12 @@ class Gpu
     Timeline timeline_;
     std::vector<std::unique_ptr<RtUnit>> rtUnits_;
     std::vector<std::unique_ptr<SimtCore>> cores_;
+    CycleProfile profile_;
+    /** Per-SM: ever held a warp this kernel (drain vs empty). */
+    std::vector<uint8_t> smHadWork_;
+    /** Per-SM drain cycles of the current kernel, reclassified to
+     *  sync when another kernel follows (implicit barrier). */
+    std::vector<uint64_t> drainTail_;
     std::vector<LaunchSample> launchSamples_;
     uint64_t now_ = 0;
     uint64_t cycleBudget_ = 0;

@@ -1,0 +1,35 @@
+#include "gpu/profile.hh"
+
+namespace lumi
+{
+
+const char *
+smCycleBucketName(SmCycleBucket bucket)
+{
+    switch (bucket) {
+      case SmCycleBucket::Issued: return "issued";
+      case SmCycleBucket::MemPending: return "mem_pending";
+      case SmCycleBucket::RtWait: return "rt_wait";
+      case SmCycleBucket::Sync: return "sync";
+      case SmCycleBucket::NoReadyWarp: return "no_ready_warp";
+      case SmCycleBucket::Empty: return "empty";
+      case SmCycleBucket::Drain: return "drain";
+      default: return "unknown";
+    }
+}
+
+const char *
+rtCycleBucketName(RtCycleBucket bucket)
+{
+    switch (bucket) {
+      case RtCycleBucket::BusyBox: return "busy_box";
+      case RtCycleBucket::BusyTri: return "busy_tri";
+      case RtCycleBucket::BusyProcedural: return "busy_procedural";
+      case RtCycleBucket::FetchWait: return "fetch_wait";
+      case RtCycleBucket::WritebackStall: return "writeback_stall";
+      case RtCycleBucket::Idle: return "idle";
+      default: return "unknown";
+    }
+}
+
+} // namespace lumi

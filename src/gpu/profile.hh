@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Top-down cycle accounting: every SM issue slot and every RT-unit
+ * cycle classified into exactly one bucket per cycle.
+ *
+ * The taxonomy follows the top-down style of CPU cycle accounting
+ * (and Daisen's component-level "where does time go" view): instead
+ * of sampling or estimating, the event-accelerated cycle loop in
+ * Gpu::run attributes each skipped span [now, next) cycle-exactly --
+ * component state is constant over a span, so classifying the span
+ * head and multiplying by its width loses nothing.
+ *
+ * SM buckets (one per SM per cycle):
+ *   issued         a warp instruction issued this cycle
+ *   mem_pending    the issue slot replayed rejected line segments,
+ *                  or every non-sleeping warp waits on memory
+ *                  (stall-on-use)
+ *   rt_wait        warps resident but all parked in (or waking from)
+ *                  the RT unit
+ *   sync           drained at a kernel boundary while other SMs
+ *                  still ran (implicit end-of-grid barrier)
+ *   no_ready_warp  warps resident and none ready: pipeline latency
+ *                  not hidden by occupancy
+ *   empty          no warp was ever resident (grid under-fills the SM)
+ *   drain          out of warps at the tail of the final kernel
+ *
+ * RT-unit buckets (one per unit per cycle):
+ *   busy_box / busy_tri / busy_procedural
+ *                  the oldest in-flight traversal step is paying
+ *                  box/triangle/procedural intersection latency (or
+ *                  is ready and waiting on the issue width)
+ *   fetch_wait     the oldest step waits on a node/primitive fetch
+ *   writeback_stall only queued hit-record stores remain, bouncing
+ *                  off a busy L1 port
+ *   idle           no resident work
+ *
+ * Conservation is a proof obligation, not a hope: Gpu::run checks
+ * Sigma(buckets) == cycles for every SM and unit (LUMI_CHECK, subsystem
+ * Profile), so the taxonomy can never silently leak cycles.
+ */
+
+#ifndef LUMI_GPU_PROFILE_HH
+#define LUMI_GPU_PROFILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lumi
+{
+
+/** Where one SM issue slot went (one bucket per SM per cycle). */
+enum class SmCycleBucket : uint8_t
+{
+    Issued,
+    MemPending,
+    RtWait,
+    Sync,
+    NoReadyWarp,
+    Empty,
+    Drain,
+    NumBuckets,
+};
+
+constexpr int numSmCycleBuckets =
+    static_cast<int>(SmCycleBucket::NumBuckets);
+
+/** Where one RT-unit cycle went (one bucket per unit per cycle). */
+enum class RtCycleBucket : uint8_t
+{
+    BusyBox,
+    BusyTri,
+    BusyProcedural,
+    FetchWait,
+    WritebackStall,
+    Idle,
+    NumBuckets,
+};
+
+constexpr int numRtCycleBuckets =
+    static_cast<int>(RtCycleBucket::NumBuckets);
+
+/** Stable lower-case bucket name used in stats and reports. */
+const char *smCycleBucketName(SmCycleBucket bucket);
+const char *rtCycleBucketName(RtCycleBucket bucket);
+
+/** One SM's bucket counters (field layout mirrors stat bindings). */
+struct SmCycleBuckets
+{
+    uint64_t cycles[numSmCycleBuckets] = {};
+
+    uint64_t
+    sum() const
+    {
+        uint64_t total = 0;
+        for (int b = 0; b < numSmCycleBuckets; b++)
+            total += cycles[b];
+        return total;
+    }
+};
+
+/** One RT unit's bucket counters. */
+struct RtCycleBuckets
+{
+    uint64_t cycles[numRtCycleBuckets] = {};
+
+    uint64_t
+    sum() const
+    {
+        uint64_t total = 0;
+        for (int b = 0; b < numRtCycleBuckets; b++)
+            total += cycles[b];
+        return total;
+    }
+};
+
+/**
+ * The whole-GPU cycle account: per-SM and per-RT-unit buckets plus
+ * incrementally maintained aggregates. Aggregate and per-SM structs
+ * have stable addresses after init(), so the StatRegistry can point
+ * at them directly.
+ */
+class CycleProfile
+{
+  public:
+    /** Size for @p num_sms units; zeroes every bucket. */
+    void
+    init(int num_sms)
+    {
+        sm_.assign(static_cast<size_t>(num_sms), SmCycleBuckets{});
+        rt_.assign(static_cast<size_t>(num_sms), RtCycleBuckets{});
+        smTotal_ = SmCycleBuckets{};
+        rtTotal_ = RtCycleBuckets{};
+    }
+
+    int numSms() const { return static_cast<int>(sm_.size()); }
+
+    void
+    addSm(int sm, SmCycleBucket bucket, uint64_t n)
+    {
+        sm_[sm].cycles[static_cast<int>(bucket)] += n;
+        smTotal_.cycles[static_cast<int>(bucket)] += n;
+    }
+
+    /** Reclassify @p n already-counted cycles (drain -> sync). */
+    void
+    moveSm(int sm, SmCycleBucket from, SmCycleBucket to, uint64_t n)
+    {
+        sm_[sm].cycles[static_cast<int>(from)] -= n;
+        smTotal_.cycles[static_cast<int>(from)] -= n;
+        sm_[sm].cycles[static_cast<int>(to)] += n;
+        smTotal_.cycles[static_cast<int>(to)] += n;
+    }
+
+    void
+    addRt(int sm, RtCycleBucket bucket, uint64_t n)
+    {
+        rt_[sm].cycles[static_cast<int>(bucket)] += n;
+        rtTotal_.cycles[static_cast<int>(bucket)] += n;
+    }
+
+    const SmCycleBuckets &sm(int i) const { return sm_[i]; }
+    const RtCycleBuckets &rt(int i) const { return rt_[i]; }
+    const SmCycleBuckets &smTotal() const { return smTotal_; }
+    const RtCycleBuckets &rtTotal() const { return rtTotal_; }
+
+  private:
+    std::vector<SmCycleBuckets> sm_;
+    std::vector<RtCycleBuckets> rt_;
+    SmCycleBuckets smTotal_;
+    RtCycleBuckets rtTotal_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_PROFILE_HH

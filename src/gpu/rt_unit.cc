@@ -99,7 +99,7 @@ RtUnit::admit(const PendingWarp &pending, uint64_t now)
     residentWarps_++;
 
     for (uint32_t r = 0; r < warps_[index]->rays.size(); r++)
-        events_.push({now, index, r});
+        events_.push({now, index, r, now, now, 0});
 }
 
 void
@@ -277,17 +277,73 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
         // Hold the fetch and retry next cycle.
         ray.replaying = true;
         ray.pendingFetch = event;
-        events_.push({now + 1, warp_index, ray_index});
+        events_.push({now + 1, warp_index, ray_index, now + 1,
+                      now + 1, 0});
         return;
     }
-    uint64_t ready = mem.readyCycle +
-                     static_cast<uint64_t>(event.boxTests) *
-                         config_.rtBoxTestLatency +
+    uint64_t box_end = mem.readyCycle +
+                       static_cast<uint64_t>(event.boxTests) *
+                           config_.rtBoxTestLatency;
+    uint64_t ready = box_end +
                      static_cast<uint64_t>(event.primTests) *
                          config_.rtTriTestLatency;
     if (ready <= now)
         ready = now + 1;
-    events_.push({ready, warp_index, ray_index});
+    uint8_t prim_kind = 0;
+    if (event.type == TraversalEvent::Type::TrianglePrims)
+        prim_kind = 1;
+    else if (event.type == TraversalEvent::Type::ProceduralPrims)
+        prim_kind = 2;
+    events_.push({ready, warp_index, ray_index, mem.readyCycle,
+                  box_end, prim_kind});
+}
+
+void
+RtUnit::profileSpan(uint64_t begin, uint64_t end,
+                    CycleProfile &profile) const
+{
+    if (end <= begin)
+        return;
+    uint64_t dt = end - begin;
+    if (events_.empty()) {
+        // No traversal in flight: either only queued hit-record
+        // stores remain, or the unit is idle.
+        profile.addRt(smId_, writebacks_.empty()
+                                 ? RtCycleBucket::Idle
+                                 : RtCycleBucket::WritebackStall,
+                      dt);
+        return;
+    }
+    // Classify by what the oldest in-flight traversal step is doing:
+    // its fetch/box/primitive windows partition [0, ready), and any
+    // backlog past ready is issue-width pressure, charged as busy.
+    const Event &head = events_.top();
+    auto clip = [&](uint64_t lo, uint64_t hi) -> uint64_t {
+        uint64_t from = std::max(begin, lo);
+        uint64_t to = std::min(end, hi);
+        return to > from ? to - from : 0;
+    };
+    RtCycleBucket prim_bucket;
+    if (head.primKind == 1)
+        prim_bucket = RtCycleBucket::BusyTri;
+    else if (head.primKind == 2)
+        prim_bucket = RtCycleBucket::BusyProcedural;
+    else if (head.boxEnd > head.memReady)
+        prim_bucket = RtCycleBucket::BusyBox;
+    else
+        prim_bucket = RtCycleBucket::FetchWait;
+    uint64_t fetch = clip(0, head.memReady);
+    if (fetch)
+        profile.addRt(smId_, RtCycleBucket::FetchWait, fetch);
+    uint64_t box = clip(head.memReady, head.boxEnd);
+    if (box)
+        profile.addRt(smId_, RtCycleBucket::BusyBox, box);
+    uint64_t prim = clip(head.boxEnd, head.ready);
+    if (prim)
+        profile.addRt(smId_, prim_bucket, prim);
+    uint64_t done = std::max(begin, head.ready);
+    if (end > done)
+        profile.addRt(smId_, prim_bucket, end - done);
 }
 
 void

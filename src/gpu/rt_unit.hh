@@ -23,6 +23,7 @@
 #include "bvh/traversal.hh"
 #include "gpu/config.hh"
 #include "gpu/mem_system.hh"
+#include "gpu/profile.hh"
 #include "gpu/scene_layout.hh"
 #include "gpu/stats.hh"
 #include "gpu/warp_instr.hh"
@@ -75,6 +76,16 @@ class RtUnit
                writebacks_.empty();
     }
 
+    /**
+     * Attribute cycles [begin, end) of this unit into @p profile
+     * (top-down cycle accounting). Called from the Gpu::run loop
+     * once unit state is stable for the span; the head event's
+     * fetch/box/primitive windows partition the span exactly, so
+     * the buckets conserve cycles by construction. Pure observer.
+     */
+    void profileSpan(uint64_t begin, uint64_t end,
+                     CycleProfile &profile) const;
+
   private:
     struct RayState
     {
@@ -117,12 +128,24 @@ class RtUnit
         const WarpInstr *instr;
     };
 
-    /** (readyCycle, warpIndex, rayIndex) min-heap entry. */
+    /**
+     * (readyCycle, warpIndex, rayIndex) min-heap entry. The window
+     * fields memReady <= boxEnd <= ready are accounting-only (cycle
+     * profile); ordering compares ready alone, so they cannot
+     * perturb simulated timing.
+     */
     struct Event
     {
         uint64_t ready;
         uint32_t warpIndex;
         uint32_t rayIndex;
+        /** Fetch data return; [ready-at-push, memReady) waits. */
+        uint64_t memReady = 0;
+        /** Box tests span [memReady, boxEnd). */
+        uint64_t boxEnd = 0;
+        /** Primitive tests in [boxEnd, ready): 0 none, 1 triangle,
+         *  2 procedural. */
+        uint8_t primKind = 0;
         bool operator>(const Event &o) const { return ready > o.ready; }
     };
 

@@ -35,6 +35,7 @@ SimtCore::assignWarp(WarpProgram &&program, uint32_t warp_id,
         slot.assignCycle = now;
         slot.instrsIssued = 0;
         slot.memReplay.clear();
+        slot.wait = WarpWait::Exec;
         residentWarps_++;
         stats_.warpsLaunched++;
         LUMI_CHECK(Simt, residentWarps_ <= config_.maxWarpsPerSm,
@@ -76,6 +77,7 @@ SimtCore::retire(WarpSlot &slot, uint64_t now)
 void
 SimtCore::cycle(uint64_t now)
 {
+    outcome_ = IssueOutcome::None;
     int pick = -1;
     if (config_.scheduler == WarpSchedulerPolicy::Gto) {
         // Greedy-then-oldest: stick with the last warp while it is
@@ -166,11 +168,38 @@ SimtCore::cycle(uint64_t now)
     lastIssued_ = pick;
     // A warp holding rejected line segments replays them instead of
     // fetching a new instruction (the LSU occupies the issue slot).
-    if (!slots_[pick].memReplay.empty())
+    if (!slots_[pick].memReplay.empty()) {
+        outcome_ = IssueOutcome::MemReplay;
         replayMem(slots_[pick], now);
-    else
+    } else {
+        outcome_ = IssueOutcome::Issued;
         issue(slots_[pick], pick, now);
+    }
     stats_.issueCycles++;
+}
+
+SmStall
+SimtCore::stallKind() const
+{
+    bool saw_warp = false;
+    bool saw_mem = false;
+    bool saw_rt = false;
+    for (const WarpSlot &slot : slots_) {
+        if (!slot.valid)
+            continue;
+        saw_warp = true;
+        if (slot.sleeping || slot.wait == WarpWait::Rt)
+            saw_rt = true;
+        else if (slot.wait == WarpWait::Mem)
+            saw_mem = true;
+    }
+    if (saw_mem)
+        return SmStall::MemPending;
+    if (saw_rt)
+        return SmStall::RtWait;
+    if (saw_warp)
+        return SmStall::NoReadyWarp;
+    return SmStall::NoWarps;
 }
 
 void
@@ -189,6 +218,7 @@ SimtCore::replayMem(WarpSlot &slot, uint64_t now)
             // Hold the remaining segments; the warp stays
             // schedulable and retries on its next issue slot.
             slot.readyCycle = now + 1;
+            slot.wait = WarpWait::Mem;
             return;
         }
         slot.memReplay.pop_back();
@@ -200,10 +230,12 @@ SimtCore::replayMem(WarpSlot &slot, uint64_t now)
     if (slot.memIsStore) {
         stats_.latencyByOp[static_cast<int>(WarpOp::MemStore)] += 1;
         slot.readyCycle = now + 1;
+        slot.wait = WarpWait::Exec;
     } else {
         stats_.latencyByOp[static_cast<int>(WarpOp::MemLoad)] +=
             slot.memReady - slot.memIssueCycle;
         slot.readyCycle = slot.memReady;
+        slot.wait = WarpWait::Mem;
     }
     if (slot.pc >= slot.program.instrs.size() &&
         slot.repeatLeft == 0) {
@@ -242,6 +274,7 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
                                               : config_.sfuLatency;
         stats_.latencyByOp[static_cast<int>(instr.op)] += latency;
         slot.readyCycle = now + latency;
+        slot.wait = WarpWait::Exec;
         if (slot.repeatLeft == 0)
             slot.repeatLeft = instr.repeat;
         slot.repeatLeft--;
@@ -284,6 +317,7 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
       case WarpOp::TraceRay: {
         slot.sleeping = true;
         slot.readyCycle = UINT64_MAX;
+        slot.wait = WarpWait::Rt;
         slot.pc++;
         // Remember issue time to attribute the latency at wake-up.
         slot.order = slot.order; // GTO age unchanged
@@ -326,6 +360,7 @@ SimtCore::wakeWarp(int slot, uint64_t ready_cycle)
                static_cast<unsigned long long>(sleepStart_[slot]));
     warp.sleeping = false;
     warp.readyCycle = ready_cycle;
+    warp.wait = WarpWait::Rt;
     if (slot < static_cast<int>(sleepStart_.size())) {
         stats_.latencyByOp[static_cast<int>(WarpOp::TraceRay)] +=
             ready_cycle - sleepStart_[slot];

@@ -28,6 +28,32 @@ namespace lumi
 
 class Tracer;
 
+/** What a non-sleeping warp's readyCycle is waiting on (top-down
+ *  cycle accounting: gpu/profile.hh). */
+enum class WarpWait : uint8_t
+{
+    Exec, ///< pipeline latency (ALU/SFU) or a store handshake
+    Mem,  ///< load data return or a rejected line-segment replay
+    Rt,   ///< traceRay completion (parked, or waking)
+};
+
+/** What the issue slot did in the last cycle() call. */
+enum class IssueOutcome : uint8_t
+{
+    None,      ///< no warp was ready
+    Issued,    ///< a new instruction issued
+    MemReplay, ///< the LSU replayed rejected line segments
+};
+
+/** Why no warp could issue (profile bucket source). */
+enum class SmStall : uint8_t
+{
+    MemPending,  ///< some waiting warp is stalled on memory
+    RtWait,      ///< all blame goes to traceRay completion
+    NoReadyWarp, ///< only pipeline latency left unhidden
+    NoWarps,     ///< no resident warp at all
+};
+
 /** One streaming multiprocessor. */
 class SimtCore
 {
@@ -62,6 +88,16 @@ class SimtCore
     /** Called by the RT unit when a warp's traceRay completes. */
     void wakeWarp(int slot, uint64_t ready_cycle);
 
+    /** What the issue slot did in the last cycle() call. */
+    IssueOutcome lastOutcome() const { return outcome_; }
+
+    /**
+     * Classify why nothing (more) can issue, from current warp
+     * state. Blame order Mem > Rt > Exec: memory is the scarcest
+     * resource, so any memory-waiting warp colors the cycle.
+     */
+    SmStall stallKind() const;
+
   private:
     struct WarpSlot
     {
@@ -83,6 +119,8 @@ class SimtCore
         bool memIsStore = false;
         uint64_t memIssueCycle = 0; ///< first issue of the access
         uint64_t memReady = 0;      ///< slowest accepted segment
+        /** What readyCycle waits on (cycle accounting only). */
+        WarpWait wait = WarpWait::Exec;
     };
 
     /** Execute the warp's next instruction; updates readyCycle. */
@@ -109,6 +147,7 @@ class SimtCore
     int residentWarps_ = 0;
     int lastIssued_ = -1;
     uint64_t launchCounter_ = 0;
+    IssueOutcome outcome_ = IssueOutcome::None;
 };
 
 } // namespace lumi

@@ -232,9 +232,39 @@ registerAccelStats(StatRegistry &registry, const AccelStats &stats,
 }
 
 void
+registerCycleBuckets(StatRegistry &registry,
+                     const SmCycleBuckets &sm,
+                     const RtCycleBuckets &rt,
+                     const std::string &sm_prefix,
+                     const std::string &rt_prefix)
+{
+    const SmCycleBuckets *s = &sm;
+    for (int b = 0; b < numSmCycleBuckets; b++) {
+        registry.addCounter(
+            sm_prefix + "." +
+                smCycleBucketName(static_cast<SmCycleBucket>(b)),
+            &s->cycles[b]);
+    }
+    const RtCycleBuckets *r = &rt;
+    for (int b = 0; b < numRtCycleBuckets; b++) {
+        registry.addCounter(
+            rt_prefix + "." +
+                rtCycleBucketName(static_cast<RtCycleBucket>(b)),
+            &r->cycles[b]);
+    }
+}
+
+void
 registerGpu(StatRegistry &registry, const Gpu &gpu)
 {
     registerGpuStats(registry, gpu.stats());
+    // The top-down cycle account: aggregates under profile.*, per-SM
+    // summands under sm<NN>.profile.*. Registered unconditionally so
+    // the stats schema is identical with -DLUMI_PROFILE=OFF (the
+    // buckets just stay zero there).
+    registerCycleBuckets(registry, gpu.profile().smTotal(),
+                         gpu.profile().rtTotal(), "profile.sm",
+                         "profile.rt");
     const MemSystem &mem = gpu.memSystem();
     for (int sm = 0; sm < gpu.config().numSms; sm++) {
         char prefix[32];
@@ -245,6 +275,11 @@ registerGpu(StatRegistry &registry, const Gpu &gpu)
         std::snprintf(prefix, sizeof(prefix), "sm%02d.l1.shader",
                       sm);
         registerRequesterStats(registry, mem.l1Shader(sm), prefix);
+        std::snprintf(prefix, sizeof(prefix), "sm%02d.profile", sm);
+        std::string sm_prefix = prefix;
+        registerCycleBuckets(registry, gpu.profile().sm(sm),
+                             gpu.profile().rt(sm), sm_prefix,
+                             sm_prefix + ".rt");
     }
     registerCacheStats(registry, mem.l2().stats, "l2");
     registerRequesterStats(registry, mem.l1Rt(), "l1.rt");

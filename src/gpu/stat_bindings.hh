@@ -34,6 +34,7 @@
 #include "gpu/cache.hh"
 #include "gpu/dram.hh"
 #include "gpu/mem_system.hh"
+#include "gpu/profile.hh"
 #include "gpu/stats.hh"
 #include "trace/stat_registry.hh"
 
@@ -75,6 +76,18 @@ void registerDramStats(StatRegistry &registry, const DramStats &stats,
 void registerAccelStats(StatRegistry &registry,
                         const AccelStats &stats,
                         const std::string &prefix = "accel");
+
+/**
+ * One SM-bucket/RT-bucket pair of the cycle account under
+ * "<sm_prefix>.<bucket>" / "<rt_prefix>.<bucket>" (e.g. "profile.sm"
+ * and "profile.rt" for the aggregates, "sm03.profile" and
+ * "sm03.profile.rt" for one SM's summands).
+ */
+void registerCycleBuckets(StatRegistry &registry,
+                          const SmCycleBuckets &sm,
+                          const RtCycleBuckets &rt,
+                          const std::string &sm_prefix,
+                          const std::string &rt_prefix);
 
 /**
  * Everything observable on a Gpu: GpuStats, per-SM L1s, the L2, the

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "lumibench/run_report.hh"
 #include "trace/interval.hh"
 #include "trace/json_read.hh"
 
@@ -41,7 +42,7 @@ loadReport(const std::string &path, std::string &text,
         return false;
     if (!parseJson(text, doc) || !doc.isObject())
         return false;
-    return doc.str("schema") == "lumibench-run-report-v1";
+    return doc.str("schema") == kRunReportSchema;
 }
 
 bool
@@ -86,7 +87,30 @@ globMatch(const std::string &pattern, const std::string &text)
     return p == pattern.size();
 }
 
+/**
+ * Exact compare, widening to a glob only when the pattern carries a
+ * '*' -- the workload-filter contract from PR 8, shared by the
+ * config= and scene= keys so a literal value never accidentally
+ * widens.
+ */
+bool
+matchValue(const std::string &pattern, const std::string &text)
+{
+    if (pattern.find('*') != std::string::npos)
+        return globMatch(pattern, text);
+    return pattern == text;
+}
+
 } // namespace
+
+std::string
+sceneOfWorkload(const std::string &workload)
+{
+    size_t underscore = workload.rfind('_');
+    if (underscore == std::string::npos)
+        return workload;
+    return workload.substr(0, underscore);
+}
 
 ReportIndex
 ReportIndex::scan(const std::string &dir)
@@ -153,8 +177,9 @@ QueryFilter::add(const std::string &term)
     std::string key = term.substr(0, eq);
     std::string value = term.substr(eq + 1);
     static const char *known[] = {
-        "workload", "config",  "fingerprint", "width",
-        "height",   "spp",     "detail",      "interval",
+        "workload", "config", "scene",    "fingerprint",
+        "width",    "height", "spp",      "detail",
+        "interval",
     };
     bool ok = false;
     for (const char *k : known)
@@ -169,10 +194,10 @@ bool
 QueryFilter::matchesReport(const ReportRef &ref) const
 {
     for (const auto &[key, value] : terms) {
-        if (key == "workload")
+        if (key == "workload" || key == "scene")
             continue; // entry-level, checked in matches()
         if (key == "config") {
-            if (ref.configName != value)
+            if (!matchValue(value, ref.configName))
                 return false;
         } else if (key == "fingerprint") {
             if (ref.fingerprint.compare(0, value.size(), value) !=
@@ -207,20 +232,90 @@ QueryFilter::matches(const ReportRef &ref,
     if (!matchesReport(ref))
         return false;
     for (const auto &[key, value] : terms) {
-        if (key != "workload")
-            continue;
         // A value containing '*' is a glob (workload=RTQ matches
         // nothing, workload=PTS_* matches PTS_PC and PTS_KNN);
         // anything else stays an exact compare, so a literal id
         // never accidentally widens.
-        if (value.find('*') != std::string::npos) {
-            if (!globMatch(value, workload))
+        if (key == "workload") {
+            if (!matchValue(value, workload))
                 return false;
-        } else if (workload != value) {
-            return false;
+        } else if (key == "scene") {
+            if (!matchValue(value, sceneOfWorkload(workload)))
+                return false;
         }
     }
     return true;
+}
+
+std::vector<BreakdownRow>
+queryBreakdown(const ReportIndex &index, const QueryFilter &filter)
+{
+    std::vector<BreakdownRow> rows;
+    for (const ReportRef &ref : index.reports) {
+        if (!filter.matchesReport(ref))
+            continue;
+        std::string text;
+        JsonValue doc;
+        if (!loadReport(ref.path, text, doc))
+            continue;
+        const JsonValue *workloads = doc.find("workloads");
+        if (!workloads || !workloads->isArray())
+            continue;
+        for (const JsonValue &entry : workloads->items) {
+            std::string id = entry.str("id");
+            if (!filter.matches(ref, id))
+                continue;
+            const JsonValue *stats = entry.find("stats");
+            if (!stats || !stats->isObject())
+                continue;
+            // Pre-profiler reports carry no profile.* keys; skip
+            // them rather than emit an all-zero row.
+            if (!stats->find("profile.sm.issued"))
+                continue;
+            BreakdownRow row;
+            row.file = ref.file;
+            row.workload = id;
+            if (const JsonValue *cycles =
+                    stats->find("gpu.cycles"))
+                row.cycles = cycles->counter();
+            for (int b = 0; b < numSmCycleBuckets; b++) {
+                std::string name =
+                    std::string("profile.sm.") +
+                    smCycleBucketName(
+                        static_cast<SmCycleBucket>(b));
+                if (const JsonValue *v = stats->find(name))
+                    row.sm.cycles[b] = v->counter();
+            }
+            for (int b = 0; b < numRtCycleBuckets; b++) {
+                std::string name =
+                    std::string("profile.rt.") +
+                    rtCycleBucketName(
+                        static_cast<RtCycleBucket>(b));
+                if (const JsonValue *v = stats->find(name))
+                    row.rt.cycles[b] = v->counter();
+            }
+            // Self-normalizing: conservation pins each sum to
+            // cycles x units, so the shares need no config lookup.
+            uint64_t sm_sum = row.sm.sum();
+            uint64_t rt_sum = row.rt.sum();
+            for (int b = 0; b < numSmCycleBuckets; b++) {
+                row.smShare[b] =
+                    sm_sum > 0 ? static_cast<double>(
+                                     row.sm.cycles[b]) /
+                                     static_cast<double>(sm_sum)
+                               : 0.0;
+            }
+            for (int b = 0; b < numRtCycleBuckets; b++) {
+                row.rtShare[b] =
+                    rt_sum > 0 ? static_cast<double>(
+                                     row.rt.cycles[b]) /
+                                     static_cast<double>(rt_sum)
+                               : 0.0;
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
 }
 
 std::vector<StatRow>

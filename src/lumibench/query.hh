@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "gpu/profile.hh"
+
 namespace lumi
 {
 namespace query
@@ -76,21 +78,26 @@ struct QueryFilter
     std::vector<std::pair<std::string, std::string>> terms;
 
     /**
-     * Parse one "key=value" term. Keys: workload (exact, or a glob
-     * when the value contains '*' -- e.g. workload=PTS_* or
-     * workload=*_AO), config, fingerprint (prefix match), width,
-     * height, spp, detail, interval. False on malformed input or an
-     * unknown key.
+     * Parse one "key=value" term. Keys: workload, config and scene
+     * (each exact, or a glob when the value contains '*' -- e.g.
+     * workload=PTS_* or scene=SPNZA), fingerprint (prefix match),
+     * width, height, spp, detail, interval. The scene of a workload
+     * entry is its id up to the last '_' (SPNZA_AO -> SPNZA; an id
+     * without '_', e.g. a compute kernel, is its own scene). False
+     * on malformed input or an unknown key.
      */
     bool add(const std::string &term);
 
-    /** Report-level terms (everything except workload). */
+    /** Report-level terms (everything except workload/scene). */
     bool matchesReport(const ReportRef &ref) const;
 
     /** All terms, against one workload entry of @p ref. */
     bool matches(const ReportRef &ref,
                  const std::string &workload) const;
 };
+
+/** The scene component of a workload id (see QueryFilter::add). */
+std::string sceneOfWorkload(const std::string &workload);
 
 /** One scalar answer: stat value for one workload in one report. */
 struct StatRow
@@ -114,6 +121,35 @@ struct SeriesResult
     /** Per-interval delta (delta[0] == values[0]). */
     std::vector<uint64_t> deltas;
 };
+
+/**
+ * One row of the top-down cycle breakdown: the profile.sm.* /
+ * profile.rt.* buckets of one workload entry, normalized to shares
+ * of that entry's own bucket sum (conservation makes the sums equal
+ * cycles x units, so shares always total 1 per side).
+ */
+struct BreakdownRow
+{
+    std::string file;
+    std::string workload;
+    /** gpu.cycles of the entry (context for the shares). */
+    uint64_t cycles = 0;
+    /** Raw bucket counters. */
+    SmCycleBuckets sm;
+    RtCycleBuckets rt;
+    /** Normalized shares in [0,1]; all-zero when the bucket sum is
+     *  zero (profile compiled out). */
+    double smShare[numSmCycleBuckets] = {};
+    double rtShare[numRtCycleBuckets] = {};
+};
+
+/**
+ * The cycle breakdown of every workload entry matching @p filter.
+ * Entries without profile.sm.* stats (pre-profiler reports) are
+ * omitted.
+ */
+std::vector<BreakdownRow> queryBreakdown(const ReportIndex &index,
+                                         const QueryFilter &filter);
 
 /**
  * Look up @p stat for every workload entry matching @p filter. The

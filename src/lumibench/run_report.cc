@@ -89,7 +89,7 @@ runReportJson(const std::vector<WorkloadResult> &results,
     JsonWriter json;
     json.beginObject();
     json.key("schema");
-    json.value("lumibench-run-report-v1");
+    json.value(kRunReportSchema);
 
     json.key("config");
     json.beginObject();

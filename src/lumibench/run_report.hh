@@ -22,6 +22,19 @@
 namespace lumi
 {
 
+/** Schema tag written into (and required of) every report file. */
+inline constexpr const char *kRunReportSchema =
+    "lumibench-run-report-v1";
+
+/**
+ * Name of the config-fingerprint scheme (see configFingerprint).
+ * Bumped whenever the hashed field set or digest changes, so
+ * dashboards can detect mixed-version cache directories via the
+ * serve /version endpoint.
+ */
+inline constexpr const char *kConfigFingerprintScheme =
+    "fnv1a64-xor32-v1";
+
 /**
  * Stable fingerprint of a GpuConfig: "<name>-<hex>", where the hex
  * digest hashes every timing-relevant field. Two runs with the same

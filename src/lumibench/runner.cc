@@ -260,6 +260,8 @@ runWorkload(const Workload &workload, const RunOptions &options)
         PhaseProfiler::Scoped phase(profiler, "analysis");
         result.id = workload.id();
         result.stats = gpu.stats();
+        result.profileSm = gpu.profile().smTotal();
+        result.profileRt = gpu.profile().rtTotal();
         result.dram = gpu.memSystem().dram().stats();
         result.l1Rt = gpu.memSystem().l1Rt();
         result.l1Shader = gpu.memSystem().l1Shader();
@@ -318,6 +320,8 @@ runCompute(ComputeKernel kernel, const RunOptions &options)
         PhaseProfiler::Scoped phase(profiler, "analysis");
         result.id = computeKernelName(kernel);
         result.stats = gpu.stats();
+        result.profileSm = gpu.profile().smTotal();
+        result.profileRt = gpu.profile().rtTotal();
         result.dram = gpu.memSystem().dram().stats();
         result.l1Rt = gpu.memSystem().l1Rt();
         result.l1Shader = gpu.memSystem().l1Shader();

@@ -160,6 +160,10 @@ struct WorkloadResult
     RequesterStats l2Shader;
     uint64_t kindReads[numDataKinds] = {};
     uint64_t kindMisses[numDataKinds] = {};
+    /** Aggregate top-down cycle account (gpu/profile.hh); all-zero
+     *  in -DLUMI_PROFILE=OFF builds. */
+    SmCycleBuckets profileSm;
+    RtCycleBuckets profileRt;
     AccelStats accelStats;
     MetricVector metrics;
     std::vector<TimelineWindow> timeline;

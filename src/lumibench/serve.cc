@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "lumibench/query.hh"
+#include "lumibench/run_report.hh"
 #include "trace/json.hh"
 
 namespace lumi
@@ -165,6 +166,72 @@ writeIndexJson(JsonWriter &json, const ReportIndex &index)
     json.endArray();
 }
 
+/**
+ * The embedded stacked-area view: fetches the profile.sm.* interval
+ * series through /series (passing the page's query string through as
+ * filters) and draws the per-interval bucket shares. Self-contained
+ * HTML so the server stays dependency- and filesystem-free.
+ */
+std::string
+breakdownViewHtml()
+{
+    return R"html(<!doctype html>
+<html><head><meta charset="utf-8"><title>lumibench breakdown</title>
+<style>
+body{font:13px monospace;margin:16px;background:#111;color:#ddd}
+canvas{background:#181818;border:1px solid #333}
+.sw{display:inline-block;width:10px;height:10px;margin:0 4px 0 10px}
+#msg{color:#f88}
+</style></head><body>
+<h3>where did the cycles go (profile.sm.*)</h3>
+<div id="legend"></div>
+<canvas id="c" width="960" height="320"></canvas>
+<div id="msg"></div>
+<script>
+const BUCKETS=["issued","mem_pending","rt_wait","sync",
+               "no_ready_warp","empty","drain"];
+const COLORS=["#4c9","#c84","#48c","#a6c","#c44","#555","#888"];
+const qs=location.search.replace(/^\?/,"");
+async function series(name){
+  const url="/series?name="+encodeURIComponent(name)+
+            (qs?"&"+qs:"");
+  const rows=await (await fetch(url)).json();
+  return rows.length?rows[0]:null;
+}
+async function main(){
+  const legend=document.getElementById("legend");
+  BUCKETS.forEach((b,i)=>{legend.innerHTML+=
+    '<span class="sw" style="background:'+COLORS[i]+'"></span>'+b;});
+  const got=await Promise.all(
+    BUCKETS.map(b=>series("profile.sm."+b)));
+  if(got.some(g=>!g)){
+    document.getElementById("msg").textContent=
+      "no profile.* interval series matched - run with "+
+      "--interval-stats N and a profiling-enabled build";
+    return;
+  }
+  const n=got[0].deltas.length;
+  const ctx=document.getElementById("c").getContext("2d");
+  const W=960,H=320;
+  for(let x=0;x<n;x++){
+    let total=0;
+    for(const g of got)total+=g.deltas[x];
+    if(total<=0)continue;
+    let y=H;
+    const x0=Math.floor(x*W/n),x1=Math.ceil((x+1)*W/n);
+    got.forEach((g,i)=>{
+      const h=g.deltas[x]/total*H;
+      ctx.fillStyle=COLORS[i];
+      ctx.fillRect(x0,y-h,x1-x0,h);
+      y-=h;
+    });
+  }
+}
+main();
+</script></body></html>
+)html";
+}
+
 } // namespace
 
 ReportServer::~ReportServer()
@@ -190,7 +257,10 @@ ReportServer::Response
 ReportServer::handle(const std::string &target) const
 {
     size_t qmark = target.find('?');
-    std::string path = target.substr(0, qmark);
+    // Percent-decode the path component so a client that encodes the
+    // route (e.g. "/%68ealthz") still hits it; params decode inside
+    // parseQuery, after splitting on the raw '&'/'=' separators.
+    std::string path = urlDecode(target.substr(0, qmark));
     Params params = qmark == std::string::npos
                         ? Params{}
                         : parseQuery(target.substr(qmark + 1));
@@ -203,6 +273,20 @@ ReportServer::handle(const std::string &target) const
         json.value("ok");
         json.key("reports");
         json.value(static_cast<uint64_t>(index.reports.size()));
+        json.endObject();
+        return {200, "application/json", json.str()};
+    }
+
+    if (path == "/version") {
+        // Schema + fingerprint-scheme handshake so dashboards can
+        // detect mixed-version cache directories before comparing
+        // fingerprints across files.
+        JsonWriter json;
+        json.beginObject();
+        json.key("schema");
+        json.value(kRunReportSchema);
+        json.key("fingerprint_scheme");
+        json.value(kConfigFingerprintScheme);
         json.endObject();
         return {200, "application/json", json.str()};
     }
@@ -296,6 +380,64 @@ ReportServer::handle(const std::string &target) const
         json.endArray();
         return {200, "application/json", json.str()};
     }
+
+    if (path == "/breakdown") {
+        QueryFilter filter;
+        if (!buildFilter(params, filter))
+            return errorResponse(400, "unknown filter key");
+        ReportIndex index = ReportIndex::scan(dir_);
+        std::vector<BreakdownRow> rows =
+            queryBreakdown(index, filter);
+        JsonWriter json;
+        json.beginArray();
+        for (const BreakdownRow &row : rows) {
+            json.beginObject();
+            json.key("file");
+            json.value(row.file);
+            json.key("workload");
+            json.value(row.workload);
+            json.key("cycles");
+            json.value(row.cycles);
+            json.key("sm");
+            json.beginObject();
+            for (int b = 0; b < numSmCycleBuckets; b++) {
+                json.key(smCycleBucketName(
+                    static_cast<SmCycleBucket>(b)));
+                json.value(row.sm.cycles[b]);
+            }
+            json.endObject();
+            json.key("rt");
+            json.beginObject();
+            for (int b = 0; b < numRtCycleBuckets; b++) {
+                json.key(rtCycleBucketName(
+                    static_cast<RtCycleBucket>(b)));
+                json.value(row.rt.cycles[b]);
+            }
+            json.endObject();
+            json.key("sm_share");
+            json.beginObject();
+            for (int b = 0; b < numSmCycleBuckets; b++) {
+                json.key(smCycleBucketName(
+                    static_cast<SmCycleBucket>(b)));
+                json.value(row.smShare[b]);
+            }
+            json.endObject();
+            json.key("rt_share");
+            json.beginObject();
+            for (int b = 0; b < numRtCycleBuckets; b++) {
+                json.key(rtCycleBucketName(
+                    static_cast<RtCycleBucket>(b)));
+                json.value(row.rtShare[b]);
+            }
+            json.endObject();
+            json.endObject();
+        }
+        json.endArray();
+        return {200, "application/json", json.str()};
+    }
+
+    if (path == "/view")
+        return {200, "text/html", breakdownViewHtml()};
 
     if (path == "/report") {
         std::string file = paramValue(params, "file");

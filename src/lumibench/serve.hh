@@ -14,13 +14,19 @@
  *
  * Routes:
  *   /healthz                     {"status":"ok","reports":N}
+ *   /version                     report schema + fingerprint scheme
  *   /index                       index of reports (ReportRef fields)
  *   /stats?workload=...          stat names of first matching entry
  *   /stat?name=S&workload=...    scalar rows (queryStat)
  *   /series?name=S&workload=...  interval time series (querySeries)
+ *   /breakdown?workload=...      cycle-account rows (queryBreakdown)
+ *   /view                        embedded HTML stacked-area view of
+ *                                the profile.sm.* series
  *   /report?file=F               raw report JSON, verbatim
- * Filter terms (workload/config/fingerprint/width/height/spp/
- * detail/interval) apply to /stats, /stat and /series.
+ * Filter terms (workload/config/scene/fingerprint/width/height/spp/
+ * detail/interval) apply to /stats, /stat, /series and /breakdown.
+ * Every response, errors included, carries an explicit Content-Type
+ * and Connection: close header.
  */
 
 #ifndef LUMI_LUMIBENCH_SERVE_HH

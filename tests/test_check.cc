@@ -103,6 +103,7 @@ TEST(CheckStatsTest, ViolationCountersRegisterInEveryBuild)
     EXPECT_TRUE(contains(json, "check.violations.dram"));
     EXPECT_TRUE(contains(json, "check.violations.rt"));
     EXPECT_TRUE(contains(json, "check.violations.mem"));
+    EXPECT_TRUE(contains(json, "check.violations.profile"));
 }
 
 TEST(CheckStatsTest, SubsysNamesAreStable)

@@ -164,6 +164,93 @@ TEST(QueryFilter, WorkloadGlobsMatchFamilies)
     EXPECT_FALSE(both.matches(ref, "PTS_KNN"));
 }
 
+TEST(QueryFilter, ConfigAndSceneGlobsMatch)
+{
+    query::ReportRef ref;
+    ref.configName = "mobile";
+    auto matched = [&](const char *term, const char *id) {
+        query::QueryFilter filter;
+        EXPECT_TRUE(filter.add(term));
+        return filter.matches(ref, id);
+    };
+    // config=: exact stays exact (no silent prefix widening), '*'
+    // opts into globbing -- same contract as workload= (PR 8).
+    EXPECT_TRUE(matched("config=mobile", "BUNNY_AO"));
+    EXPECT_FALSE(matched("config=mob", "BUNNY_AO"));
+    EXPECT_TRUE(matched("config=mob*", "BUNNY_AO"));
+    EXPECT_TRUE(matched("config=*", "BUNNY_AO"));
+    EXPECT_FALSE(matched("config=desk*", "BUNNY_AO"));
+    // scene=: matches the id up to the last '_'; a compute kernel id
+    // without '_' is its own scene.
+    EXPECT_TRUE(matched("scene=BUNNY", "BUNNY_AO"));
+    EXPECT_FALSE(matched("scene=BUNNY_AO", "BUNNY_AO"));
+    EXPECT_FALSE(matched("scene=BUN", "BUNNY_AO"));
+    EXPECT_TRUE(matched("scene=BUN*", "BUNNY_AO"));
+    EXPECT_TRUE(matched("scene=*NY", "BUNNY_AO"));
+    EXPECT_TRUE(matched("scene=bfs", "bfs"));
+    EXPECT_TRUE(matched("scene=PTS", "PTS_KNN"));
+    // matchesReport honors config globs for report-level pruning.
+    query::QueryFilter report_level;
+    EXPECT_TRUE(report_level.add("config=m*"));
+    EXPECT_TRUE(report_level.matchesReport(ref));
+    query::QueryFilter miss;
+    EXPECT_TRUE(miss.add("config=d*"));
+    EXPECT_FALSE(miss.matchesReport(ref));
+
+    EXPECT_EQ(query::sceneOfWorkload("SPNZA_AO"), "SPNZA");
+    EXPECT_EQ(query::sceneOfWorkload("PTS_KNN"), "PTS");
+    EXPECT_EQ(query::sceneOfWorkload("bfs"), "bfs");
+}
+
+TEST(Query, BreakdownRowsAreConservedShares)
+{
+    std::string dir = freshDir("breakdown");
+    WorkloadResult bunny;
+    RunOptions options;
+    writeSampleReports(dir, bunny, options);
+    query::ReportIndex index = query::ReportIndex::scan(dir);
+
+    std::vector<query::BreakdownRow> rows =
+        query::queryBreakdown(index, {});
+    ASSERT_EQ(rows.size(), 2u);
+    // Sorted file-name order: a_ref.json before b_bunny.json.
+    EXPECT_EQ(rows[0].workload, "REF_SH");
+    EXPECT_EQ(rows[1].workload, "BUNNY_AO");
+    for (const query::BreakdownRow &row : rows) {
+        // Conservation: raw buckets sum to cycles x SMs, and the
+        // normalized shares to 1 on both sides.
+        uint64_t slots =
+            row.cycles *
+            static_cast<uint64_t>(options.config.numSms);
+        EXPECT_EQ(row.sm.sum(), slots) << row.workload;
+        EXPECT_EQ(row.rt.sum(), slots) << row.workload;
+        double sm_total = 0.0, rt_total = 0.0;
+        for (int b = 0; b < numSmCycleBuckets; b++)
+            sm_total += row.smShare[b];
+        for (int b = 0; b < numRtCycleBuckets; b++)
+            rt_total += row.rtShare[b];
+        EXPECT_NEAR(sm_total, 1.0, 1e-9) << row.workload;
+        EXPECT_NEAR(rt_total, 1.0, 1e-9) << row.workload;
+    }
+    EXPECT_EQ(rows[1].cycles, bunny.stats.cycles);
+    EXPECT_EQ(rows[1].sm.cycles[static_cast<int>(
+                  SmCycleBucket::Issued)],
+              bunny.profileSm.cycles[static_cast<int>(
+                  SmCycleBucket::Issued)]);
+
+    // Filters narrow by workload glob and by scene.
+    query::QueryFilter bunny_only;
+    ASSERT_TRUE(bunny_only.add("workload=BUNNY*"));
+    EXPECT_EQ(query::queryBreakdown(index, bunny_only).size(), 1u);
+    query::QueryFilter ref_scene;
+    ASSERT_TRUE(ref_scene.add("scene=REF"));
+    std::vector<query::BreakdownRow> ref_rows =
+        query::queryBreakdown(index, ref_scene);
+    ASSERT_EQ(ref_rows.size(), 1u);
+    EXPECT_EQ(ref_rows[0].workload, "REF_SH");
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Query, IndexAndStatLookup)
 {
     std::string dir = freshDir("stat");
@@ -308,6 +395,75 @@ TEST(Serve, RoutesRequestsWithoutSockets)
         server.handle("/report?file=b_bunny.json");
     EXPECT_EQ(report.status, 200);
     EXPECT_EQ(report.body, runReportJson({bunny}, options));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, VersionBreakdownAndViewRoutes)
+{
+    std::string dir = freshDir("breakroutes");
+    WorkloadResult bunny;
+    RunOptions options;
+    writeSampleReports(dir, bunny, options);
+    query::ReportServer server(dir);
+
+    // /version pins the wire contract dashboards key off.
+    query::ReportServer::Response version =
+        server.handle("/version");
+    EXPECT_EQ(version.status, 200);
+    EXPECT_NE(version.body.find(kRunReportSchema),
+              std::string::npos);
+    EXPECT_NE(version.body.find(kConfigFingerprintScheme),
+              std::string::npos);
+
+    query::ReportServer::Response breakdown = server.handle(
+        "/breakdown?workload=BUNNY_AO");
+    EXPECT_EQ(breakdown.status, 200);
+    EXPECT_NE(breakdown.body.find("\"workload\":\"BUNNY_AO\""),
+              std::string::npos);
+    EXPECT_NE(breakdown.body.find("\"sm_share\""),
+              std::string::npos);
+    EXPECT_NE(breakdown.body.find("\"busy_box\""),
+              std::string::npos);
+    EXPECT_EQ(breakdown.body.find("REF_SH"), std::string::npos);
+    EXPECT_EQ(server.handle("/breakdown?bogus=1").status, 400);
+
+    query::ReportServer::Response view = server.handle("/view");
+    EXPECT_EQ(view.status, 200);
+    EXPECT_EQ(view.contentType, "text/html");
+    EXPECT_NE(view.body.find("<canvas"), std::string::npos);
+    EXPECT_NE(view.body.find("/series?name="), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, RouterEdgeCases)
+{
+    std::string dir = freshDir("edges");
+    WorkloadResult bunny;
+    RunOptions options;
+    writeSampleReports(dir, bunny, options);
+    query::ReportServer server(dir);
+
+    // Percent-encoded paths route like their decoded forms.
+    EXPECT_EQ(server.handle("/%68ealthz").status, 200);
+    EXPECT_EQ(server.handle("/%62reakdown").status, 200);
+    // Percent-encoded traversal still hits the guard: params decode
+    // before the ".." / "/" check.
+    EXPECT_EQ(
+        server.handle("/report?file=%2e%2e%2fetc%2fpasswd").status,
+        400);
+    EXPECT_EQ(server.handle("/report?file=a%2fb.json").status, 400);
+    // Unknown query keys are a client error on every filtered
+    // route, not silently ignored.
+    EXPECT_EQ(server.handle("/breakdown?bogus=1").status, 400);
+    EXPECT_EQ(server.handle("/series?name=x&nope=2").status, 400);
+    EXPECT_EQ(server.handle("/stats?scene=REF&bad=3").status, 400);
+    // Errors still carry a JSON body and content type (the HTTP
+    // framing adds Connection: close to every response).
+    query::ReportServer::Response error =
+        server.handle("/stat?name=x&bogus=1");
+    EXPECT_EQ(error.status, 400);
+    EXPECT_EQ(error.contentType, "application/json");
+    EXPECT_NE(error.body.find("\"error\""), std::string::npos);
     std::filesystem::remove_all(dir);
 }
 

@@ -52,6 +52,10 @@ STAT_STRUCTS = [
      "registerRequesterStats"),
     ("src/gpu/mem_request.hh", "MemSystemStats",
      "registerMemSystemStats"),
+    ("src/gpu/profile.hh", "SmCycleBuckets",
+     "registerCycleBuckets"),
+    ("src/gpu/profile.hh", "RtCycleBuckets",
+     "registerCycleBuckets"),
 ]
 
 FIELD_RE = re.compile(

@@ -7,7 +7,7 @@
  *   lumibench list
  *       Enumerate scenes and the 46 workloads.
  *   lumibench run [--subset|--all|--workload ID]...
- *                 [--config mobile|desktop|alternate]
+ *                 [--config mobile|desktop|alternate|table4]
  *                 [--csv results.csv] [--ppm-dir DIR]
  *       Simulate workloads; write the metric table and images.
  *   lumibench results --csv results.csv
@@ -21,8 +21,11 @@
  *       Run a job matrix (workloads x configs) through the parallel
  *       campaign engine; write an aggregated campaign.json manifest.
  *   lumibench query --cache-dir DIR --stat NAME [--series]
- *                   [--where KEY=VALUE]... [--list-stats] [--json]
- *       Answer stat/time-series queries over cached run reports.
+ *                   [--where KEY=VALUE]... [--list-stats]
+ *                   [--breakdown] [--json]
+ *       Answer stat/time-series queries over cached run reports;
+ *       --breakdown renders the top-down cycle account (profile.*)
+ *       as stacked percentages.
  *   lumibench serve --cache-dir DIR [--port N] [--max-requests N]
  *       Serve the same queries over an embedded HTTP endpoint.
  *
@@ -66,7 +69,8 @@ usage()
                  "[options]\n"
                  "  run options: --subset | --all | --workload ID "
                  "(repeatable)\n"
-                 "               --config mobile|desktop|alternate\n"
+                 "               --config "
+                 "mobile|desktop|alternate|table4\n"
                  "               --res N  --spp N  --detail X  "
                  "--interval-stats CYCLES  --self-profile\n"
                  "               --csv FILE  --ppm-dir DIR  "
@@ -89,7 +93,7 @@ usage()
                  "  query options: --cache-dir DIR  --stat NAME  "
                  "--series\n"
                  "               --where KEY=VALUE (repeatable)  "
-                 "--list-stats  --json\n"
+                 "--list-stats  --breakdown  --json\n"
                  "  serve options: --cache-dir DIR  --port N  "
                  "--max-requests N\n"
                  "  results/dendrogram options: --csv FILE\n"
@@ -210,6 +214,8 @@ cmdRun(const std::vector<std::string> &args)
                 options.config = GpuConfig::desktop();
             else if (name == "alternate")
                 options.config = GpuConfig::alternate();
+            else if (name == "table4")
+                options.config = GpuConfig::table4();
             else
                 options.config = GpuConfig::mobile();
         } else if (arg == "--csv") {
@@ -461,12 +467,14 @@ cmdCampaign(const std::vector<std::string> &args)
             options.config = GpuConfig::desktop();
         else if (name == "alternate")
             options.config = GpuConfig::alternate();
+        else if (name == "table4")
+            options.config = GpuConfig::table4();
         else if (name == "mobile")
             options.config = GpuConfig::mobile();
         else {
             std::fprintf(stderr,
                          "unknown config '%s' (mobile, desktop, "
-                         "alternate)\n",
+                         "alternate, table4)\n",
                          name.c_str());
             return 2;
         }
@@ -618,6 +626,7 @@ cmdQuery(const std::vector<std::string> &args)
     std::string stat;
     bool series = false;
     bool list_stats = false;
+    bool breakdown = false;
     bool as_json = false;
     query::QueryFilter filter;
 
@@ -638,6 +647,8 @@ cmdQuery(const std::vector<std::string> &args)
             series = true;
         } else if (arg == "--list-stats") {
             list_stats = true;
+        } else if (arg == "--breakdown") {
+            breakdown = true;
         } else if (arg == "--json") {
             as_json = true;
         } else if (arg == "--where") {
@@ -672,6 +683,84 @@ cmdQuery(const std::vector<std::string> &args)
         for (const std::string &name :
              query::listStats(index, filter))
             std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (breakdown) {
+        std::vector<query::BreakdownRow> rows =
+            query::queryBreakdown(index, filter);
+        if (rows.empty()) {
+            std::fprintf(stderr,
+                         "no profile.* buckets matched (reports "
+                         "predate the profiler, or the filter "
+                         "matched nothing)\n");
+            return 1;
+        }
+        auto pct = [](double share) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%.1f", share * 100.0);
+            return std::string(buf);
+        };
+        if (as_json) {
+            JsonWriter json;
+            json.beginArray();
+            for (const query::BreakdownRow &row : rows) {
+                json.beginObject();
+                json.key("file");
+                json.value(row.file);
+                json.key("workload");
+                json.value(row.workload);
+                json.key("cycles");
+                json.value(row.cycles);
+                json.key("sm_share");
+                json.beginObject();
+                for (int b = 0; b < numSmCycleBuckets; b++) {
+                    json.key(smCycleBucketName(
+                        static_cast<SmCycleBucket>(b)));
+                    json.value(row.smShare[b]);
+                }
+                json.endObject();
+                json.key("rt_share");
+                json.beginObject();
+                for (int b = 0; b < numRtCycleBuckets; b++) {
+                    json.key(rtCycleBucketName(
+                        static_cast<RtCycleBucket>(b)));
+                    json.value(row.rtShare[b]);
+                }
+                json.endObject();
+                json.endObject();
+            }
+            json.endArray();
+            std::printf("%s\n", json.str().c_str());
+            return 0;
+        }
+        // Two stacked-percentage tables: issue slots, then RT-unit
+        // cycles. Conservation pins each row to 100%.
+        std::vector<std::string> sm_heads = {"workload"};
+        for (int b = 0; b < numSmCycleBuckets; b++)
+            sm_heads.push_back(smCycleBucketName(
+                static_cast<SmCycleBucket>(b)));
+        TextTable sm_table(sm_heads);
+        for (const query::BreakdownRow &row : rows) {
+            std::vector<std::string> cells = {row.workload};
+            for (int b = 0; b < numSmCycleBuckets; b++)
+                cells.push_back(pct(row.smShare[b]));
+            sm_table.addRow(cells);
+        }
+        std::printf("SM issue slots (%% of cycles)\n%s\n",
+                    sm_table.render().c_str());
+        std::vector<std::string> rt_heads = {"workload"};
+        for (int b = 0; b < numRtCycleBuckets; b++)
+            rt_heads.push_back(rtCycleBucketName(
+                static_cast<RtCycleBucket>(b)));
+        TextTable rt_table(rt_heads);
+        for (const query::BreakdownRow &row : rows) {
+            std::vector<std::string> cells = {row.workload};
+            for (int b = 0; b < numRtCycleBuckets; b++)
+                cells.push_back(pct(row.rtShare[b]));
+            rt_table.addRow(cells);
+        }
+        std::printf("RT units (%% of cycles)\n%s",
+                    rt_table.render().c_str());
         return 0;
     }
     if (stat.empty()) {
@@ -815,7 +904,8 @@ cmdServe(const std::vector<std::string> &args)
         return 1;
     std::fprintf(stderr,
                  "serving %s on http://127.0.0.1:%d/ (routes: "
-                 "/healthz /index /stats /stat /series /report)\n",
+                 "/healthz /version /index /stats /stat /series "
+                 "/breakdown /view /report)\n",
                  dir.c_str(), server.port());
     server.serve(max_requests);
     return 0;
