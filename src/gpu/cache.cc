@@ -17,7 +17,9 @@ Cache::Cache(uint32_t size_bytes, uint32_t line_bytes, uint32_t ways,
     if (numSets_ == 0)
         numSets_ = 1;
     lines_.resize(static_cast<size_t>(numSets_) * ways_);
-    lookup_.resize(numSets_);
+    lookup_ = FlatMap<uint32_t>(num_lines);
+    lruKey_.resize(lines_.size(), 0);
+    setFill_.resize(numSets_, 0);
 }
 
 uint32_t
@@ -29,21 +31,15 @@ Cache::setIndex(uint64_t line_addr) const
 Cache::Line *
 Cache::findLine(uint64_t line_addr)
 {
-    uint32_t set = setIndex(line_addr);
-    auto it = lookup_[set].find(line_addr);
-    if (it == lookup_[set].end())
-        return nullptr;
-    return &lines_[it->second];
+    const uint32_t *index = lookup_.find(line_addr);
+    return index ? &lines_[*index] : nullptr;
 }
 
 const Cache::Line *
 Cache::findLine(uint64_t line_addr) const
 {
-    uint32_t set = setIndex(line_addr);
-    auto it = lookup_[set].find(line_addr);
-    if (it == lookup_[set].end())
-        return nullptr;
-    return &lines_[it->second];
+    const uint32_t *index = lookup_.find(line_addr);
+    return index ? &lines_[*index] : nullptr;
 }
 
 CacheProbe
@@ -67,11 +63,12 @@ Cache::probe(uint64_t line_addr, uint64_t cycle)
 {
     stats.reads++;
     CacheProbe result;
-    Line *line = findLine(line_addr);
+    const uint32_t *index = lookup_.find(line_addr);
+    Line *line = index ? &lines_[*index] : nullptr;
     if (!line) {
         stats.readMisses++;
     } else {
-        line->lastUsed = cycle;
+        lruKey_[*index] = cycle + 1;
         if (line->validAt > cycle) {
             stats.readPendingHits++;
             result.outcome = CacheProbe::Outcome::PendingHit;
@@ -106,67 +103,69 @@ Cache::fill(uint64_t line_addr, uint64_t cycle, uint64_t valid_at)
                static_cast<unsigned long long>(valid_at),
                static_cast<unsigned long long>(cycle));
     uint32_t set = setIndex(line_addr);
-    if (lookup_[set].count(line_addr))
+    if (lookup_.contains(line_addr))
         return; // already present (raced fill)
 
-    // Find an invalid way or evict the LRU line of the set.
+    // Find an invalid way or evict the LRU line of the set: argmin
+    // over the replacement keys (0 = invalid beats any timestamp;
+    // strict < keeps the lowest way on ties — both identical to the
+    // original two-phase scan over the Line structs).
     uint32_t base = set * ways_;
     uint32_t victim = base;
     uint64_t oldest = UINT64_MAX;
+    const uint64_t *keys = lruKey_.data() + base;
     for (uint32_t w = 0; w < ways_; w++) {
-        Line &line = lines_[base + w];
-        if (!line.valid) {
+        if (keys[w] < oldest) {
+            oldest = keys[w];
             victim = base + w;
-            oldest = 0;
-            break;
-        }
-        if (line.lastUsed < oldest) {
-            oldest = line.lastUsed;
-            victim = base + w;
+            if (oldest == 0)
+                break; // first invalid way wins outright
         }
     }
 #if LUMI_CHECKS_ENABLED
     // Replacement legality: the victim must be an invalid way or the
     // true LRU of the set (no valid line older than it).
-    if (lines_[victim].valid) {
+    if (lruKey_[victim] != 0) {
         for (uint32_t w = 0; w < ways_; w++) {
-            const Line &line = lines_[base + w];
-            LUMI_CHECK(Cache,
-                       !line.valid ||
-                           line.lastUsed >= lines_[victim].lastUsed,
+            LUMI_CHECK(Cache, keys[w] >= lruKey_[victim],
                        "LRU violation in set %u: victim lastUsed=%llu "
                        "but way %u has lastUsed=%llu",
                        set,
                        static_cast<unsigned long long>(
-                           lines_[victim].lastUsed),
+                           lruKey_[victim] - 1),
                        w,
-                       static_cast<unsigned long long>(line.lastUsed));
+                       static_cast<unsigned long long>(
+                           keys[w] ? keys[w] - 1 : 0));
         }
     }
 #endif
     Line &line = lines_[victim];
-    if (line.valid)
-        lookup_[set].erase(line.tag);
+    if (line.valid) {
+        lookup_.erase(line.tag);
+        setFill_[set]--;
+    }
     line.tag = line_addr;
-    line.lastUsed = cycle;
     line.validAt = valid_at;
     line.valid = true;
-    lookup_[set][line_addr] = victim;
+    lruKey_[victim] = cycle + 1;
+    lookup_.insert(line_addr, victim);
+    setFill_[set]++;
     // The tag index and the line array must stay in lockstep: a set
     // can never track more lines than it has ways.
-    LUMI_CHECK(Cache, lookup_[set].size() <= ways_,
-               "set %u tracks %zu lines with only %u ways", set,
-               lookup_[set].size(), ways_);
+    LUMI_CHECK(Cache, setFill_[set] <= ways_,
+               "set %u tracks %u lines with only %u ways", set,
+               setFill_[set], ways_);
 }
 
 bool
 Cache::writeProbe(uint64_t line_addr, uint64_t cycle)
 {
     stats.writes++;
-    Line *line = findLine(line_addr);
+    const uint32_t *index = lookup_.find(line_addr);
+    Line *line = index ? &lines_[*index] : nullptr;
     bool hit = line && line->validAt <= cycle;
     if (hit) {
-        line->lastUsed = cycle;
+        lruKey_[*index] = cycle + 1;
         stats.writeHits++;
     } else {
         stats.writeMisses++;

@@ -15,8 +15,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
+
+#include "gpu/flat_map.hh"
 
 namespace lumi
 {
@@ -109,7 +110,6 @@ class Cache
     struct Line
     {
         uint64_t tag = 0;
-        uint64_t lastUsed = 0;
         uint64_t validAt = 0;
         bool valid = false;
     };
@@ -124,8 +124,27 @@ class Cache
     int latency_;
     /** sets_[set * ways_ + way]. */
     std::vector<Line> lines_;
-    /** Tag -> index into lines_, per set, for O(1) lookup. */
-    std::vector<std::unordered_map<uint64_t, uint32_t>> lookup_;
+    /**
+     * Line address -> index into lines_, one open-addressed table
+     * for the whole cache (the address encodes its set, so one flat
+     * probe replaces the old per-set node-based map — and covers the
+     * fully-associative L1, where a per-set structure degenerates to
+     * a single huge set anyway). Pre-sized to the line count, so it
+     * never rehashes during simulation.
+     */
+    FlatMap<uint32_t> lookup_;
+    /**
+     * Replacement keys, one per line: 0 for an invalid line, else
+     * lastUsed + 1. Kept apart from lines_ so victim selection is a
+     * tight argmin over a dense u64 array — the scan covers the
+     * whole cache when fully associative, and walking 40-byte Line
+     * structs for it dominated fill() cost. Lowest-index argmin
+     * reproduces the original policy exactly: a 0 key wins over any
+     * timestamp (first invalid way), ties fall to the lower way.
+     */
+    std::vector<uint64_t> lruKey_;
+    /** Valid lines per set (tag-index/line-array lockstep check). */
+    std::vector<uint32_t> setFill_;
 };
 
 } // namespace lumi

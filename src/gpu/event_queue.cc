@@ -1,0 +1,16 @@
+#include "gpu/event_queue.hh"
+
+namespace lumi
+{
+
+EventQueue::EventQueue(int components)
+{
+    heap_.resize(static_cast<size_t>(components));
+    pos_.resize(static_cast<size_t>(components));
+    for (int comp = 0; comp < components; comp++) {
+        heap_[comp] = {UINT64_MAX, comp};
+        pos_[comp] = static_cast<size_t>(comp);
+    }
+}
+
+} // namespace lumi

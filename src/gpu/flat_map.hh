@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Open-addressed hash containers for the simulator's per-access hot
+ * paths (cache tag lookup, MSHR files, cold-miss tracking).
+ *
+ * The per-access std::unordered_map lookups were the single hottest
+ * non-loop cost in host profiles: every node-bucket chain walk is a
+ * dependent cache miss. FlatMap keeps keys and values in two dense
+ * power-of-two arrays with linear probing and backward-shift
+ * deletion (no tombstones), so a lookup is one mix, one probe run of
+ * adjacent slots, and no allocation. Keys are 64-bit line addresses;
+ * UINT64_MAX is reserved as the empty sentinel (no simulated
+ * allocation can place a line there).
+ *
+ * Iteration order is intentionally not provided: none of the
+ * simulator's uses iterate, which is what makes the container swap
+ * invisible to simulated timing (golden cycle-parity gated).
+ */
+
+#ifndef LUMI_GPU_FLAT_MAP_HH
+#define LUMI_GPU_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lumi
+{
+
+namespace detail
+{
+
+/** splitmix64 finalizer: full-avalanche mix of a 64-bit key. */
+inline uint64_t
+mixKey(uint64_t key)
+{
+    key += 0x9e3779b97f4a7c15ull;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return key ^ (key >> 31);
+}
+
+} // namespace detail
+
+/**
+ * Open-addressed uint64 -> V map. V must be trivially copyable (the
+ * simulator stores counts and line indices). Grows by doubling at
+ * ~70% load; erase backward-shifts the probe run so probes stay
+ * short without tombstone buildup.
+ */
+template <typename V>
+class FlatMap
+{
+  public:
+    static constexpr uint64_t kEmpty = UINT64_MAX;
+
+    explicit FlatMap(size_t expected = 16) { rehash(capacityFor(expected)); }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pointer to the mapped value, or null when absent. */
+    V *
+    find(uint64_t key)
+    {
+        size_t i = slotOf(key);
+        return i == kNpos ? nullptr : &vals_[i];
+    }
+
+    const V *
+    find(uint64_t key) const
+    {
+        size_t i = slotOf(key);
+        return i == kNpos ? nullptr : &vals_[i];
+    }
+
+    bool contains(uint64_t key) const { return slotOf(key) != kNpos; }
+
+    /** Reference to the mapped value, default-inserting like
+     *  std::unordered_map::operator[]. */
+    V &
+    operator[](uint64_t key)
+    {
+        maybeGrow();
+        size_t i = detail::mixKey(key) & mask_;
+        for (;; i = (i + 1) & mask_) {
+            if (keys_[i] == key)
+                return vals_[i];
+            if (keys_[i] == kEmpty) {
+                keys_[i] = key;
+                vals_[i] = V{};
+                size_++;
+                return vals_[i];
+            }
+        }
+    }
+
+    /** Insert @p key if absent; true when newly inserted. */
+    bool
+    insert(uint64_t key, const V &value = V{})
+    {
+        maybeGrow();
+        size_t i = detail::mixKey(key) & mask_;
+        for (;; i = (i + 1) & mask_) {
+            if (keys_[i] == key)
+                return false;
+            if (keys_[i] == kEmpty) {
+                keys_[i] = key;
+                vals_[i] = value;
+                size_++;
+                return true;
+            }
+        }
+    }
+
+    /** Remove @p key; true when it was present. */
+    bool
+    erase(uint64_t key)
+    {
+        size_t i = slotOf(key);
+        if (i == kNpos)
+            return false;
+        // Backward-shift: pull every displaced follower of the probe
+        // run one slot toward its home so lookups never need
+        // tombstones.
+        size_t hole = i;
+        size_t next = (hole + 1) & mask_;
+        while (keys_[next] != kEmpty) {
+            size_t home = detail::mixKey(keys_[next]) & mask_;
+            // The follower may move into the hole only if the hole
+            // lies on its probe path (cyclic interval [home, next]).
+            bool movable = hole <= next
+                               ? (home <= hole || home > next)
+                               : (home <= hole && home > next);
+            if (movable) {
+                keys_[hole] = keys_[next];
+                vals_[hole] = vals_[next];
+                hole = next;
+            }
+            next = (next + 1) & mask_;
+        }
+        keys_[hole] = kEmpty;
+        size_--;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        keys_.assign(keys_.size(), kEmpty);
+        size_ = 0;
+    }
+
+  private:
+    static constexpr size_t kNpos = SIZE_MAX;
+
+    static size_t
+    capacityFor(size_t expected)
+    {
+        size_t cap = 16;
+        while (cap < expected * 2)
+            cap *= 2;
+        return cap;
+    }
+
+    size_t
+    slotOf(uint64_t key) const
+    {
+        size_t i = detail::mixKey(key) & mask_;
+        for (;; i = (i + 1) & mask_) {
+            if (keys_[i] == key)
+                return i;
+            if (keys_[i] == kEmpty)
+                return kNpos;
+        }
+    }
+
+    void
+    maybeGrow()
+    {
+        if ((size_ + 1) * 10 >= keys_.size() * 7)
+            rehash(keys_.size() * 2);
+    }
+
+    void
+    rehash(size_t capacity)
+    {
+        std::vector<uint64_t> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        keys_.assign(capacity, kEmpty);
+        vals_.assign(capacity, V{});
+        mask_ = capacity - 1;
+        size_ = 0;
+        for (size_t i = 0; i < old_keys.size(); i++) {
+            if (old_keys[i] == kEmpty)
+                continue;
+            size_t j = detail::mixKey(old_keys[i]) & mask_;
+            while (keys_[j] != kEmpty)
+                j = (j + 1) & mask_;
+            keys_[j] = old_keys[i];
+            vals_[j] = old_vals[i];
+            size_++;
+        }
+    }
+
+    std::vector<uint64_t> keys_;
+    std::vector<V> vals_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+};
+
+/** Open-addressed uint64 set (FlatMap with no payload). */
+class FlatSet
+{
+  public:
+    explicit FlatSet(size_t expected = 16) : map_(expected) {}
+
+    /** Insert @p key; true when it was not yet present. */
+    bool insert(uint64_t key) { return map_.insert(key); }
+    bool contains(uint64_t key) const { return map_.contains(key); }
+    size_t size() const { return map_.size(); }
+
+  private:
+    FlatMap<uint8_t> map_;
+};
+
+} // namespace lumi
+
+#endif // LUMI_GPU_FLAT_MAP_HH

@@ -13,7 +13,8 @@ namespace lumi
 
 Gpu::Gpu(const GpuConfig &config, uint64_t timeline_interval,
          Tracer *tracer)
-    : config_(config), tracer_(tracer), timeline_(timeline_interval)
+    : config_(config), tracer_(tracer), timeline_(timeline_interval),
+      queue_(2 * config.numSms + 1)
 {
     mem_ = std::make_unique<MemSystem>(config_, space_, tracer_);
     for (int sm = 0; sm < config_.numSms; sm++) {
@@ -26,6 +27,16 @@ Gpu::Gpu(const GpuConfig &config, uint64_t timeline_interval,
     profile_.init(config_.numSms);
     smHadWork_.assign(static_cast<size_t>(config_.numSms), 0);
     drainTail_.assign(static_cast<size_t>(config_.numSms), 0);
+    coreCycled_.assign(static_cast<size_t>(config_.numSms), 0);
+    rtCycled_.assign(static_cast<size_t>(config_.numSms), 0);
+    rtDue_.assign(static_cast<size_t>(config_.numSms), 0);
+    coreDirty_.assign(static_cast<size_t>(config_.numSms), 0);
+    due_.reserve(queue_.components());
+    // Escape hatch for measured before/after comparisons (micro_sched)
+    // and loop-parity tests; deliberately not a GpuConfig knob so
+    // config fingerprints (and the result cache) are unaffected.
+    const char *legacy = std::getenv("LUMI_LEGACY_LOOP");
+    legacyLoop_ = legacy && *legacy && *legacy != '0';
 }
 
 TimelineSample
@@ -62,9 +73,310 @@ Gpu::fillSlots(const KernelLaunch &launch, uint32_t &next_warp)
                 stats_.raysByKind[k] += ctx.rayCounts()[k];
             core.assignWarp(ctx.take(), next_warp, now_);
             smHadWork_[i] = 1;
+            // The fresh warp is ready at now_: the core must
+            // re-register its next-event cycle (event loop).
+            coreDirty_[i] = 1;
             next_warp++;
             assigned = true;
         }
+    }
+}
+
+bool
+Gpu::anyBusy(uint32_t next_warp, const KernelLaunch &launch) const
+{
+    if (next_warp < launch.warpCount)
+        return true;
+    for (const auto &core : cores_) {
+        if (core->busy())
+            return true;
+    }
+    for (const auto &rt : rtUnits_) {
+        if (!rt->idle())
+            return true;
+    }
+    return false;
+}
+
+void
+Gpu::reportDeadlock()
+{
+    // Busy but event-less: that is a simulator bug (a warp sleeping
+    // with nobody left to wake it). Diagnose, then stop the run so a
+    // campaign worker survives (SimulationAborted upstream) instead
+    // of taking the whole process down.
+    std::fprintf(stderr, "lumi: panic: deadlock at cycle %llu\n",
+                 static_cast<unsigned long long>(now_));
+    for (size_t i = 0; i < cores_.size(); i++) {
+        std::fprintf(stderr,
+                     "  sm%zu: resident=%d rtWarps=%d "
+                     "rtRays=%d rtIdle=%d\n",
+                     i, cores_[i]->residentWarps(),
+                     rtUnits_[i]->activeWarps(),
+                     rtUnits_[i]->activeRays(),
+                     rtUnits_[i]->idle() ? 1 : 0);
+    }
+    deadlocked_ = true;
+    aborted_ = true;
+}
+
+void
+Gpu::accountSpan(uint64_t next, const uint8_t *core_cycled)
+{
+    // Accumulate state-weighted statistics over (now, next]: no
+    // component changes state in the skipped span.
+    uint64_t dt = next - now_;
+
+#if LUMI_PROFILE_ENABLED
+    // Top-down cycle accounting over [now, next): cycle now gets
+    // the issue outcome; the remaining dt-1 cycles (in which, by
+    // construction of next, no warp can issue) get the stall
+    // classification from post-issue warp state. Pure accounting:
+    // nothing here feeds back into simulated timing. A core the
+    // event loop skipped had no issuable warp at now (or it would
+    // have been due), so its outcome is None by construction and
+    // its stale lastOutcome() is never read.
+    for (size_t i = 0; i < cores_.size(); i++) {
+        uint64_t rest = dt;
+        IssueOutcome outcome = (!core_cycled || core_cycled[i])
+                                   ? cores_[i]->lastOutcome()
+                                   : IssueOutcome::None;
+        if (outcome == IssueOutcome::Issued) {
+            profile_.addSm(static_cast<int>(i),
+                           SmCycleBucket::Issued, 1);
+            rest--;
+        } else if (outcome == IssueOutcome::MemReplay) {
+            profile_.addSm(static_cast<int>(i),
+                           SmCycleBucket::MemPending, 1);
+            rest--;
+        }
+        if (rest > 0) {
+            switch (cores_[i]->stallKind()) {
+              case SmStall::MemPending:
+                profile_.addSm(static_cast<int>(i),
+                               SmCycleBucket::MemPending, rest);
+                break;
+              case SmStall::RtWait:
+                profile_.addSm(static_cast<int>(i),
+                               SmCycleBucket::RtWait, rest);
+                break;
+              case SmStall::NoReadyWarp:
+                profile_.addSm(static_cast<int>(i),
+                               SmCycleBucket::NoReadyWarp, rest);
+                break;
+              case SmStall::NoWarps:
+                if (smHadWork_[i]) {
+                    profile_.addSm(static_cast<int>(i),
+                                   SmCycleBucket::Drain, rest);
+                    drainTail_[i] += rest;
+                } else {
+                    profile_.addSm(static_cast<int>(i),
+                                   SmCycleBucket::Empty, rest);
+                }
+                break;
+            }
+        }
+        rtUnits_[i]->profileSpan(now_, next, profile_);
+    }
+#else
+    (void)core_cycled;
+#endif
+
+    int resident = 0;
+    for (auto &core : cores_)
+        resident += core->residentWarps();
+    int rt_warps = 0, rt_rays = 0, rt_active_units = 0;
+    for (auto &rt : rtUnits_) {
+        rt_warps += rt->activeWarps();
+        rt_rays += rt->activeRays();
+        if (rt->activeWarps() > 0)
+            rt_active_units++;
+    }
+    stats_.warpCyclesResident += static_cast<uint64_t>(resident) *
+                                 dt;
+    stats_.rtWarpCycles += static_cast<uint64_t>(rt_warps) * dt;
+    stats_.rtRayCycles += static_cast<uint64_t>(rt_rays) * dt;
+    for (int k = 0; k < numRayKinds; k++) {
+        int warps_k = 0, rays_k = 0;
+        for (auto &rt : rtUnits_) {
+            warps_k += rt->warpsOfKind(k);
+            rays_k += rt->raysOfKind(k);
+        }
+        stats_.rtWarpCyclesByKind[k] +=
+            static_cast<uint64_t>(warps_k) * dt;
+        stats_.rtRayCyclesByKind[k] +=
+            static_cast<uint64_t>(rays_k) * dt;
+    }
+    stats_.rtActiveCycles += static_cast<uint64_t>(
+                                 rt_active_units) *
+                             dt;
+    now_ = next;
+    // Keep the registered gpu.cycles counter current so interval
+    // samples read the live clock. Unconditional: the write must
+    // happen identically whether or not a sampler is attached.
+    stats_.cycles = now_;
+    timeline_.record(now_, snapshot());
+    if (sampler_)
+        sampler_->maybeSample(now_);
+}
+
+void
+Gpu::runEventLoop(const KernelLaunch &launch, uint32_t &next_warp)
+{
+    const int n = config_.numSms;
+    const int mem_comp = 2 * n;
+    // The first landing cycles every component unconditionally: the
+    // launch just filled slots at now_, and stale registrations from
+    // a previous launch are overwritten when everything re-registers.
+    bool first = true;
+    for (;;) {
+        // Soft budget / cooperative cancellation: a runaway sim
+        // stops at a cycle boundary instead of wedging its worker.
+        if ((cycleBudget_ != 0 && now_ >= cycleBudget_) ||
+            (cancel_ &&
+             cancel_->load(std::memory_order_relaxed))) {
+            aborted_ = true;
+            break;
+        }
+        if (!anyBusy(next_warp, launch))
+            break;
+
+        // Self-profiling is sampled: most iterations only bump a
+        // counter; a timed one reads the clock at each component
+        // boundary. Either way no simulator state is touched.
+        bool timed = profiler_ && profiler_->beginIteration();
+
+        // Core phase: only the cores registered due at now_ can
+        // issue (a skipped core provably has no ready warp, so its
+        // cycle() would be a no-op).
+        if (first) {
+            for (int i = 0; i < n; i++) {
+                cores_[i]->cycle(now_);
+                coreCycled_[i] = 1;
+                rtDue_[i] = 1;
+            }
+        } else {
+            queue_.popDue(now_, due_);
+            for (int comp : due_) {
+                if (comp < n) {
+                    cores_[comp]->cycle(now_);
+                    coreCycled_[comp] = 1;
+                } else if (comp < mem_comp) {
+                    rtDue_[comp - n] = 1;
+                }
+                // mem_comp carries no cycle() of its own: fills
+                // drain lazily inside issueRead/issueWrite; its
+                // registration only contributes landing cycles.
+            }
+        }
+        if (timed)
+            profiler_->mark(HostProfiler::SimtCores);
+
+        // RT phase: units due from the queue, plus units handed a
+        // traceRay by their core THIS cycle (the old loop advanced
+        // such a ray in the same iteration, rt phase following core
+        // phase, so the event loop must too).
+        for (int i = 0; i < n; i++) {
+            if (rtDue_[i] || (coreCycled_[i] &&
+                              cores_[i]->rtEnqueuedThisCycle())) {
+                rtUnits_[i]->cycle(now_);
+                rtCycled_[i] = 1;
+            }
+        }
+        if (timed)
+            profiler_->mark(HostProfiler::RtUnits);
+        fillSlots(launch, next_warp);
+        if (timed)
+            profiler_->mark(HostProfiler::FillSlots);
+
+        // Re-registration: every component whose state may have
+        // changed this iteration recomputes its next-interesting
+        // cycle -- cycled components, cores whose RT unit actually
+        // handed a warp back (wakeWarp is SM-pair-local and flags
+        // the core), cores handed fresh warps by fillSlots, and the
+        // memory system (any issue can push a fill completion).
+        // Unchanged components keep their exact registration, so
+        // the heap minimum equals the old all-component min-scan.
+        for (int i = 0; i < n; i++) {
+            bool woken = cores_[i]->consumeWoken();
+            if (coreCycled_[i] || coreDirty_[i] || woken) {
+                queue_.update(i, cores_[i]->nextEventCycle(now_));
+                coreDirty_[i] = 0;
+            }
+            if (rtCycled_[i])
+                queue_.update(n + i,
+                              rtUnits_[i]->nextEventCycle(now_));
+        }
+        // Fill completions wake stalled requesters under finite
+        // memory-system resources (no events when unlimited).
+        queue_.update(mem_comp, mem_->nextEventCycle(now_));
+
+        uint64_t next = queue_.minCycle();
+        if (next == UINT64_MAX) {
+            // Work may have completed inside this very cycle.
+            if (anyBusy(next_warp, launch))
+                reportDeadlock();
+            break;
+        }
+        if (timed)
+            profiler_->mark(HostProfiler::MemEvents);
+
+        accountSpan(next, coreCycled_.data());
+        if (timed)
+            profiler_->mark(HostProfiler::Observe);
+
+        std::fill(coreCycled_.begin(), coreCycled_.end(), 0);
+        std::fill(rtCycled_.begin(), rtCycled_.end(), 0);
+        std::fill(rtDue_.begin(), rtDue_.end(), 0);
+        first = false;
+    }
+}
+
+void
+Gpu::runLegacyLoop(const KernelLaunch &launch, uint32_t &next_warp)
+{
+    for (;;) {
+        if ((cycleBudget_ != 0 && now_ >= cycleBudget_) ||
+            (cancel_ &&
+             cancel_->load(std::memory_order_relaxed))) {
+            aborted_ = true;
+            break;
+        }
+        if (!anyBusy(next_warp, launch))
+            break;
+
+        bool timed = profiler_ && profiler_->beginIteration();
+
+        for (auto &core : cores_)
+            core->cycle(now_);
+        if (timed)
+            profiler_->mark(HostProfiler::SimtCores);
+        for (auto &rt : rtUnits_)
+            rt->cycle(now_);
+        if (timed)
+            profiler_->mark(HostProfiler::RtUnits);
+        fillSlots(launch, next_warp);
+        if (timed)
+            profiler_->mark(HostProfiler::FillSlots);
+
+        uint64_t next = UINT64_MAX;
+        for (auto &core : cores_)
+            next = std::min(next, core->nextEventCycle(now_));
+        for (auto &rt : rtUnits_)
+            next = std::min(next, rt->nextEventCycle(now_));
+        next = std::min(next, mem_->nextEventCycle(now_));
+        if (next == UINT64_MAX) {
+            // Work may have completed inside this very cycle.
+            if (anyBusy(next_warp, launch))
+                reportDeadlock();
+            break;
+        }
+        if (timed)
+            profiler_->mark(HostProfiler::MemEvents);
+
+        accountSpan(next, nullptr);
+        if (timed)
+            profiler_->mark(HostProfiler::Observe);
     }
 }
 
@@ -111,168 +423,10 @@ Gpu::run(const KernelLaunch &launch)
         sampler_->maybeSample(now_);
     fillSlots(launch, next_warp);
 
-    for (;;) {
-        // Soft budget / cooperative cancellation: a runaway sim
-        // stops at a cycle boundary instead of wedging its worker.
-        if ((cycleBudget_ != 0 && now_ >= cycleBudget_) ||
-            (cancel_ &&
-             cancel_->load(std::memory_order_relaxed))) {
-            aborted_ = true;
-            break;
-        }
-
-        bool busy = next_warp < launch.warpCount;
-        for (auto &core : cores_)
-            busy = busy || core->busy();
-        for (auto &rt : rtUnits_)
-            busy = busy || !rt->idle();
-        if (!busy)
-            break;
-
-        // Self-profiling is sampled: most iterations only bump a
-        // counter; a timed one reads the clock at each component
-        // boundary. Either way no simulator state is touched.
-        bool timed = profiler_ && profiler_->beginIteration();
-
-        for (auto &core : cores_)
-            core->cycle(now_);
-        if (timed)
-            profiler_->mark(HostProfiler::SimtCores);
-        for (auto &rt : rtUnits_)
-            rt->cycle(now_);
-        if (timed)
-            profiler_->mark(HostProfiler::RtUnits);
-        fillSlots(launch, next_warp);
-        if (timed)
-            profiler_->mark(HostProfiler::FillSlots);
-
-        uint64_t next = UINT64_MAX;
-        for (auto &core : cores_)
-            next = std::min(next, core->nextEventCycle(now_));
-        for (auto &rt : rtUnits_)
-            next = std::min(next, rt->nextEventCycle(now_));
-        // Fill completions wake stalled requesters under finite
-        // memory-system resources (no events when unlimited).
-        next = std::min(next, mem_->nextEventCycle(now_));
-        if (next == UINT64_MAX) {
-            // Work may have completed inside this very cycle.
-            bool still_busy = next_warp < launch.warpCount;
-            for (auto &core : cores_)
-                still_busy = still_busy || core->busy();
-            for (auto &rt : rtUnits_)
-                still_busy = still_busy || !rt->idle();
-            if (!still_busy)
-                break;
-            // Busy but event-less: that is a simulator bug (a warp
-            // sleeping with nobody left to wake it).
-            std::fprintf(stderr,
-                         "lumi: panic: deadlock at cycle %llu\n",
-                         static_cast<unsigned long long>(now_));
-            for (size_t i = 0; i < cores_.size(); i++) {
-                std::fprintf(stderr,
-                             "  sm%zu: resident=%d rtWarps=%d "
-                             "rtRays=%d rtIdle=%d\n",
-                             i, cores_[i]->residentWarps(),
-                             rtUnits_[i]->activeWarps(),
-                             rtUnits_[i]->activeRays(),
-                             rtUnits_[i]->idle() ? 1 : 0);
-            }
-            std::abort();
-        }
-        if (timed)
-            profiler_->mark(HostProfiler::MemEvents);
-
-        // Accumulate state-weighted statistics over (now, next]: no
-        // component changes state in the skipped span.
-        uint64_t dt = next - now_;
-
-#if LUMI_PROFILE_ENABLED
-        // Top-down cycle accounting over [now, next): cycle now gets
-        // the issue outcome; the remaining dt-1 cycles (in which, by
-        // construction of next, no warp can issue) get the stall
-        // classification from post-issue warp state. Pure accounting:
-        // nothing here feeds back into simulated timing.
-        for (size_t i = 0; i < cores_.size(); i++) {
-            uint64_t rest = dt;
-            IssueOutcome outcome = cores_[i]->lastOutcome();
-            if (outcome == IssueOutcome::Issued) {
-                profile_.addSm(static_cast<int>(i),
-                               SmCycleBucket::Issued, 1);
-                rest--;
-            } else if (outcome == IssueOutcome::MemReplay) {
-                profile_.addSm(static_cast<int>(i),
-                               SmCycleBucket::MemPending, 1);
-                rest--;
-            }
-            if (rest > 0) {
-                switch (cores_[i]->stallKind()) {
-                  case SmStall::MemPending:
-                    profile_.addSm(static_cast<int>(i),
-                                   SmCycleBucket::MemPending, rest);
-                    break;
-                  case SmStall::RtWait:
-                    profile_.addSm(static_cast<int>(i),
-                                   SmCycleBucket::RtWait, rest);
-                    break;
-                  case SmStall::NoReadyWarp:
-                    profile_.addSm(static_cast<int>(i),
-                                   SmCycleBucket::NoReadyWarp, rest);
-                    break;
-                  case SmStall::NoWarps:
-                    if (smHadWork_[i]) {
-                        profile_.addSm(static_cast<int>(i),
-                                       SmCycleBucket::Drain, rest);
-                        drainTail_[i] += rest;
-                    } else {
-                        profile_.addSm(static_cast<int>(i),
-                                       SmCycleBucket::Empty, rest);
-                    }
-                    break;
-                }
-            }
-            rtUnits_[i]->profileSpan(now_, next, profile_);
-        }
-#endif
-
-        int resident = 0;
-        for (auto &core : cores_)
-            resident += core->residentWarps();
-        int rt_warps = 0, rt_rays = 0, rt_active_units = 0;
-        for (auto &rt : rtUnits_) {
-            rt_warps += rt->activeWarps();
-            rt_rays += rt->activeRays();
-            if (rt->activeWarps() > 0)
-                rt_active_units++;
-        }
-        stats_.warpCyclesResident += static_cast<uint64_t>(resident) *
-                                     dt;
-        stats_.rtWarpCycles += static_cast<uint64_t>(rt_warps) * dt;
-        stats_.rtRayCycles += static_cast<uint64_t>(rt_rays) * dt;
-        for (int k = 0; k < numRayKinds; k++) {
-            int warps_k = 0, rays_k = 0;
-            for (auto &rt : rtUnits_) {
-                warps_k += rt->warpsOfKind(k);
-                rays_k += rt->raysOfKind(k);
-            }
-            stats_.rtWarpCyclesByKind[k] +=
-                static_cast<uint64_t>(warps_k) * dt;
-            stats_.rtRayCyclesByKind[k] +=
-                static_cast<uint64_t>(rays_k) * dt;
-        }
-        stats_.rtActiveCycles += static_cast<uint64_t>(
-                                     rt_active_units) *
-                                 dt;
-        now_ = next;
-        // Keep the registered gpu.cycles counter current so interval
-        // samples read the live clock. Unconditional: the write must
-        // happen identically whether or not a sampler is attached.
-        stats_.cycles = now_;
-        timeline_.record(now_, snapshot());
-        if (sampler_)
-            sampler_->maybeSample(now_);
-        if (timed)
-            profiler_->mark(HostProfiler::Observe);
-    }
+    if (legacyLoop_)
+        runLegacyLoop(launch, next_warp);
+    else
+        runEventLoop(launch, next_warp);
 
     // Retire every in-flight fill so the MSHR conservation checks
     // and occupancy histograms cover the whole run.

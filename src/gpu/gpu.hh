@@ -20,6 +20,7 @@
 
 #include "gpu/address_space.hh"
 #include "gpu/config.hh"
+#include "gpu/event_queue.hh"
 #include "gpu/mem_system.hh"
 #include "gpu/profile.hh"
 #include "gpu/rt_unit.hh"
@@ -154,6 +155,15 @@ class Gpu
     /** True once a run stopped early on budget or cancellation. */
     bool aborted() const { return aborted_; }
 
+    /**
+     * True when a run stopped because the simulator deadlocked: some
+     * component was busy with no future event to wake it (a model
+     * bug, e.g. a warp sleeping with nobody left to wake it). Also
+     * sets aborted(), so runners surface it as SimulationAborted
+     * instead of killing the whole campaign worker process.
+     */
+    bool deadlocked() const { return deadlocked_; }
+
     /** Current simulated cycle. */
     uint64_t now() const { return now_; }
 
@@ -166,6 +176,31 @@ class Gpu
   private:
     void fillSlots(const KernelLaunch &launch, uint32_t &next_warp);
     TimelineSample snapshot() const;
+
+    /** One busy scan, shared by the loop-top break test and the
+     *  no-event (deadlock vs completed-in-cycle) branch. */
+    bool anyBusy(uint32_t next_warp,
+                 const KernelLaunch &launch) const;
+    /**
+     * Close the landing span [now_, next): top-down cycle accounting
+     * (cores not in @p core_cycled provably produced IssueOutcome::
+     * None, so their stale outcome is not read), state-weighted
+     * residency statistics, then the landing bookkeeping (clock,
+     * timeline, interval sampler). @p core_cycled null means every
+     * core was cycled (the legacy polling loop).
+     */
+    void accountSpan(uint64_t next, const uint8_t *core_cycled);
+    /** Diagnose a busy-but-eventless state and mark the run
+     *  deadlocked/aborted (reported as SimulationAborted upstream). */
+    void reportDeadlock();
+    /** Event-driven cycle loop: pops due components off queue_. */
+    void runEventLoop(const KernelLaunch &launch,
+                      uint32_t &next_warp);
+    /** The pre-event-queue cycle-the-world loop, kept runnable
+     *  (LUMI_LEGACY_LOOP=1) as the measured before in micro_sched
+     *  and as a parity oracle in tests. */
+    void runLegacyLoop(const KernelLaunch &launch,
+                       uint32_t &next_warp);
 
     GpuConfig config_;
     AddressSpace space_;
@@ -182,12 +217,27 @@ class Gpu
      *  sync when another kernel follows (implicit barrier). */
     std::vector<uint64_t> drainTail_;
     std::vector<LaunchSample> launchSamples_;
+    /** Component next-event registrations: cores are components
+     *  [0, numSms), RT units [numSms, 2*numSms), the memory system
+     *  2*numSms. */
+    EventQueue queue_;
+    /** Due components at the current landing (popDue scratch). */
+    std::vector<int> due_;
+    /** Per-SM flags for the current loop iteration. */
+    std::vector<uint8_t> coreCycled_;
+    std::vector<uint8_t> rtCycled_;
+    std::vector<uint8_t> rtDue_;
+    /** Cores handed fresh warps by fillSlots (re-register). */
+    std::vector<uint8_t> coreDirty_;
     uint64_t now_ = 0;
     uint64_t cycleBudget_ = 0;
     const std::atomic<bool> *cancel_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
     HostProfiler *profiler_ = nullptr;
     bool aborted_ = false;
+    bool deadlocked_ = false;
+    /** LUMI_LEGACY_LOOP=1: run the polling loop instead. */
+    bool legacyLoop_ = false;
 };
 
 } // namespace lumi

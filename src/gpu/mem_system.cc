@@ -28,6 +28,23 @@ MemSystem::MemSystem(const GpuConfig &config, const AddressSpace &space,
     l1Live_.resize(config.numSms, 0);
     portCycle_.resize(config.numSms, UINT64_MAX);
     portUsed_.resize(config.numSms, 0);
+    // Line-segment math runs on every issue attempt (including the
+    // rejected retries of a stalled RT fetch), where a 64-bit divide
+    // is measurable; the usual power-of-two line size makes it a
+    // shift.
+    uint32_t lb = config.l1LineBytes;
+    if (lb != 0 && (lb & (lb - 1)) == 0) {
+        l1LineShift_ = 0;
+        while ((1u << l1LineShift_) != lb)
+            l1LineShift_++;
+    }
+}
+
+uint64_t
+MemSystem::lineIndex(uint64_t addr) const
+{
+    return l1LineShift_ >= 0 ? addr >> l1LineShift_
+                             : addr / config_.l1LineBytes;
 }
 
 void
@@ -90,26 +107,26 @@ MemSystem::processCompletion(const Completion &completion)
                completion.level);
     if (completion.level == 0) {
         auto &mshrs = l1Mshrs_[completion.sm];
-        auto it = mshrs.find(completion.lineAddr);
-        LUMI_CHECK(Mem, it != mshrs.end() && it->second > 0,
+        uint32_t *count = mshrs.find(completion.lineAddr);
+        LUMI_CHECK(Mem, count && *count > 0,
                    "sm%d L1 MSHR double free: line 0x%llx",
                    completion.sm,
                    static_cast<unsigned long long>(
                        completion.lineAddr));
-        if (it != mshrs.end()) {
-            if (--it->second == 0)
-                mshrs.erase(it);
+        if (count) {
+            if (--*count == 0)
+                mshrs.erase(completion.lineAddr);
             l1Live_[completion.sm]--;
         }
     } else {
-        auto it = l2Mshrs_.find(completion.lineAddr);
-        LUMI_CHECK(Mem, it != l2Mshrs_.end() && it->second > 0,
+        uint32_t *count = l2Mshrs_.find(completion.lineAddr);
+        LUMI_CHECK(Mem, count && *count > 0,
                    "L2 MSHR double free: line 0x%llx",
                    static_cast<unsigned long long>(
                        completion.lineAddr));
-        if (it != l2Mshrs_.end()) {
-            if (--it->second == 0)
-                l2Mshrs_.erase(it);
+        if (count) {
+            if (--*count == 0)
+                l2Mshrs_.erase(completion.lineAddr);
             l2Live_--;
         }
         auto fill_it = l2FillTimes_.find(completion.ready);
@@ -132,7 +149,7 @@ MemSystem::processCompletion(const Completion &completion)
 }
 
 void
-MemSystem::drainTo(uint64_t cycle)
+MemSystem::drainDue(uint64_t cycle)
 {
     while (!completions_.empty() &&
            completions_.top().ready <= cycle) {
@@ -327,7 +344,7 @@ MemSystem::readLine(int sm, uint64_t cycle, uint64_t line_addr,
     l1_stats.misses++;
     l1_sm_stats.misses++;
     kindMisses_[static_cast<int>(kind)]++;
-    if (touchedLines_.insert(line_addr).second) {
+    if (touchedLines_.insert(line_addr)) {
         l1_stats.coldMisses++;
         l1_sm_stats.coldMisses++;
     }
@@ -392,11 +409,10 @@ MemSystem::issueRead(const MemRequest &req)
 {
     drainTo(req.cycle);
     MemIssue result;
-    DataKind kind = space_.kindOf(req.addr);
     uint64_t line_bytes = config_.l1LineBytes;
-    uint64_t first = req.addr / line_bytes;
-    uint64_t last = (req.addr + (req.bytes ? req.bytes - 1 : 0)) /
-                    line_bytes;
+    uint64_t first = lineIndex(req.addr);
+    uint64_t last = lineIndex(req.addr +
+                              (req.bytes ? req.bytes - 1 : 0));
     uint32_t lines = static_cast<uint32_t>(last - first + 1);
 
     // Admission is all-or-nothing: the access needs port slots for
@@ -438,6 +454,10 @@ MemSystem::issueRead(const MemRequest &req)
     }
 
     memStats_.readRequests++;
+    // Region classification is only consumed on the accept path;
+    // resolving it after the rejection checks keeps the (hot)
+    // rejected-retry path free of the range binary search.
+    DataKind kind = space_.kindOf(req.addr);
     uint64_t ready = req.cycle + config_.l1Latency;
     uint64_t before_misses = (req.rt ? l1Rt_ : l1Shader_).misses;
     uint64_t before_dram = dram_->stats().accesses;
@@ -509,9 +529,9 @@ MemSystem::issueWrite(const MemRequest &req)
     drainTo(req.cycle);
     MemIssue result;
     uint64_t line_bytes = config_.l1LineBytes;
-    uint64_t first = req.addr / line_bytes;
-    uint64_t last = (req.addr + (req.bytes ? req.bytes - 1 : 0)) /
-                    line_bytes;
+    uint64_t first = lineIndex(req.addr);
+    uint64_t last = lineIndex(req.addr +
+                              (req.bytes ? req.bytes - 1 : 0));
     uint32_t lines = static_cast<uint32_t>(last - first + 1);
     if (!reservePort(req.sm, req.cycle, lines)) {
         result.reject = MemReject::Port;

@@ -29,14 +29,13 @@
 #include <memory>
 #include <queue>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "gpu/address_space.hh"
 #include "gpu/cache.hh"
 #include "gpu/config.hh"
 #include "gpu/dram.hh"
+#include "gpu/flat_map.hh"
 #include "gpu/mem_request.hh"
 
 namespace lumi
@@ -77,8 +76,18 @@ class MemSystem
      */
     MemIssue issueWrite(const MemRequest &req);
 
-    /** Retire in-flight fills that complete at or before @p cycle. */
-    void drainTo(uint64_t cycle);
+    /**
+     * Retire in-flight fills that complete at or before @p cycle.
+     * Inline no-completion fast path: every issue probes this, and
+     * almost all probes find nothing due.
+     */
+    void
+    drainTo(uint64_t cycle)
+    {
+        if (!completions_.empty() &&
+            completions_.top().ready <= cycle)
+            drainDue(cycle);
+    }
 
     /** Retire every in-flight fill (end of run). */
     void drainAll();
@@ -123,6 +132,13 @@ class MemSystem
     int inflight() const { return liveTotal_; }
 
   private:
+    /** Address -> L1 line index; shift when the line size is a
+     *  power of two (the hot case), divide otherwise. */
+    uint64_t lineIndex(uint64_t addr) const;
+
+    /** Out-of-line drain loop behind drainTo's fast path. */
+    void drainDue(uint64_t cycle);
+
     /** An in-flight fill completing at @p ready. */
     struct Completion
     {
@@ -195,7 +211,7 @@ class MemSystem
     MemSystemStats memStats_;
 
     /** Lines ever filled, for compulsory-miss classification. */
-    std::unordered_set<uint64_t> touchedLines_;
+    FlatSet touchedLines_;
 
     // --- In-flight request state ---
     /** Pending fill completions, earliest first. */
@@ -203,13 +219,13 @@ class MemSystem
                         std::greater<Completion>>
         completions_;
     /** Live L1 MSHR entries per SM: line -> outstanding fills. */
-    std::vector<std::unordered_map<uint64_t, uint32_t>> l1Mshrs_;
+    std::vector<FlatMap<uint32_t>> l1Mshrs_;
     std::vector<int> l1Live_;
     /** True while an oversized access (more missing lines than the
      *  whole L1 MSHR file) allocates into an empty file. */
     bool oversizedAdmit_ = false;
     /** Live L2 MSHR entries: line -> outstanding fills. */
-    std::unordered_map<uint64_t, uint32_t> l2Mshrs_;
+    FlatMap<uint32_t> l2Mshrs_;
     /** fillReady of every live L2 entry (future-time occupancy). */
     std::multiset<uint64_t> l2FillTimes_;
     int l2Live_ = 0;
@@ -218,6 +234,8 @@ class MemSystem
     // --- L1 port state (per SM, valid for portCycle_[sm]) ---
     std::vector<uint64_t> portCycle_;
     std::vector<uint32_t> portUsed_;
+    /** log2(l1LineBytes) when it is a power of two, else -1. */
+    int l1LineShift_ = -1;
     uint64_t lastPortConflictCycle_ = UINT64_MAX;
 
     /** Next free SM<->L2 link slot, in flit-slot units

@@ -16,6 +16,30 @@ RtUnit::RtUnit(int sm_id, const GpuConfig &config, MemSystem &mem,
     : smId_(sm_id), config_(config), mem_(mem), stats_(stats),
       tracer_(tracer)
 {
+    // Every resident ray has exactly one event in flight, so the
+    // heap can never outgrow the residency bound; reserving up
+    // front keeps the cycle path allocation-free.
+    std::vector<Event> storage;
+    storage.reserve(static_cast<size_t>(
+                        std::max(config.rtMaxWarps, 1)) * 32 + 1);
+    events_ = decltype(events_)(std::greater<Event>(),
+                                std::move(storage));
+}
+
+void
+RtUnit::setLayout(const SceneGpuLayout *layout)
+{
+    layout_ = layout;
+    checkTlasNodes_ = 0;
+    checkMaxBlasNodes_ = 0;
+    if (layout_ && layout_->accel) {
+        const AccelStructure &accel = *layout_->accel;
+        checkTlasNodes_ = accel.tlas().bvh.nodes.size();
+        for (const BlasAccel &blas : accel.blases()) {
+            checkMaxBlasNodes_ = std::max(checkMaxBlasNodes_,
+                                          blas.bvh.nodes.size());
+        }
+    }
 }
 
 void
@@ -30,7 +54,8 @@ RtUnit::enqueue(SimtCore *core, int warp_slot, uint32_t warp_id,
                "sm%d RT unit has no scene layout for warp %u", smId_,
                warp_id);
     PendingWarp pending{core, warp_slot, warp_id, instr};
-    if (residentWarps_ < config_.rtMaxWarps && pending_.empty()) {
+    if (residentWarps_ < config_.rtMaxWarps &&
+        pendingHead_ == pending_.size()) {
         admit(pending, now);
     } else {
         pending_.push_back(pending);
@@ -46,13 +71,27 @@ RtUnit::admit(const PendingWarp &pending, uint64_t now)
                "sm%d RT unit over-subscribed: %d resident warps with "
                "rtMaxWarps=%d",
                smId_, residentWarps_, config_.rtMaxWarps);
-    auto warp = std::make_unique<RtWarp>();
-    warp->core = pending.core;
-    warp->warpSlot = pending.warpSlot;
-    warp->warpId = pending.warpId;
+    // Claim the lowest free arena slot (or grow). Lowest-index reuse
+    // is timing-visible through event tie-breaking and must match
+    // the original sparse-slot policy.
+    uint32_t index = 0;
+    for (; index < warps_.size(); index++) {
+        if (!warps_[index].active)
+            break;
+    }
+    if (index == warps_.size())
+        warps_.emplace_back();
+    RtWarp &slot = warps_[index];
+    slot.active = true;
+    slot.core = pending.core;
+    slot.warpSlot = pending.warpSlot;
+    slot.warpId = pending.warpId;
     const WarpInstr &instr = *pending.instr;
-    warp->rayKind = instr.rayKind;
-    warp->admitCycle = now;
+    slot.rayKind = instr.rayKind;
+    slot.admitCycle = now;
+    slot.rayLifetimeSum = 0;
+    slot.nodeFetches = 0;
+    slot.rays.clear();
     // The packed ray payload must carry exactly one ray per active
     // lane (WarpContext emits them in ascending lane order).
     LUMI_CHECK(Rt,
@@ -78,56 +117,59 @@ RtUnit::admit(const PendingWarp &pending, uint64_t now)
         ray.machine = std::make_unique<TraversalStateMachine>(
             *layout_->accel, instr.rays[packed], instr.anyHitQuery,
             1e-4f, instr.tMaxes[packed]);
-        warp->rays.push_back(std::move(ray));
+        ray.winMemReady = now;
+        ray.winBoxEnd = now;
+        slot.rays.push_back(std::move(ray));
         packed++;
     }
-    warp->remaining = static_cast<int>(warp->rays.size());
-    activeRays_ += warp->remaining;
-    raysByKind_[warp->rayKind] += warp->remaining;
-    warpsByKind_[warp->rayKind]++;
-    stats_.raysTraced += warp->remaining;
-
-    // Find a free slot (or append).
-    uint32_t index = 0;
-    for (; index < warps_.size(); index++) {
-        if (!warps_[index])
-            break;
-    }
-    if (index == warps_.size())
-        warps_.push_back(nullptr);
-    warps_[index] = std::move(warp);
+    slot.remaining = static_cast<int>(slot.rays.size());
+    activeRays_ += slot.remaining;
+    raysByKind_[slot.rayKind] += slot.remaining;
+    warpsByKind_[slot.rayKind]++;
+    stats_.raysTraced += slot.remaining;
     residentWarps_++;
 
-    for (uint32_t r = 0; r < warps_[index]->rays.size(); r++)
-        events_.push({now, index, r, now, now, 0});
+    // The packed event word gives each slot index Event::slotBits.
+    LUMI_CHECK(Rt,
+               index <= Event::slotMask &&
+                   slot.rays.size() <= Event::slotMask + 1,
+               "sm%d RT slot indices overflow the packed event: warp "
+               "%u, %zu rays",
+               smId_, index, slot.rays.size());
+    for (uint32_t r = 0; r < slot.rays.size(); r++)
+        events_.push(Event::make(now, index, r));
 }
 
 void
 RtUnit::flushWritebacks(uint64_t now)
 {
-    while (!writebacks_.empty()) {
+    while (writebackHead_ < writebacks_.size()) {
         MemRequest req;
         req.sm = smId_;
         req.cycle = now;
-        req.addr = writebacks_.front().addr;
-        req.bytes = writebacks_.front().bytes;
+        req.addr = writebacks_[writebackHead_].addr;
+        req.bytes = writebacks_[writebackHead_].bytes;
         req.rt = true;
         if (!mem_.issueWrite(req).accepted)
             return; // port busy: retry next cycle
-        writebacks_.pop_front();
+        writebackHead_++;
     }
+    writebacks_.clear();
+    writebackHead_ = 0;
 }
 
 void
 RtUnit::cycle(uint64_t now)
 {
-    flushWritebacks(now);
+    if (writebackHead_ < writebacks_.size())
+        flushWritebacks(now);
     int issued = 0;
-    while (!events_.empty() && events_.top().ready <= now &&
-           issued < config_.rtIssueWidth) {
+    const int width = config_.rtIssueWidth;
+    while (!events_.empty() && events_.top().ready() <= now &&
+           issued < width) {
         Event event = events_.top();
         events_.pop();
-        advanceRay(event.warpIndex, event.rayIndex, now);
+        advanceRay(event.warpIndex(), event.rayIndex(), now);
         issued++;
     }
 }
@@ -136,59 +178,79 @@ void
 RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
                    uint64_t now)
 {
-    LUMI_CHECK(Rt,
-               warp_index < warps_.size() && warps_[warp_index] &&
-                   ray_index < warps_[warp_index]->rays.size(),
-               "sm%d event for stale RT slot: warp %u ray %u", smId_,
-               warp_index, ray_index);
 #if LUMI_CHECKS_ENABLED
-    if (warp_index >= warps_.size() || !warps_[warp_index] ||
-        ray_index >= warps_[warp_index]->rays.size()) {
+    if (warp_index >= warps_.size() || !warps_[warp_index].active ||
+        ray_index >= warps_[warp_index].rays.size()) [[unlikely]] {
+        LUMI_CHECK(Rt, false,
+                   "sm%d event for stale RT slot: warp %u ray %u",
+                   smId_, warp_index, ray_index);
         return; // count mode: drop the stale event
     }
 #endif
-    RtWarp &warp = *warps_[warp_index];
+    RtWarp &warp = warps_[warp_index];
     RayState &ray = warp.rays[ray_index];
+#if LUMI_CHECKS_ENABLED
     // A completed ray must never be rescheduled.
-    LUMI_CHECK(Rt, !ray.done && (ray.replaying ||
-                                 !ray.machine->done()),
-               "sm%d advanced completed ray: warp %u ray %u (lane "
-               "%d)",
-               smId_, warp_index, ray_index, ray.lane);
-#if LUMI_CHECKS_ENABLED
-    if (ray.done || (!ray.replaying && ray.machine->done()))
-        return;
-#endif
-    // A fetch the memory system rejected is replayed as-is; the
-    // traversal state machine only advances once per fetch.
-    TraversalEvent event = ray.replaying ? ray.pendingFetch
-                                         : ray.machine->advance();
-    ray.replaying = false;
-#if LUMI_CHECKS_ENABLED
-    // Traversal-stack bounds: while-while traversal pushes each node
-    // of the level being walked at most once, so the stacks can
-    // never outgrow the node arrays.
-    if (layout_ && layout_->accel) {
-        const AccelStructure &accel = *layout_->accel;
-        LUMI_CHECK(Rt,
-                   ray.machine->tlasStackDepth() <=
-                       accel.tlas().bvh.nodes.size(),
-                   "sm%d TLAS stack depth %zu exceeds %zu nodes",
-                   smId_, ray.machine->tlasStackDepth(),
-                   accel.tlas().bvh.nodes.size());
-        size_t max_blas_nodes = 0;
-        for (const BlasAccel &blas : accel.blases()) {
-            max_blas_nodes = std::max(max_blas_nodes,
-                                      blas.bvh.nodes.size());
-        }
-        LUMI_CHECK(Rt,
-                   ray.machine->blasStackDepth() <= max_blas_nodes,
-                   "sm%d BLAS stack depth %zu exceeds largest BLAS "
-                   "(%zu nodes)",
-                   smId_, ray.machine->blasStackDepth(),
-                   max_blas_nodes);
+    if (ray.done ||
+        (!ray.replaying && ray.machine->done())) [[unlikely]] {
+        LUMI_CHECK(Rt, false,
+                   "sm%d advanced completed ray: warp %u ray %u "
+                   "(lane %d)",
+                   smId_, warp_index, ray_index, ray.lane);
+        return; // count mode: drop the stale event
     }
 #endif
+    // A fetch the memory system rejected is replayed as-is; the
+    // traversal state machine only advances once per fetch. The
+    // current fetch lives in ray.pendingFetch so neither the replay
+    // nor the reject path copies the event.
+    if (ray.replaying) {
+        ray.replaying = false;
+    } else {
+        ray.pendingFetch = ray.machine->advance();
+#if LUMI_CHECKS_ENABLED
+        // Traversal-stack bounds: while-while traversal pushes each
+        // node of the level being walked at most once, so the stacks
+        // can never outgrow the node arrays (bounds cached in
+        // setLayout). Replays leave the machine untouched, so only a
+        // real advance needs re-checking.
+        if (layout_ && layout_->accel) {
+            LUMI_CHECK(Rt,
+                       ray.machine->tlasStackDepth() <=
+                           checkTlasNodes_,
+                       "sm%d TLAS stack depth %zu exceeds %zu nodes",
+                       smId_, ray.machine->tlasStackDepth(),
+                       checkTlasNodes_);
+            LUMI_CHECK(Rt,
+                       ray.machine->blasStackDepth() <=
+                           checkMaxBlasNodes_,
+                       "sm%d BLAS stack depth %zu exceeds largest "
+                       "BLAS (%zu nodes)",
+                       smId_, ray.machine->blasStackDepth(),
+                       checkMaxBlasNodes_);
+        }
+        // Node-fetch containment: every traversal fetch must target
+        // a real allocation in the simulated address space — an
+        // address outside it means corrupt BVH links or instance
+        // offsets. Checked once per fetch; replays carry the already
+        // verified event.
+        const TraversalEvent &fresh = ray.pendingFetch;
+        if (fresh.type != TraversalEvent::Type::Done) {
+            LUMI_CHECK(
+                Rt,
+                fresh.bytes > 0 &&
+                    mem_.space().contains(fresh.address, fresh.bytes),
+                "sm%d BVH fetch outside address space: addr=0x%llx "
+                "bytes=%u limit=0x%llx (event type %d)",
+                smId_,
+                static_cast<unsigned long long>(fresh.address),
+                fresh.bytes,
+                static_cast<unsigned long long>(mem_.space().limit()),
+                static_cast<int>(fresh.type));
+        }
+#endif
+    }
+    const TraversalEvent &event = ray.pendingFetch;
 
     if (event.type == TraversalEvent::Type::Done) {
         ray.done = true;
@@ -253,19 +315,6 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
     }
     warp.nodeFetches++;
 
-    // Node-fetch containment: every traversal fetch must target a
-    // real allocation in the simulated address space — an address
-    // outside it means corrupt BVH links or instance offsets.
-    LUMI_CHECK(Rt,
-               event.bytes > 0 &&
-                   mem_.space().contains(event.address, event.bytes),
-               "sm%d BVH fetch outside address space: addr=0x%llx "
-               "bytes=%u limit=0x%llx (event type %d)",
-               smId_, static_cast<unsigned long long>(event.address),
-               event.bytes,
-               static_cast<unsigned long long>(mem_.space().limit()),
-               static_cast<int>(event.type));
-
     MemRequest req;
     req.sm = smId_;
     req.cycle = now;
@@ -276,9 +325,10 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
     if (!mem.accepted) {
         // Hold the fetch and retry next cycle.
         ray.replaying = true;
-        ray.pendingFetch = event;
-        events_.push({now + 1, warp_index, ray_index, now + 1,
-                      now + 1, 0});
+        ray.winMemReady = now + 1;
+        ray.winBoxEnd = now + 1;
+        ray.winPrimKind = 0;
+        events_.push(Event::make(now + 1, warp_index, ray_index));
         return;
     }
     uint64_t box_end = mem.readyCycle +
@@ -294,8 +344,10 @@ RtUnit::advanceRay(uint32_t warp_index, uint32_t ray_index,
         prim_kind = 1;
     else if (event.type == TraversalEvent::Type::ProceduralPrims)
         prim_kind = 2;
-    events_.push({ready, warp_index, ray_index, mem.readyCycle,
-                  box_end, prim_kind});
+    ray.winMemReady = mem.readyCycle;
+    ray.winBoxEnd = box_end;
+    ray.winPrimKind = prim_kind;
+    events_.push(Event::make(ready, warp_index, ray_index));
 }
 
 void
@@ -308,40 +360,44 @@ RtUnit::profileSpan(uint64_t begin, uint64_t end,
     if (events_.empty()) {
         // No traversal in flight: either only queued hit-record
         // stores remain, or the unit is idle.
-        profile.addRt(smId_, writebacks_.empty()
+        profile.addRt(smId_, writebackHead_ == writebacks_.size()
                                  ? RtCycleBucket::Idle
                                  : RtCycleBucket::WritebackStall,
                       dt);
         return;
     }
     // Classify by what the oldest in-flight traversal step is doing:
-    // its fetch/box/primitive windows partition [0, ready), and any
-    // backlog past ready is issue-width pressure, charged as busy.
+    // its fetch/box/primitive windows (held on the ray) partition
+    // [0, ready), and any backlog past ready is issue-width
+    // pressure, charged as busy.
     const Event &head = events_.top();
+    uint64_t head_ready = head.ready();
+    const RayState &ray =
+        warps_[head.warpIndex()].rays[head.rayIndex()];
     auto clip = [&](uint64_t lo, uint64_t hi) -> uint64_t {
         uint64_t from = std::max(begin, lo);
         uint64_t to = std::min(end, hi);
         return to > from ? to - from : 0;
     };
     RtCycleBucket prim_bucket;
-    if (head.primKind == 1)
+    if (ray.winPrimKind == 1)
         prim_bucket = RtCycleBucket::BusyTri;
-    else if (head.primKind == 2)
+    else if (ray.winPrimKind == 2)
         prim_bucket = RtCycleBucket::BusyProcedural;
-    else if (head.boxEnd > head.memReady)
+    else if (ray.winBoxEnd > ray.winMemReady)
         prim_bucket = RtCycleBucket::BusyBox;
     else
         prim_bucket = RtCycleBucket::FetchWait;
-    uint64_t fetch = clip(0, head.memReady);
+    uint64_t fetch = clip(0, ray.winMemReady);
     if (fetch)
         profile.addRt(smId_, RtCycleBucket::FetchWait, fetch);
-    uint64_t box = clip(head.memReady, head.boxEnd);
+    uint64_t box = clip(ray.winMemReady, ray.winBoxEnd);
     if (box)
         profile.addRt(smId_, RtCycleBucket::BusyBox, box);
-    uint64_t prim = clip(head.boxEnd, head.ready);
+    uint64_t prim = clip(ray.winBoxEnd, head_ready);
     if (prim)
         profile.addRt(smId_, prim_bucket, prim);
-    uint64_t done = std::max(begin, head.ready);
+    uint64_t done = std::max(begin, head_ready);
     if (end > done)
         profile.addRt(smId_, prim_bucket, end - done);
 }
@@ -349,7 +405,7 @@ RtUnit::profileSpan(uint64_t begin, uint64_t end,
 void
 RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
 {
-    RtWarp &warp = *warps_[warp_index];
+    RtWarp &warp = warps_[warp_index];
     // A warp leaves only when its last ray finished, and the
     // residency/ray counters must agree with that.
     LUMI_CHECK(Rt, warp.remaining == 0,
@@ -399,13 +455,18 @@ RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
     SimtCore *core = warp.core;
     int slot = warp.warpSlot;
     warpsByKind_[warp.rayKind]--;
-    warps_[warp_index].reset();
+    // Release the arena slot; rays (and their capacity) stay for
+    // the next residency and are cleared on admit.
+    warp.active = false;
     residentWarps_--;
     core->wakeWarp(slot, now + 1);
 
-    if (!pending_.empty()) {
-        PendingWarp next = pending_.front();
-        pending_.pop_front();
+    if (pendingHead_ < pending_.size()) {
+        PendingWarp next = pending_[pendingHead_++];
+        if (pendingHead_ == pending_.size()) {
+            pending_.clear();
+            pendingHead_ = 0;
+        }
         admit(next, now);
     }
 }
@@ -413,11 +474,11 @@ RtUnit::completeWarp(uint32_t warp_index, uint64_t now)
 uint64_t
 RtUnit::nextEventCycle(uint64_t now) const
 {
-    if (!writebacks_.empty())
+    if (writebackHead_ < writebacks_.size())
         return now + 1; // a queued store retries every cycle
     if (events_.empty())
         return UINT64_MAX;
-    return std::max(events_.top().ready, now + 1);
+    return std::max(events_.top().ready(), now + 1);
 }
 
 } // namespace lumi

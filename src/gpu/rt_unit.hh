@@ -15,7 +15,6 @@
 #define LUMI_GPU_RT_UNIT_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -42,7 +41,7 @@ class RtUnit
            GpuStats &stats, Tracer *tracer = nullptr);
 
     /** Scene layout for the running kernel (null = compute only). */
-    void setLayout(const SceneGpuLayout *layout) { layout_ = layout; }
+    void setLayout(const SceneGpuLayout *layout);
 
     /**
      * Hand a warp's traceRay to the RT unit. The warp sleeps until
@@ -72,8 +71,8 @@ class RtUnit
     bool
     idle() const
     {
-        return residentWarps_ == 0 && pending_.empty() &&
-               writebacks_.empty();
+        return residentWarps_ == 0 && pendingHead_ == pending_.size() &&
+               writebackHead_ == writebacks_.size();
     }
 
     /**
@@ -96,6 +95,15 @@ class RtUnit
          *  pendingFetch: replay it instead of advancing again. */
         bool replaying = false;
         TraversalEvent pendingFetch;
+        /** Accounting windows of this ray's in-flight event (a ray
+         *  has at most one event scheduled at a time, so they live
+         *  here instead of fattening every heap entry). Fetch data
+         *  returns at winMemReady, box tests span [winMemReady,
+         *  winBoxEnd), primitive tests [winBoxEnd, ready). */
+        uint64_t winMemReady = 0;
+        uint64_t winBoxEnd = 0;
+        /** 0 none, 1 triangle, 2 procedural. */
+        uint8_t winPrimKind = 0;
     };
 
     /** A hit-record store the memory system has not yet accepted. */
@@ -118,6 +126,9 @@ class RtUnit
         uint64_t nodeFetches = 0;
         std::vector<RayState> rays;
         int remaining = 0;
+        /** Slot occupancy; inactive slots are reused arena storage
+         *  (the rays vector keeps its capacity across residencies). */
+        bool active = false;
     };
 
     struct PendingWarp
@@ -129,24 +140,41 @@ class RtUnit
     };
 
     /**
-     * (readyCycle, warpIndex, rayIndex) min-heap entry. The window
-     * fields memReady <= boxEnd <= ready are accounting-only (cycle
-     * profile); ordering compares ready alone, so they cannot
-     * perturb simulated timing.
+     * (readyCycle, warpIndex, rayIndex) min-heap entry, packed into
+     * one word: the hot retry path under finite-resource configs
+     * pushes and pops one of these per rejected fetch per cycle, so
+     * heap sift traffic is proportional to the entry size. The
+     * accounting windows live in RayState (one in-flight event per
+     * ray). Ordering compares the ready field alone -- the slot
+     * payload sits below the shift and cannot perturb the heap's
+     * same-cycle tie order, which is timing-visible.
      */
     struct Event
     {
-        uint64_t ready;
-        uint32_t warpIndex;
-        uint32_t rayIndex;
-        /** Fetch data return; [ready-at-push, memReady) waits. */
-        uint64_t memReady = 0;
-        /** Box tests span [memReady, boxEnd). */
-        uint64_t boxEnd = 0;
-        /** Primitive tests in [boxEnd, ready): 0 none, 1 triangle,
-         *  2 procedural. */
-        uint8_t primKind = 0;
-        bool operator>(const Event &o) const { return ready > o.ready; }
+        /** ready << 24 | warpIndex << 12 | rayIndex. */
+        uint64_t key;
+
+        static constexpr uint32_t slotBits = 12;
+        static constexpr uint32_t slotMask = (1u << slotBits) - 1;
+
+        static Event
+        make(uint64_t ready, uint32_t warp, uint32_t ray)
+        {
+            return {ready << (2 * slotBits) |
+                    static_cast<uint64_t>(warp) << slotBits | ray};
+        }
+        uint64_t ready() const { return key >> (2 * slotBits); }
+        uint32_t
+        warpIndex() const
+        {
+            return (key >> slotBits) & slotMask;
+        }
+        uint32_t rayIndex() const { return key & slotMask; }
+        bool
+        operator>(const Event &o) const
+        {
+            return (key >> (2 * slotBits)) > (o.key >> (2 * slotBits));
+        }
     };
 
     void admit(const PendingWarp &pending, uint64_t now);
@@ -163,12 +191,23 @@ class RtUnit
     Tracer *tracer_ = nullptr;
     const SceneGpuLayout *layout_ = nullptr;
 
-    std::deque<PendingWarp> pending_;
-    std::deque<Writeback> writebacks_;
-    /** Sparse slots; completed warps leave empty entries reused. */
-    std::vector<std::unique_ptr<RtWarp>> warps_;
+    /** FIFO as vector + head cursor: the queues drain fully before
+     *  compaction, so no per-element deque churn on the cycle path. */
+    std::vector<PendingWarp> pending_;
+    size_t pendingHead_ = 0;
+    std::vector<Writeback> writebacks_;
+    size_t writebackHead_ = 0;
+    /** Dense warp arena; inactive slots are reused lowest-index
+     *  first (event tie-break order depends on slot indices, so the
+     *  reuse policy is timing-visible and must not change). */
+    std::vector<RtWarp> warps_;
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events_;
+    /** Precomputed traversal-stack bounds for the invariant checks
+     *  in advanceRay (invariant per scene layout; recomputing the
+     *  largest-BLAS scan 100M+ times dominated the hot path). */
+    size_t checkTlasNodes_ = 0;
+    size_t checkMaxBlasNodes_ = 0;
     int activeRays_ = 0;
     int residentWarps_ = 0;
     int warpsByKind_[numRayKinds] = {};

@@ -14,6 +14,11 @@ SimtCore::SimtCore(int sm_id, const GpuConfig &config, MemSystem &mem,
       stats_(stats), tracer_(tracer)
 {
     slots_.resize(config.maxWarpsPerSm);
+    readyKey_.resize(config.maxWarpsPerSm, UINT64_MAX);
+    order_.resize(config.maxWarpsPerSm, 0);
+    state_.resize(config.maxWarpsPerSm, SlotState::Invalid);
+    stateCount_[static_cast<int>(SlotState::Invalid)] =
+        config.maxWarpsPerSm;
 }
 
 void
@@ -21,21 +26,19 @@ SimtCore::assignWarp(WarpProgram &&program, uint32_t warp_id,
                      uint64_t now)
 {
     for (size_t i = 0; i < slots_.size(); i++) {
-        WarpSlot &slot = slots_[i];
-        if (slot.valid)
+        if (state_[i] != SlotState::Invalid)
             continue;
-        slot.valid = true;
-        slot.sleeping = false;
+        WarpSlot &slot = slots_[i];
         slot.program = std::move(program);
         slot.pc = 0;
         slot.repeatLeft = 0;
-        slot.readyCycle = now;
-        slot.order = launchCounter_++;
         slot.warpId = warp_id;
         slot.assignCycle = now;
         slot.instrsIssued = 0;
         slot.memReplay.clear();
-        slot.wait = WarpWait::Exec;
+        readyKey_[i] = now;
+        order_[i] = launchCounter_++;
+        setState(static_cast<int>(i), SlotState::ExecWait);
         residentWarps_++;
         stats_.warpsLaunched++;
         LUMI_CHECK(Simt, residentWarps_ <= config_.maxWarpsPerSm,
@@ -49,14 +52,15 @@ SimtCore::assignWarp(WarpProgram &&program, uint32_t warp_id,
         }
         // Degenerate empty programs retire immediately.
         if (slot.program.instrs.empty())
-            retire(slot, now);
+            retire(static_cast<int>(i), now);
         return;
     }
 }
 
 void
-SimtCore::retire(WarpSlot &slot, uint64_t now)
+SimtCore::retire(int slot_index, uint64_t now)
 {
+    WarpSlot &slot = slots_[slot_index];
     if (tracer_ && tracer_->wants(TraceCategory::Sm)) {
         // One span covering the warp's whole SM residency.
         tracer_->span(TraceCategory::Sm, "warp",
@@ -64,12 +68,17 @@ SimtCore::retire(WarpSlot &slot, uint64_t now)
                       slot.assignCycle, now, "warp", slot.warpId,
                       "instrs", slot.instrsIssued);
     }
-    LUMI_CHECK(Simt, slot.valid && residentWarps_ > 0,
+    LUMI_CHECK(Simt,
+               state_[slot_index] != SlotState::Invalid &&
+                   residentWarps_ > 0,
                "sm%d retired warp %u from an %s slot "
                "(residentWarps=%d)",
                smId_, slot.warpId,
-               slot.valid ? "occupied" : "empty", residentWarps_);
-    slot.valid = false;
+               state_[slot_index] != SlotState::Invalid ? "occupied"
+                                                        : "empty",
+               residentWarps_);
+    setState(slot_index, SlotState::Invalid);
+    readyKey_[slot_index] = UINT64_MAX;
     slot.program.instrs.clear();
     residentWarps_--;
 }
@@ -78,25 +87,19 @@ void
 SimtCore::cycle(uint64_t now)
 {
     outcome_ = IssueOutcome::None;
+    rtEnqueued_ = false;
     int pick = -1;
+    size_t count = slots_.size();
     if (config_.scheduler == WarpSchedulerPolicy::Gto) {
         // Greedy-then-oldest: stick with the last warp while it is
         // ready; otherwise pick the oldest ready warp.
-        if (lastIssued_ >= 0) {
-            WarpSlot &last = slots_[lastIssued_];
-            if (last.valid && !last.sleeping &&
-                last.readyCycle <= now) {
-                pick = lastIssued_;
-            }
-        }
+        if (lastIssued_ >= 0 && schedulable(lastIssued_, now))
+            pick = lastIssued_;
         if (pick < 0) {
             uint64_t best_order = UINT64_MAX;
-            for (size_t i = 0; i < slots_.size(); i++) {
-                WarpSlot &slot = slots_[i];
-                if (slot.valid && !slot.sleeping &&
-                    slot.readyCycle <= now &&
-                    slot.order < best_order) {
-                    best_order = slot.order;
+            for (size_t i = 0; i < count; i++) {
+                if (readyKey_[i] <= now && order_[i] < best_order) {
+                    best_order = order_[i];
                     pick = static_cast<int>(i);
                 }
             }
@@ -104,15 +107,12 @@ SimtCore::cycle(uint64_t now)
     } else {
         // Loose round-robin: scan from the slot after the last
         // issue and take the first ready warp.
-        size_t count = slots_.size();
         for (size_t k = 1; k <= count; k++) {
             size_t i = (static_cast<size_t>(lastIssued_ < 0
                                                 ? 0
                                                 : lastIssued_) +
                         k) % count;
-            WarpSlot &slot = slots_[i];
-            if (slot.valid && !slot.sleeping &&
-                slot.readyCycle <= now) {
+            if (readyKey_[i] <= now) {
                 pick = static_cast<int>(i);
                 break;
             }
@@ -121,46 +121,38 @@ SimtCore::cycle(uint64_t now)
     if (pick < 0)
         return;
     // Scheduler legality: whatever the policy picked must actually
-    // be issuable this cycle.
-    LUMI_CHECK(Sched,
-               slots_[pick].valid && !slots_[pick].sleeping &&
-                   slots_[pick].readyCycle <= now,
-               "sm%d scheduler picked slot %d (valid=%d sleeping=%d "
-               "ready=%llu) at cycle %llu",
-               smId_, pick, slots_[pick].valid ? 1 : 0,
-               slots_[pick].sleeping ? 1 : 0,
-               static_cast<unsigned long long>(
-                   slots_[pick].readyCycle),
+    // be issuable this cycle (an invalid or sleeping slot carries
+    // readyKey UINT64_MAX, so one bound covers all three conditions).
+    LUMI_CHECK(Sched, schedulable(pick, now),
+               "sm%d scheduler picked slot %d (state=%d ready=%llu) "
+               "at cycle %llu",
+               smId_, pick, static_cast<int>(state_[pick]),
+               static_cast<unsigned long long>(readyKey_[pick]),
                static_cast<unsigned long long>(now));
 #if LUMI_CHECKS_ENABLED
     if (config_.scheduler == WarpSchedulerPolicy::Gto) {
         // Greedy rule: leaving the last-issued warp is only legal
         // when that warp cannot issue this cycle.
         if (lastIssued_ >= 0 && pick != lastIssued_) {
-            const WarpSlot &last = slots_[lastIssued_];
-            LUMI_CHECK(Sched,
-                       !last.valid || last.sleeping ||
-                           last.readyCycle > now,
+            LUMI_CHECK(Sched, !schedulable(lastIssued_, now),
                        "sm%d GTO abandoned ready warp in slot %d for "
                        "slot %d at cycle %llu",
                        smId_, lastIssued_, pick,
                        static_cast<unsigned long long>(now));
             // Oldest rule: the fallback pick must carry the minimal
             // launch order among all issuable warps.
-            for (size_t i = 0; i < slots_.size(); i++) {
-                const WarpSlot &slot = slots_[i];
+            for (size_t i = 0; i < count; i++) {
                 LUMI_CHECK(Sched,
-                           !slot.valid || slot.sleeping ||
-                               slot.readyCycle > now ||
-                               slots_[pick].order <= slot.order,
+                           readyKey_[i] > now ||
+                               order_[pick] <= order_[i],
                            "sm%d GTO skipped older ready warp: slot "
                            "%zu order=%llu vs picked slot %d "
                            "order=%llu",
                            smId_, i,
-                           static_cast<unsigned long long>(slot.order),
+                           static_cast<unsigned long long>(order_[i]),
                            pick,
                            static_cast<unsigned long long>(
-                               slots_[pick].order));
+                               order_[pick]));
             }
         }
     }
@@ -170,10 +162,10 @@ SimtCore::cycle(uint64_t now)
     // fetching a new instruction (the LSU occupies the issue slot).
     if (!slots_[pick].memReplay.empty()) {
         outcome_ = IssueOutcome::MemReplay;
-        replayMem(slots_[pick], now);
+        replayMem(pick, now);
     } else {
         outcome_ = IssueOutcome::Issued;
-        issue(slots_[pick], pick, now);
+        issue(pick, now);
     }
     stats_.issueCycles++;
 }
@@ -181,30 +173,23 @@ SimtCore::cycle(uint64_t now)
 SmStall
 SimtCore::stallKind() const
 {
-    bool saw_warp = false;
-    bool saw_mem = false;
-    bool saw_rt = false;
-    for (const WarpSlot &slot : slots_) {
-        if (!slot.valid)
-            continue;
-        saw_warp = true;
-        if (slot.sleeping || slot.wait == WarpWait::Rt)
-            saw_rt = true;
-        else if (slot.wait == WarpWait::Mem)
-            saw_mem = true;
-    }
-    if (saw_mem)
+    // O(1) via the per-state counts maintained in setState; same
+    // blame order as the old slot scan (Mem > Rt > Exec).
+    if (stateCount_[static_cast<int>(SlotState::MemWait)] > 0)
         return SmStall::MemPending;
-    if (saw_rt)
+    if (stateCount_[static_cast<int>(SlotState::RtWait)] +
+            stateCount_[static_cast<int>(SlotState::Sleeping)] >
+        0)
         return SmStall::RtWait;
-    if (saw_warp)
+    if (residentWarps_ > 0)
         return SmStall::NoReadyWarp;
     return SmStall::NoWarps;
 }
 
 void
-SimtCore::replayMem(WarpSlot &slot, uint64_t now)
+SimtCore::replayMem(int slot_index, uint64_t now)
 {
+    WarpSlot &slot = slots_[slot_index];
     while (!slot.memReplay.empty()) {
         MemRequest req;
         req.sm = smId_;
@@ -217,8 +202,8 @@ SimtCore::replayMem(WarpSlot &slot, uint64_t now)
         if (!mem.accepted) {
             // Hold the remaining segments; the warp stays
             // schedulable and retries on its next issue slot.
-            slot.readyCycle = now + 1;
-            slot.wait = WarpWait::Mem;
+            readyKey_[slot_index] = now + 1;
+            setState(slot_index, SlotState::MemWait);
             return;
         }
         slot.memReplay.pop_back();
@@ -229,23 +214,24 @@ SimtCore::replayMem(WarpSlot &slot, uint64_t now)
     }
     if (slot.memIsStore) {
         stats_.latencyByOp[static_cast<int>(WarpOp::MemStore)] += 1;
-        slot.readyCycle = now + 1;
-        slot.wait = WarpWait::Exec;
+        readyKey_[slot_index] = now + 1;
+        setState(slot_index, SlotState::ExecWait);
     } else {
         stats_.latencyByOp[static_cast<int>(WarpOp::MemLoad)] +=
             slot.memReady - slot.memIssueCycle;
-        slot.readyCycle = slot.memReady;
-        slot.wait = WarpWait::Mem;
+        readyKey_[slot_index] = slot.memReady;
+        setState(slot_index, SlotState::MemWait);
     }
     if (slot.pc >= slot.program.instrs.size() &&
         slot.repeatLeft == 0) {
-        retire(slot, slot.readyCycle);
+        retire(slot_index, readyKey_[slot_index]);
     }
 }
 
 void
-SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
+SimtCore::issue(int slot_index, uint64_t now)
 {
+    WarpSlot &slot = slots_[slot_index];
     LUMI_CHECK(Simt, slot.pc < slot.program.instrs.size(),
                "sm%d warp %u issued past program end: pc=%zu of %zu",
                smId_, slot.warpId, slot.pc,
@@ -273,8 +259,8 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
         int latency = instr.op == WarpOp::Alu ? config_.aluLatency
                                               : config_.sfuLatency;
         stats_.latencyByOp[static_cast<int>(instr.op)] += latency;
-        slot.readyCycle = now + latency;
-        slot.wait = WarpWait::Exec;
+        readyKey_[slot_index] = now + latency;
+        setState(slot_index, SlotState::ExecWait);
         if (slot.repeatLeft == 0)
             slot.repeatLeft = instr.repeat;
         slot.repeatLeft--;
@@ -311,26 +297,26 @@ SimtCore::issue(WarpSlot &slot, int slot_index, uint64_t now)
         slot.memIssueCycle = now;
         slot.memReady = now + config_.l1Latency;
         slot.pc++;
-        replayMem(slot, now);
+        replayMem(slot_index, now);
         return; // replayMem retires the warp when appropriate
       }
       case WarpOp::TraceRay: {
-        slot.sleeping = true;
-        slot.readyCycle = UINT64_MAX;
-        slot.wait = WarpWait::Rt;
+        setState(slot_index, SlotState::Sleeping);
+        readyKey_[slot_index] = UINT64_MAX;
         slot.pc++;
         // Remember issue time to attribute the latency at wake-up.
-        slot.order = slot.order; // GTO age unchanged
         sleepStart_.resize(slots_.size(), 0);
         sleepStart_[slot_index] = now;
+        rtEnqueued_ = true;
         rtUnit_.enqueue(this, slot_index, slot.warpId, &instr, now);
         break;
       }
     }
 
-    if (!slot.sleeping && slot.pc >= slot.program.instrs.size() &&
+    if (state_[slot_index] != SlotState::Sleeping &&
+        slot.pc >= slot.program.instrs.size() &&
         slot.repeatLeft == 0) {
-        retire(slot, slot.readyCycle);
+        retire(slot_index, readyKey_[slot_index]);
     }
 }
 
@@ -347,9 +333,10 @@ SimtCore::wakeWarp(int slot, uint64_t ready_cycle)
     WarpSlot &warp = slots_[slot];
     // Only a warp parked in the RT unit can be woken, and never
     // before the cycle it went to sleep.
-    LUMI_CHECK(Sched, warp.valid && warp.sleeping,
+    LUMI_CHECK(Sched, state_[slot] == SlotState::Sleeping,
                "sm%d wake of slot %d that is %s", smId_, slot,
-               warp.valid ? "not sleeping" : "empty");
+               state_[slot] != SlotState::Invalid ? "not sleeping"
+                                                  : "empty");
     LUMI_CHECK(Sched,
                slot >= static_cast<int>(sleepStart_.size()) ||
                    ready_cycle >= sleepStart_[slot],
@@ -358,27 +345,28 @@ SimtCore::wakeWarp(int slot, uint64_t ready_cycle)
                smId_, slot,
                static_cast<unsigned long long>(ready_cycle),
                static_cast<unsigned long long>(sleepStart_[slot]));
-    warp.sleeping = false;
-    warp.readyCycle = ready_cycle;
-    warp.wait = WarpWait::Rt;
+    setState(slot, SlotState::RtWait);
+    readyKey_[slot] = ready_cycle;
+    woken_ = true;
     if (slot < static_cast<int>(sleepStart_.size())) {
         stats_.latencyByOp[static_cast<int>(WarpOp::TraceRay)] +=
             ready_cycle - sleepStart_[slot];
     }
     if (warp.pc >= warp.program.instrs.size())
-        retire(warp, ready_cycle);
+        retire(slot, ready_cycle);
 }
 
 uint64_t
 SimtCore::nextEventCycle(uint64_t now) const
 {
+    // Invalid and sleeping slots hold UINT64_MAX, so the scan is a
+    // plain min; clamping to now + 1 afterwards is equivalent to
+    // clamping each term (max and min commute here), and UINT64_MAX
+    // saturates through the clamp.
     uint64_t next = UINT64_MAX;
-    for (const WarpSlot &slot : slots_) {
-        if (!slot.valid || slot.sleeping)
-            continue;
-        next = std::min(next, std::max(slot.readyCycle, now + 1));
-    }
-    return next;
+    for (uint64_t key : readyKey_)
+        next = std::min(next, key);
+    return next == UINT64_MAX ? next : std::max(next, now + 1);
 }
 
 } // namespace lumi

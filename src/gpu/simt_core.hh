@@ -28,15 +28,6 @@ namespace lumi
 
 class Tracer;
 
-/** What a non-sleeping warp's readyCycle is waiting on (top-down
- *  cycle accounting: gpu/profile.hh). */
-enum class WarpWait : uint8_t
-{
-    Exec, ///< pipeline latency (ALU/SFU) or a store handshake
-    Mem,  ///< load data return or a rejected line-segment replay
-    Rt,   ///< traceRay completion (parked, or waking)
-};
-
 /** What the issue slot did in the last cycle() call. */
 enum class IssueOutcome : uint8_t
 {
@@ -91,6 +82,24 @@ class SimtCore
     /** What the issue slot did in the last cycle() call. */
     IssueOutcome lastOutcome() const { return outcome_; }
 
+    /** True when the last cycle() issued a traceRay into the RT
+     *  unit: the event loop must cycle that unit this iteration
+     *  (the polling loop's rt phase followed the core phase, so a
+     *  ray enqueued at cycle T always advanced at T). */
+    bool rtEnqueuedThisCycle() const { return rtEnqueued_; }
+
+    /** True if wakeWarp ran since the last call (and clears the
+     *  flag): the event loop re-registers this core only when its
+     *  RT unit actually handed a warp back, not on every RT-unit
+     *  cycle. */
+    bool
+    consumeWoken()
+    {
+        bool woken = woken_;
+        woken_ = false;
+        return woken;
+    }
+
     /**
      * Classify why nothing (more) can issue, from current warp
      * state. Blame order Mem > Rt > Exec: memory is the scarcest
@@ -99,15 +108,27 @@ class SimtCore
     SmStall stallKind() const;
 
   private:
+    /**
+     * Scheduling state of a warp slot. The hot per-cycle scans
+     * (scheduler pick, nextEventCycle, stallKind) read readyKey_ and
+     * state_ instead of the cold WarpSlot structs, so the encoding
+     * folds the old valid/sleeping/wait flags into one byte.
+     */
+    enum class SlotState : uint8_t
+    {
+        Invalid,  ///< no resident warp
+        ExecWait, ///< pipeline latency or a store handshake
+        MemWait,  ///< load data return or a rejected-segment replay
+        RtWait,   ///< woken by the RT unit, not yet reissued
+        Sleeping, ///< parked in the RT unit
+    };
+
+    /** Cold per-warp state (touched only when the warp issues). */
     struct WarpSlot
     {
-        bool valid = false;
-        bool sleeping = false; ///< parked in the RT unit
         WarpProgram program;
         size_t pc = 0;
         uint16_t repeatLeft = 0;
-        uint64_t readyCycle = 0;
-        uint64_t order = 0; ///< launch order for GTO aging
         uint32_t warpId = 0;
         uint64_t assignCycle = 0; ///< residency span start (trace)
         uint32_t instrsIssued = 0;
@@ -119,20 +140,36 @@ class SimtCore
         bool memIsStore = false;
         uint64_t memIssueCycle = 0; ///< first issue of the access
         uint64_t memReady = 0;      ///< slowest accepted segment
-        /** What readyCycle waits on (cycle accounting only). */
-        WarpWait wait = WarpWait::Exec;
     };
 
-    /** Execute the warp's next instruction; updates readyCycle. */
-    void issue(WarpSlot &slot, int slot_index, uint64_t now);
+    bool
+    schedulable(int i, uint64_t now) const
+    {
+        // Invalid and sleeping slots carry UINT64_MAX, so one
+        // compare covers valid && !sleeping && readyCycle <= now.
+        return readyKey_[i] <= now;
+    }
+
+    /** Transition a slot's state, keeping the per-state counts that
+     *  make stallKind O(1). All state_ writes go through here. */
+    void
+    setState(int i, SlotState next)
+    {
+        stateCount_[static_cast<int>(state_[i])]--;
+        stateCount_[static_cast<int>(next)]++;
+        state_[i] = next;
+    }
+
+    /** Execute the warp's next instruction; updates readyKey_. */
+    void issue(int slot_index, uint64_t now);
     /**
      * Offer the warp's outstanding line segments to the memory
      * system; on rejection the warp keeps the rest and retries next
      * cycle, on completion it resumes at the slowest segment's
      * ready cycle (stall-on-use).
      */
-    void replayMem(WarpSlot &slot, uint64_t now);
-    void retire(WarpSlot &slot, uint64_t now);
+    void replayMem(int slot_index, uint64_t now);
+    void retire(int slot_index, uint64_t now);
 
     int smId_;
     const GpuConfig &config_;
@@ -142,12 +179,26 @@ class SimtCore
     Tracer *tracer_ = nullptr;
 
     std::vector<WarpSlot> slots_;
+    /**
+     * Ready cycle per slot, UINT64_MAX while the slot is invalid or
+     * its warp sleeps in the RT unit (such a warp is never
+     * schedulable and pins no future event).
+     */
+    std::vector<uint64_t> readyKey_;
+    /** Launch order per slot for GTO aging. */
+    std::vector<uint64_t> order_;
+    /** Occupancy/wait classification per slot. */
+    std::vector<SlotState> state_;
+    /** Slots per SlotState (stallKind reads these, not the array). */
+    int stateCount_[5] = {};
     /** traceRay issue cycle per slot, for latency attribution. */
     std::vector<uint64_t> sleepStart_;
     int residentWarps_ = 0;
     int lastIssued_ = -1;
     uint64_t launchCounter_ = 0;
     IssueOutcome outcome_ = IssueOutcome::None;
+    bool rtEnqueued_ = false;
+    bool woken_ = false;
 };
 
 } // namespace lumi

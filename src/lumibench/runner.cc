@@ -121,13 +121,15 @@ throwAborted(const std::string &id, const Gpu &gpu,
     bool cancelled = options.cancelFlag &&
                      options.cancelFlag->load(
                          std::memory_order_relaxed);
+    const char *reason = gpu.deadlocked() ? "simulator deadlock"
+                         : cancelled      ? "cancelled by watchdog"
+                                          : "cycle budget exhausted";
     char buf[160];
     std::snprintf(buf, sizeof(buf),
                   "%s: simulation aborted at cycle %llu (%s)",
                   id.c_str(),
                   static_cast<unsigned long long>(gpu.now()),
-                  cancelled ? "cancelled by watchdog"
-                            : "cycle budget exhausted");
+                  reason);
     throw SimulationAborted(buf, cancelled, gpu.now());
 }
 

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "gpu/address_space.hh"
 #include "gpu/cache.hh"
 #include "gpu/config.hh"
@@ -17,6 +19,8 @@
 #include "gpu/mem_system.hh"
 #include "lumibench/runner.hh"
 #include "lumibench/workload.hh"
+#include "rt/pipeline.hh"
+#include "scene/scene_library.hh"
 
 namespace lumi
 {
@@ -555,6 +559,108 @@ TEST(MemSystem, FiniteResourcesStallAndSlowDown)
 
     EXPECT_GE(finite.stats.cycles, unlimited.stats.cycles);
     EXPECT_GT(strangled.stats.cycles, finite.stats.cycles);
+}
+
+TEST(GoldenParity, RtqQueryPins)
+{
+    // Scheduler parity anchors beyond the render workloads: the
+    // RT-cores-as-compute point-containment query workload, pinned
+    // under both the unlimited mobile config and the finite Table 4
+    // machine (where the MSHR retry path dominates the schedule).
+    // Captured from the pre-scheduler polling loop at 16x16; any
+    // drift means the event loop no longer lands on the same cycles.
+    struct Pin
+    {
+        GpuConfig config;
+        uint64_t cycles;
+    };
+    const Pin pins[] = {
+        {GpuConfig::mobile(), 5175},
+        {GpuConfig::table4(), 28628},
+    };
+    for (const Pin &pin : pins) {
+        RunOptions options;
+        options.params.width = 16;
+        options.params.height = 16;
+        options.config = pin.config;
+        WorkloadResult r = runWorkload(
+            {SceneId::AMR, ShaderKind::PointContainment}, options);
+        EXPECT_EQ(r.id, "AMR_PC");
+        EXPECT_EQ(r.stats.cycles, pin.cycles) << pin.config.name;
+        EXPECT_EQ(r.stats.instructions, 444u) << pin.config.name;
+        EXPECT_EQ(r.stats.raysTraced, 256u) << pin.config.name;
+        EXPECT_EQ(r.l1Rt.reads, 2749u) << pin.config.name;
+        EXPECT_EQ(r.l1Rt.misses, 96u) << pin.config.name;
+        EXPECT_EQ(r.dram.accesses, 181u) << pin.config.name;
+    }
+}
+
+TEST(GoldenParity, DynamicScenePins)
+{
+    // A two-frame dynamic run (instance transform update + TLAS
+    // refit between frames) exercises beginFrame() state reset under
+    // the event scheduler; pinned under both configs like the query
+    // workload above.
+    struct Pin
+    {
+        GpuConfig config;
+        uint64_t frame0;
+        uint64_t total;
+    };
+    const Pin pins[] = {
+        {GpuConfig::mobile(), 10340, 15035},
+        {GpuConfig::table4(), 123714, 132966},
+    };
+    for (const Pin &pin : pins) {
+        Scene scene = buildScene(SceneId::REF, 0.2f);
+        Gpu gpu(pin.config);
+        RenderParams params;
+        params.width = 16;
+        params.height = 16;
+        RayTracingPipeline pipeline(gpu, scene, params);
+        pipeline.render(ShaderKind::Shadow);
+        EXPECT_EQ(gpu.stats().cycles, pin.frame0) << pin.config.name;
+        scene.setInstanceTransform(
+            3, Mat4::translate({0.1f, 0.0f, 0.0f}) *
+                   scene.instances[3].transform);
+        pipeline.beginFrame();
+        pipeline.render(ShaderKind::Shadow);
+        EXPECT_EQ(gpu.stats().cycles, pin.total) << pin.config.name;
+        EXPECT_EQ(gpu.stats().instructions, 992u) << pin.config.name;
+        EXPECT_EQ(gpu.memSystem().l1Rt().reads, 28646u)
+            << pin.config.name;
+        EXPECT_EQ(gpu.memSystem().dram().stats().accesses, 337u)
+            << pin.config.name;
+    }
+}
+
+TEST(GoldenParity, LegacyLoopMatchesEventLoop)
+{
+    // The retained polling loop (LUMI_LEGACY_LOOP=1) and the event
+    // scheduler must agree to the cycle. The pins above anchor the
+    // event loop to the seed; this anchors the two loops to each
+    // other on a finite-resource run, where the due-set computation
+    // actually skips components and a registration bug would move
+    // the landing cycles.
+    RunOptions options;
+    options.params.width = 16;
+    options.params.height = 16;
+    options.config = GpuConfig::table4();
+    const Workload workload{SceneId::AMR,
+                            ShaderKind::PointContainment};
+    WorkloadResult event = runWorkload(workload, options);
+    setenv("LUMI_LEGACY_LOOP", "1", 1);
+    WorkloadResult legacy = runWorkload(workload, options);
+    unsetenv("LUMI_LEGACY_LOOP");
+    EXPECT_EQ(legacy.stats.cycles, event.stats.cycles);
+    EXPECT_EQ(legacy.stats.instructions, event.stats.instructions);
+    EXPECT_EQ(legacy.stats.raysTraced, event.stats.raysTraced);
+    EXPECT_EQ(legacy.l1Rt.reads, event.l1Rt.reads);
+    EXPECT_EQ(legacy.l1Rt.hits, event.l1Rt.hits);
+    EXPECT_EQ(legacy.l1Rt.misses, event.l1Rt.misses);
+    EXPECT_EQ(legacy.l1Shader.reads, event.l1Shader.reads);
+    EXPECT_EQ(legacy.l2Rt.misses, event.l2Rt.misses);
+    EXPECT_EQ(legacy.dram.accesses, event.dram.accesses);
 }
 
 } // namespace

@@ -1,7 +1,8 @@
 """The simulator-specific rules.
 
 Seven rules ported from the regex engine (same names, same
-semantics, now running over the tokenizer's literal-safe view) plus
+semantics, now running over the tokenizer's literal-safe view), the
+hot-path-container rule guarding the event loop's data layout, plus
 two whole-program rules:
 
   layering         enforce the #include dependency matrix between
@@ -272,6 +273,33 @@ def check_gpu_chrono(ctx, report):
                        "host clock in src/gpu outside the sanctioned "
                        "profiling helper (src/gpu/host_profile.cc); "
                        "wall time must never leak into model state")
+
+
+@rule("hot-path-container",
+      "No node-based std containers (std::map, std::unordered_map, "
+      "std::list and friends) in src/gpu cycle-path code: "
+      "per-element heap churn and pointer chasing dominate the "
+      "event loop. Use the open-addressed flat tables "
+      "(gpu/flat_map.hh), a vector with a head cursor, or an arena "
+      "slot; deliberate cold-path uses are allowlisted with "
+      "// lint:allow(hot-path-container).")
+def check_hot_path_container(ctx, report):
+    pattern = re.compile(
+        r"\bstd::(map|multimap|unordered_map|unordered_multimap|"
+        r"list|forward_list)\s*<")
+    for path in ctx.source_files(("src/gpu",)):
+        src = ctx.file(path)
+        for lineno, line in enumerate(src.clean_lines, 1):
+            match = pattern.search(line)
+            if match:
+                report(path, lineno,
+                       "std::%s on the src/gpu cycle path; "
+                       "node-based containers churn the allocator "
+                       "and chase pointers every cycle -- use "
+                       "FlatMap/FlatSet (gpu/flat_map.hh), a vector "
+                       "with a head cursor, or an arena slot "
+                       "(DESIGN.md \"Event scheduler\")" %
+                       match.group(1))
 
 
 # --------------------------------------------------------------- #

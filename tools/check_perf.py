@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the event-scheduler sweep.
+
+Compares a freshly generated BENCH_sched.json (bench/micro_sched
+--sweep-only) against the committed baseline and fails when any
+workload's event-loop throughput regressed by more than the allowed
+factor (default 2x, generous on purpose: CI runners are noisy and
+this gate exists to catch order-of-magnitude scheduling bugs, not
+single-digit-percent drift).
+
+Usage: check_perf.py BASELINE.json FRESH.json [--max-regression 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("schema") != "lumibench-sched-bench-v1":
+        sys.exit("%s: unexpected schema %r" % (path, data.get("schema")))
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when baseline/fresh exceeds this")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    scale_keys = ("resolution", "samples_per_pixel", "scene_detail")
+    if any(baseline.get(k) != fresh.get(k) for k in scale_keys):
+        print("check_perf: scale mismatch (%s vs %s); skipping "
+              "throughput comparison" %
+              ({k: baseline.get(k) for k in scale_keys},
+               {k: fresh.get(k) for k in scale_keys}))
+        return 0
+
+    fresh_points = {(w["id"], w["config"]): w
+                    for w in fresh["workloads"]}
+    failures = []
+    for base in baseline["workloads"]:
+        key = (base["id"], base["config"])
+        point = fresh_points.get(key)
+        if point is None:
+            failures.append("%s/%s: missing from fresh run" % key)
+            continue
+        if base["cycles"] != point["cycles"]:
+            failures.append(
+                "%s/%s: simulated cycles changed %d -> %d (timing "
+                "model drift, not a perf matter -- update the golden "
+                "pins and regenerate the baseline)" %
+                (key + (base["cycles"], point["cycles"])))
+            continue
+        ratio = base["event_sims_per_sec"] / max(
+            point["event_sims_per_sec"], 1.0)
+        marker = "FAIL" if ratio > args.max_regression else "ok"
+        print("%-10s %-8s baseline %8.0f sims/s, fresh %8.0f "
+              "(%.2fx) %s" %
+              (key[0], key[1], base["event_sims_per_sec"],
+               point["event_sims_per_sec"], ratio, marker))
+        if ratio > args.max_regression:
+            failures.append(
+                "%s/%s: event loop regressed %.2fx (limit %.1fx)" %
+                (key + (ratio, args.max_regression)))
+
+    for failure in failures:
+        print("check_perf: " + failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
